@@ -1,0 +1,104 @@
+// EXP-ABL1 -- mechanism ablation (ours, motivated by DESIGN.md):
+// which of I/O-GUARD's ingredients buys how much of the Fig. 7 gap?
+//   * BS|Legacy            -- shared NoC + non-preemptive FIFO controller
+//   * BS|BV                -- + hardware virtualization (still FIFO)
+//   * I/O-GUARD (no-budget)-- direct link + global job-EDF, no server
+//                             isolation (GschedPolicy::kGlobalEdfNoBudget)
+//   * I/O-GUARD (job-EDF)  -- budgets on, grants by job deadline
+//   * I/O-GUARD (srv-EDF)  -- the analysed configuration (Theorem 1)
+//   * I/O-GUARD-70         -- + P-channel preloading (70% of tasks)
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "system/experiment.hpp"
+
+namespace {
+
+using namespace ioguard;
+using namespace ioguard::sys;
+
+struct Variant {
+  std::string label;
+  SystemKind kind;
+  double preload;
+  core::GschedPolicy policy;
+};
+
+void print_ablation() {
+  const std::size_t trials =
+      static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
+  const std::size_t min_jobs =
+      static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
+
+  const std::vector<Variant> variants = {
+      {"Legacy(NoC+FIFO)", SystemKind::kLegacy, 0.0,
+       core::GschedPolicy::kServerEdf},
+      {"BV(+hw-virt)", SystemKind::kBlueVisor, 0.0,
+       core::GschedPolicy::kServerEdf},
+      {"IOG(no-budget)", SystemKind::kIoGuard, 0.0,
+       core::GschedPolicy::kGlobalEdfNoBudget},
+      {"IOG(job-EDF)", SystemKind::kIoGuard, 0.0,
+       core::GschedPolicy::kJobEdf},
+      {"IOG(srv-EDF)", SystemKind::kIoGuard, 0.0,
+       core::GschedPolicy::kServerEdf},
+      {"IOG-70(srv-EDF)", SystemKind::kIoGuard, 0.7,
+       core::GschedPolicy::kServerEdf},
+  };
+  const std::vector<double> utils = {0.6, 0.75, 0.9, 1.0};
+
+  std::cout << "=== Ablation: scheduling/path mechanisms, 8 VMs, success "
+               "ratio (" << trials << " trials) ===\n";
+  std::vector<std::string> header{"variant"};
+  for (double u : utils) header.push_back(fmt_double(u * 100, 0) + "%");
+  TextTable table(header);
+
+  for (const auto& v : variants) {
+    std::vector<std::string> row{v.label};
+    for (double util : utils) {
+      std::size_t successes = 0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        TrialConfig tc;
+        tc.kind = v.kind;
+        tc.workload.num_vms = 8;
+        tc.workload.target_utilization = util;
+        tc.workload.preload_fraction = v.preload;
+        tc.gsched_policy = v.policy;
+        tc.min_jobs_per_task = min_jobs;
+        tc.trial_seed = 42 * 7919ULL + t;
+        if (run_trial(tc).success()) ++successes;
+      }
+      row.push_back(
+          fmt_double(static_cast<double>(successes) / trials, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+void BM_AblationTrial(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    TrialConfig tc;
+    tc.kind = SystemKind::kIoGuard;
+    tc.workload.num_vms = 8;
+    tc.workload.target_utilization = 0.9;
+    tc.gsched_policy = core::GschedPolicy::kJobEdf;
+    tc.min_jobs_per_task = 10;
+    tc.trial_seed = ++seed;
+    benchmark::DoNotOptimize(run_trial(tc).misses);
+  }
+}
+BENCHMARK(BM_AblationTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

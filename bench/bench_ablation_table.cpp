@@ -1,0 +1,85 @@
+// EXP-ABL3 (ours) -- Time Slot Table placement policy ablation: spread vs
+// EDF-pack placement of the pre-defined jobs, at equal free-slot counts.
+// Quantifies the design choice DESIGN.md calls out: sigma*'s *shape*
+// determines the R-channel's admissible bandwidth (Theorem 1), because
+// sbf(sigma, t) stays zero up to the longest busy run.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sched/table_metrics.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ioguard;
+using namespace ioguard::sched;
+
+void print_ablation() {
+  std::cout << "=== Ablation: sigma* placement policy (case-study P-channel "
+               "load, per device) ===\n";
+  TextTable table({"preload", "device", "policy", "F/H", "longest busy run",
+                   "first supply", "admissible R bandwidth"});
+
+  for (double preload : {0.4, 0.7}) {
+    workload::CaseStudyConfig cfg;
+    cfg.num_vms = 8;
+    cfg.target_utilization = 0.8;
+    cfg.preload_fraction = preload;
+    const auto wl = workload::build_case_study(cfg);
+
+    for (std::uint32_t d = 0; d < 2; ++d) {  // Ethernet + FlexRay suffice
+      const auto pre = wl.predefined().filter_device(DeviceId{d});
+      if (pre.empty()) continue;
+      for (auto policy : {SlotPlacement::kSpread, SlotPlacement::kEdfPack}) {
+        const auto build =
+            build_time_slot_table(pre, Slot{1} << 24, policy);
+        if (!build.feasible) continue;
+        const auto m = analyze_table(build.table);
+        table.add(fmt_double(preload * 100, 0) + "%", d,
+                  std::string(policy == SlotPlacement::kSpread ? "spread"
+                                                               : "EDF-pack"),
+                  fmt_double(m.bandwidth, 3), m.longest_busy_run,
+                  m.first_supply_at,
+                  fmt_double(admissible_bandwidth(build.table), 3));
+      }
+    }
+  }
+  table.render(std::cout);
+  std::cout << "(equal F/H, very different admissible bandwidth: the paper's "
+               "look-up-table supply is only as good as its layout)\n\n";
+}
+
+void BM_SpreadPlacement(benchmark::State& state) {
+  workload::CaseStudyConfig cfg;
+  cfg.preload_fraction = 0.7;
+  const auto wl = workload::build_case_study(cfg);
+  const auto pre = wl.predefined().filter_device(DeviceId{0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        build_time_slot_table(pre, Slot{1} << 24, SlotPlacement::kSpread)
+            .feasible);
+}
+BENCHMARK(BM_SpreadPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_EdfPackPlacement(benchmark::State& state) {
+  workload::CaseStudyConfig cfg;
+  cfg.preload_fraction = 0.7;
+  const auto wl = workload::build_case_study(cfg);
+  const auto pre = wl.predefined().filter_device(DeviceId{0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        build_time_slot_table(pre, Slot{1} << 24, SlotPlacement::kEdfPack)
+            .feasible);
+}
+BENCHMARK(BM_EdfPackPlacement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// EXP-ADM -- schedulability-analysis study (ours): acceptance ratio of the
+// two-layer admission (Theorems 2 + 4) versus offered utilization on random
+// systems, plus agreement/timing of the pseudo-polynomial tests against the
+// exhaustive ones. This is the analytic counterpart of Sec. IV.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sched/admission.hpp"
+#include "sched/server_design.hpp"
+#include "sched/slot_table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ioguard;
+using namespace ioguard::sched;
+
+/// Builds a random table with roughly `busy` occupied fraction.
+TimeSlotTable random_table(Rng& rng, Slot h, double busy) {
+  TimeSlotTable t(h);
+  for (Slot s = 0; s < h; ++s)
+    if (rng.bernoulli(busy)) t.reserve(s, TaskId{0});
+  if (t.free_slots() == 0) t.release(0);
+  return t;
+}
+
+workload::TaskSet random_vm_tasks(Rng& rng, std::size_t n, double util) {
+  workload::TaskSet ts;
+  const auto shares = workload::uunifast(rng, n, util);
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::IoTaskSpec s;
+    s.id = TaskId{static_cast<std::uint32_t>(i)};
+    s.vm = VmId{0};
+    s.device = DeviceId{0};
+    s.name = "t" + std::to_string(i);
+    s.period = static_cast<Slot>(rng.log_uniform(100, 2000));
+    s.deadline = s.period - rng.uniform_int(0, s.period / 5);
+    s.wcet = std::max<Slot>(
+        1, static_cast<Slot>(shares[i] * static_cast<double>(s.period)));
+    if (s.wcet > s.deadline) s.wcet = s.deadline;
+    s.payload_bytes = 16;
+    ts.add(s);
+  }
+  return ts;
+}
+
+void print_acceptance() {
+  const std::size_t samples =
+      static_cast<std::size_t>(env_int("IOGUARD_ADM_SAMPLES", 200));
+  Rng rng(4242);
+
+  std::cout << "=== Admission: acceptance ratio vs utilization (Theorems "
+               "2+4, " << samples << " random systems/point) ===\n";
+  TextTable table({"runtime util", "free bandwidth", "accept (design)",
+                   "accept (thm4 fixed server)"});
+  for (double util = 0.1; util <= 0.95; util += 0.1) {
+    std::size_t designed = 0, fixed = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const auto t = random_table(rng, 100, 0.3);  // ~70% free bandwidth
+      TableSupply supply(t);
+      std::vector<workload::TaskSet> vms;
+      for (int v = 0; v < 3; ++v)
+        vms.push_back(random_vm_tasks(rng, 3, util / 3.0));
+      if (design_system(supply, vms).feasible) ++designed;
+      // A naive fixed server (Pi=50, Theta=bandwidth share) for comparison.
+      bool all = true;
+      for (const auto& vm : vms) {
+        const Slot theta = static_cast<Slot>(util / 3.0 * 50.0) + 1;
+        if (!theorem4_check({50, theta}, vm)) all = false;
+      }
+      if (all) ++fixed;
+    }
+    table.add(fmt_double(util, 2), fmt_double(0.7, 2),
+              fmt_double(static_cast<double>(designed) / samples, 2),
+              fmt_double(static_cast<double>(fixed) / samples, 2));
+  }
+  table.render(std::cout);
+  std::cout << "(designed servers dominate naive fixed budgets; acceptance "
+               "falls as runtime utilization approaches the free bandwidth)\n\n";
+
+  // Agreement check: Theorem 2 vs exhaustive Theorem 1 on random systems.
+  std::size_t agree = 0, total = 0, t2_accept = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto t = random_table(rng, 60, rng.uniform(0.2, 0.6));
+    TableSupply supply(t);
+    std::vector<ServerParams> servers;
+    for (int k = 0; k < 3; ++k) {
+      const Slot pi = 4 + rng.uniform_int(0, 16);
+      servers.push_back({pi, 1 + rng.uniform_int(0, pi / 2)});
+    }
+    const bool a = static_cast<bool>(theorem2_check(supply, servers));
+    const bool b = static_cast<bool>(theorem1_exhaustive(supply, servers));
+    if (a == b) ++agree;
+    if (a && !b) std::cout << "UNSOUND at sample " << i << "!\n";
+    if (a) ++t2_accept;
+    ++total;
+  }
+  std::cout << "Theorem 2 vs exhaustive Theorem 1: " << agree << "/" << total
+            << " agreements (" << t2_accept << " accepts); disagreements are "
+            << "conservative rejections at zero slack\n\n";
+}
+
+void BM_Theorem2(benchmark::State& state) {
+  Rng rng(1);
+  const auto t = random_table(rng, 1000, 0.4);
+  TableSupply supply(t);
+  std::vector<ServerParams> servers = {{20, 3}, {50, 8}, {25, 4}, {100, 10}};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(theorem2_check(supply, servers).schedulable);
+}
+BENCHMARK(BM_Theorem2);
+
+void BM_Theorem4(benchmark::State& state) {
+  Rng rng(2);
+  const auto tasks = random_vm_tasks(rng, 8, 0.4);
+  const ServerParams server{25, 15};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(theorem4_check(server, tasks).schedulable);
+}
+BENCHMARK(BM_Theorem4);
+
+void BM_ServerDesign(benchmark::State& state) {
+  Rng rng(3);
+  const auto tasks = random_vm_tasks(rng, 6, 0.3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synthesize_server(tasks).has_value());
+}
+BENCHMARK(BM_ServerDesign);
+
+void BM_SlotTableBuild(benchmark::State& state) {
+  workload::CaseStudyConfig cfg;
+  cfg.preload_fraction = 0.7;
+  const auto wl = workload::build_case_study(cfg);
+  const auto pre = wl.predefined().filter_device(DeviceId{0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_time_slot_table(pre).feasible);
+}
+BENCHMARK(BM_SlotTableBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_acceptance();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// EXP-F8A/B/C -- Figure 8: scalability with eta (number of VMs = 2^eta).
+//   (a) normalized area consumption, BS|Legacy vs I/O-GUARD
+//   (b) power consumption
+//   (c) maximum frequency of the hypervisor vs the legacy router fabric
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "hwmodel/scaling.hpp"
+
+namespace {
+
+using namespace ioguard;
+using namespace ioguard::hw;
+
+void print_figure8() {
+  const auto sweep = scaling_sweep(5);
+
+  std::cout << "=== Figure 8(a): normalized area vs eta (VMs = 2^eta) ===\n";
+  TextTable area({"eta", "VMs", "legacy", "I/O-GUARD", "overhead"});
+  for (const auto& p : sweep) {
+    area.add(p.eta, p.num_vms, fmt_double(p.legacy_area_norm, 4),
+             fmt_double(p.ioguard_area_norm, 4),
+             fmt_double(100.0 * (p.ioguard_area_norm - p.legacy_area_norm) /
+                            p.legacy_area_norm,
+                        1) +
+                 "%");
+  }
+  area.render(std::cout);
+  std::cout << "paper: overhead bounded within 20%\n\n";
+
+  std::cout << "=== Figure 8(b): power (mW) vs eta ===\n";
+  TextTable power({"eta", "VMs", "legacy_mw", "ioguard_mw"});
+  for (const auto& p : sweep)
+    power.add(p.eta, p.num_vms, fmt_double(p.legacy.power_mw, 0),
+              fmt_double(p.ioguard.power_mw, 0));
+  power.render(std::cout);
+  std::cout << "paper: linear scaling in eta for both systems\n\n";
+
+  std::cout << "=== Figure 8(c): maximum frequency (MHz) vs eta ===\n";
+  TextTable fmax({"eta", "VMs", "legacy_fmax", "hypervisor_fmax"});
+  for (const auto& p : sweep)
+    fmax.add(p.eta, p.num_vms, fmt_double(p.legacy_fmax_mhz, 1),
+             fmt_double(p.ioguard_fmax_mhz, 1));
+  fmax.render(std::cout);
+  std::cout << "paper: hypervisor fmax always above the legacy fabric "
+               "(never the critical path)\n\n";
+}
+
+void BM_ScalingPoint(benchmark::State& state) {
+  const auto eta = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(scaling_point(eta).ioguard.luts);
+}
+BENCHMARK(BM_ScalingPoint)->DenseRange(0, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXP-T1 -- Table I: hardware overhead of the hypervisor (16 VMs, 2 I/Os)
+// against full-featured processors (MicroBlaze, out-of-order RISC-V),
+// mainstream I/O controllers (SPI, Ethernet) and BlueVisor's BlueIO.
+//
+// Reference rows are the paper's measured constants; the "Proposed" row is
+// computed by the component-level model (src/hwmodel), which Table I
+// calibrates and Fig. 8 extrapolates.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "hwmodel/catalog.hpp"
+#include "hwmodel/hypervisor_model.hpp"
+
+namespace {
+
+using namespace ioguard;
+using namespace ioguard::hw;
+
+void print_table1() {
+  std::cout << "=== Table I: hardware overhead (implemented on FPGA) ===\n";
+  TextTable t({"design", "LUTs", "Registers", "DSP", "RAM (KB)", "Power (mW)"});
+  auto add = [&](const std::string& name, const HwResources& r) {
+    t.add(name, r.luts, r.registers, r.dsp, r.ram_kb, fmt_double(r.power_mw, 0));
+  };
+  for (ReferenceIp ip :
+       {ReferenceIp::kMicroBlazeFull, ReferenceIp::kRiscVOoo,
+        ReferenceIp::kSpiController, ReferenceIp::kEthernetController,
+        ReferenceIp::kBlueIo}) {
+    const auto& row = reference(ip);
+    add(row.name, row.resources);
+  }
+  const auto proposed = hypervisor_core_resources({16, 2, 4});
+  add("Proposed (model)", proposed);
+  t.render(std::cout);
+
+  const auto& mb = reference(ReferenceIp::kMicroBlazeFull).resources;
+  const auto& rv = reference(ReferenceIp::kRiscVOoo).resources;
+  std::cout << "vs MicroBlaze: "
+            << fmt_double(100.0 * proposed.luts / mb.luts, 1) << "% LUTs, "
+            << fmt_double(100.0 * proposed.registers / mb.registers, 1)
+            << "% registers, "
+            << fmt_double(100.0 * proposed.power_mw / mb.power_mw, 1)
+            << "% power (paper: 56.6% / 67.8% / 77.7%)\n";
+  std::cout << "vs RSIC-V:     "
+            << fmt_double(100.0 * proposed.luts / rv.luts, 1) << "% LUTs, "
+            << fmt_double(100.0 * proposed.registers / rv.registers, 1)
+            << "% registers, "
+            << fmt_double(100.0 * proposed.power_mw / rv.power_mw, 1)
+            << "% power (paper: 37.4% / 18.2% / 47.9%)\n\n";
+}
+
+void BM_HypervisorResourceModel(benchmark::State& state) {
+  const auto vms = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hypervisor_core_resources({vms, 2, 4}).luts);
+}
+BENCHMARK(BM_HypervisorResourceModel)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

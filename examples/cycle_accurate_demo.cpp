@@ -1,0 +1,58 @@
+// Cycle-accurate co-simulation demo: the wormhole mesh carries every I/O
+// request/response packet for the baselines while I/O-GUARD uses its
+// dedicated links -- at cycle granularity, with optional background memory
+// traffic loading the interconnect.
+//
+//   $ ./build/examples/cycle_accurate_demo [--slots=10000] [--util=0.6]
+//         [--vms=8] [--bg=0.002]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "system/cosim.hpp"
+
+using namespace ioguard;
+using namespace ioguard::sys;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const Slot slots = static_cast<Slot>(args.get_int("slots", 4000));
+  const double util = args.get_double("util", 0.6);
+  const auto vms = static_cast<std::size_t>(args.get_int("vms", 8));
+  const double bg = args.get_double("bg", 0.002);
+
+  std::cout << "Cycle-accurate co-simulation: " << slots << " slots ("
+            << slots / 100 << " ms), " << vms << " VMs, "
+            << fmt_double(util * 100, 0) << "% utilization, background "
+            << fmt_double(bg, 4) << " pkt/node/cycle\n\n";
+
+  TextTable table({"system", "counted", "on time", "crit misses", "dropped",
+                   "req latency p50/p99 (cy)", "resp p99 (us)",
+                   "noc packets"});
+  for (SystemKind kind : {SystemKind::kLegacy, SystemKind::kRtXen,
+                          SystemKind::kBlueVisor, SystemKind::kIoGuard}) {
+    CosimConfig cfg;
+    cfg.kind = kind;
+    cfg.workload.num_vms = vms;
+    cfg.workload.target_utilization = util;
+    cfg.workload.preload_fraction = 0.7;
+    cfg.horizon_slots = slots;
+    cfg.background_rate = bg;
+    auto r = run_cosim(cfg);
+
+    std::string req = "-";
+    if (!r.request_latency_cycles.empty())
+      req = fmt_double(r.request_latency_cycles.percentile(50), 0) + " / " +
+            fmt_double(r.request_latency_cycles.percentile(99), 0);
+    std::string resp = "-";
+    if (!r.response_slots.empty())
+      resp = fmt_double(r.response_slots.percentile(99) * 10, 0);
+    table.add(std::string(to_string(kind)), r.jobs_counted, r.jobs_on_time,
+              r.critical_misses, r.dropped, req, resp,
+              r.noc_packets_delivered);
+  }
+  table.render(std::cout);
+  std::cout << "\n(I/O-GUARD shows no request-latency column: its dedicated "
+               "processor-hypervisor links bypass the routers entirely)\n";
+  return 0;
+}

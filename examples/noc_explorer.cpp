@@ -1,0 +1,82 @@
+// Cycle-level NoC exploration: measures request-path latency distributions
+// on the 5x5 mesh as background load rises -- the on-chip interference that
+// motivates I/O-GUARD's dedicated processor-hypervisor links (Sec. I/II).
+//
+//   $ ./build/examples/noc_explorer
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "noc/mesh.hpp"
+
+using namespace ioguard;
+
+int main() {
+  std::cout << "NoC explorer: 5x5 wormhole mesh, XY routing, credit flow "
+               "control\n\n";
+
+  TextTable table({"injection rate (pkt/node/100cy)", "delivered",
+                   "probe p50 (cy)", "probe p95 (cy)", "probe max (cy)"});
+
+  for (double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    noc::MeshConfig cfg;
+    noc::Mesh mesh(cfg);
+    Rng rng(17);
+    SampleSet probe_lat;
+
+    // The "I/O node" sits at (4,4); probes model I/O requests from (0,0).
+    mesh.set_delivery_handler(mesh.node_at(4, 4),
+                              [&](const noc::Packet& p, Cycle) {
+                                if (p.kind == noc::PacketKind::kIoRequest)
+                                  probe_lat.add(static_cast<double>(p.latency()));
+                              });
+
+    Cycle now = 0;
+    const Cycle horizon = 60000;
+    Cycle next_probe = 0;
+    while (now < horizon) {
+      // Background traffic: uniform-random pairs at the configured rate.
+      if (rate > 0.0) {
+        for (std::size_t n = 0; n < mesh.node_count(); ++n) {
+          if (rng.bernoulli(rate / 100.0)) {
+            noc::Packet bg;
+            bg.src = NodeId{static_cast<std::uint32_t>(n)};
+            bg.dst = NodeId{static_cast<std::uint32_t>(rng.index(mesh.node_count()))};
+            bg.kind = noc::PacketKind::kBackground;
+            bg.payload_bytes = 128;
+            mesh.send(bg, now);
+          }
+        }
+      }
+      if (now >= next_probe) {
+        noc::Packet probe;
+        probe.src = mesh.node_at(0, 0);
+        probe.dst = mesh.node_at(4, 4);
+        probe.kind = noc::PacketKind::kIoRequest;
+        probe.payload_bytes = 32;
+        mesh.send(probe, now);
+        next_probe = now + 500;
+      }
+      mesh.tick(now++);
+    }
+
+    table.add(fmt_double(rate, 2), mesh.packets_delivered(),
+              probe_lat.empty() ? std::string("-")
+                                : fmt_double(probe_lat.percentile(50), 0),
+              probe_lat.empty() ? std::string("-")
+                                : fmt_double(probe_lat.percentile(95), 0),
+              probe_lat.empty() ? std::string("-")
+                                : fmt_double(probe_lat.max(), 0));
+  }
+  table.render(std::cout);
+
+  noc::MeshConfig cfg;
+  noc::Mesh mesh(cfg);
+  std::cout << "\nzero-load model check: (0,0)->(4,4), 32 B payload: "
+            << mesh.zero_load_latency(mesh.node_at(0, 0), mesh.node_at(4, 4), 32)
+            << " cycles predicted\n"
+            << "(I/O-GUARD replaces this shared path with a dedicated link "
+               "of ~4 cycles + bounded translation)\n";
+  return 0;
+}

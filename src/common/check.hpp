@@ -1,0 +1,45 @@
+// Assertion macros. IOGUARD_CHECK is always on (throws, so tests can assert
+// on violations); IOGUARD_DCHECK compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ioguard {
+
+/// Thrown when an IOGUARD_CHECK fails; carries file:line and the condition.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace ioguard
+
+#define IOGUARD_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ioguard::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define IOGUARD_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ioguard::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define IOGUARD_DCHECK(cond) ((void)0)
+#else
+#define IOGUARD_DCHECK(cond) IOGUARD_CHECK(cond)
+#endif

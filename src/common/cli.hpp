@@ -1,0 +1,38 @@
+// Minimal command-line flag parser for the example executables:
+//   --flag=value | --switch
+// (No "--flag value" space form: it is ambiguous with a switch followed by
+// a positional argument.) Non-flag arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ioguard {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& flag,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& flag, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name (no dashes) -> value
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ioguard

@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace ioguard {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+}  // namespace ioguard

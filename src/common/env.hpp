@@ -1,0 +1,19 @@
+// Environment-variable knobs used by bench harnesses to trade fidelity for
+// wall-clock time (e.g. IOGUARD_TRIALS, IOGUARD_HORIZON_FACTOR).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ioguard {
+
+/// Reads an integer env var; returns `fallback` when unset or malformed.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a double env var; returns `fallback` when unset or malformed.
+double env_double(const std::string& name, double fallback);
+
+/// Reads a string env var; returns `fallback` when unset.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+}  // namespace ioguard

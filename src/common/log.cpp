@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace ioguard {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (!s) return LogLevel::kOff;
+  std::string v(s);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> t{parse_level(std::getenv("IOGUARD_LOG"))};
+  return t;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace ioguard

@@ -1,0 +1,35 @@
+// Minimal levelled logging. Experiments run with logging off by default;
+// set IOGUARD_LOG=debug|info|warn|error in the environment to enable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ioguard {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Current global threshold; initialised from the IOGUARD_LOG env var.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace ioguard
+
+#define IOGUARD_LOG(level, expr)                                       \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::ioguard::log_threshold())) {                \
+      std::ostringstream ioguard_log_os;                               \
+      ioguard_log_os << expr;                                          \
+      ::ioguard::detail::log_emit(level, ioguard_log_os.str());        \
+    }                                                                  \
+  } while (0)
+
+#define LOG_DEBUG(expr) IOGUARD_LOG(::ioguard::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) IOGUARD_LOG(::ioguard::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) IOGUARD_LOG(::ioguard::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) IOGUARD_LOG(::ioguard::LogLevel::kError, expr)

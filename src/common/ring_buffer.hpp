@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer modelling hardware FIFO queues (the structure
+// the paper identifies as the root of the I/O predictability problem).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ioguard {
+
+/// Bounded FIFO. push() fails (returns false) when full, mirroring hardware
+/// back-pressure instead of silently growing.
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity + 1) {
+    IOGUARD_CHECK(capacity > 0);
+  }
+
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] bool full() const { return next(tail_) == head_; }
+  [[nodiscard]] std::size_t capacity() const { return storage_.size() - 1; }
+
+  [[nodiscard]] std::size_t size() const {
+    return tail_ >= head_ ? tail_ - head_
+                          : storage_.size() - head_ + tail_;
+  }
+
+  /// Enqueues; returns false when the FIFO is full (back-pressure).
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    storage_[tail_] = std::move(value);
+    tail_ = next(tail_);
+    return true;
+  }
+
+  /// Dequeues the oldest element; empty optional when the FIFO is empty.
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(storage_[head_]);
+    head_ = next(head_);
+    return v;
+  }
+
+  /// Oldest element without removing it.
+  [[nodiscard]] const T& front() const {
+    IOGUARD_CHECK(!empty());
+    return storage_[head_];
+  }
+
+  /// i-th element from the front (0 = oldest). FIFO hardware cannot do this;
+  /// provided for test instrumentation only.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    IOGUARD_CHECK(i < size());
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) % storage_.size();
+  }
+
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace ioguard

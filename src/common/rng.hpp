@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+// xoshiro256** with a splitmix64 seeder; all experiment randomness flows
+// through Rng so a (seed, trial) pair fully determines a run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ioguard {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x10c0a7d5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = splitmix64(x);
+  }
+
+  /// Derives an independent stream, e.g. per trial: rng.fork(trial_index).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    return Rng(s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    IOGUARD_CHECK(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto lo128 = static_cast<std::uint64_t>(m);
+    if (lo128 < range) {
+      const std::uint64_t t = (0 - range) % range;
+      while (lo128 < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * range;
+        lo128 = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Log-uniform double in [lo, hi); classic for period generation.
+  double log_uniform(double lo, double hi) {
+    IOGUARD_CHECK(lo > 0.0 && hi > lo);
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  /// Exponential with mean `mean` (for sporadic inter-arrival slack).
+  double exponential(double mean) {
+    IOGUARD_CHECK(mean > 0.0);
+    double u = uniform();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Picks an index in [0, n) uniformly.
+  std::size_t index(std::size_t n) {
+    IOGUARD_CHECK(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ioguard

@@ -1,0 +1,75 @@
+// Online statistics accumulators used by the metrics pipeline:
+// Welford mean/variance, min/max, and a percentile-capable sample reservoir.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ioguard {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; provides exact percentiles. For bounded experiment
+/// sizes this is simpler and more accurate than a streaming sketch.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Exact percentile by linear interpolation; p in [0, 100].
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return bins_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ioguard

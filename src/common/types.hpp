@@ -1,0 +1,85 @@
+// Fundamental types shared across the I/O-GUARD libraries.
+//
+// Time is modelled at two granularities:
+//  * Cycle  -- one clock cycle of the 100 MHz platform (10 ns).
+//  * Slot   -- one scheduler time slot. The two-layer scheduler of the paper
+//              operates at slot granularity; the default mapping is
+//               1 slot = 1000 cycles = 10 us (kDefaultCyclesPerSlot), matching
+//              workload::kSlotsPerMs = 100.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ioguard {
+
+using Cycle = std::uint64_t;  ///< absolute time in clock cycles
+using Slot = std::uint64_t;   ///< absolute time in scheduler slots
+using SlotDelta = std::int64_t;
+
+/// Platform clock of the paper's FPGA prototype (all systems run at 100 MHz).
+inline constexpr std::uint64_t kClockHz = 100'000'000;
+
+/// Default slot width: 1000 cycles = 10 us at 100 MHz.
+inline constexpr Cycle kDefaultCyclesPerSlot = 1000;
+
+/// Sentinel for "no time" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr Slot kNeverSlot = std::numeric_limits<Slot>::max();
+
+/// Strongly-typed small id. Tag disambiguates VmId from TaskId etc.
+template <class Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct VmTag {};
+struct TaskTag {};
+struct JobTag {};
+struct DeviceTag {};
+struct NodeTag {};
+
+using VmId = Id<VmTag>;        ///< virtual machine index
+using TaskId = Id<TaskTag>;    ///< I/O task index (unique across VMs)
+using JobId = Id<JobTag>;      ///< job (task instance) index
+using DeviceId = Id<DeviceTag>;///< physical I/O device index
+using NodeId = Id<NodeTag>;    ///< NoC node index (row-major in the mesh)
+
+/// Converts cycles to whole slots (floor).
+[[nodiscard]] constexpr Slot cycles_to_slots(Cycle c, Cycle cycles_per_slot) {
+  return c / cycles_per_slot;
+}
+
+/// Converts slots to cycles.
+[[nodiscard]] constexpr Cycle slots_to_cycles(Slot s, Cycle cycles_per_slot) {
+  return s * cycles_per_slot;
+}
+
+/// Converts cycles to seconds at the platform clock.
+[[nodiscard]] constexpr double cycles_to_seconds(Cycle c) {
+  return static_cast<double>(c) / static_cast<double>(kClockHz);
+}
+
+/// Converts microseconds to cycles at the platform clock.
+[[nodiscard]] constexpr Cycle us_to_cycles(double us) {
+  return static_cast<Cycle>(us * 1e-6 * static_cast<double>(kClockHz));
+}
+
+}  // namespace ioguard
+
+// std::hash support for strong ids (e.g. unordered_map<VmId, ...>).
+template <class Tag>
+struct std::hash<ioguard::Id<Tag>> {
+  std::size_t operator()(ioguard::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

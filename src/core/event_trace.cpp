@@ -1,0 +1,60 @@
+#include "core/event_trace.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSubmit: return "submit";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kPchannelSlot: return "pchannel_slot";
+    case TraceEventKind::kRchannelGrant: return "rchannel_grant";
+    case TraceEventKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
+  IOGUARD_CHECK(capacity > 0);
+  events_.reserve(capacity);
+}
+
+void EventTrace::record(const TraceEvent& event) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.kind)];
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+std::uint64_t EventTrace::count(TraceEventKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+void EventTrace::dump_csv(std::ostream& os) const {
+  os << "slot,kind,device,vm,task,job\n";
+  // Oldest-first: when saturated the ring starts at head_.
+  const std::size_t n = events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(head_ + i) % n];
+    os << e.slot << ',' << to_string(e.kind) << ',' << e.device.value << ','
+       << e.vm.value << ',' << e.task.value << ',' << e.job.value << '\n';
+  }
+}
+
+void EventTrace::clear() {
+  events_.clear();
+  head_ = 0;
+  total_ = 0;
+  overwritten_ = 0;
+  for (auto& c : counts_) c = 0;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,65 @@
+// Hardware event tracing: a bounded ring of scheduler-visible events
+// (submissions, grants, completions, drops) with CSV export -- the
+// equivalent of an on-chip trace buffer, used by examples and tests to
+// inspect exactly what the hypervisor did slot by slot.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ioguard::core {
+
+enum class TraceEventKind : std::uint8_t {
+  kSubmit,         ///< run-time job entered an I/O pool
+  kDrop,           ///< pool full: job rejected
+  kPchannelSlot,   ///< P-channel executed a reserved slot
+  kRchannelGrant,  ///< G-Sched granted a free slot to a VM
+  kComplete,       ///< a job finished (either channel)
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind k);
+
+struct TraceEvent {
+  Slot slot = 0;
+  TraceEventKind kind = TraceEventKind::kSubmit;
+  DeviceId device;
+  VmId vm;
+  TaskId task;
+  JobId job;
+};
+
+/// Bounded ring buffer of events; recording drops the oldest entries when
+/// full (like a real trace buffer) and counts per-kind totals regardless.
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 65536);
+
+  void record(const TraceEvent& event);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t count(TraceEventKind kind) const;
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+
+  /// CSV: slot,kind,device,vm,task,job
+  void dump_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;  // kept in insertion order
+  std::size_t head_ = 0;            // ring start when saturated
+  std::uint64_t total_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t counts_[5] = {};
+};
+
+}  // namespace ioguard::core

@@ -1,0 +1,83 @@
+#include "core/gsched.hpp"
+
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+GSched::GSched(std::vector<sched::ServerParams> servers, GschedPolicy policy)
+    : servers_(std::move(servers)), state_(servers_.size()), policy_(policy) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    IOGUARD_CHECK(servers_[i].pi > 0);
+    IOGUARD_CHECK(servers_[i].theta <= servers_[i].pi);
+    state_[i].budget = servers_[i].theta;
+    state_[i].next_replenish = servers_[i].pi;
+  }
+}
+
+void GSched::replenish(Slot now) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    // Catch up all period boundaries at or before `now` (grants happen only
+    // through pick(), which is called every free slot, so usually one step).
+    while (now >= state_[i].next_replenish) {
+      state_[i].budget = servers_[i].theta;
+      state_[i].next_replenish += servers_[i].pi;
+    }
+  }
+}
+
+std::optional<std::size_t> GSched::pick(
+    Slot now, const std::vector<ShadowRegister>& shadows) {
+  IOGUARD_CHECK(shadows.size() == servers_.size());
+  replenish(now);
+
+  std::optional<std::size_t> best;
+  // Selection keys, smaller = higher priority.
+  auto key = [&](std::size_t i) {
+    const Slot server_deadline = state_[i].next_replenish;
+    const Slot job_deadline = shadows[i].absolute_deadline;
+    switch (policy_) {
+      case GschedPolicy::kServerEdf:
+        return std::tuple(server_deadline, job_deadline, static_cast<Slot>(i));
+      case GschedPolicy::kJobEdf:
+        return std::tuple(job_deadline, server_deadline, static_cast<Slot>(i));
+      case GschedPolicy::kGlobalEdfNoBudget:
+        return std::tuple(job_deadline, Slot{0}, static_cast<Slot>(i));
+    }
+    return std::tuple(kNeverSlot, kNeverSlot, static_cast<Slot>(i));
+  };
+
+  for (std::size_t i = 0; i < shadows.size(); ++i) {
+    if (!shadows[i].valid) continue;
+    if (policy_ != GschedPolicy::kGlobalEdfNoBudget &&
+        state_[i].budget == 0)
+      continue;
+    if (!best || key(i) < key(*best)) best = i;
+  }
+
+  if (best) {
+    if (policy_ != GschedPolicy::kGlobalEdfNoBudget) {
+      IOGUARD_CHECK(state_[*best].budget > 0);
+      --state_[*best].budget;
+    }
+    ++state_[*best].granted;
+    return best;
+  }
+
+  // Slack reclamation: no budgeted candidate, but the slot would otherwise
+  // idle -- hand it to the earliest-deadline pending operation for free.
+  for (std::size_t i = 0; i < shadows.size(); ++i) {
+    if (!shadows[i].valid) continue;
+    if (!best || shadows[i].absolute_deadline <
+                     shadows[*best].absolute_deadline)
+      best = i;
+  }
+  if (best) {
+    ++state_[*best].granted;
+    ++state_[*best].slack_granted;
+  }
+  return best;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,182 @@
+#include "core/hypervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "workload/automotive.hpp"
+
+namespace ioguard::core {
+
+const iodev::DeviceSpec& case_study_device_spec(DeviceId id) {
+  using workload::CaseStudyDevice;
+  switch (static_cast<CaseStudyDevice>(id.value)) {
+    case CaseStudyDevice::kEthernet:
+      return iodev::device_spec(iodev::DeviceKind::kEthernet);
+    case CaseStudyDevice::kFlexRay:
+      return iodev::device_spec(iodev::DeviceKind::kFlexRay);
+    case CaseStudyDevice::kCan:
+      return iodev::device_spec(iodev::DeviceKind::kCan);
+    case CaseStudyDevice::kSpi:
+      return iodev::device_spec(iodev::DeviceKind::kSpi);
+  }
+  IOGUARD_CHECK_MSG(false, "unknown case-study device");
+  __builtin_unreachable();
+}
+
+namespace {
+
+/// Utilization-proportional fallback servers when Theorem 2/4 synthesis
+/// fails (over-utilized configurations the evaluation sweeps through).
+std::vector<sched::ServerParams> fallback_servers(
+    const std::vector<workload::TaskSet>& vm_tasks, double free_bandwidth) {
+  std::vector<sched::ServerParams> servers;
+  servers.reserve(vm_tasks.size());
+  double total_u = 0.0;
+  for (const auto& ts : vm_tasks) total_u += ts.utilization();
+  constexpr Slot kPi = 50;
+  for (const auto& ts : vm_tasks) {
+    if (ts.empty() || total_u <= 0.0) {
+      servers.push_back(sched::ServerParams{kPi, 0});
+      continue;
+    }
+    // Split the available free bandwidth proportionally to VM demand.
+    const double share = ts.utilization() / total_u *
+                         std::min(1.0, free_bandwidth);
+    auto theta = static_cast<Slot>(
+        std::ceil(share * static_cast<double>(kPi)));
+    theta = std::clamp<Slot>(theta, ts.utilization() > 0 ? 1 : 0, kPi);
+    servers.push_back(sched::ServerParams{kPi, theta});
+  }
+  return servers;
+}
+
+}  // namespace
+
+Hypervisor::Hypervisor(const workload::CaseStudyWorkload& wl,
+                       const HypervisorConfig& config) {
+  const std::size_t n_dev = workload::kCaseStudyDeviceCount;
+  managers_.reserve(n_dev);
+  designs_.reserve(n_dev);
+
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    const DeviceId dev{static_cast<std::uint32_t>(d)};
+    DeviceDesign design;
+    design.device = dev;
+    design.spec = case_study_device_spec(dev);
+
+    // 1. Offline Time Slot Table for this device's pre-defined tasks. When
+    //    placement fails (e.g. pre-defined utilization pushed past what the
+    //    table can hold), the least-critical pre-defined tasks are demoted
+    //    to the R-channel one by one until the remainder fits -- a designer
+    //    would do exactly this at integration time.
+    auto predefined = wl.predefined().filter_device(dev);
+    workload::TaskSet demoted;
+    auto build = sched::build_time_slot_table(predefined);
+    design.table_feasible = build.feasible;
+    while (!build.feasible && !predefined.empty()) {
+      if (design.note.empty())
+        design.note = "slot table: " + build.failure + " (demoted:";
+      // Demote the least critical, largest-demand task first.
+      std::vector<workload::IoTaskSpec> remaining = predefined.tasks();
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < remaining.size(); ++i) {
+        const auto key = [](const workload::IoTaskSpec& t) {
+          return std::make_pair(static_cast<int>(t.cls), t.utilization());
+        };
+        if (key(remaining[i]) > key(remaining[victim])) victim = i;
+      }
+      workload::IoTaskSpec moved = remaining[victim];
+      moved.kind = workload::TaskKind::kRuntime;
+      design.note += " " + moved.name;
+      demoted.add(moved);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(victim));
+      predefined = workload::TaskSet(std::move(remaining));
+      build = sched::build_time_slot_table(predefined);
+    }
+    if (!design.note.empty()) design.note += ")";
+    IOGUARD_CHECK_MSG(build.feasible, "empty table must be feasible");
+    for (const auto& t : predefined.tasks()) pchannel_tasks_.insert(t.id.value);
+    design.hyperperiod = build.table.hyperperiod();
+    design.free_slots = build.table.free_slots();
+
+    // 2. Periodic servers for the run-time tasks (plus any demoted
+    //    pre-defined tasks), per VM.
+    auto runtime = wl.runtime().filter_device(dev);
+    for (const auto& t : demoted.tasks()) runtime.add(t);
+    // The analysis must see what the hardware executes: every job carries
+    // the per-job dispatch overhead on top of its payload demand.
+    std::vector<workload::TaskSet> vm_tasks;
+    vm_tasks.reserve(config.num_vms);
+    for (std::size_t v = 0; v < config.num_vms; ++v) {
+      workload::TaskSet charged;
+      const auto vm_set =
+          runtime.filter_vm(VmId{static_cast<std::uint32_t>(v)});
+      for (auto t : vm_set.tasks()) {
+        t.wcet = std::min(t.deadline, t.wcet + config.dispatch_overhead_slots);
+        charged.add(std::move(t));
+      }
+      vm_tasks.push_back(std::move(charged));
+    }
+
+    sched::TableSupply supply(build.table);
+    auto sys = sched::design_system(supply, vm_tasks, config.server_design);
+    design.servers_feasible = sys.feasible;
+    if (sys.feasible) {
+      design.servers = sys.servers;
+    } else {
+      design.servers = fallback_servers(vm_tasks, supply.bandwidth());
+      if (!design.note.empty()) design.note += "; ";
+      design.note += "servers: " + sys.reason + " (fallback budgets)";
+    }
+
+    VManagerConfig mc;
+    mc.num_vms = config.num_vms;
+    mc.pool_capacity = config.pool_capacity;
+    mc.dispatch_overhead_slots = config.dispatch_overhead_slots;
+    mc.policy = config.policy;
+    mc.translator = config.translator;
+    managers_.push_back(std::make_unique<VirtManager>(
+        design.spec, predefined, build.table, design.servers, mc));
+    designs_.push_back(std::move(design));
+  }
+}
+
+bool Hypervisor::submit(const workload::Job& job, Slot now) {
+  IOGUARD_CHECK(job.device.value < managers_.size());
+  return managers_[job.device.value]->submit(job, now);
+}
+
+void Hypervisor::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
+  for (auto& m : managers_) m->tick_slot(now, out);
+}
+
+VirtManager& Hypervisor::manager(DeviceId device) {
+  IOGUARD_CHECK(device.value < managers_.size());
+  return *managers_[device.value];
+}
+
+const VirtManager& Hypervisor::manager(DeviceId device) const {
+  IOGUARD_CHECK(device.value < managers_.size());
+  return *managers_[device.value];
+}
+
+bool Hypervisor::fully_admitted() const {
+  return std::all_of(designs_.begin(), designs_.end(),
+                     [](const DeviceDesign& d) {
+                       return d.table_feasible && d.servers_feasible;
+                     });
+}
+
+void Hypervisor::set_tracer(EventTrace* tracer) {
+  for (std::size_t d = 0; d < managers_.size(); ++d)
+    managers_[d]->set_tracer(tracer, DeviceId{static_cast<std::uint32_t>(d)});
+}
+
+std::uint64_t Hypervisor::dropped_jobs() const {
+  std::uint64_t total = 0;
+  for (const auto& m : managers_) total += m->dropped_jobs();
+  return total;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,98 @@
+// Top-level I/O-GUARD hypervisor (Sec. II-III).
+//
+// One virtualization manager + virtualization driver pair per connected I/O
+// device ("the hypervisor contained 2 groups of virtualization managers and
+// virtualization drivers" in the 16-VM/2-I/O evaluation configuration).
+// Processors submit I/O jobs directly to the hypervisor over dedicated
+// links -- no routers/arbiters on the path -- and the response channel is
+// pass-through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/vmanager.hpp"
+#include "sched/server_design.hpp"
+#include "workload/generator.hpp"
+
+namespace ioguard::core {
+
+/// Design-time summary of one device's scheduling fabric.
+struct DeviceDesign {
+  DeviceId device;
+  iodev::DeviceSpec spec;
+  bool table_feasible = false;
+  bool servers_feasible = false;
+  Slot hyperperiod = 0;
+  Slot free_slots = 0;
+  std::vector<sched::ServerParams> servers;
+  std::string note;
+};
+
+struct HypervisorConfig {
+  std::size_t num_vms = 4;
+  std::size_t pool_capacity = 16;
+  GschedPolicy policy = GschedPolicy::kServerEdf;
+  TranslatorConfig translator;
+  sched::ServerDesignConfig server_design;
+  /// Per-job device occupancy of translation/controller setup.
+  Slot dispatch_overhead_slots = 1;
+};
+
+/// The hardware hypervisor: routes submissions by device and advances all
+/// virtualization managers in lock-step with the global timer.
+class Hypervisor {
+ public:
+  /// Builds the hypervisor for a case-study workload: per device, the
+  /// pre-defined tasks get an offline Time Slot Table and the run-time tasks
+  /// get synthesized periodic servers (Theorems 2/4). Infeasible server
+  /// designs fall back to utilization-proportional budgets (the hardware
+  /// still runs; the analysis just gives no guarantee -- mirrors running an
+  /// over-utilized system on real hardware).
+  Hypervisor(const workload::CaseStudyWorkload& wl,
+             const HypervisorConfig& config);
+
+  /// Submits a run-time job (arrives over the processor-hypervisor link).
+  /// False when the target pool is full.
+  [[nodiscard]] bool submit(const workload::Job& job, Slot now);
+
+  /// Advances one scheduler slot on every device manager; completions are
+  /// appended to `out`.
+  void tick_slot(Slot now, std::vector<iodev::Completion>& out);
+
+  [[nodiscard]] const std::vector<DeviceDesign>& designs() const {
+    return designs_;
+  }
+  [[nodiscard]] VirtManager& manager(DeviceId device);
+  [[nodiscard]] const VirtManager& manager(DeviceId device) const;
+  [[nodiscard]] std::size_t device_count() const { return managers_.size(); }
+
+  /// True when every device's table and servers passed admission.
+  [[nodiscard]] bool fully_admitted() const;
+
+  [[nodiscard]] std::uint64_t dropped_jobs() const;
+
+  /// Attaches one trace buffer to every device manager (not owned).
+  void set_tracer(EventTrace* tracer);
+
+  /// Is this task executed by a P-channel (it was pre-defined AND its table
+  /// placement succeeded)? Pre-defined tasks that could not be placed are
+  /// demoted to the R-channel; their jobs must be submitted like run-time
+  /// jobs.
+  [[nodiscard]] bool pchannel_task(TaskId task) const {
+    return pchannel_tasks_.count(task.value) != 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<VirtManager>> managers_;  // index = DeviceId
+  std::vector<DeviceDesign> designs_;
+  std::unordered_set<std::uint32_t> pchannel_tasks_;
+};
+
+/// Maps a case-study DeviceId to its physical device spec.
+[[nodiscard]] const iodev::DeviceSpec& case_study_device_spec(DeviceId id);
+
+}  // namespace ioguard::core

@@ -1,0 +1,49 @@
+#include "core/io_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+IoPool::IoPool(VmId vm, std::size_t queue_capacity,
+               Slot dispatch_overhead_slots)
+    : vm_(vm), queue_(queue_capacity),
+      dispatch_overhead_(dispatch_overhead_slots) {
+  shadow_.vm = vm;
+}
+
+bool IoPool::submit(const workload::Job& job) {
+  IOGUARD_CHECK_MSG(job.vm == vm_, "job routed to wrong VM pool");
+  workload::Job charged = job;
+  charged.wcet += dispatch_overhead_;
+  if (!queue_.insert(charged)) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void IoPool::refresh_shadow() {
+  const auto earliest = queue_.peek_earliest();
+  if (!earliest) {
+    shadow_.valid = false;
+    shadow_.handle = kInvalidHandle;
+    return;
+  }
+  shadow_.valid = true;
+  shadow_.handle = *earliest;
+  shadow_.absolute_deadline = queue_.params(*earliest).absolute_deadline;
+}
+
+std::optional<ParamSlot> IoPool::execute_shadow_slot() {
+  IOGUARD_CHECK_MSG(shadow_.valid, "executing an invalid shadow register");
+  const EntryHandle h = shadow_.handle;
+  if (queue_.consume_one_slot(h)) {
+    ParamSlot finished = queue_.params(h);
+    queue_.remove(h);  // "the executor ... removes it from the priority queue"
+    shadow_.valid = false;
+    return finished;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,65 @@
+#include "core/pchannel.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+PChannel::PChannel(workload::TaskSet predefined, sched::TimeSlotTable table)
+    : tasks_(std::move(predefined)), table_(std::move(table)) {
+  for (const auto& t : tasks_.tasks()) {
+    IOGUARD_CHECK(t.kind == workload::TaskKind::kPredefined);
+    TaskRun run;
+    run.spec = t;
+    run.next_release = t.offset;
+    runs_.emplace(t.id.value, run);
+  }
+}
+
+std::optional<iodev::Completion> PChannel::execute_slot(Slot now,
+                                                        bool& slot_used) {
+  slot_used = false;
+  const auto occupant = table_.occupant(now % table_.hyperperiod());
+  if (!occupant) return std::nullopt;
+
+  auto it = runs_.find(occupant->value);
+  IOGUARD_CHECK_MSG(it != runs_.end(), "table references unknown task");
+  TaskRun& run = it->second;
+
+  if (run.remaining == 0) {
+    // Start the next job if it has been released by now.
+    if (run.next_release > now) {
+      ++wasted_slots_;  // startup transient of a wrapping job
+      return std::nullopt;
+    }
+    run.current_release = run.next_release;
+    run.next_release += run.spec.period;
+    run.remaining = run.spec.wcet;
+    ++run.jobs_started;
+  }
+
+  slot_used = true;
+  ++busy_slots_;
+  if (--run.remaining == 0) {
+    ++jobs_completed_;
+    workload::Job job;
+    // High bit marks hypervisor-generated job ids, so they can never collide
+    // with the dense trace-job ids of the R-channel.
+    job.id = JobId{0x40000000u | static_cast<std::uint32_t>(next_job_seq_++)};
+    job.task = run.spec.id;
+    job.vm = run.spec.vm;
+    job.device = run.spec.device;
+    job.release = run.current_release;
+    job.absolute_deadline = run.current_release + run.spec.deadline;
+    job.wcet = run.spec.wcet;
+    job.payload_bytes = run.spec.payload_bytes;
+
+    iodev::Completion done;
+    done.job = job;
+    done.enqueued_at = run.current_release;
+    done.completed_at = now + 1;
+    return done;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,65 @@
+// Pre-defined I/O task channel (P-channel, Sec. III-A).
+//
+// "The memory banks store the pre-defined I/O tasks and the corresponding
+// timing information ..., which are loaded during system initialization.
+// During system execution, the executor synchronizes with a global timer and
+// then compares the synchronized results with the time slot table. Once the
+// system executes at a starting time point of a pre-loaded I/O task, the
+// executor loads this task to the connected virtualization driver."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "iodev/fifo_controller.hpp"  // for iodev::Completion
+#include "sched/slot_table.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::core {
+
+class PChannel {
+ public:
+  /// `predefined` are the pre-loaded tasks of this device; `table` is the
+  /// offline-built Time Slot Table covering exactly those tasks.
+  PChannel(workload::TaskSet predefined, sched::TimeSlotTable table);
+
+  /// Executes slot `now` if the table reserves it for a pre-defined task.
+  /// Returns the completion when this slot finishes a job. Returns nullopt
+  /// (and consumes nothing) on free slots -- the caller then offers the slot
+  /// to the R-channel.
+  std::optional<iodev::Completion> execute_slot(Slot now, bool& slot_used);
+
+  /// Is absolute slot `now` free for the R-channel?
+  [[nodiscard]] bool slot_is_free(Slot now) const {
+    return table_.is_free_abs(now);
+  }
+
+  [[nodiscard]] const sched::TimeSlotTable& table() const { return table_; }
+  [[nodiscard]] const workload::TaskSet& tasks() const { return tasks_; }
+  [[nodiscard]] Slot busy_slots() const { return busy_slots_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_completed_; }
+  /// Reserved slots that passed before their job's release (startup
+  /// transient of hyper-period-wrapping jobs); they execute nothing.
+  [[nodiscard]] std::uint64_t wasted_slots() const { return wasted_slots_; }
+
+ private:
+  struct TaskRun {
+    workload::IoTaskSpec spec;
+    Slot next_release = 0;   ///< release of the *next* job to start
+    Slot current_release = 0;
+    Slot remaining = 0;      ///< slots left of the in-flight job (0 = none)
+    std::uint32_t jobs_started = 0;
+  };
+
+  workload::TaskSet tasks_;
+  sched::TimeSlotTable table_;
+  std::unordered_map<std::uint32_t, TaskRun> runs_;  // TaskId.value -> state
+  Slot busy_slots_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t wasted_slots_ = 0;
+  std::uint64_t next_job_seq_ = 0;
+};
+
+}  // namespace ioguard::core

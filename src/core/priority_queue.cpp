@@ -1,0 +1,88 @@
+#include "core/priority_queue.hpp"
+
+#include <bit>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+HwPriorityQueue::HwPriorityQueue(std::size_t capacity) : entries_(capacity) {
+  IOGUARD_CHECK(capacity > 0);
+}
+
+std::optional<EntryHandle> HwPriorityQueue::insert(const workload::Job& job) {
+  if (full()) return std::nullopt;
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const auto h =
+        static_cast<EntryHandle>((next_free_hint_ + k) % entries_.size());
+    if (!entries_[h].valid) {
+      entries_[h].valid = true;
+      entries_[h].slot = ParamSlot{job.absolute_deadline, job.wcet,
+                                   job.release, job.vm, job.task, job.id,
+                                   job.device, job.payload_bytes};
+      next_free_hint_ = (h + 1) % static_cast<std::uint32_t>(entries_.size());
+      ++live_;
+      return h;
+    }
+  }
+  return std::nullopt;  // unreachable given the full() guard
+}
+
+std::optional<EntryHandle> HwPriorityQueue::peek_earliest() const {
+  std::optional<EntryHandle> best;
+  for (std::size_t h = 0; h < entries_.size(); ++h) {
+    if (!entries_[h].valid) continue;
+    if (!best) {
+      best = static_cast<EntryHandle>(h);
+      continue;
+    }
+    const ParamSlot& a = entries_[h].slot;
+    const ParamSlot& b = entries_[*best].slot;
+    const auto key = [](const ParamSlot& p) {
+      return std::tuple(p.absolute_deadline, p.release, p.job.value);
+    };
+    if (key(a) < key(b)) best = static_cast<EntryHandle>(h);
+  }
+  return best;
+}
+
+bool HwPriorityQueue::valid(EntryHandle h) const {
+  return h < entries_.size() && entries_[h].valid;
+}
+
+const ParamSlot& HwPriorityQueue::params(EntryHandle h) const {
+  IOGUARD_CHECK(valid(h));
+  return entries_[h].slot;
+}
+
+bool HwPriorityQueue::consume_one_slot(EntryHandle h) {
+  IOGUARD_CHECK(valid(h));
+  ParamSlot& p = entries_[h].slot;
+  IOGUARD_CHECK(p.remaining > 0);
+  return --p.remaining == 0;
+}
+
+void HwPriorityQueue::set_deadline(EntryHandle h, Slot absolute_deadline) {
+  IOGUARD_CHECK(valid(h));
+  entries_[h].slot.absolute_deadline = absolute_deadline;
+}
+
+void HwPriorityQueue::remove(EntryHandle h) {
+  IOGUARD_CHECK(valid(h));
+  entries_[h].valid = false;
+  --live_;
+}
+
+std::vector<EntryHandle> HwPriorityQueue::live_handles() const {
+  std::vector<EntryHandle> out;
+  for (std::size_t h = 0; h < entries_.size(); ++h)
+    if (entries_[h].valid) out.push_back(static_cast<EntryHandle>(h));
+  return out;
+}
+
+std::uint32_t HwPriorityQueue::comparator_depth() const {
+  return static_cast<std::uint32_t>(std::bit_width(entries_.size() - 1));
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,139 @@
+#include "core/regmap.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+RegisterFile::RegisterFile() { words_[reg::kId] = reg::kMagic; }
+
+void RegisterFile::write(std::uint32_t addr, std::uint32_t value) {
+  // Read-only registers: ID and STATUS are owned by the hardware.
+  if (addr == reg::kId || addr == reg::kStatus) return;
+  words_[addr] = value;
+}
+
+void RegisterFile::hw_write(std::uint32_t addr, std::uint32_t value) {
+  words_[addr] = value;
+}
+
+std::uint32_t RegisterFile::read(std::uint32_t addr) const {
+  const auto it = words_.find(addr);
+  return it == words_.end() ? 0u : it->second;
+}
+
+void program_registers(RegisterFile& regs,
+                       const workload::TaskSet& predefined,
+                       const sched::TimeSlotTable& table,
+                       const std::vector<sched::ServerParams>& servers) {
+  regs.write(reg::kNumVms, static_cast<std::uint32_t>(servers.size()));
+  regs.write(reg::kNumTasks, static_cast<std::uint32_t>(predefined.size()));
+  regs.write(reg::kTableLen,
+             static_cast<std::uint32_t>(table.hyperperiod()));
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    regs.write(reg::kServerBase + 2 * static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>(servers[i].pi));
+    regs.write(reg::kServerBase + 2 * static_cast<std::uint32_t>(i) + 1,
+               static_cast<std::uint32_t>(servers[i].theta));
+  }
+  for (std::size_t k = 0; k < predefined.size(); ++k) {
+    const auto& t = predefined[k];
+    const auto base = reg::kTaskBase + 4 * static_cast<std::uint32_t>(k);
+    regs.write(base + 0, static_cast<std::uint32_t>(t.period));
+    regs.write(base + 1, static_cast<std::uint32_t>(t.wcet));
+    regs.write(base + 2, static_cast<std::uint32_t>(t.offset));
+    regs.write(base + 3, t.id.value);
+  }
+  for (Slot s = 0; s < table.hyperperiod(); ++s) {
+    const auto occ = table.occupant(s);
+    regs.write(reg::kTableBase + static_cast<std::uint32_t>(s),
+               occ ? occ->value : sched::TimeSlotTable::kFree);
+  }
+}
+
+namespace {
+
+DecodedConfig decode_impl(const RegisterFile& regs);
+
+}  // namespace
+
+DecodedConfig decode_registers(RegisterFile& regs) {
+  DecodedConfig out = decode_impl(regs);
+  // Hardware publishes the outcome through STATUS.
+  std::uint32_t status = 0;
+  if (out.valid && regs.enabled()) status |= reg::kStatusRunning;
+  if (!out.valid) status |= reg::kStatusConfigError;
+  regs.hw_write(reg::kStatus, status);
+  return out;
+}
+
+namespace {
+
+DecodedConfig decode_impl(const RegisterFile& regs) {
+  DecodedConfig out;
+  if (regs.read(reg::kId) != reg::kMagic) {
+    out.error = "bad ID register";
+    return out;
+  }
+  const std::uint32_t num_vms = regs.read(reg::kNumVms);
+  const std::uint32_t num_tasks = regs.read(reg::kNumTasks);
+  const std::uint32_t table_len = regs.read(reg::kTableLen);
+  if (table_len == 0) {
+    out.error = "TABLE_LEN must be positive";
+    return out;
+  }
+  if (num_vms == 0 || num_vms > 64) {
+    out.error = "NUM_VMS out of range";
+    return out;
+  }
+
+  for (std::uint32_t i = 0; i < num_vms; ++i) {
+    const Slot pi = regs.read(reg::kServerBase + 2 * i);
+    const Slot theta = regs.read(reg::kServerBase + 2 * i + 1);
+    if (pi == 0 || theta > pi) {
+      out.error = "SERVER[" + std::to_string(i) + "] malformed";
+      return out;
+    }
+    out.servers.push_back(sched::ServerParams{pi, theta});
+  }
+
+  for (std::uint32_t k = 0; k < num_tasks; ++k) {
+    const auto base = reg::kTaskBase + 4 * k;
+    workload::IoTaskSpec t;
+    t.period = regs.read(base + 0);
+    t.wcet = regs.read(base + 1);
+    t.offset = regs.read(base + 2);
+    t.id = TaskId{regs.read(base + 3)};
+    t.deadline = t.period;  // P-channel contract: implicit deadlines
+    t.kind = workload::TaskKind::kPredefined;
+    t.vm = VmId{0};
+    t.device = DeviceId{0};
+    t.name = "task" + std::to_string(t.id.value);
+    if (t.period == 0 || t.wcet == 0 || t.wcet > t.period ||
+        t.offset >= t.period) {
+      out.error = "TASK[" + std::to_string(k) + "] malformed";
+      return out;
+    }
+    out.predefined.add(std::move(t));
+  }
+
+  // Table image: every non-free slot must reference a loaded task.
+  std::vector<std::uint32_t> slots(table_len);
+  for (std::uint32_t s = 0; s < table_len; ++s) {
+    slots[s] = regs.read(reg::kTableBase + s);
+    if (slots[s] == sched::TimeSlotTable::kFree) continue;
+    bool known = false;
+    for (const auto& t : out.predefined.tasks())
+      if (t.id.value == slots[s]) known = true;
+    if (!known) {
+      out.error = "TABLE[" + std::to_string(s) + "] references unknown task";
+      return out;
+    }
+  }
+  out.table = sched::TimeSlotTable::from_slots(std::move(slots));
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace ioguard::core

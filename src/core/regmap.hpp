@@ -1,0 +1,99 @@
+// Memory-mapped register interface of the I/O-GUARD hypervisor.
+//
+// A deployed hardware hypervisor is programmed over a bus: the boot firmware
+// loads the pre-defined tasks and the Time Slot Table into the memory banks,
+// configures the per-VM servers, then sets the enable bit (Sec. II-B
+// "at system initialization, the pre-defined tasks are loaded into the
+// hypervisor"). This module models that programming interface: a word-
+// addressed register file with an offset map, plus a builder that turns a
+// programmed register image back into the typed configuration objects.
+// Round-tripping through it is tested, so the register layout is a real,
+// versioned contract rather than documentation prose.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/sbf.hpp"
+#include "sched/slot_table.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::core {
+
+/// Register address space (word addressed, 32-bit registers).
+///
+///   0x000  ID        read-only magic/version
+///   0x001  CTRL      bit0 = enable
+///   0x002  STATUS    bit0 = running, bit1 = config error
+///   0x003  NUM_VMS
+///   0x004  NUM_TASKS  (pre-defined tasks loaded)
+///   0x005  TABLE_LEN  (hyper-period H)
+///   0x010+2i          SERVER[i]: PI (even), THETA (odd), i < NUM_VMS
+///   0x100+4k          TASK[k]: PERIOD, WCET, OFFSET, TASK_ID
+///   0x800+s           TABLE[s]: slot owner (task id value, ~0 = free)
+namespace reg {
+inline constexpr std::uint32_t kId = 0x000;
+inline constexpr std::uint32_t kCtrl = 0x001;
+inline constexpr std::uint32_t kStatus = 0x002;
+inline constexpr std::uint32_t kNumVms = 0x003;
+inline constexpr std::uint32_t kNumTasks = 0x004;
+inline constexpr std::uint32_t kTableLen = 0x005;
+inline constexpr std::uint32_t kServerBase = 0x010;
+inline constexpr std::uint32_t kTaskBase = 0x100;
+inline constexpr std::uint32_t kTableBase = 0x800;
+
+inline constexpr std::uint32_t kMagic = 0x10'6D'A0'01;  // "IOGD" v1
+inline constexpr std::uint32_t kCtrlEnable = 1u << 0;
+inline constexpr std::uint32_t kStatusRunning = 1u << 0;
+inline constexpr std::uint32_t kStatusConfigError = 1u << 1;
+}  // namespace reg
+
+/// The register file: sparse word-addressed storage with the hypervisor's
+/// read-only/read-write semantics.
+class RegisterFile {
+ public:
+  RegisterFile();
+
+  /// Bus write. Read-only registers ignore writes (like real MMIO).
+  void write(std::uint32_t addr, std::uint32_t value);
+
+  /// Hardware-side write: the hypervisor updating its own RO registers
+  /// (ID at reset, STATUS during operation). Not reachable from the bus.
+  void hw_write(std::uint32_t addr, std::uint32_t value);
+
+  /// Bus read; unmapped addresses read as zero.
+  [[nodiscard]] std::uint32_t read(std::uint32_t addr) const;
+
+  [[nodiscard]] bool enabled() const {
+    return (read(reg::kCtrl) & reg::kCtrlEnable) != 0;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint32_t> words_;
+};
+
+/// Programs a register image from typed configuration (what boot firmware
+/// does). `vm`/`device`/payload metadata of the tasks is not part of the
+/// hardware contract and defaults on decode.
+void program_registers(RegisterFile& regs,
+                       const workload::TaskSet& predefined,
+                       const sched::TimeSlotTable& table,
+                       const std::vector<sched::ServerParams>& servers);
+
+/// Decoded configuration recovered from a programmed register image.
+struct DecodedConfig {
+  bool valid = false;
+  std::string error;
+  workload::TaskSet predefined;
+  sched::TimeSlotTable table{1};
+  std::vector<sched::ServerParams> servers;
+};
+
+/// Validates and decodes a register image (what the hypervisor's config
+/// logic does when CTRL.enable is set). Sets STATUS accordingly.
+[[nodiscard]] DecodedConfig decode_registers(RegisterFile& regs);
+
+}  // namespace ioguard::core

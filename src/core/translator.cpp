@@ -1,0 +1,24 @@
+#include "core/translator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+RtTranslator::RtTranslator(const TranslatorConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  IOGUARD_CHECK(config_.best_case_cycles <= config_.wcet_cycles);
+  IOGUARD_CHECK(config_.best_case_cycles > 0);
+}
+
+Cycle RtTranslator::translate() {
+  ++count_;
+  const Cycle latency = rng_.uniform_int(config_.best_case_cycles,
+                                         config_.wcet_cycles);
+  IOGUARD_CHECK(latency <= config_.wcet_cycles);
+  worst_observed_ = std::max(worst_observed_, latency);
+  return latency;
+}
+
+}  // namespace ioguard::core

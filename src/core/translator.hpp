@@ -1,0 +1,53 @@
+// Real-time translators of the virtualization driver (Sec. III-B).
+//
+// "The design of the virtualization driver contains a pair of open-source
+// real-time translators, a standardized I/O controller, and memory banks...
+// the translator can bound the worst-case time consumption of each
+// translation." Request translation turns virtualized I/O operations into
+// bottom-level I/O instructions; response translation converts device data
+// back. Both sit on the access path and add a *bounded* number of cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ioguard::core {
+
+struct TranslatorConfig {
+  Cycle wcet_cycles = 40;      ///< bound on one translation (from BlueVisor)
+  Cycle best_case_cycles = 12; ///< fastest observed translation
+};
+
+/// One direction of the translator pair. Deterministic per (seed, sequence):
+/// actual latency varies within [best_case, wcet] but never exceeds the
+/// bound -- the property the paper's analysis relies on.
+class RtTranslator {
+ public:
+  explicit RtTranslator(const TranslatorConfig& config = {},
+                        std::uint64_t seed = 7);
+
+  /// Latency of the next translation, in cycles; always <= wcet_cycles.
+  Cycle translate();
+
+  [[nodiscard]] Cycle wcet() const { return config_.wcet_cycles; }
+  [[nodiscard]] std::uint64_t translations() const { return count_; }
+  [[nodiscard]] Cycle worst_observed() const { return worst_observed_; }
+
+ private:
+  TranslatorConfig config_;
+  Rng rng_;
+  std::uint64_t count_ = 0;
+  Cycle worst_observed_ = 0;
+};
+
+/// The full virtualization-driver path cost for one I/O operation:
+/// request translation + controller issue + response translation.
+struct DriverPathCost {
+  Cycle request_cycles = 0;
+  Cycle response_cycles = 0;
+  [[nodiscard]] Cycle total() const { return request_cycles + response_cycles; }
+};
+
+}  // namespace ioguard::core

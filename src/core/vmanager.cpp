@@ -1,0 +1,105 @@
+#include "core/vmanager.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+VirtManager::VirtManager(iodev::DeviceSpec device,
+                         workload::TaskSet predefined,
+                         sched::TimeSlotTable table,
+                         std::vector<sched::ServerParams> servers,
+                         const VManagerConfig& config)
+    : device_(std::move(device)),
+      pchannel_(std::make_unique<PChannel>(std::move(predefined),
+                                           std::move(table))),
+      gsched_(std::make_unique<GSched>(std::move(servers), config.policy)),
+      request_translator_(config.translator, /*seed=*/11),
+      response_translator_(config.translator, /*seed=*/13) {
+  IOGUARD_CHECK(config.num_vms > 0);
+  IOGUARD_CHECK_MSG(gsched_->servers().size() == config.num_vms,
+                    "one server per VM required");
+  pools_.reserve(config.num_vms);
+  for (std::size_t i = 0; i < config.num_vms; ++i)
+    pools_.push_back(std::make_unique<IoPool>(
+        VmId{static_cast<std::uint32_t>(i)}, config.pool_capacity,
+        config.dispatch_overhead_slots));
+  shadow_snapshot_.resize(config.num_vms);
+}
+
+void VirtManager::trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
+                        JobId job) const {
+  if (!tracer_) return;
+  tracer_->record(TraceEvent{slot, kind, trace_device_, vm, task, job});
+}
+
+bool VirtManager::submit(const workload::Job& job, Slot now) {
+  IOGUARD_CHECK_MSG(job.vm.value < pools_.size(), "job from unknown VM");
+  // Request translation happens on the access path; its bounded sub-slot
+  // latency is tracked for calibration but does not consume a slot.
+  (void)request_translator_.translate();
+  const bool accepted = pools_[job.vm.value]->submit(job);
+  trace(now, accepted ? TraceEventKind::kSubmit : TraceEventKind::kDrop,
+        job.vm, job.task, job.id);
+  return accepted;
+}
+
+void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
+  // 1. P-channel has absolute priority on its reserved slots.
+  bool used = false;
+  if (auto done = pchannel_->execute_slot(now, used)) {
+    ++busy_slots_;
+    trace(now, TraceEventKind::kPchannelSlot, done->job.vm, done->job.task,
+          done->job.id);
+    trace(now, TraceEventKind::kComplete, done->job.vm, done->job.task,
+          done->job.id);
+    out.push_back(*done);
+    return;
+  }
+  if (used) {
+    ++busy_slots_;
+    if (tracer_)
+      trace(now, TraceEventKind::kPchannelSlot, VmId{}, TaskId{}, JobId{});
+    return;  // reserved slot consumed mid-job
+  }
+  if (!pchannel_->slot_is_free(now)) return;  // reserved but idle (transient)
+
+  // 2. Free slot: L-Scheds refresh the shadow registers...
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    pools_[i]->refresh_shadow();
+    shadow_snapshot_[i] = pools_[i]->shadow();
+  }
+
+  // 3. ...and the G-Sched picks the slot's owner.
+  const auto winner = gsched_->pick(now, shadow_snapshot_);
+  if (!winner) return;
+
+  ++busy_slots_;
+  trace(now, TraceEventKind::kRchannelGrant,
+        VmId{static_cast<std::uint32_t>(*winner)}, TaskId{}, JobId{});
+  if (auto finished = pools_[*winner]->execute_shadow_slot()) {
+    (void)response_translator_.translate();  // pass-through response channel
+    ++runtime_jobs_completed_;
+    iodev::Completion done;
+    done.job.id = finished->job;
+    done.job.task = finished->task;
+    done.job.vm = finished->vm;
+    done.job.device = finished->device;
+    done.job.release = finished->release;
+    done.job.absolute_deadline = finished->absolute_deadline;
+    done.job.wcet = 0;  // consumed
+    done.job.payload_bytes = finished->payload_bytes;
+    done.enqueued_at = finished->release;
+    done.completed_at = now + 1;
+    trace(now, TraceEventKind::kComplete, done.job.vm, done.job.task,
+          done.job.id);
+    out.push_back(done);
+  }
+}
+
+std::uint64_t VirtManager::dropped_jobs() const {
+  std::uint64_t total = 0;
+  for (const auto& pool : pools_) total += pool->dropped();
+  return total;
+}
+
+}  // namespace ioguard::core

@@ -1,0 +1,94 @@
+// Virtualization manager (Sec. III-A, Fig. 4): the per-device scheduling
+// fabric of the hypervisor. It combines
+//   * the P-channel (memory banks + executor over the Time Slot Table),
+//   * the R-channel (one I/O pool per VM, L-Scheds, shadow registers,
+//     the G-Sched, and the executor), and
+//   * the pass-through response channel.
+// Slot arbitration per slot `t`: if sigma* reserves t for a pre-defined
+// task, the P-channel executes it; otherwise the slot is free and the
+// G-Sched hands it to a VM's shadow-register operation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/event_trace.hpp"
+#include "core/gsched.hpp"
+#include "core/io_pool.hpp"
+#include "core/pchannel.hpp"
+#include "core/translator.hpp"
+#include "iodev/device.hpp"
+#include "sched/slot_table.hpp"
+
+namespace ioguard::core {
+
+struct VManagerConfig {
+  std::size_t num_vms = 4;
+  std::size_t pool_capacity = 16;  ///< entry registers per I/O pool
+  GschedPolicy policy = GschedPolicy::kServerEdf;
+  TranslatorConfig translator;
+  /// Per-job device occupancy of translation/controller setup (see IoPool).
+  Slot dispatch_overhead_slots = 1;
+};
+
+class VirtManager {
+ public:
+  VirtManager(iodev::DeviceSpec device, workload::TaskSet predefined,
+              sched::TimeSlotTable table,
+              std::vector<sched::ServerParams> servers,
+              const VManagerConfig& config);
+
+  /// Buffers a run-time job from its VM's I/O pool. False when that pool is
+  /// full (the request is dropped; isolation keeps other pools unaffected).
+  [[nodiscard]] bool submit(const workload::Job& job, Slot now);
+
+  /// Advances one scheduler slot; completions (P- and R-channel) finishing
+  /// in this slot are appended to `out`.
+  void tick_slot(Slot now, std::vector<iodev::Completion>& out);
+
+  [[nodiscard]] const iodev::DeviceSpec& device() const { return device_; }
+  [[nodiscard]] const PChannel& pchannel() const { return *pchannel_; }
+  [[nodiscard]] const GSched& gsched() const { return *gsched_; }
+  [[nodiscard]] const IoPool& pool(std::size_t vm_index) const {
+    return *pools_.at(vm_index);
+  }
+  [[nodiscard]] std::size_t num_vms() const { return pools_.size(); }
+
+  [[nodiscard]] Slot busy_slots() const { return busy_slots_; }
+  [[nodiscard]] std::uint64_t runtime_jobs_completed() const {
+    return runtime_jobs_completed_;
+  }
+  [[nodiscard]] std::uint64_t dropped_jobs() const;
+
+  /// Cycle cost of the virtualization-driver path for the last completion
+  /// (request + response translation); sub-slot, reported for calibration.
+  [[nodiscard]] const RtTranslator& request_translator() const {
+    return request_translator_;
+  }
+
+  /// Attaches an event trace buffer (not owned); `device` labels the events.
+  void set_tracer(EventTrace* tracer, DeviceId device) {
+    tracer_ = tracer;
+    trace_device_ = device;
+  }
+
+ private:
+  iodev::DeviceSpec device_;
+  std::unique_ptr<PChannel> pchannel_;
+  std::vector<std::unique_ptr<IoPool>> pools_;
+  std::unique_ptr<GSched> gsched_;
+  RtTranslator request_translator_;
+  RtTranslator response_translator_;
+  std::vector<ShadowRegister> shadow_snapshot_;
+  Slot busy_slots_ = 0;
+  std::uint64_t runtime_jobs_completed_ = 0;
+  EventTrace* tracer_ = nullptr;
+  DeviceId trace_device_;
+
+  void trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
+             JobId job) const;
+};
+
+}  // namespace ioguard::core

@@ -1,0 +1,31 @@
+#include "hwmodel/catalog.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::hw {
+
+const std::vector<CatalogRow>& reference_catalog() {
+  // Rows 1-5 are Table I of the paper verbatim; the basic MicroBlaze and the
+  // NoC router are the additional platform components of Fig. 8 (typical
+  // area-optimized MicroBlaze and Blueshell router figures).
+  static const std::vector<CatalogRow> rows = {
+      {ReferenceIp::kMicroBlazeFull, "MicroBlaze", {4908, 4385, 6, 256, 359}},
+      {ReferenceIp::kRiscVOoo, "RSIC-V", {7432, 16321, 21, 512, 583}},
+      {ReferenceIp::kSpiController, "SPI", {632, 427, 0, 0, 4}},
+      {ReferenceIp::kEthernetController, "Ethernet", {1321, 793, 0, 0, 7}},
+      {ReferenceIp::kBlueIo, "BlueIO", {3236, 3346, 0, 256, 297}},
+      {ReferenceIp::kMicroBlazeBasic, "MicroBlaze (basic)",
+       {1400, 1100, 0, 32, 48}},
+      {ReferenceIp::kNocRouter, "NoC router", {450, 380, 0, 0, 16}},
+  };
+  return rows;
+}
+
+const CatalogRow& reference(ReferenceIp ip) {
+  for (const auto& row : reference_catalog())
+    if (row.ip == ip) return row;
+  IOGUARD_CHECK_MSG(false, "unknown reference IP");
+  __builtin_unreachable();
+}
+
+}  // namespace ioguard::hw

@@ -1,0 +1,31 @@
+// Reference IP catalog: the comparison rows of Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/resources.hpp"
+
+namespace ioguard::hw {
+
+/// Reference designs the paper compares the hypervisor against.
+enum class ReferenceIp : std::uint8_t {
+  kMicroBlazeFull,   ///< full-featured (pipeline, D-cache)
+  kMicroBlazeBasic,  ///< area-optimized variant used for the Fig. 8 platform
+  kRiscVOoo,         ///< out-of-order open-source RISC-V [16]
+  kSpiController,    ///< Xilinx IP
+  kEthernetController,
+  kBlueIo,           ///< BlueVisor's I/O unit (BS|BV hardware)
+  kNocRouter,        ///< one 5-port mesh router of the Blueshell NoC
+};
+
+struct CatalogRow {
+  ReferenceIp ip;
+  std::string name;
+  HwResources resources;  ///< measured constants (datasheet/paper values)
+};
+
+[[nodiscard]] const CatalogRow& reference(ReferenceIp ip);
+[[nodiscard]] const std::vector<CatalogRow>& reference_catalog();
+
+}  // namespace ioguard::hw

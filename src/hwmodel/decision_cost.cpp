@@ -1,0 +1,39 @@
+#include "hwmodel/decision_cost.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace ioguard::hw {
+
+namespace {
+
+std::uint32_t log2_ceil(std::uint32_t n) {
+  return n <= 1 ? 0 : std::bit_width(n - 1);
+}
+
+}  // namespace
+
+std::uint32_t scheduler_tree_depth(const DecisionCostConfig& c) {
+  IOGUARD_CHECK(c.num_vms > 0 && c.pool_depth > 0);
+  // L-Sched trees evaluate in parallel across pools; the G-Sched tree sits
+  // behind the slowest L-Sched, so depths add.
+  return log2_ceil(c.pool_depth) + log2_ceil(c.num_vms);
+}
+
+Cycle scheduler_decision_cycles(const DecisionCostConfig& c) {
+  IOGUARD_CHECK(c.levels_per_cycle > 0);
+  const std::uint32_t depth = scheduler_tree_depth(c);
+  const std::uint32_t tree_cycles =
+      (depth + c.levels_per_cycle - 1) / c.levels_per_cycle;
+  // + budget replenish/decrement and shadow-register writeback, one cycle
+  // each, overlapped across pipeline stages.
+  const std::uint32_t total = tree_cycles + 2;
+  return total > c.pipeline_stages ? total - c.pipeline_stages + 1 : 1;
+}
+
+bool decision_fits_slot(const DecisionCostConfig& c, Cycle cycles_per_slot) {
+  return scheduler_decision_cycles(c) <= cycles_per_slot;
+}
+
+}  // namespace ioguard::hw

@@ -1,0 +1,37 @@
+// Scheduler decision-latency model: how many cycles the two-layer
+// scheduler's combinational logic needs per slot, and whether that fits the
+// slot budget at a given clock -- the timing-closure argument behind
+// Obs 6 ("the hypervisor did not become a critical path").
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ioguard::hw {
+
+struct DecisionCostConfig {
+  std::uint32_t num_vms = 16;
+  std::uint32_t pool_depth = 4;
+  /// Pipeline stages available per decision (the hardware registers the
+  /// comparator tree outputs once per slot).
+  std::uint32_t pipeline_stages = 2;
+  /// Comparator levels evaluated per clock cycle (synthesis-dependent).
+  std::uint32_t levels_per_cycle = 4;
+};
+
+/// Comparator-tree depth of the L-Sched (per pool) and G-Sched combined.
+[[nodiscard]] std::uint32_t scheduler_tree_depth(const DecisionCostConfig& c);
+
+/// Cycles one full scheduling decision takes (L-Sched refresh + G-Sched
+/// pick + budget update).
+[[nodiscard]] Cycle scheduler_decision_cycles(const DecisionCostConfig& c);
+
+/// Does the decision fit within one scheduler slot at `cycles_per_slot`?
+/// The paper's prototype uses 10 us slots at 100 MHz (1000 cycles), leaving
+/// orders of magnitude of headroom -- this is the quantified claim.
+[[nodiscard]] bool decision_fits_slot(const DecisionCostConfig& c,
+                                      Cycle cycles_per_slot =
+                                          kDefaultCyclesPerSlot);
+
+}  // namespace ioguard::hw

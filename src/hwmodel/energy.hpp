@@ -1,0 +1,54 @@
+// Energy-per-I/O-operation model.
+//
+// Fig. 8(b) reports average *power*; for battery-backed automotive ECUs the
+// designer also wants energy per delivered I/O operation. This model
+// combines the per-system path work (CPU cycles spent in drivers/VMM,
+// interconnect traversal, device service) with the component power model to
+// yield nJ per operation -- and shows where hardware virtualization wins:
+// the CPU-side joules, not the device-side ones.
+#pragma once
+
+#include <cstdint>
+
+#include "hwmodel/resources.hpp"
+
+namespace ioguard::hw {
+
+/// Per-system path work for one I/O operation (cycles at 100 MHz).
+struct PathWork {
+  std::uint64_t cpu_cycles = 0;     ///< driver + kernel + VMM work
+  std::uint64_t noc_flit_hops = 0;  ///< flit-hops of request + response
+  std::uint64_t device_cycles = 0;  ///< controller occupancy
+  std::uint64_t hypervisor_cycles = 0;  ///< scheduling/translation hardware
+};
+
+/// Energy coefficients (nJ per unit), derived from the power model at the
+/// 100 MHz operating point: energy = power * time.
+struct EnergyModel {
+  double cpu_nj_per_cycle = 3.6;        ///< ~360 mW MicroBlaze / 100 MHz
+  double noc_nj_per_flit_hop = 0.16;    ///< router+link energy per flit-hop
+  double device_nj_per_cycle = 0.07;    ///< controller dynamic energy
+  double hypervisor_nj_per_cycle = 2.8; ///< 280 mW hypervisor / 100 MHz
+
+  [[nodiscard]] double op_energy_nj(const PathWork& work) const {
+    return cpu_nj_per_cycle * static_cast<double>(work.cpu_cycles) +
+           noc_nj_per_flit_hop * static_cast<double>(work.noc_flit_hops) +
+           device_nj_per_cycle * static_cast<double>(work.device_cycles) +
+           hypervisor_nj_per_cycle *
+               static_cast<double>(work.hypervisor_cycles);
+  }
+};
+
+/// Representative path work per evaluated system for one I/O operation with
+/// `payload_bytes` of data at `num_vms` active VMs (matches the calibration
+/// constants in system/config.hpp).
+[[nodiscard]] PathWork legacy_path_work(std::uint32_t payload_bytes,
+                                        std::uint32_t num_vms);
+[[nodiscard]] PathWork rtxen_path_work(std::uint32_t payload_bytes,
+                                       std::uint32_t num_vms);
+[[nodiscard]] PathWork bluevisor_path_work(std::uint32_t payload_bytes,
+                                           std::uint32_t num_vms);
+[[nodiscard]] PathWork ioguard_path_work(std::uint32_t payload_bytes,
+                                         std::uint32_t num_vms);
+
+}  // namespace ioguard::hw

@@ -1,0 +1,68 @@
+#include "hwmodel/hypervisor_model.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ioguard::hw {
+
+namespace {
+
+std::uint32_t log2_ceil(std::uint32_t n) {
+  return n <= 1 ? 0 : std::bit_width(n - 1);
+}
+
+}  // namespace
+
+HwResources hypervisor_core_resources(const HypervisorHwConfig& cfg,
+                                      const HypervisorUnitCosts& costs,
+                                      const PowerModel& power) {
+  IOGUARD_CHECK(cfg.num_vms > 0 && cfg.num_ios > 0 && cfg.pool_depth > 0);
+  HwResources r;
+  const std::uint32_t pools = cfg.num_vms;
+  const std::uint32_t cmps = cfg.num_vms - 1;
+  // Pool cost scales with queue depth relative to the fitted 4-entry pool.
+  const auto pool_luts = costs.pool_luts * cfg.pool_depth / 4;
+  const auto pool_regs = costs.pool_regs * cfg.pool_depth / 4;
+
+  r.luts = cfg.num_ios *
+           (costs.io_base_luts + pools * pool_luts + cmps * costs.cmp_luts);
+  r.registers = cfg.num_ios *
+                (costs.io_base_regs + pools * pool_regs + cmps * costs.cmp_regs);
+  r.dsp = 0;  // pure control logic: no multipliers
+  r.ram_kb = cfg.num_ios * costs.io_bank_kb;
+  return with_power(r, power);
+}
+
+HwResources hypervisor_with_links(const HypervisorHwConfig& cfg,
+                                  const HypervisorUnitCosts& costs,
+                                  const PowerModel& power) {
+  HwResources r = hypervisor_core_resources(cfg, costs, power);
+  r.luts += cfg.num_ios * cfg.num_vms * costs.link_luts;
+  r.registers += cfg.num_ios * cfg.num_vms * costs.link_regs;
+  return with_power(r, power);
+}
+
+double hypervisor_fmax_mhz(const HypervisorHwConfig& cfg) {
+  // Critical path: shadow-register compare tree (log2(num_vms) comparator
+  // levels) plus the pool-level L-Sched tree (log2(pool_depth) levels),
+  // on top of a fixed pipeline stage.
+  const double base_ns = 5.2;
+  const double per_level_ns = 0.28;
+  const double path_ns =
+      base_ns + per_level_ns * (log2_ceil(cfg.num_vms) +
+                                log2_ceil(cfg.pool_depth));
+  return 1000.0 / path_ns;
+}
+
+double legacy_router_fmax_mhz(std::uint32_t num_vms) {
+  // Router arbitration + crossbar traversal; wider fan-in (more attached
+  // cores per edge router) lengthens the arbiter chain slowly.
+  const double base_ns = 6.9;
+  const double per_level_ns = 0.10;
+  const double path_ns = base_ns + per_level_ns * log2_ceil(num_vms);
+  return 1000.0 / path_ns;
+}
+
+}  // namespace ioguard::hw

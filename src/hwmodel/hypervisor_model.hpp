@@ -1,0 +1,65 @@
+// Component-level resource model of the I/O-GUARD hypervisor.
+//
+// Structure follows Sec. III: per connected I/O device, one virtualization
+// manager (P-channel executor + memory controller, per-VM I/O pools with
+// priority-queue entry registers and L-Sched comparator trees, one G-Sched
+// comparator tree over the shadow registers) and one virtualization driver
+// (translator pair + controller glue + memory banks). Unit costs are fit so
+// the paper's evaluation configuration (16 VMs, 2 I/Os) lands on Table I's
+// "Proposed" row: 2777 LUTs / 2974 registers / 0 DSP / 256 KB / 279 mW.
+#pragma once
+
+#include <cstdint>
+
+#include "hwmodel/resources.hpp"
+
+namespace ioguard::hw {
+
+struct HypervisorHwConfig {
+  std::uint32_t num_vms = 16;
+  std::uint32_t num_ios = 2;
+  std::uint32_t pool_depth = 4;  ///< priority-queue entries per I/O pool
+};
+
+/// Per-component unit costs (LUTs / registers).
+struct HypervisorUnitCosts {
+  // Per I/O device: P-channel executor + MC + translators + controller glue.
+  std::uint32_t io_base_luts = 288;
+  std::uint32_t io_base_regs = 215;
+  std::uint32_t io_bank_kb = 128;  ///< task + driver memory banks per I/O
+
+  // Per I/O pool (one per VM per I/O): entry registers + control + L-Sched.
+  std::uint32_t pool_luts = 50;
+  std::uint32_t pool_regs = 72;
+
+  // Per comparator of the G-Sched tree ((num_vms - 1) comparators per I/O).
+  std::uint32_t cmp_luts = 20;
+  std::uint32_t cmp_regs = 8;
+
+  // Dedicated processor-hypervisor link endpoint, per VM per I/O.
+  std::uint32_t link_luts = 30;
+  std::uint32_t link_regs = 24;
+};
+
+/// Resource vector of the hypervisor core (no dedicated links), as in
+/// Table I's "Proposed" row.
+[[nodiscard]] HwResources hypervisor_core_resources(
+    const HypervisorHwConfig& cfg, const HypervisorUnitCosts& costs = {},
+    const PowerModel& power = {});
+
+/// Hypervisor plus the dedicated point-to-point links to the processors
+/// (used by the Fig. 8 platform-level scaling).
+[[nodiscard]] HwResources hypervisor_with_links(
+    const HypervisorHwConfig& cfg, const HypervisorUnitCosts& costs = {},
+    const PowerModel& power = {});
+
+/// Critical-path model: maximum clock frequency in MHz. The G-Sched
+/// comparator tree depth grows with log2(num_vms); the pool tree with
+/// log2(pool_depth).
+[[nodiscard]] double hypervisor_fmax_mhz(const HypervisorHwConfig& cfg);
+
+/// Critical path of the legacy NoC router fabric (arbiter + crossbar) for
+/// the same VM count -- the Fig. 8(c) comparison curve.
+[[nodiscard]] double legacy_router_fmax_mhz(std::uint32_t num_vms);
+
+}  // namespace ioguard::hw

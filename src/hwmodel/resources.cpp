@@ -1,0 +1,10 @@
+#include "hwmodel/resources.hpp"
+
+namespace ioguard::hw {
+
+HwResources with_power(HwResources r, const PowerModel& model) {
+  r.power_mw = model.power(r);
+  return r;
+}
+
+}  // namespace ioguard::hw

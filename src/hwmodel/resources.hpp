@@ -1,0 +1,54 @@
+// FPGA resource vectors and the power model (Table I, Fig. 8).
+//
+// Substitution note (see DESIGN.md): the paper reports Vivado synthesis
+// numbers on a VC709; we reproduce them with a component-level analytic
+// model. Reference IP rows (MicroBlaze, RISC-V, SPI, Ethernet, BlueIO) are
+// catalog constants -- they are external designs the paper measured, not
+// ours to synthesize. The "Proposed" row and the Fig. 8 scaling curves come
+// from the component model below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ioguard::hw {
+
+/// One design's FPGA resource consumption.
+struct HwResources {
+  std::uint32_t luts = 0;
+  std::uint32_t registers = 0;
+  std::uint32_t dsp = 0;
+  std::uint32_t ram_kb = 0;
+  double power_mw = 0.0;
+
+  HwResources operator+(const HwResources& o) const {
+    return {luts + o.luts, registers + o.registers, dsp + o.dsp,
+            ram_kb + o.ram_kb, power_mw + o.power_mw};
+  }
+  HwResources& operator+=(const HwResources& o) { return *this = *this + o; }
+};
+
+/// Power model coefficients (fit against Table I's hardware-hypervisor rows;
+/// all compared designs share voltage, clock and simulated toggle rate, so
+/// "the design area dominated the overall power consumption" -- Sec. V-D).
+struct PowerModel {
+  double static_mw = 2.0;
+  double per_lut_mw = 0.028;
+  double per_register_mw = 0.020;
+  double per_ram_kb_mw = 0.55;
+  double per_dsp_mw = 1.5;
+
+  [[nodiscard]] double power(const HwResources& r) const {
+    return static_mw + per_lut_mw * r.luts + per_register_mw * r.registers +
+           per_ram_kb_mw * r.ram_kb + per_dsp_mw * r.dsp;
+  }
+};
+
+/// Fills `power_mw` from the model (keeps the rest of the vector).
+[[nodiscard]] HwResources with_power(HwResources r,
+                                     const PowerModel& model = {});
+
+/// VC709 (XC7VX690T) capacity, for Fig. 8(a)'s normalized area.
+inline constexpr std::uint32_t kPlatformLuts = 433'200;
+
+}  // namespace ioguard::hw

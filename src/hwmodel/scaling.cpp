@@ -1,0 +1,69 @@
+#include "hwmodel/scaling.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "hwmodel/catalog.hpp"
+
+namespace ioguard::hw {
+
+namespace {
+
+/// Smallest k with k*k >= nodes (square mesh large enough for the platform).
+std::uint32_t mesh_side(std::uint32_t nodes) {
+  std::uint32_t k = 1;
+  while (k * k < nodes) ++k;
+  return k;
+}
+
+}  // namespace
+
+ScalingPoint scaling_point(std::uint32_t eta, const PlatformModelConfig& cfg) {
+  ScalingPoint p;
+  p.eta = eta;
+  p.num_vms = 1u << eta;
+
+  // Both systems are implemented "with a scaling number of basic MicroBlaze
+  // processors" (Sec. V-D): same processors and mesh; I/O-GUARD adds the
+  // hypervisor and its dedicated links on top. In the legacy system each
+  // processor is deemed a VM, so the processor count tracks num_vms.
+  const std::uint32_t nodes = p.num_vms + cfg.num_ios + 1;  // + memory node
+  const std::uint32_t side = mesh_side(nodes);
+
+  const auto& proc = reference(ReferenceIp::kMicroBlazeBasic).resources;
+  const auto& router = reference(ReferenceIp::kNocRouter).resources;
+  // Shared platform base: memory controller, timer, debug, board glue.
+  const HwResources platform_base{3000, 2400, 0, 64, 0};
+
+  const PowerModel power;
+
+  HwResources common = platform_base;
+  for (std::uint32_t i = 0; i < p.num_vms; ++i) common += proc;
+  for (std::uint32_t i = 0; i < side * side; ++i) common += router;
+
+  p.legacy = with_power(common, power);
+
+  HypervisorHwConfig hc{p.num_vms, cfg.num_ios, cfg.pool_depth};
+  p.ioguard = with_power(common + hypervisor_with_links(hc), power);
+
+  p.legacy_area_norm =
+      static_cast<double>(p.legacy.luts) / static_cast<double>(kPlatformLuts);
+  p.ioguard_area_norm =
+      static_cast<double>(p.ioguard.luts) / static_cast<double>(kPlatformLuts);
+  p.legacy_fmax_mhz = legacy_router_fmax_mhz(p.num_vms);
+  p.ioguard_fmax_mhz =
+      hypervisor_fmax_mhz(HypervisorHwConfig{p.num_vms, cfg.num_ios,
+                                             cfg.pool_depth});
+  return p;
+}
+
+std::vector<ScalingPoint> scaling_sweep(std::uint32_t max_eta,
+                                        const PlatformModelConfig& cfg) {
+  std::vector<ScalingPoint> sweep;
+  sweep.reserve(max_eta + 1);
+  for (std::uint32_t eta = 0; eta <= max_eta; ++eta)
+    sweep.push_back(scaling_point(eta, cfg));
+  return sweep;
+}
+
+}  // namespace ioguard::hw

@@ -1,0 +1,40 @@
+// Platform-level scalability curves (Fig. 8): area, power and fmax of
+// BS|Legacy vs I/O-GUARD as the number of VMs scales with eta (VMs = 2^eta).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwmodel/hypervisor_model.hpp"
+
+namespace ioguard::hw {
+
+struct ScalingPoint {
+  std::uint32_t eta = 0;
+  std::uint32_t num_vms = 1;
+  HwResources legacy;
+  HwResources ioguard;
+  double legacy_area_norm = 0.0;   ///< legacy LUTs / platform LUTs
+  double ioguard_area_norm = 0.0;
+  double legacy_fmax_mhz = 0.0;
+  double ioguard_fmax_mhz = 0.0;   ///< hypervisor fmax (Fig. 8(c))
+};
+
+struct PlatformModelConfig {
+  std::uint32_t num_ios = 2;
+  std::uint32_t vms_per_processor = 3;  ///< "each processor supported up to
+                                        ///< three guest VMs"
+  std::uint32_t pool_depth = 4;
+};
+
+/// Computes one scaling point. The platform is: processors (basic
+/// MicroBlaze), a mesh NoC sized to hold processors + I/Os + memory, and --
+/// for I/O-GUARD -- the hypervisor plus its dedicated links.
+[[nodiscard]] ScalingPoint scaling_point(std::uint32_t eta,
+                                         const PlatformModelConfig& cfg = {});
+
+/// Full sweep eta = 0..max_eta.
+[[nodiscard]] std::vector<ScalingPoint> scaling_sweep(
+    std::uint32_t max_eta = 5, const PlatformModelConfig& cfg = {});
+
+}  // namespace ioguard::hw

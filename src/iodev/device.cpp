@@ -1,0 +1,59 @@
+#include "iodev/device.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::iodev {
+
+const char* to_string(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kEthernet: return "ethernet";
+    case DeviceKind::kFlexRay: return "flexray";
+    case DeviceKind::kCan: return "can";
+    case DeviceKind::kSpi: return "spi";
+    case DeviceKind::kI2c: return "i2c";
+    case DeviceKind::kUart: return "uart";
+    case DeviceKind::kGpio: return "gpio";
+  }
+  return "?";
+}
+
+const std::vector<DeviceSpec>& device_catalog() {
+  static const std::vector<DeviceSpec> catalog = {
+      // kind, name, bandwidth (bit/s), fixed per-op cycles (@100 MHz), frame
+      {DeviceKind::kEthernet, "eth0", 1'000'000'000, 100, 1500},  // 1 Gbps, 1 us setup
+      {DeviceKind::kFlexRay, "flexray0", 10'000'000, 200, 254},   // 10 Mbps
+      {DeviceKind::kCan, "can0", 1'000'000, 150, 8},              // CAN 2.0
+      {DeviceKind::kSpi, "spi0", 50'000'000, 80, 4096},           // 50 MHz SPI
+      {DeviceKind::kI2c, "i2c0", 400'000, 300, 256},              // fast-mode I2C
+      {DeviceKind::kUart, "uart0", 1'000'000, 100, 64},
+      {DeviceKind::kGpio, "gpio0", 0, 10, 4},                     // register poke
+  };
+  return catalog;
+}
+
+const DeviceSpec& device_spec(DeviceKind kind) {
+  for (const auto& spec : device_catalog())
+    if (spec.kind == kind) return spec;
+  IOGUARD_CHECK_MSG(false, "unknown device kind");
+  __builtin_unreachable();
+}
+
+Cycle service_cycles(const DeviceSpec& spec, std::uint32_t payload_bytes) {
+  Cycle serialization = 0;
+  if (spec.bandwidth_bps > 0 && payload_bytes > 0) {
+    // bits / (bits per second) * cycles per second
+    const double seconds = static_cast<double>(payload_bytes) * 8.0 /
+                           static_cast<double>(spec.bandwidth_bps);
+    serialization = static_cast<Cycle>(seconds * static_cast<double>(kClockHz));
+  }
+  return spec.fixed_op_cycles + serialization;
+}
+
+Slot service_slots(const DeviceSpec& spec, std::uint32_t payload_bytes,
+                   Cycle cycles_per_slot) {
+  IOGUARD_CHECK(cycles_per_slot > 0);
+  const Cycle c = service_cycles(spec, payload_bytes);
+  return (c + cycles_per_slot - 1) / cycles_per_slot;
+}
+
+}  // namespace ioguard::iodev

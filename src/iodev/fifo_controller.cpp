@@ -1,0 +1,42 @@
+#include "iodev/fifo_controller.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::iodev {
+
+FifoController::FifoController(std::size_t queue_capacity,
+                               Slot dispatch_overhead_slots)
+    : capacity_(queue_capacity), dispatch_overhead_(dispatch_overhead_slots) {
+  IOGUARD_CHECK(queue_capacity > 0);
+}
+
+bool FifoController::enqueue(const workload::Job& job, Slot now) {
+  if (queue_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(Request{job, now});
+  return true;
+}
+
+std::optional<Completion> FifoController::tick_slot(Slot now) {
+  if (!current_ && !queue_.empty()) {
+    Request r = queue_.front();
+    queue_.pop_front();
+    current_ = Active{r, r.job.wcet + dispatch_overhead_};
+  }
+  if (!current_) return std::nullopt;
+
+  ++busy_slots_;
+  if (--current_->remaining == 0) {
+    Completion done;
+    done.job = current_->request.job;
+    done.enqueued_at = current_->request.enqueued_at;
+    done.completed_at = now + 1;
+    current_.reset();
+    return done;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ioguard::iodev

@@ -1,0 +1,71 @@
+// Legacy FIFO I/O controller (slot-level behavioural model).
+//
+// "The implementation of traditional I/O controllers relies on FIFO queues,
+// which forbids context switches at the hardware level" (Sec. I). Jobs are
+// served strictly in arrival order and non-preemptively: once started, a job
+// occupies the device until its service demand is exhausted. This is the
+// I/O-side behaviour of BS|Legacy, BS|RT-XEN (backend) and BS|BV.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::iodev {
+
+/// A queued request: which job wants how many device slots.
+struct Request {
+  workload::Job job;
+  Slot enqueued_at = 0;
+};
+
+/// Completion record produced when a job's last slot of service finishes.
+struct Completion {
+  workload::Job job;
+  Slot enqueued_at = 0;
+  Slot completed_at = 0;  ///< slot index after which the job is done
+  [[nodiscard]] bool missed() const {
+    return completed_at > job.absolute_deadline;
+  }
+};
+
+class FifoController {
+ public:
+  /// `queue_capacity` models the hardware FIFO depth; pushes beyond it are
+  /// rejected (counted, job lost => deadline miss at the system layer).
+  /// `dispatch_overhead_slots` is the per-job controller setup / framing
+  /// occupancy added to the payload service time (same physical device cost
+  /// the I/O-GUARD virtualization driver pays).
+  explicit FifoController(std::size_t queue_capacity = 64,
+                          Slot dispatch_overhead_slots = 0);
+
+  /// Enqueues a request at slot `now`; false when the FIFO is full.
+  [[nodiscard]] bool enqueue(const workload::Job& job, Slot now);
+
+  /// Advances one slot; returns the completion finishing in this slot, if any.
+  std::optional<Completion> tick_slot(Slot now);
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return current_.has_value(); }
+  [[nodiscard]] Slot busy_slots() const { return busy_slots_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] bool idle() const { return queue_.empty() && !current_; }
+
+ private:
+  struct Active {
+    Request request;
+    Slot remaining;
+  };
+
+  std::size_t capacity_;
+  Slot dispatch_overhead_;
+  std::deque<Request> queue_;
+  std::optional<Active> current_;
+  Slot busy_slots_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ioguard::iodev

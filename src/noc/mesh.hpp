@@ -1,0 +1,115 @@
+// W x H mesh of routers with per-node network interfaces (NICs).
+//
+// The paper's platform is a 5x5 mesh-type open-source NoC (Blueshell) at
+// 100 MHz hosting 16 MicroBlaze processors, memory and I/O peripherals.
+// Nodes are indexed row-major: NodeId = y * width + x.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/router.hpp"
+#include "sim/engine.hpp"
+
+namespace ioguard::noc {
+
+struct MeshConfig {
+  int width = 5;
+  int height = 5;
+  std::size_t fifo_depth = 8;
+  std::uint32_t flit_bytes = 16;  ///< payload bytes per body flit
+  Arbitration arbitration = Arbitration::kRoundRobin;
+};
+
+/// Per-node network interface: serializes packets to flits on the router's
+/// local port and reassembles arriving flits into packets.
+class Nic {
+ public:
+  Nic(NodeId node, std::uint32_t flit_bytes, std::size_t fifo_depth);
+
+  /// Queues a packet for injection (unbounded software-side queue).
+  void send(Packet packet, Cycle now);
+
+  /// Handler invoked when a packet fully arrives.
+  using DeliveryHandler = std::function<void(const Packet&, Cycle)>;
+  void set_delivery_handler(DeliveryHandler handler) {
+    on_delivery_ = std::move(handler);
+  }
+
+  void tick(Cycle now);
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] Link* to_router() { return &to_router_; }
+  [[nodiscard]] Link* from_router() { return &from_router_; }
+  [[nodiscard]] std::size_t fifo_depth() const { return fifo_depth_; }
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+
+ private:
+  NodeId node_;
+  std::uint32_t flit_bytes_;
+  std::size_t fifo_depth_;
+
+  Link to_router_;    // NIC -> router local input
+  Link from_router_;  // router local output -> NIC
+  std::uint32_t credits_;
+
+  struct InFlight {
+    Packet packet;
+    std::size_t flits_left = 0;
+    std::size_t flits_total = 0;
+  };
+  std::deque<InFlight> tx_queue_;
+  std::vector<InFlight> rx_partial_;  // keyed linearly by packet id (small)
+
+  DeliveryHandler on_delivery_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+};
+
+/// The full mesh: routers, inter-router links and NICs, ticked as one unit.
+class Mesh : public sim::Tickable {
+ public:
+  explicit Mesh(const MeshConfig& config);
+
+  [[nodiscard]] NodeId node_at(int x, int y) const;
+  [[nodiscard]] XY xy_of(NodeId node) const;
+  [[nodiscard]] int width() const { return config_.width; }
+  [[nodiscard]] int height() const { return config_.height; }
+  [[nodiscard]] std::size_t node_count() const {
+    return static_cast<std::size_t>(config_.width * config_.height);
+  }
+
+  /// Injects a packet at its source node's NIC.
+  void send(Packet packet, Cycle now);
+
+  /// Delivery callback for packets arriving at `node`.
+  void set_delivery_handler(NodeId node, Nic::DeliveryHandler handler);
+
+  void tick(Cycle now) override;
+  [[nodiscard]] std::string name() const override { return "mesh"; }
+
+  /// Minimal (uncontended) packet latency in cycles from src to dst:
+  /// hops * (router + link) + serialization.
+  [[nodiscard]] Cycle zero_load_latency(NodeId src, NodeId dst,
+                                        std::uint32_t payload_bytes) const;
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] SampleSet& latencies() { return latencies_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  MeshConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t delivered_ = 0;
+  SampleSet latencies_;
+};
+
+}  // namespace ioguard::noc

@@ -1,0 +1,159 @@
+#include "noc/router.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::noc {
+
+const char* to_string(Port p) {
+  switch (p) {
+    case Port::kNorth: return "N";
+    case Port::kEast: return "E";
+    case Port::kSouth: return "S";
+    case Port::kWest: return "W";
+    case Port::kLocal: return "L";
+  }
+  return "?";
+}
+
+void Link::put(Flit flit, Cycle now) {
+  IOGUARD_CHECK_MSG(!flit_.has_value(), "link already carries a flit");
+  flit_ = flit;
+  flit_arrival_ = now + 1;
+}
+
+std::optional<Flit> Link::take(Cycle now) {
+  if (!flit_ || flit_arrival_ > now) return std::nullopt;
+  std::optional<Flit> out;
+  out.swap(flit_);
+  return out;
+}
+
+void Link::roll_credits(Cycle now) {
+  if (now > credit_epoch_) {
+    credits_now_ += credits_next_;
+    credits_next_ = 0;
+    credit_epoch_ = now;
+  }
+}
+
+void Link::put_credit(Cycle now) {
+  roll_credits(now);
+  ++credits_next_;
+}
+
+std::uint32_t Link::take_credits(Cycle now) {
+  roll_credits(now);
+  const std::uint32_t c = credits_now_;
+  credits_now_ = 0;
+  return c;
+}
+
+Port route_xy(XY here, XY dst) {
+  if (dst.x > here.x) return Port::kEast;
+  if (dst.x < here.x) return Port::kWest;
+  if (dst.y > here.y) return Port::kSouth;
+  if (dst.y < here.y) return Port::kNorth;
+  return Port::kLocal;
+}
+
+Router::Router(XY position, const RouterConfig& config,
+               std::function<XY(NodeId)> node_to_xy)
+    : pos_(position), config_(config), node_to_xy_(std::move(node_to_xy)) {
+  inputs_.reserve(kPortCount);
+  for (std::size_t i = 0; i < kPortCount; ++i)
+    inputs_.emplace_back(config_.fifo_depth);
+}
+
+void Router::connect_in(Port port, Link* link) {
+  IOGUARD_CHECK(link != nullptr);
+  inputs_[static_cast<std::size_t>(port)].link = link;
+}
+
+void Router::connect_out(Port port, Link* link,
+                         std::uint32_t downstream_capacity) {
+  IOGUARD_CHECK(link != nullptr);
+  auto& out = outputs_[static_cast<std::size_t>(port)];
+  out.link = link;
+  out.credits = downstream_capacity;
+}
+
+Port Router::output_for(const Flit& flit) const {
+  return route_xy(pos_, node_to_xy_(flit.dst));
+}
+
+void Router::tick(Cycle now) {
+  // 1. Drain inbound links into input FIFOs (flits put at t-1 arrive now).
+  for (auto& in : inputs_) {
+    if (!in.link) continue;
+    if (!in.fifo.full()) {
+      if (auto flit = in.link->take(now)) {
+        const bool ok = in.fifo.push(*flit);
+        IOGUARD_CHECK(ok);
+      }
+    }
+  }
+
+  // 2. Collect returned credits.
+  for (auto& out : outputs_) {
+    if (out.link) out.credits += out.link->take_credits(now);
+  }
+
+  // 3. Output allocation (wormhole) + switch traversal, one flit per output.
+  for (std::size_t o = 0; o < kPortCount; ++o) {
+    Output& out = outputs_[o];
+    if (!out.link) continue;
+
+    if (!out.owner) {
+      // Scan inputs whose head-of-line flit is a HEAD flit routed to this
+      // output; round-robin rotation, optionally refined by packet priority.
+      std::optional<std::size_t> best;
+      std::uint8_t best_priority = 0xff;
+      for (std::size_t k = 0; k < inputs_.size(); ++k) {
+        const std::size_t i = (out.rr_next + k) % inputs_.size();
+        const Input& in = inputs_[i];
+        if (in.fifo.empty()) continue;
+        const Flit& f = in.fifo.front();
+        if (!f.head) continue;
+        if (static_cast<std::size_t>(output_for(f)) != o) continue;
+        if (config_.arbitration == Arbitration::kRoundRobin) {
+          best = i;
+          break;  // first in rotation wins
+        }
+        if (f.header.priority < best_priority) {
+          best = i;
+          best_priority = f.header.priority;
+        }
+      }
+      if (best) {
+        out.owner = best;
+        out.rr_next = (*best + 1) % inputs_.size();
+      }
+    }
+
+    if (!out.owner) continue;
+    Input& in = inputs_[*out.owner];
+    if (in.fifo.empty()) continue;
+    const Flit& f = in.fifo.front();
+    // Body flits follow the wormhole regardless of their own routing field.
+    if (f.head && static_cast<std::size_t>(output_for(f)) != o) continue;
+    if (out.credits == 0 || out.link->busy()) continue;
+
+    auto popped = in.fifo.pop();
+    IOGUARD_CHECK(popped.has_value());
+    out.link->put(*popped, now);
+    --out.credits;
+    ++flits_routed_;
+    if (in.link) in.link->put_credit(now);  // freed one FIFO slot upstream
+    if (popped->tail) out.owner.reset();
+  }
+}
+
+bool Router::idle() const {
+  for (const auto& in : inputs_)
+    if (!in.fifo.empty()) return false;
+  for (const auto& out : outputs_)
+    if (out.owner) return false;
+  return true;
+}
+
+}  // namespace ioguard::noc

@@ -1,0 +1,125 @@
+// Input-buffered wormhole router with XY dimension-order routing,
+// round-robin output arbitration and credit-based flow control.
+//
+// Port model: five ports (N, E, S, W, Local). Each input port has a flit
+// FIFO; each output port is allocated to at most one input from the head
+// flit of a packet until its tail flit passes (wormhole). Credits track the
+// downstream input FIFO's free space; a flit moves only when a credit is
+// available. Links (including the local NIC link) add one cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace ioguard::noc {
+
+enum class Port : std::uint8_t { kNorth = 0, kEast, kSouth, kWest, kLocal };
+inline constexpr std::size_t kPortCount = 5;
+
+[[nodiscard]] const char* to_string(Port p);
+
+/// One-cycle link between an upstream output and a downstream input. Flits
+/// written at cycle t become visible downstream at t+1 (deterministic
+/// regardless of component tick order). Credits travel the same way in the
+/// opposite direction.
+class Link {
+ public:
+  /// Upstream writes a flit onto the wire at cycle `now`.
+  void put(Flit flit, Cycle now);
+
+  /// Downstream takes the flit if one arrived by `now`.
+  [[nodiscard]] std::optional<Flit> take(Cycle now);
+
+  /// Downstream returns a credit at cycle `now`.
+  void put_credit(Cycle now);
+
+  /// Upstream collects arrived credits (count).
+  [[nodiscard]] std::uint32_t take_credits(Cycle now);
+
+  [[nodiscard]] bool busy() const { return flit_.has_value(); }
+
+ private:
+  std::optional<Flit> flit_;
+  Cycle flit_arrival_ = 0;
+  // Credits in flight: (arrival cycle, count) pairs collapse to two buckets
+  // because latency is exactly one cycle.
+  std::uint32_t credits_now_ = 0;
+  std::uint32_t credits_next_ = 0;
+  Cycle credit_epoch_ = 0;
+  void roll_credits(Cycle now);
+};
+
+/// Coordinates of a node in the mesh.
+struct XY {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(XY, XY) = default;
+};
+
+/// XY dimension-order routing: returns the output port toward `dst`.
+[[nodiscard]] Port route_xy(XY here, XY dst);
+
+/// Output-port allocation policy.
+enum class Arbitration : std::uint8_t {
+  kRoundRobin,  ///< fair rotation (the Blueshell default)
+  kPriority,    ///< lowest packet priority value wins; round-robin on ties
+};
+
+struct RouterConfig {
+  std::size_t fifo_depth = 8;  ///< input FIFO capacity, flits
+  Arbitration arbitration = Arbitration::kRoundRobin;
+};
+
+/// One mesh router. Wiring: for each port, an optional inbound Link (flits
+/// toward us; we send credits back on it) and an optional outbound Link.
+class Router {
+ public:
+  Router(XY position, const RouterConfig& config,
+         std::function<XY(NodeId)> node_to_xy);
+
+  /// Connects the inbound side of `port` (flits arrive here).
+  void connect_in(Port port, Link* link);
+
+  /// Connects the outbound side of `port`. `downstream_capacity` initializes
+  /// the credit counter (the downstream input FIFO depth).
+  void connect_out(Port port, Link* link, std::uint32_t downstream_capacity);
+
+  void tick(Cycle now);
+
+  [[nodiscard]] XY position() const { return pos_; }
+  [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
+
+  /// True when all FIFOs are empty and no output is mid-packet.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Input {
+    Link* link = nullptr;
+    RingBuffer<Flit> fifo;
+    explicit Input(std::size_t depth) : fifo(depth) {}
+  };
+  struct Output {
+    Link* link = nullptr;
+    std::uint32_t credits = 0;
+    std::optional<std::size_t> owner;  ///< input index holding the port
+    std::size_t rr_next = 0;           ///< round-robin scan start
+  };
+
+  [[nodiscard]] Port output_for(const Flit& flit) const;
+
+  XY pos_;
+  RouterConfig config_;
+  std::function<XY(NodeId)> node_to_xy_;
+  std::vector<Input> inputs_;
+  std::array<Output, kPortCount> outputs_;
+  std::uint64_t flits_routed_ = 0;
+};
+
+}  // namespace ioguard::noc

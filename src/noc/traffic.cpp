@@ -1,0 +1,105 @@
+#include "noc/traffic.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::noc {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniformRandom: return "uniform";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitComplement: return "bit-complement";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+NodeId traffic_destination(const Mesh& mesh, NodeId src,
+                           const TrafficConfig& config, Rng& rng) {
+  const auto n = static_cast<std::uint32_t>(mesh.node_count());
+  switch (config.pattern) {
+    case TrafficPattern::kUniformRandom: {
+      std::uint32_t dst = src.value;
+      while (dst == src.value)
+        dst = static_cast<std::uint32_t>(rng.index(n));
+      return NodeId{dst};
+    }
+    case TrafficPattern::kTranspose: {
+      const XY xy = mesh.xy_of(src);
+      const int tx = xy.y % mesh.width();
+      const int ty = xy.x % mesh.height();
+      return mesh.node_at(tx, ty);
+    }
+    case TrafficPattern::kBitComplement:
+      return NodeId{(n - 1) - src.value};
+    case TrafficPattern::kHotspot: {
+      const NodeId hot = config.hotspot_node.valid()
+                             ? config.hotspot_node
+                             : NodeId{n - 1};
+      if (rng.bernoulli(config.hotspot_fraction) && src != hot) return hot;
+      std::uint32_t dst = src.value;
+      while (dst == src.value)
+        dst = static_cast<std::uint32_t>(rng.index(n));
+      return NodeId{dst};
+    }
+    case TrafficPattern::kNeighbor: {
+      const XY xy = mesh.xy_of(src);
+      return mesh.node_at((xy.x + 1) % mesh.width(), xy.y);
+    }
+  }
+  IOGUARD_CHECK_MSG(false, "unknown traffic pattern");
+  __builtin_unreachable();
+}
+
+TrafficResult run_traffic(Mesh& mesh, const TrafficConfig& config) {
+  IOGUARD_CHECK(config.injection_rate >= 0.0 && config.injection_rate <= 1.0);
+  IOGUARD_CHECK(mesh.idle());
+
+  Rng rng(config.seed);
+  TrafficResult result;
+  SampleSet latencies;
+  const Cycle total = config.warmup_cycles + config.measure_cycles;
+
+  // Per-node delivery handlers record measured-phase latencies.
+  for (std::uint32_t i = 0; i < mesh.node_count(); ++i) {
+    mesh.set_delivery_handler(
+        NodeId{i}, [&, warmup = config.warmup_cycles](const Packet& p,
+                                                      Cycle now) {
+          ++result.delivered_packets;
+          if (now >= warmup)
+            latencies.add(static_cast<double>(p.latency()));
+        });
+  }
+
+  for (Cycle now = 0; now < total; ++now) {
+    for (std::uint32_t node = 0; node < mesh.node_count(); ++node) {
+      if (!rng.bernoulli(config.injection_rate)) continue;
+      Packet p;
+      p.src = NodeId{node};
+      p.dst = traffic_destination(mesh, p.src, config, rng);
+      if (p.dst == p.src) continue;
+      p.kind = PacketKind::kBackground;
+      p.payload_bytes = config.payload_bytes;
+      ++result.offered_packets;
+      mesh.send(p, now);
+    }
+    mesh.tick(now);
+  }
+  // Drain.
+  Cycle now = total;
+  for (Cycle c = 0; c < 100000 && !mesh.idle(); ++c) mesh.tick(now++);
+
+  result.accepted_rate =
+      static_cast<double>(result.delivered_packets) /
+      static_cast<double>(mesh.node_count()) / static_cast<double>(total);
+  if (!latencies.empty()) {
+    result.latency_p50 = latencies.percentile(50);
+    result.latency_p95 = latencies.percentile(95);
+    result.latency_p99 = latencies.percentile(99);
+    result.latency_max = latencies.max();
+  }
+  return result;
+}
+
+}  // namespace ioguard::noc

@@ -1,0 +1,57 @@
+// Synthetic traffic generation and measurement for the mesh NoC.
+//
+// Used to characterize the shared-interconnect latency the baselines suffer
+// (and the analytic TransitModel approximates): classic patterns at a
+// configurable injection rate, with accepted-throughput and latency
+// percentile reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "noc/mesh.hpp"
+
+namespace ioguard::noc {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniformRandom,   ///< destination uniform over all other nodes
+  kTranspose,       ///< (x, y) -> (y, x)
+  kBitComplement,   ///< node i -> ~i (mod N)
+  kHotspot,         ///< a fraction of traffic targets one hot node
+  kNeighbor,        ///< nearest-neighbour (x+1, y)
+};
+
+[[nodiscard]] const char* to_string(TrafficPattern p);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  double injection_rate = 0.05;  ///< packets / node / cycle offered
+  std::uint32_t payload_bytes = 64;
+  double hotspot_fraction = 0.5; ///< kHotspot: share of traffic to hot node
+  NodeId hotspot_node{};         ///< default: last node
+  Cycle warmup_cycles = 2000;    ///< latency stats ignore warmup deliveries
+  Cycle measure_cycles = 20000;
+  std::uint64_t seed = 1;
+};
+
+struct TrafficResult {
+  std::uint64_t offered_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  double accepted_rate = 0.0;    ///< delivered / node / cycle
+  double latency_p50 = 0.0;      ///< cycles, post-warmup
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_max = 0.0;
+};
+
+/// Destination for `src` under the pattern.
+[[nodiscard]] NodeId traffic_destination(const Mesh& mesh, NodeId src,
+                                         const TrafficConfig& config,
+                                         Rng& rng);
+
+/// Runs the pattern on a fresh tick loop over `mesh` (mesh must be idle).
+TrafficResult run_traffic(Mesh& mesh, const TrafficConfig& config);
+
+}  // namespace ioguard::noc

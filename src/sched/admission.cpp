@@ -1,0 +1,163 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ioguard::sched {
+
+namespace {
+
+/// Checks sum-dbf <= sbf at each step point of the (non-decreasing, piecewise
+/// constant) demand function. Demand only increases at `steps`; supply is
+/// non-decreasing, so checking exactly at the step instants is sufficient.
+template <class DemandFn, class SupplyFn>
+AdmissionResult check_at_steps(const std::vector<Slot>& steps,
+                               DemandFn&& demand, SupplyFn&& supply,
+                               Slot bound) {
+  AdmissionResult r;
+  r.checked_until = bound;
+  for (Slot t : steps) {
+    if (t >= bound) break;
+    if (demand(t) > supply(t)) {
+      r.violation_t = t;
+      return r;
+    }
+  }
+  r.schedulable = true;
+  return r;
+}
+
+/// Step points of server demand: multiples of each Pi, in [1, bound).
+std::vector<Slot> server_steps(const std::vector<ServerParams>& servers,
+                               Slot bound) {
+  std::vector<Slot> steps;
+  for (const auto& g : servers)
+    for (Slot t = g.pi; t < bound; t += g.pi) steps.push_back(t);
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+/// Step points of sporadic demand: t = D_k + m*T_k, in [1, bound).
+std::vector<Slot> sporadic_steps(const workload::TaskSet& tasks, Slot bound) {
+  std::vector<Slot> steps;
+  for (const auto& tau : tasks.tasks())
+    for (Slot t = tau.deadline; t < bound; t += tau.period) steps.push_back(t);
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+}  // namespace
+
+AdmissionResult theorem1_exhaustive(const TableSupply& supply,
+                                    const std::vector<ServerParams>& servers,
+                                    Slot t_max, Slot lcm_cap) {
+  if (servers.empty()) {
+    AdmissionResult r;
+    r.schedulable = true;
+    return r;
+  }
+  if (t_max == 0) {
+    // lcm of {H} u {Pi_i}: the exact check bound stated below Theorem 1.
+    Slot l = supply.hyperperiod();
+    for (const auto& g : servers) l = workload::checked_lcm(l, g.pi, lcm_cap);
+    t_max = l + 1;
+  }
+  const auto steps = server_steps(servers, t_max);
+  return check_at_steps(
+      steps,
+      [&](Slot t) {
+        Slot d = 0;
+        for (const auto& g : servers) d += dbf_server(g, t);
+        return d;
+      },
+      [&](Slot t) { return supply.sbf(t); }, t_max);
+}
+
+AdmissionResult theorem2_check(const TableSupply& supply,
+                               const std::vector<ServerParams>& servers) {
+  AdmissionResult r;
+  if (servers.empty()) {
+    r.schedulable = true;
+    return r;
+  }
+  double bw = 0.0;
+  for (const auto& g : servers) bw += g.bandwidth();
+  const double c = supply.bandwidth() - bw;
+  if (c <= 0.0) return r;  // Theorem 2's stated limitation: requires c > 0
+
+  const double h = static_cast<double>(supply.hyperperiod());
+  const double f = static_cast<double>(supply.free_per_period());
+  // t* < F * ((H-1)/H) / c
+  const auto bound = static_cast<Slot>(std::ceil(f * ((h - 1.0) / h) / c)) + 1;
+  return theorem1_exhaustive(supply, servers, bound);
+}
+
+AdmissionResult theorem3_exhaustive(const ServerParams& server,
+                                    const workload::TaskSet& vm_tasks,
+                                    Slot t_max, Slot lcm_cap) {
+  if (vm_tasks.empty()) {
+    AdmissionResult r;
+    r.schedulable = true;
+    return r;
+  }
+  if (t_max == 0) {
+    Slot l = server.pi;
+    for (const auto& tau : vm_tasks.tasks())
+      l = workload::checked_lcm(l, tau.period, lcm_cap);
+    t_max = l + 1;
+  }
+  const auto steps = sporadic_steps(vm_tasks, t_max);
+  return check_at_steps(
+      steps, [&](Slot t) { return dbf_taskset(vm_tasks, t); },
+      [&](Slot t) { return sbf_server(server, t); }, t_max);
+}
+
+AdmissionResult theorem4_check(const ServerParams& server,
+                               const workload::TaskSet& vm_tasks) {
+  AdmissionResult r;
+  if (vm_tasks.empty()) {
+    r.schedulable = true;
+    return r;
+  }
+  const double cprime = server.bandwidth() - vm_tasks.utilization();
+  if (cprime <= 0.0) return r;  // Theorem 4 requires c' > 0
+
+  Slot max_laxity = 0;  // max(T_k - D_k)
+  for (const auto& tau : vm_tasks.tasks())
+    max_laxity = std::max(max_laxity, tau.period - tau.deadline);
+  // t* < (max(T-D) + 2*Pi - Theta - 1) / c'
+  const double num = static_cast<double>(max_laxity) +
+                     2.0 * static_cast<double>(server.pi) -
+                     static_cast<double>(server.theta) - 1.0;
+  const auto bound = static_cast<Slot>(std::ceil(num / cprime)) + 1;
+  return theorem3_exhaustive(server, vm_tasks, bound);
+}
+
+SystemAdmission admit_system(const TableSupply& supply,
+                             const std::vector<ServerParams>& servers,
+                             const std::vector<workload::TaskSet>& vm_tasks) {
+  IOGUARD_CHECK(servers.size() == vm_tasks.size());
+  SystemAdmission out;
+  out.global = theorem2_check(supply, servers);
+  if (!out.global) {
+    out.reason = "global layer (Theorem 2) rejected";
+    return out;
+  }
+  out.per_vm.reserve(servers.size());
+  bool all_ok = true;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    out.per_vm.push_back(theorem4_check(servers[i], vm_tasks[i]));
+    if (!out.per_vm.back()) {
+      all_ok = false;
+      out.reason = "VM " + std::to_string(i) + " (Theorem 4) rejected";
+    }
+  }
+  out.schedulable = all_ok;
+  return out;
+}
+
+}  // namespace ioguard::sched

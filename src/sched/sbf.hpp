@@ -1,0 +1,70 @@
+// Supply and demand bound functions of Sec. IV.
+//
+//  * sbf(sigma, t)  -- Eqs. (1)-(2): minimum free slots the repeating Time
+//    Slot Table supplies in any window of length t.
+//  * dbf(Gamma, t)  -- Eq. (3): demand of a periodic server Gamma=(Pi,Theta).
+//  * sbf(Gamma, t)  -- Eq. (8): minimum supply of the periodic resource
+//    model (Shin & Lee) implementing a VM's server.
+//  * dbf(tau, t)    -- Eq. (9): demand of a sporadic task tau=(T,C,D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sched/slot_table.hpp"
+
+namespace ioguard::sched {
+
+/// Periodic server task Gamma_i = (Pi_i, Theta_i): at least Theta free slots
+/// in every window of Pi slots (Sec. IV, G-Sched).
+struct ServerParams {
+  Slot pi = 0;     ///< replenishment period Pi_i
+  Slot theta = 0;  ///< budget Theta_i
+
+  [[nodiscard]] double bandwidth() const {
+    return static_cast<double>(theta) / static_cast<double>(pi);
+  }
+};
+
+/// Supply bound function of the repeating table sigma (Eqs. (1)-(2)).
+/// enum(t) rows are computed lazily (O(H) each, memoised) because admission
+/// only touches a bounded set of residues t mod H.
+class TableSupply {
+ public:
+  explicit TableSupply(const TimeSlotTable& table);
+
+  /// sbf(sigma, t): minimum free slots in any window of length t.
+  [[nodiscard]] Slot sbf(Slot t) const;
+
+  [[nodiscard]] Slot hyperperiod() const { return h_; }
+  [[nodiscard]] Slot free_per_period() const { return f_; }
+
+  /// Fraction of free slots F/H.
+  [[nodiscard]] double bandwidth() const {
+    return static_cast<double>(f_) / static_cast<double>(h_);
+  }
+
+ private:
+  [[nodiscard]] Slot enum_lookup(Slot t) const;  // Eq. (1), lazy
+
+  Slot h_ = 0;
+  Slot f_ = 0;
+  std::vector<Slot> prefix_;                  // free-slot prefix sums over 2H
+  mutable std::vector<Slot> enum_cache_;      // kNeverSlot = not yet computed
+};
+
+/// Eq. (3): dbf(Gamma_i, t) = floor(t / Pi_i) * Theta_i.
+[[nodiscard]] Slot dbf_server(const ServerParams& gamma, Slot t);
+
+/// Eq. (8): periodic-resource supply bound function sbf(Gamma_i, t).
+[[nodiscard]] Slot sbf_server(const ServerParams& gamma, Slot t);
+
+/// Eq. (9): dbf(tau_k, t) = (floor((t - D_k)/T_k) + 1) * C_k for t >= D_k,
+/// else 0.
+[[nodiscard]] Slot dbf_sporadic(Slot period, Slot wcet, Slot deadline, Slot t);
+
+/// Sum of Eq. (9) over a task set.
+[[nodiscard]] Slot dbf_taskset(const workload::TaskSet& tasks, Slot t);
+
+}  // namespace ioguard::sched

@@ -1,0 +1,132 @@
+#include "sched/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ioguard::sched {
+
+namespace {
+
+/// Scales every WCET by alpha (ceil), clamped to the deadline.
+workload::TaskSet scale_wcets(const workload::TaskSet& tasks, double alpha) {
+  workload::TaskSet out;
+  for (auto t : tasks.tasks()) {
+    const double scaled = std::ceil(alpha * static_cast<double>(t.wcet));
+    t.wcet = std::max<Slot>(1, static_cast<Slot>(scaled));
+    if (t.wcet > t.deadline) t.wcet = t.deadline;  // keep the set well-formed
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+double breakdown_factor(const ServerParams& server,
+                        const workload::TaskSet& vm_tasks, double alpha_max,
+                        double tolerance) {
+  IOGUARD_CHECK(alpha_max >= 1.0);
+  IOGUARD_CHECK(tolerance > 0.0);
+  if (vm_tasks.empty()) return alpha_max;
+  if (!theorem4_check(server, vm_tasks)) return 0.0;
+
+  double lo = 1.0, hi = alpha_max;
+  if (theorem4_check(server, scale_wcets(vm_tasks, alpha_max))) return alpha_max;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (theorem4_check(server, scale_wcets(vm_tasks, mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<SlotDelta> min_slack(const ServerParams& server,
+                                   const workload::TaskSet& vm_tasks) {
+  if (vm_tasks.empty()) return std::nullopt;
+
+  // Check window mirrors theorem4_check.
+  const double cprime = server.bandwidth() - vm_tasks.utilization();
+  Slot bound;
+  if (cprime > 0.0) {
+    Slot max_laxity = 0;
+    for (const auto& tau : vm_tasks.tasks())
+      max_laxity = std::max(max_laxity, tau.period - tau.deadline);
+    const double num = static_cast<double>(max_laxity) +
+                       2.0 * static_cast<double>(server.pi) -
+                       static_cast<double>(server.theta) - 1.0;
+    bound = static_cast<Slot>(std::ceil(num / cprime)) + 1;
+  } else {
+    // Over-utilized: inspect a few hyper-periods to find the violation.
+    bound = 4 * vm_tasks.hyperperiod(Slot{1} << 22) + 1;
+  }
+  // Always sample at least every task's first deadline.
+  for (const auto& tau : vm_tasks.tasks())
+    bound = std::max(bound, tau.deadline + 1);
+
+  SlotDelta worst = std::numeric_limits<SlotDelta>::max();
+  for (const auto& tau : vm_tasks.tasks()) {
+    for (Slot t = tau.deadline; t < bound; t += tau.period) {
+      const auto demand = static_cast<SlotDelta>(dbf_taskset(vm_tasks, t));
+      const auto supply = static_cast<SlotDelta>(sbf_server(server, t));
+      worst = std::min(worst, supply - demand);
+    }
+  }
+  if (worst == std::numeric_limits<SlotDelta>::max()) return std::nullopt;
+  return worst;
+}
+
+std::optional<Slot> min_required_theta(const ServerParams& server,
+                                       const workload::TaskSet& vm_tasks) {
+  if (vm_tasks.empty()) return Slot{0};
+  if (!theorem4_check(server, vm_tasks)) return std::nullopt;
+  Slot lo = 1, hi = server.theta;
+  while (lo < hi) {
+    const Slot mid = lo + (hi - lo) / 2;
+    if (theorem4_check(ServerParams{server.pi, mid}, vm_tasks)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+std::optional<SlotDelta> global_min_slack(
+    const TableSupply& supply, const std::vector<ServerParams>& servers) {
+  if (servers.empty()) return std::nullopt;
+
+  double bw = 0.0;
+  for (const auto& g : servers) bw += g.bandwidth();
+  const double c = supply.bandwidth() - bw;
+  Slot bound;
+  if (c > 0.0) {
+    const double h = static_cast<double>(supply.hyperperiod());
+    const double f = static_cast<double>(supply.free_per_period());
+    bound = static_cast<Slot>(std::ceil(f * ((h - 1.0) / h) / c)) + 1;
+  } else {
+    Slot l = supply.hyperperiod();
+    for (const auto& g : servers)
+      l = workload::checked_lcm(l, g.pi, Slot{1} << 22);
+    bound = l + 1;
+  }
+
+  SlotDelta worst = std::numeric_limits<SlotDelta>::max();
+  for (const auto& g : servers) {
+    for (Slot t = g.pi; t < bound; t += g.pi) {
+      SlotDelta demand = 0;
+      for (const auto& s : servers)
+        demand += static_cast<SlotDelta>(dbf_server(s, t));
+      worst = std::min(worst,
+                       static_cast<SlotDelta>(supply.sbf(t)) - demand);
+    }
+  }
+  if (worst == std::numeric_limits<SlotDelta>::max()) return std::nullopt;
+  return worst;
+}
+
+}  // namespace ioguard::sched

@@ -1,0 +1,90 @@
+#include "sched/server_design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ioguard::sched {
+
+std::optional<ServerParams> min_theta_for_pi(
+    Slot pi, const workload::TaskSet& vm_tasks) {
+  IOGUARD_CHECK(pi > 0);
+  if (vm_tasks.empty()) return ServerParams{pi, 0};
+
+  // Theta must at least cover the utilization; search upward is monotone
+  // (more budget never hurts schedulability), so binary search works.
+  const double u = vm_tasks.utilization();
+  auto lo = static_cast<Slot>(
+      std::max<double>(1.0, std::ceil(u * static_cast<double>(pi))));
+  Slot hi = pi;
+  if (lo > hi) return std::nullopt;
+
+  auto passes = [&](Slot theta) {
+    return static_cast<bool>(theorem4_check(ServerParams{pi, theta}, vm_tasks));
+  };
+  if (!passes(hi)) return std::nullopt;
+  while (lo < hi) {
+    const Slot mid = lo + (hi - lo) / 2;
+    if (passes(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return ServerParams{pi, hi};
+}
+
+std::optional<ServerParams> synthesize_server(
+    const workload::TaskSet& vm_tasks, const ServerDesignConfig& config) {
+  std::optional<ServerParams> best;
+  for (Slot pi : config.pi_menu) {
+    auto candidate = min_theta_for_pi(pi, vm_tasks);
+    if (!candidate) continue;
+    if (config.bandwidth_margin > 0.0) {
+      const auto boosted = static_cast<Slot>(std::min<double>(
+          static_cast<double>(pi),
+          std::ceil(static_cast<double>(candidate->theta) +
+                    config.bandwidth_margin * static_cast<double>(pi))));
+      candidate->theta = boosted;
+    }
+    if (!best || candidate->bandwidth() < best->bandwidth()) best = candidate;
+  }
+  return best;
+}
+
+SystemDesign design_system(const TableSupply& supply,
+                           const std::vector<workload::TaskSet>& vm_tasks,
+                           const ServerDesignConfig& config) {
+  SystemDesign out;
+  out.servers.reserve(vm_tasks.size());
+
+  for (std::size_t i = 0; i < vm_tasks.size(); ++i) {
+    if (vm_tasks[i].empty()) {
+      out.servers.push_back(ServerParams{1, 0});
+      continue;
+    }
+    auto server = synthesize_server(vm_tasks[i], config);
+    if (!server) {
+      out.reason = "no feasible server for VM " + std::to_string(i);
+      return out;
+    }
+    out.servers.push_back(*server);
+  }
+
+  // Global check over the servers that actually consume bandwidth.
+  std::vector<ServerParams> active;
+  std::vector<workload::TaskSet> active_tasks;
+  for (std::size_t i = 0; i < out.servers.size(); ++i) {
+    if (out.servers[i].theta > 0) {
+      active.push_back(out.servers[i]);
+      active_tasks.push_back(vm_tasks[i]);
+    }
+  }
+  out.admission = admit_system(supply, active, active_tasks);
+  out.feasible = out.admission.schedulable;
+  if (!out.feasible && out.reason.empty()) out.reason = out.admission.reason;
+  return out;
+}
+
+}  // namespace ioguard::sched

@@ -1,0 +1,50 @@
+// Server parameter synthesis: picks (Pi_i, Theta_i) per VM so that the
+// two-layer admission (Theorems 2 and 4) holds, minimizing allocated
+// bandwidth. This is the design-time companion of the G-Sched: the paper
+// assumes servers are given; a deployable system must derive them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/admission.hpp"
+#include "sched/sbf.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::sched {
+
+struct ServerDesignConfig {
+  /// Candidate replenishment periods (slots), tried in order.
+  std::vector<Slot> pi_menu = {10, 20, 25, 50, 100};
+  /// Extra bandwidth margin added on top of the VM utilization before the
+  /// search (absorbs slot-rounding of Theta).
+  double bandwidth_margin = 0.0;
+};
+
+/// Smallest Theta (for the given Pi) passing Theorem 4 for `vm_tasks`;
+/// nullopt when even Theta = Pi fails.
+[[nodiscard]] std::optional<ServerParams> min_theta_for_pi(
+    Slot pi, const workload::TaskSet& vm_tasks);
+
+/// Minimum-bandwidth server over the Pi menu passing Theorem 4; nullopt when
+/// no candidate works.
+[[nodiscard]] std::optional<ServerParams> synthesize_server(
+    const workload::TaskSet& vm_tasks, const ServerDesignConfig& config = {});
+
+/// Result of whole-system server design for one device's R-channel.
+struct SystemDesign {
+  bool feasible = false;
+  std::vector<ServerParams> servers;  ///< one per entry of vm_tasks
+  SystemAdmission admission;          ///< final two-layer admission outcome
+  std::string reason;
+};
+
+/// Designs servers for every VM on this device and verifies the global layer
+/// against the table supply. VMs with no tasks receive no bandwidth
+/// (Theta=0 server is represented as Pi=1,Theta=0 placeholder and excluded
+/// from the global check).
+[[nodiscard]] SystemDesign design_system(
+    const TableSupply& supply, const std::vector<workload::TaskSet>& vm_tasks,
+    const ServerDesignConfig& config = {});
+
+}  // namespace ioguard::sched

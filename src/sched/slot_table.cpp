@@ -1,0 +1,204 @@
+#include "sched/slot_table.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ioguard::sched {
+
+TimeSlotTable::TimeSlotTable(Slot hyperperiod)
+    : slots_(static_cast<std::size_t>(hyperperiod), kFree),
+      free_(hyperperiod) {
+  IOGUARD_CHECK(hyperperiod > 0);
+}
+
+TimeSlotTable TimeSlotTable::from_slots(std::vector<std::uint32_t> slots) {
+  IOGUARD_CHECK(!slots.empty());
+  TimeSlotTable t(static_cast<Slot>(slots.size()));
+  t.slots_ = std::move(slots);
+  t.free_ = static_cast<Slot>(
+      std::count(t.slots_.begin(), t.slots_.end(), kFree));
+  return t;
+}
+
+std::optional<TaskId> TimeSlotTable::occupant(Slot s) const {
+  IOGUARD_CHECK(s < hyperperiod());
+  const std::uint32_t v = slots_[static_cast<std::size_t>(s)];
+  if (v == kFree) return std::nullopt;
+  return TaskId{v};
+}
+
+bool TimeSlotTable::is_free(Slot s) const {
+  IOGUARD_CHECK(s < hyperperiod());
+  return slots_[static_cast<std::size_t>(s)] == kFree;
+}
+
+void TimeSlotTable::reserve(Slot s, TaskId task) {
+  IOGUARD_CHECK(s < hyperperiod());
+  IOGUARD_CHECK_MSG(is_free(s), "slot already reserved");
+  IOGUARD_CHECK(task.valid());
+  slots_[static_cast<std::size_t>(s)] = task.value;
+  --free_;
+}
+
+void TimeSlotTable::release(Slot s) {
+  IOGUARD_CHECK(s < hyperperiod());
+  IOGUARD_CHECK_MSG(!is_free(s), "slot already free");
+  slots_[static_cast<std::size_t>(s)] = kFree;
+  ++free_;
+}
+
+namespace {
+
+struct OfflineJob {
+  TaskId task;
+  Slot release;
+  Slot deadline;  // absolute, exclusive: job must finish by this slot
+  Slot remaining;
+};
+
+struct ByDeadline {
+  bool operator()(const OfflineJob& a, const OfflineJob& b) const {
+    return a.deadline != b.deadline ? a.deadline > b.deadline
+                                    : a.task.value > b.task.value;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Spread placement: reserves each job's C slots evenly across its window
+/// instead of packing them at the front. Packing (plain offline EDF) creates
+/// long busy runs at period starts, which collapses sbf(sigma, t) to zero
+/// for large t and starves the R-channel's schedulability (Theorem 1).
+/// Returns false when some job cannot be placed (caller falls back to EDF).
+bool try_spread_placement(const std::vector<workload::IoTaskSpec>& tasks,
+                          Slot h, TimeSlotTable& table) {
+  struct SpreadJob {
+    TaskId task;
+    Slot release;
+    Slot deadline;
+    Slot wcet;
+  };
+  std::vector<SpreadJob> jobs;
+  for (const auto& t : tasks)
+    for (Slot r = t.offset; r < h; r += t.period)
+      jobs.push_back({t.id, r, r + t.deadline, t.wcet});
+  // Tightest (smallest slack-per-slot) jobs first.
+  std::sort(jobs.begin(), jobs.end(), [](const SpreadJob& a, const SpreadJob& b) {
+    const double sa = static_cast<double>(a.deadline - a.release) /
+                      static_cast<double>(a.wcet);
+    const double sb = static_cast<double>(b.deadline - b.release) /
+                      static_cast<double>(b.wcet);
+    return sa != sb ? sa < sb : a.release < b.release;
+  });
+
+  for (const auto& j : jobs) {
+    const Slot window = j.deadline - j.release;
+    const Slot stride = window / j.wcet;
+    for (Slot k = 0; k < j.wcet; ++k) {
+      const Slot ideal = j.release + k * stride + stride / 2;
+      // Nearest free slot to `ideal` inside [release, deadline), scanning
+      // outward; table indices wrap modulo H.
+      bool placed = false;
+      for (Slot d = 0; d < window && !placed; ++d) {
+        for (const Slot cand : {ideal + d, ideal >= d ? ideal - d : ideal}) {
+          if (cand < j.release || cand >= j.deadline) continue;
+          if (!table.is_free(cand % h)) continue;
+          table.reserve(cand % h, j.task);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SlotTableBuild build_time_slot_table(const workload::TaskSet& predefined,
+                                     Slot hyperperiod_cap,
+                                     SlotPlacement placement) {
+  SlotTableBuild out{false, TimeSlotTable(1), {}};
+  if (predefined.empty()) {
+    // No pre-defined tasks: a 1-slot always-free table (F = H = 1).
+    out.feasible = true;
+    return out;
+  }
+
+  Slot h = 1;
+  for (const auto& t : predefined.tasks())
+    h = workload::checked_lcm(h, t.period, hyperperiod_cap);
+
+  if (predefined.utilization() > 1.0 + 1e-12) {
+    out.failure = "pre-defined utilization exceeds 1";
+    return out;
+  }
+
+  // First try spread placement (keeps free slots distributed, which the
+  // R-channel's supply bound function rewards); fall back to offline
+  // slot-EDF when spreading cannot place a job.
+  if (placement == SlotPlacement::kSpread) {
+    TimeSlotTable spread(h);
+    if (try_spread_placement(predefined.tasks(), h, spread)) {
+      out.table = std::move(spread);
+      out.feasible = true;
+      return out;
+    }
+  }
+
+  // Collect every job in [0, H) and run offline slot-EDF.
+  std::vector<OfflineJob> jobs;
+  for (const auto& t : predefined.tasks()) {
+    IOGUARD_CHECK_MSG(t.offset < t.period, "offset must be below period");
+    for (Slot r = t.offset; r < h; r += t.period)
+      jobs.push_back(OfflineJob{t.id, r, r + t.deadline, t.wcet});
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const OfflineJob& a, const OfflineJob& b) {
+    return a.release < b.release;
+  });
+
+  TimeSlotTable table(h);
+  std::priority_queue<OfflineJob, std::vector<OfflineJob>, ByDeadline> ready;
+  std::size_t next = 0;
+
+  // Jobs released near the end of the hyper-period may have deadlines past H;
+  // their slots wrap into the start of the (identical) next period, so the
+  // loop continues past H and reserves s mod H. A wrapped slot that is
+  // already taken makes the placement infeasible.
+  Slot max_deadline = h;
+  for (const auto& j : jobs) max_deadline = std::max(max_deadline, j.deadline);
+
+  for (Slot s = 0; s < max_deadline && (next < jobs.size() || !ready.empty());
+       ++s) {
+    while (next < jobs.size() && jobs[next].release <= s)
+      ready.push(jobs[next++]);
+    if (ready.empty()) continue;
+    if (!table.is_free(s % h)) continue;  // wrapped slot taken by earlier work
+    OfflineJob j = ready.top();
+    ready.pop();
+    if (s >= j.deadline) {
+      out.failure = "pre-defined job of task " + std::to_string(j.task.value) +
+                    " missed its offline deadline";
+      return out;
+    }
+    table.reserve(s % h, j.task);
+    if (--j.remaining > 0) ready.push(j);
+  }
+
+  if (!ready.empty()) {
+    out.failure = "unfinished pre-defined work at end of hyper-period";
+    return out;
+  }
+
+  out.table = std::move(table);
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace ioguard::sched

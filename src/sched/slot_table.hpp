@@ -1,0 +1,84 @@
+// Time Slot Table sigma* (Sec. III-A / IV-A).
+//
+// The P-channel stores the pre-defined I/O tasks and their timing in a
+// look-up table of one hyper-period H. Each slot is either reserved for a
+// specific pre-defined task's job or free; the free slots form the supply
+// that the G-Sched hands out to VMs. The table is built offline by
+// slot-granular EDF (optimal on the uniprocessor slot resource), mirroring
+// the paper's system-initialization step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::sched {
+
+/// One hyper-period of pre-defined slot reservations.
+class TimeSlotTable {
+ public:
+  /// Builds an empty (all-free) table of `hyperperiod` slots.
+  explicit TimeSlotTable(Slot hyperperiod);
+
+  /// Builds a table from raw slot contents (kFree or a task id value).
+  static TimeSlotTable from_slots(std::vector<std::uint32_t> slots);
+
+  static constexpr std::uint32_t kFree = 0xffffffffu;
+
+  [[nodiscard]] Slot hyperperiod() const { return static_cast<Slot>(slots_.size()); }
+
+  /// Number of free slots F in one hyper-period.
+  [[nodiscard]] Slot free_slots() const { return free_; }
+
+  /// Occupant of slot `s` (s < H); nullopt when free.
+  [[nodiscard]] std::optional<TaskId> occupant(Slot s) const;
+
+  [[nodiscard]] bool is_free(Slot s) const;
+
+  /// Is slot `t` (any absolute slot; table repeats) free?
+  [[nodiscard]] bool is_free_abs(Slot t) const { return is_free(t % hyperperiod()); }
+
+  /// Reserves slot `s` for `task`; the slot must be free.
+  void reserve(Slot s, TaskId task);
+
+  /// Releases slot `s` back to the free pool.
+  void release(Slot s);
+
+  /// Raw contents (kFree or task id value) for inspection.
+  [[nodiscard]] const std::vector<std::uint32_t>& raw() const { return slots_; }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+  Slot free_ = 0;
+};
+
+/// Result of offline placement of the pre-defined tasks.
+struct SlotTableBuild {
+  bool feasible = false;     ///< all pre-defined jobs placed within deadlines
+  TimeSlotTable table;       ///< valid iff feasible
+  std::string failure;       ///< diagnostic when infeasible
+};
+
+/// Offline placement policy for the pre-defined jobs.
+enum class SlotPlacement : std::uint8_t {
+  /// Spread each job's slots evenly over its window (default): keeps free
+  /// slots distributed, which maximizes sbf(sigma, t) and hence the
+  /// R-channel's schedulable bandwidth (Theorem 1). Falls back to kEdfPack
+  /// when a job cannot be spread.
+  kSpread,
+  /// Plain offline slot-EDF: packs work as early as possible. Optimal for
+  /// feasibility but clusters busy slots, starving short R-channel windows.
+  kEdfPack,
+};
+
+/// Places all jobs of the (periodic, offset) pre-defined tasks of one device
+/// into a table of length lcm(periods). Each job of task (T, C, D, offset)
+/// needs C slots in [offset + kT, offset + kT + D).
+[[nodiscard]] SlotTableBuild build_time_slot_table(
+    const workload::TaskSet& predefined, Slot hyperperiod_cap = Slot{1} << 24,
+    SlotPlacement placement = SlotPlacement::kSpread);
+
+}  // namespace ioguard::sched

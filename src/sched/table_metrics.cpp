@@ -1,0 +1,102 @@
+#include "sched/table_metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sched/admission.hpp"
+
+namespace ioguard::sched {
+
+namespace {
+
+/// Longest circular run satisfying `pred`, plus the number of maximal runs.
+struct RunStats {
+  Slot longest = 0;
+  std::uint32_t count = 0;
+};
+
+template <class Pred>
+RunStats circular_runs(const TimeSlotTable& table, Pred pred) {
+  const Slot h = table.hyperperiod();
+  RunStats stats;
+  // Uniform table: one run covering everything.
+  bool any_true = false, any_false = false;
+  for (Slot s = 0; s < h; ++s) (pred(s) ? any_true : any_false) = true;
+  if (!any_true) return stats;
+  if (!any_false) {
+    stats.longest = h;
+    stats.count = 1;
+    return stats;
+  }
+  // Start scanning right after a boundary so circular runs are not split.
+  Slot start = 0;
+  while (pred((start + h - 1) % h) == pred(start)) ++start;
+  Slot run = 0;
+  for (Slot i = 0; i < h; ++i) {
+    const Slot s = (start + i) % h;
+    if (pred(s)) {
+      if (run == 0) ++stats.count;
+      ++run;
+      stats.longest = std::max(stats.longest, run);
+    } else {
+      run = 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+TableMetrics analyze_table(const TimeSlotTable& table) {
+  TableMetrics m;
+  m.hyperperiod = table.hyperperiod();
+  m.free_slots = table.free_slots();
+  m.bandwidth = static_cast<double>(m.free_slots) /
+                static_cast<double>(m.hyperperiod);
+
+  const auto busy = circular_runs(table, [&](Slot s) { return !table.is_free(s); });
+  const auto free = circular_runs(table, [&](Slot s) { return table.is_free(s); });
+  m.longest_busy_run = busy.longest;
+  m.longest_free_gap = free.longest;
+  m.busy_runs = busy.count;
+
+  TableSupply supply(table);
+  m.first_supply_at = m.hyperperiod + 1;  // sentinel: never supplies
+  for (Slot t = 1; t <= m.hyperperiod; ++t) {
+    if (supply.sbf(t) > 0) {
+      m.first_supply_at = t;
+      break;
+    }
+  }
+
+  const Slot probe = std::min<Slot>(100, m.hyperperiod);
+  const double ideal = static_cast<double>(probe) * m.bandwidth;
+  m.supply_efficiency_100 =
+      ideal > 0.0 ? static_cast<double>(supply.sbf(probe)) / ideal : 0.0;
+  return m;
+}
+
+double admissible_bandwidth(const TimeSlotTable& table, Slot pi,
+                            double tolerance) {
+  IOGUARD_CHECK(pi > 0);
+  TableSupply supply(table);
+  auto admits = [&](Slot theta) {
+    return static_cast<bool>(
+        theorem1_exhaustive(supply, {ServerParams{pi, theta}}));
+  };
+  // Largest admissible Theta for the aggregate server, by upward scan + the
+  // monotonicity of supply in Theta.
+  Slot lo = 0, hi = pi;
+  while (lo < hi) {
+    const Slot mid = lo + (hi - lo + 1) / 2;
+    if (admits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  (void)tolerance;
+  return static_cast<double>(lo) / static_cast<double>(pi);
+}
+
+}  // namespace ioguard::sched

@@ -1,0 +1,39 @@
+// Quality metrics for a Time Slot Table: how the *shape* of the reserved
+// slots (not just their count) determines what the R-channel can admit.
+// sbf(sigma, t) = 0 for every t up to the longest busy run, so two tables
+// with identical F can support very different server sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/sbf.hpp"
+#include "sched/slot_table.hpp"
+
+namespace ioguard::sched {
+
+struct TableMetrics {
+  Slot hyperperiod = 0;
+  Slot free_slots = 0;
+  double bandwidth = 0.0;        ///< F / H
+  Slot longest_busy_run = 0;     ///< circular maximum run of reserved slots
+  Slot longest_free_gap = 0;     ///< circular maximum run of free slots
+  std::uint32_t busy_runs = 0;   ///< number of maximal reserved runs
+  /// Smallest window length t with sbf(sigma, t) > 0: how long an R-channel
+  /// job can be forced to wait for its first slot.
+  Slot first_supply_at = 0;
+  /// Supply efficiency at one server period p: sbf(p) / (p * F/H), in [0,1];
+  /// 1.0 means the table supplies free slots perfectly evenly.
+  double supply_efficiency_100 = 0.0;  ///< at t = 100 slots (1 ms)
+};
+
+[[nodiscard]] TableMetrics analyze_table(const TimeSlotTable& table);
+
+/// Largest total server bandwidth (sum Theta/Pi with Pi = pi) that Theorem 1
+/// admits on this table, found by binary search over a single aggregate
+/// server. A direct measure of the R-channel capacity the placement leaves.
+[[nodiscard]] double admissible_bandwidth(const TimeSlotTable& table,
+                                          Slot pi = 100,
+                                          double tolerance = 1e-3);
+
+}  // namespace ioguard::sched

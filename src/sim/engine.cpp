@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+
+namespace ioguard::sim {
+
+void Engine::add(Tickable* component) {
+  IOGUARD_CHECK(component != nullptr);
+  components_.push_back(component);
+}
+
+void Engine::at(Cycle when, std::function<void(Cycle)> fn) {
+  IOGUARD_CHECK_MSG(when >= now_, "cannot schedule event in the past");
+  events_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void Engine::every(Cycle start, Cycle period, std::function<void(Cycle)> fn) {
+  IOGUARD_CHECK(period > 0);
+  // Self-rescheduling wrapper; shared_ptr lets the lambda re-capture itself.
+  auto repeat = std::make_shared<std::function<void(Cycle)>>();
+  *repeat = [this, period, fn = std::move(fn), repeat](Cycle t) {
+    fn(t);
+    at(t + period, *repeat);
+  };
+  at(start, *repeat);
+}
+
+void Engine::run_until(Cycle end) {
+  stop_requested_ = false;
+  while (now_ <= end && !stop_requested_) {
+    while (!events_.empty() && events_.top().when == now_) {
+      // Copy out before pop: fn may schedule new events.
+      auto fn = events_.top().fn;
+      events_.pop();
+      fn(now_);
+    }
+    for (Tickable* c : components_) c->tick(now_);
+    ++now_;
+  }
+}
+
+}  // namespace ioguard::sim

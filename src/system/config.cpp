@@ -1,0 +1,28 @@
+#include "system/config.hpp"
+
+#include "common/check.hpp"
+
+namespace ioguard::sys {
+
+const char* to_string(SystemKind k) {
+  switch (k) {
+    case SystemKind::kLegacy: return "BS|Legacy";
+    case SystemKind::kRtXen: return "BS|RT-XEN";
+    case SystemKind::kBlueVisor: return "BS|BV";
+    case SystemKind::kIoGuard: return "I/O-GUARD";
+  }
+  return "?";
+}
+
+Cycle issue_cycles(const Calibration& cal, SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kLegacy: return cal.legacy_issue_cycles;
+    case SystemKind::kRtXen: return cal.rtxen_issue_cycles;
+    case SystemKind::kBlueVisor: return cal.bv_issue_cycles;
+    case SystemKind::kIoGuard: return cal.ioguard_issue_cycles;
+  }
+  IOGUARD_CHECK_MSG(false, "unknown system kind");
+  __builtin_unreachable();
+}
+
+}  // namespace ioguard::sys

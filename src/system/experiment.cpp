@@ -1,0 +1,51 @@
+#include "system/experiment.hpp"
+
+namespace ioguard::sys {
+
+std::vector<EvaluatedSystem> figure7_systems() {
+  return {
+      {SystemKind::kLegacy, 0.0, "BS|Legacy"},
+      {SystemKind::kRtXen, 0.0, "BS|RT-XEN"},
+      {SystemKind::kBlueVisor, 0.0, "BS|BV"},
+      {SystemKind::kIoGuard, 0.4, "I/O-GUARD-40"},
+      {SystemKind::kIoGuard, 0.7, "I/O-GUARD-70"},
+  };
+}
+
+PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
+                      double target_utilization, const ExperimentConfig& cfg) {
+  PointResult point;
+  point.system = system;
+  point.num_vms = num_vms;
+  point.target_utilization = target_utilization;
+  point.trials = cfg.trials;
+
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    TrialConfig tc;
+    tc.kind = system.kind;
+    tc.workload.num_vms = num_vms;
+    tc.workload.target_utilization = target_utilization;
+    tc.workload.preload_fraction = system.preload_fraction;
+    tc.min_jobs_per_task = cfg.min_jobs_per_task;
+    tc.trial_seed = cfg.base_seed * 7919ULL + t;
+    tc.cal = cfg.cal;
+
+    const TrialResult r = run_trial(tc);
+    if (r.success()) ++point.successes;
+    point.goodput_mbps.add(r.goodput_bytes_per_s * 8.0 / 1e6);
+    point.busy_frac.add(r.device_busy_frac);
+    if (r.jobs_counted > 0)
+      point.critical_miss_rate.add(static_cast<double>(r.critical_misses) /
+                                   static_cast<double>(r.jobs_counted));
+  }
+  return point;
+}
+
+std::vector<double> utilization_sweep() {
+  std::vector<double> sweep;
+  for (int pct = 40; pct <= 100; pct += 5)
+    sweep.push_back(static_cast<double>(pct) / 100.0);
+  return sweep;
+}
+
+}  // namespace ioguard::sys

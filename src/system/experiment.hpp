@@ -1,0 +1,56 @@
+// Multi-trial experiment driver for the case study (Fig. 7) and ablations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "system/runner.hpp"
+
+namespace ioguard::sys {
+
+/// One evaluated configuration (system + P-channel preload fraction).
+struct EvaluatedSystem {
+  SystemKind kind;
+  double preload_fraction = 0.0;
+  std::string label;
+};
+
+/// The five systems of Fig. 7.
+[[nodiscard]] std::vector<EvaluatedSystem> figure7_systems();
+
+/// Aggregated result of `trials` runs at one (system, vms, utilization).
+struct PointResult {
+  EvaluatedSystem system;
+  std::size_t num_vms = 0;
+  double target_utilization = 0.0;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  OnlineStats goodput_mbps;       ///< goodput in Mbit/s across trials
+  OnlineStats critical_miss_rate; ///< critical misses / counted jobs
+  OnlineStats busy_frac;
+
+  [[nodiscard]] double success_ratio() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct ExperimentConfig {
+  std::size_t trials = 20;            ///< paper: 1000 (see DESIGN.md scaling)
+  std::size_t min_jobs_per_task = 50; ///< paper: >= 250
+  std::uint64_t base_seed = 42;
+  Calibration cal;
+};
+
+/// Runs `trials` trials of one point. Trial seeds depend only on
+/// (base_seed, trial index), so all systems see identical workloads/traces.
+PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
+                      double target_utilization, const ExperimentConfig& cfg);
+
+/// Utilization sweep of the paper: 40%..100% step 5%.
+[[nodiscard]] std::vector<double> utilization_sweep();
+
+}  // namespace ioguard::sys

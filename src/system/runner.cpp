@@ -1,0 +1,293 @@
+#include "system/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "iodev/fifo_controller.hpp"
+#include "system/stages.hpp"
+
+namespace ioguard::sys {
+
+namespace {
+
+/// A request in flight between pipeline stages, due at `arrival`.
+struct InFlight {
+  Slot arrival;
+  workload::Job job;
+};
+struct ArriveLater {
+  bool operator()(const InFlight& a, const InFlight& b) const {
+    return a.arrival != b.arrival
+               ? a.arrival > b.arrival
+               : a.job.id.value > b.job.id.value;
+  }
+};
+
+/// Per-trace-job bookkeeping for miss accounting.
+struct Outcome {
+  Slot deadline = 0;
+  bool counted = false;    ///< deadline falls inside the horizon
+  bool critical = false;   ///< safety or function class
+  bool on_time = false;
+  std::uint32_t payload = 0;
+  std::uint32_t task = 0;
+};
+
+}  // namespace
+
+TrialResult run_trial(const TrialConfig& config) {
+  // ---- 1. Build the workload and the release trace. ----------------------
+  workload::CaseStudyConfig wl_cfg = config.workload;
+  if (config.kind != SystemKind::kIoGuard) wl_cfg.preload_fraction = 0.0;
+  wl_cfg.seed = config.trial_seed * 1000003ULL + 17;
+  const auto wl = workload::build_case_study(wl_cfg);
+
+  TrialResult result;
+  const Slot horizon =
+      config.horizon > 0
+          ? config.horizon
+          : workload::horizon_for_min_jobs(wl.tasks, config.min_jobs_per_task);
+  result.horizon = horizon;
+
+  workload::ArrivalConfig arr;
+  arr.horizon = horizon;
+  arr.seed = config.trial_seed * 2654435761ULL + 99;
+  const auto trace = workload::generate_trace(wl.tasks, arr);
+
+  // Task class lookup (task ids are dense).
+  std::vector<workload::TaskClass> task_class(wl.tasks.size());
+  std::vector<workload::TaskKind> task_kind(wl.tasks.size());
+  for (const auto& t : wl.tasks.tasks()) {
+    task_class[t.id.value] = t.cls;
+    task_kind[t.id.value] = t.kind;
+  }
+  auto is_critical = [&](TaskId id) {
+    return task_class[id.value] != workload::TaskClass::kSynthetic;
+  };
+
+  // ---- 2. Instantiate the system under test. -----------------------------
+  const std::size_t num_vms = wl_cfg.num_vms;
+  const Calibration& cal = config.cal;
+
+  std::vector<IssueStage> issue;
+  issue.reserve(num_vms);
+  for (std::size_t v = 0; v < num_vms; ++v)
+    issue.emplace_back(issue_cycles(cal, config.kind), cal.cycles_per_slot);
+
+  std::unique_ptr<VmmStage> vmm;
+  if (config.kind == SystemKind::kRtXen)
+    vmm = std::make_unique<VmmStage>(cal, num_vms, config.trial_seed ^ 0xabc);
+
+  TransitModel request_transit(cal, config.kind, num_vms,
+                               wl_cfg.target_utilization,
+                               config.trial_seed ^ 0x111);
+  TransitModel response_transit(cal, config.kind, num_vms,
+                                wl_cfg.target_utilization,
+                                config.trial_seed ^ 0x222);
+
+  // Device back-ends: legacy FIFO controllers or the I/O-GUARD hypervisor.
+  std::vector<iodev::FifoController> fifos;
+  std::unique_ptr<core::Hypervisor> hyp;
+  if (config.kind == SystemKind::kIoGuard) {
+    core::HypervisorConfig hc;
+    hc.num_vms = num_vms;
+    hc.pool_capacity = cal.pool_capacity;
+    hc.dispatch_overhead_slots = cal.dispatch_overhead_slots;
+    hc.policy = config.gsched_policy;
+    hc.translator.wcet_cycles = cal.translation_wcet_cycles;
+    hyp = std::make_unique<core::Hypervisor>(wl, hc);
+    result.admitted = hyp->fully_admitted();
+  } else {
+    for (std::size_t d = 0; d < workload::kCaseStudyDeviceCount; ++d)
+      fifos.emplace_back(cal.device_fifo_capacity,
+                         cal.dispatch_overhead_slots);
+  }
+
+  // ---- 3. Miss accounting setup. ------------------------------------------
+  std::vector<Outcome> outcomes(trace.size());
+  std::uint64_t bytes_on_time = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& j = trace[i];
+    // Tasks the P-channel actually owns execute from the Time Slot Table and
+    // emit their own completions; their trace entries are skipped entirely.
+    // (Pre-defined tasks the hypervisor demoted flow through the R-channel
+    // like run-time jobs.)
+    const bool pchannel_job = hyp && hyp->pchannel_task(j.task);
+    outcomes[i].deadline = j.absolute_deadline;
+    outcomes[i].counted = !pchannel_job && j.absolute_deadline <= horizon;
+    outcomes[i].critical = is_critical(j.task);
+    outcomes[i].payload = j.payload_bytes;
+    outcomes[i].task = j.task.value;
+  }
+
+  auto record_completion = [&](const iodev::Completion& done, Slot finish) {
+    if (done.job.id.value < outcomes.size() &&
+        config.kind != SystemKind::kIoGuard) {
+      Outcome& o = outcomes[done.job.id.value];
+      if (o.counted && finish <= o.deadline) {
+        o.on_time = true;
+        bytes_on_time += o.payload;
+      }
+    } else if (config.kind == SystemKind::kIoGuard) {
+      // Runtime jobs carry trace ids; P-channel jobs carry synthetic ids but
+      // are distinguished by their owning channel.
+      const bool pchannel_job = hyp->pchannel_task(done.job.task);
+      if (pchannel_job) {
+        if (done.job.absolute_deadline <= horizon) {
+          ++result.jobs_counted;
+          if (finish <= done.job.absolute_deadline) {
+            ++result.jobs_on_time;
+            bytes_on_time += done.job.payload_bytes;
+          } else {
+            ++result.misses;
+            ++result.misses_by_task[done.job.task.value];
+            if (is_critical(done.job.task)) ++result.critical_misses;
+          }
+        }
+      } else if (done.job.id.value < outcomes.size()) {
+        Outcome& o = outcomes[done.job.id.value];
+        if (o.counted && finish <= o.deadline) {
+          o.on_time = true;
+          bytes_on_time += o.payload;
+        }
+      }
+      if (config.collect_response_times &&
+          is_critical(done.job.task)) {
+        result.response_slots.add(
+            static_cast<double>(finish - done.job.release));
+      }
+    }
+  };
+
+  // ---- 4. Slot-level main loop. -------------------------------------------
+  std::priority_queue<InFlight, std::vector<InFlight>, ArriveLater> transit_q;
+  std::vector<workload::Job> issued, vmm_done;
+  std::vector<iodev::Completion> completions;
+  std::size_t next_release = 0;
+
+  // Stage timestamps per trace job (kNeverSlot = not reached).
+  std::vector<Slot> t_issue, t_vmm, t_arrive;
+  if (config.collect_stage_latencies) {
+    t_issue.assign(trace.size(), kNeverSlot);
+    t_vmm.assign(trace.size(), kNeverSlot);
+    t_arrive.assign(trace.size(), kNeverSlot);
+  }
+  auto stamp = [&](std::vector<Slot>& v, JobId id, Slot now) {
+    if (config.collect_stage_latencies && id.value < v.size())
+      v[id.value] = now;
+  };
+
+  for (Slot now = 0; now < horizon; ++now) {
+    // (a) releases -> per-VM issue stage (runtime jobs only on I/O-GUARD).
+    while (next_release < trace.size() && trace[next_release].release <= now) {
+      const auto& j = trace[next_release++];
+      const bool pchannel_job = hyp && hyp->pchannel_task(j.task);
+      if (!pchannel_job) issue[j.vm.value].push(j);
+    }
+
+    // (b) issue stages emit; requests enter the VMM (RT-XEN) or transit.
+    issued.clear();
+    for (auto& stage : issue) stage.tick_slot(issued);
+    for (const auto& j : issued) {
+      stamp(t_issue, j.id, now);
+      if (vmm) {
+        vmm->push(j, now);
+      } else {
+        transit_q.push(InFlight{now + request_transit.sample(), j});
+      }
+    }
+    if (vmm) {
+      vmm_done.clear();
+      vmm->tick_slot(now, vmm_done);
+      for (const auto& j : vmm_done) {
+        stamp(t_vmm, j.id, now);
+        transit_q.push(InFlight{now + request_transit.sample(), j});
+      }
+    }
+
+    // (c) arrivals reach the device back-end.
+    while (!transit_q.empty() && transit_q.top().arrival <= now) {
+      const workload::Job j = transit_q.top().job;
+      transit_q.pop();
+      stamp(t_arrive, j.id, now);
+      bool accepted;
+      if (hyp) {
+        accepted = hyp->submit(j, now);
+      } else {
+        accepted = fifos[j.device.value].enqueue(j, now);
+      }
+      if (!accepted) ++result.dropped;  // overflow: job is lost -> miss
+    }
+
+    // (d) device back-ends advance one slot.
+    completions.clear();
+    if (hyp) {
+      hyp->tick_slot(now, completions);
+    } else {
+      for (auto& f : fifos)
+        if (auto done = f.tick_slot(now)) completions.push_back(*done);
+    }
+    for (const auto& done : completions) {
+      const Slot finish = done.completed_at + response_transit.sample();
+      record_completion(done, finish);
+      if (config.collect_stage_latencies &&
+          done.job.id.value < t_issue.size() &&
+          is_critical(done.job.task) &&
+          t_issue[done.job.id.value] != kNeverSlot) {
+        const auto id = done.job.id.value;
+        const Slot issued_at = t_issue[id];
+        result.stage_issue.add(
+            static_cast<double>(issued_at - done.job.release));
+        Slot after_sw = issued_at;
+        if (vmm && t_vmm[id] != kNeverSlot) {
+          result.stage_vmm.add(static_cast<double>(t_vmm[id] - issued_at));
+          after_sw = t_vmm[id];
+        }
+        if (t_arrive[id] != kNeverSlot) {
+          result.stage_transit.add(
+              static_cast<double>(t_arrive[id] - after_sw));
+          result.stage_backend.add(
+              static_cast<double>(done.completed_at - t_arrive[id]));
+        }
+      }
+      if (config.collect_response_times && config.kind != SystemKind::kIoGuard &&
+          is_critical(done.job.task)) {
+        result.response_slots.add(
+            static_cast<double>(finish - done.job.release));
+      }
+    }
+  }
+
+  // ---- 5. Tally. -----------------------------------------------------------
+  for (const auto& o : outcomes) {
+    if (!o.counted) continue;
+    ++result.jobs_counted;
+    if (o.on_time) {
+      ++result.jobs_on_time;
+    } else {
+      ++result.misses;
+      ++result.misses_by_task[o.task];
+      if (o.critical) ++result.critical_misses;
+    }
+  }
+  const double seconds =
+      cycles_to_seconds(slots_to_cycles(horizon, cal.cycles_per_slot));
+  result.goodput_bytes_per_s = static_cast<double>(bytes_on_time) / seconds;
+
+  Slot busy = 0;
+  const std::size_t n_dev = workload::kCaseStudyDeviceCount;
+  if (hyp) {
+    for (std::size_t d = 0; d < n_dev; ++d)
+      busy += hyp->manager(DeviceId{static_cast<std::uint32_t>(d)}).busy_slots();
+  } else {
+    for (const auto& f : fifos) busy += f.busy_slots();
+  }
+  result.device_busy_frac = static_cast<double>(busy) /
+                            static_cast<double>(horizon * n_dev);
+  return result;
+}
+
+}  // namespace ioguard::sys

@@ -1,0 +1,64 @@
+// Single-trial full-system simulator (Sec. V-C methodology).
+//
+// One trial = one workload instance executed for `horizon` slots on one of
+// the four system architectures. The trial succeeds when no safety or
+// function task misses a deadline ("success ratio recorded the percentage of
+// trials that executed successfully"). I/O throughput counts the payload of
+// jobs completed by their deadlines (goodput).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/hypervisor.hpp"
+#include "system/config.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
+
+namespace ioguard::sys {
+
+struct TrialConfig {
+  SystemKind kind = SystemKind::kIoGuard;
+  workload::CaseStudyConfig workload;  ///< preload_fraction: 0 for baselines
+  Slot horizon = 0;                    ///< 0 = derive from min_jobs_per_task
+  std::size_t min_jobs_per_task = 50;  ///< paper: >= 250 per 100 s run
+  std::uint64_t trial_seed = 1;
+  Calibration cal;
+  core::GschedPolicy gsched_policy = core::GschedPolicy::kServerEdf;
+  bool collect_response_times = false;
+  bool collect_stage_latencies = false;  ///< fill TrialResult::stage_*
+};
+
+struct TrialResult {
+  Slot horizon = 0;
+  std::uint64_t jobs_counted = 0;       ///< jobs with deadline inside horizon
+  std::uint64_t jobs_on_time = 0;
+  std::uint64_t misses = 0;             ///< all classes
+  std::uint64_t critical_misses = 0;    ///< safety + function tasks only
+  std::uint64_t dropped = 0;            ///< queue-overflow rejections
+  double goodput_bytes_per_s = 0.0;
+  double device_busy_frac = 0.0;
+  bool admitted = true;                 ///< I/O-GUARD: Theorems 2/4 held
+  SampleSet response_slots;             ///< critical tasks, when collected
+  std::map<std::uint32_t, std::uint32_t> misses_by_task;  ///< TaskId -> count
+
+  // Per-stage latency decomposition (slots) of *critical* (safety/function)
+  // jobs, filled when collect_stage_latencies is set. "backend" covers
+  // device queueing + service (+ scheduler wait on I/O-GUARD). Synthetic
+  // background jobs are excluded: EDF deliberately defers them, which would
+  // swamp the means without saying anything about timeliness.
+  OnlineStats stage_issue;    ///< release -> left the core's issue stage
+  OnlineStats stage_vmm;      ///< issue -> left the VMM (RT-XEN only)
+  OnlineStats stage_transit;  ///< VMM/issue -> arrived at the back-end
+  OnlineStats stage_backend;  ///< arrival -> completion at the device
+
+  /// Paper's per-trial success criterion.
+  [[nodiscard]] bool success() const { return critical_misses == 0; }
+};
+
+/// Runs one trial. Deterministic in (config).
+TrialResult run_trial(const TrialConfig& config);
+
+}  // namespace ioguard::sys

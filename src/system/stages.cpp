@@ -1,0 +1,115 @@
+#include "system/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ioguard::sys {
+
+IssueStage::IssueStage(Cycle issue_cycles, Cycle cycles_per_slot)
+    : issue_cycles_(issue_cycles), cycles_per_slot_(cycles_per_slot) {
+  IOGUARD_CHECK(issue_cycles > 0);
+  IOGUARD_CHECK(cycles_per_slot > 0);
+}
+
+void IssueStage::tick_slot(std::vector<workload::Job>& out) {
+  Cycle budget = cycles_per_slot_;
+  while (!queue_.empty()) {
+    const Cycle needed = issue_cycles_ - accumulated_;
+    if (needed > budget) {
+      accumulated_ += budget;
+      return;
+    }
+    budget -= needed;
+    accumulated_ = 0;
+    out.push_back(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+VmmStage::VmmStage(const Calibration& cal, std::size_t num_vms,
+                   std::uint64_t seed)
+    : op_cycles_(cal.vmm_op_base_cycles +
+                 cal.vmm_op_per_vm_cycles * static_cast<Cycle>(num_vms)),
+      cycles_per_slot_(cal.cycles_per_slot),
+      quantum_(cal.vmm_quantum_slots),
+      num_vms_(num_vms),
+      rng_(seed) {
+  IOGUARD_CHECK(quantum_ > 0);
+  IOGUARD_CHECK(num_vms_ > 0);
+}
+
+void VmmStage::push(const workload::Job& job, Slot now) {
+  // The issuing VCPU's request becomes visible to the VMM's I/O scheduling
+  // at that VM's next event-processing boundary. Boundaries are staggered
+  // across VMs (per-VCPU event channels), so one boundary never re-aligns
+  // every VM's pending ops into a single burst.
+  const Slot offset =
+      quantum_ * static_cast<Slot>(job.vm.value % num_vms_) /
+      static_cast<Slot>(num_vms_);
+  // Smallest boundary >= now with boundary = offset (mod quantum).
+  const Slot rem = (now + quantum_ - offset) % quantum_;
+  const Slot ready = rem == 0 ? now : now + quantum_ - rem;
+  waiting_.push_back(Pending{job, ready});
+}
+
+void VmmStage::tick_slot(Slot now, std::vector<workload::Job>& out) {
+  // Move quantum-released ops into the service queue (stable order).
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (it->ready_at <= now) {
+      queue_.push_back(it->job);
+      it = waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Serve with this slot's cycle budget.
+  Cycle budget = cycles_per_slot_;
+  while (!queue_.empty()) {
+    const Cycle needed = op_cycles_ - accumulated_;
+    if (needed > budget) {
+      accumulated_ += budget;
+      return;
+    }
+    budget -= needed;
+    accumulated_ = 0;
+    out.push_back(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+TransitModel::TransitModel(const Calibration& cal, SystemKind kind,
+                           std::size_t num_vms, double device_load,
+                           std::uint64_t seed)
+    : cycles_per_slot_(cal.cycles_per_slot), rng_(seed) {
+  if (kind == SystemKind::kIoGuard) {
+    // Dedicated point-to-point link plus bounded hardware translation.
+    base_cycles_ = cal.ioguard_link_cycles + cal.translation_wcet_cycles;
+    contention_mean_ = 0.0;
+  } else {
+    // Shared NoC: zero-load traversal + contention that grows with the
+    // number of active VMs and with the offered load.
+    const double rho = std::min(0.95, 0.2 + 0.6 * device_load);
+    base_cycles_ = cal.noc_base_cycles +
+                   cal.noc_per_vm_cycles * static_cast<Cycle>(num_vms);
+    contention_mean_ =
+        cal.noc_util_factor * rho / (1.0 - rho) *
+        static_cast<double>(cal.noc_per_vm_cycles * num_vms);
+    if (kind == SystemKind::kBlueVisor)
+      base_cycles_ += cal.translation_wcet_cycles;
+  }
+  mean_cycles_ = static_cast<double>(base_cycles_) + contention_mean_;
+}
+
+Slot TransitModel::sample() {
+  double cycles = static_cast<double>(base_cycles_);
+  if (contention_mean_ > 0.0) cycles += rng_.exponential(contention_mean_);
+  const double slots = cycles / static_cast<double>(cycles_per_slot_);
+  // Stochastic rounding keeps the sub-slot mean unbiased.
+  const auto whole = static_cast<Slot>(slots);
+  const double frac = slots - static_cast<double>(whole);
+  return whole + (rng_.uniform() < frac ? 1 : 0);
+}
+
+}  // namespace ioguard::sys

@@ -1,0 +1,106 @@
+// Pipeline stages of the request path, modelled at slot granularity with
+// cycle-accurate budgets inside each slot.
+//
+//  IssueStage    -- per-VM/core: software cost of issuing one I/O request.
+//                   A core issues requests serially; the per-slot cycle
+//                   budget limits how many requests leave a VM per slot.
+//  VmmStage      -- RT-XEN only: the VMM is a single shared software server;
+//                   every I/O operation pays backend/scheduling cycles, and
+//                   ops are admitted at scheduling-quantum granularity.
+//  TransitModel  -- transport latency samplers: contended NoC for the
+//                   baselines, dedicated point-to-point link for I/O-GUARD.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "system/config.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::sys {
+
+/// Serial per-core software issue stage. Each slot grants the core
+/// `cycles_per_slot` cycles; issuing one request costs `issue_cycles`.
+/// Left-over cycles carry into the next slot (a request can straddle slots).
+class IssueStage {
+ public:
+  IssueStage(Cycle issue_cycles, Cycle cycles_per_slot);
+
+  void push(const workload::Job& job) { queue_.push_back(job); }
+
+  /// Advances one slot; emits the requests that finished issuing.
+  void tick_slot(std::vector<workload::Job>& out);
+
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  Cycle issue_cycles_;
+  Cycle cycles_per_slot_;
+  Cycle accumulated_ = 0;  ///< cycles already spent on the head request
+  std::deque<workload::Job> queue_;
+};
+
+/// RT-XEN's VMM: a single shared software server. Ops wait for their VM's
+/// next scheduling-quantum boundary (per-VCPU event processing is staggered
+/// across VMs, as in Xen), then queue for the server, whose per-op service
+/// time grows with the number of active VMs.
+class VmmStage {
+ public:
+  VmmStage(const Calibration& cal, std::size_t num_vms, std::uint64_t seed);
+
+  void push(const workload::Job& job, Slot now);
+
+  /// Advances one slot; emits ops whose VMM processing completed.
+  void tick_slot(Slot now, std::vector<workload::Job>& out);
+
+  [[nodiscard]] std::size_t backlog() const {
+    return waiting_.size() + queue_.size();
+  }
+  [[nodiscard]] bool idle() const { return waiting_.empty() && queue_.empty(); }
+
+  /// Per-op service cycles of this configuration (for calibration output).
+  [[nodiscard]] Cycle op_cycles() const { return op_cycles_; }
+
+ private:
+  struct Pending {
+    workload::Job job;
+    Slot ready_at;  ///< quantum boundary after which the op enters service
+  };
+
+  Cycle op_cycles_;
+  Cycle cycles_per_slot_;
+  Slot quantum_;
+  std::size_t num_vms_;
+  Rng rng_;
+  std::vector<Pending> waiting_;   // pre-quantum
+  std::deque<workload::Job> queue_;  // in service order
+  Cycle accumulated_ = 0;
+};
+
+/// Transport latency sampler, in slots (sub-slot latencies round
+/// stochastically so their mean is preserved).
+class TransitModel {
+ public:
+  TransitModel(const Calibration& cal, SystemKind kind, std::size_t num_vms,
+               double device_load, std::uint64_t seed);
+
+  /// Latency of one request/response transfer, in slots.
+  [[nodiscard]] Slot sample();
+
+  /// Mean latency in cycles (closed form, for tests/calibration).
+  [[nodiscard]] double mean_cycles() const { return mean_cycles_; }
+
+ private:
+  double mean_cycles_;
+  Cycle base_cycles_;
+  double contention_mean_;  ///< exponential tail mean, cycles
+  Cycle cycles_per_slot_;
+  Rng rng_;
+};
+
+}  // namespace ioguard::sys

@@ -1,0 +1,55 @@
+// Run-time software memory-footprint model (Fig. 6).
+//
+// The paper evaluates software overhead via the memory footprint (BSS, data
+// and text segments) of the hypervisor, the OS kernel and the I/O drivers on
+// each system. Anchors from the paper's text: BS|RT-XEN adds 61 KB (129.8%)
+// over the legacy system's kernel stack; hardware-assisted virtualization
+// (BS|BV, I/O-GUARD) removes most of it; I/O-GUARD eliminates the VMM
+// entirely and reduces each I/O driver to a request-forwarding stub.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/config.hpp"
+
+namespace ioguard::sys {
+
+/// Software components whose footprint Fig. 6 reports.
+enum class SwComponent : std::uint8_t {
+  kHypervisor,   ///< VMM / software part of the hypervisor
+  kKernel,       ///< guest OS kernel (FreeRTOS v10.4 derived)
+  kUartDriver,
+  kSpiDriver,
+  kI2cDriver,
+  kEthernetDriver,
+  kFlexRayDriver,
+};
+
+[[nodiscard]] const char* to_string(SwComponent c);
+[[nodiscard]] const std::vector<SwComponent>& all_sw_components();
+
+/// Segment breakdown in bytes.
+struct Footprint {
+  std::uint32_t text = 0;
+  std::uint32_t data = 0;
+  std::uint32_t bss = 0;
+  [[nodiscard]] std::uint32_t total() const { return text + data + bss; }
+  [[nodiscard]] double total_kb() const { return total() / 1024.0; }
+
+  Footprint operator+(const Footprint& o) const {
+    return Footprint{text + o.text, data + o.data, bss + o.bss};
+  }
+};
+
+/// Footprint of one component on one system (zero when absent).
+[[nodiscard]] Footprint sw_footprint(SystemKind system, SwComponent component);
+
+/// Kernel-stack footprint (hypervisor + kernel), the Fig. 6 headline.
+[[nodiscard]] Footprint kernel_stack_footprint(SystemKind system);
+
+/// Sum over every component including drivers.
+[[nodiscard]] Footprint total_sw_footprint(SystemKind system);
+
+}  // namespace ioguard::sys

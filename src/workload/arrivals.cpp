@@ -1,0 +1,62 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ioguard::workload {
+
+std::vector<Job> generate_trace(const TaskSet& tasks,
+                                const ArrivalConfig& config) {
+  IOGUARD_CHECK(config.horizon > 0);
+  IOGUARD_CHECK(config.exec_frac_lo > 0.0 &&
+                config.exec_frac_lo <= config.exec_frac_hi &&
+                config.exec_frac_hi <= 1.0);
+  Rng rng(config.seed);
+  std::vector<Job> jobs;
+
+  for (const auto& t : tasks.tasks()) {
+    Rng task_rng = rng.fork(t.id.value);
+    Slot release = t.kind == TaskKind::kPredefined ? t.offset : Slot{0};
+    while (release < config.horizon) {
+      Job j;
+      j.task = t.id;
+      j.vm = t.vm;
+      j.device = t.device;
+      j.release = release;
+      j.absolute_deadline = release + t.deadline;
+      const double frac =
+          task_rng.uniform(config.exec_frac_lo, config.exec_frac_hi);
+      j.wcet = std::max<Slot>(
+          1, static_cast<Slot>(std::llround(frac * static_cast<double>(t.wcet))));
+      j.payload_bytes = t.payload_bytes;
+      jobs.push_back(j);
+
+      if (t.kind == TaskKind::kPredefined) {
+        release += t.period;
+      } else {
+        const double slack = config.jitter_frac <= 0.0
+                                 ? 0.0
+                                 : task_rng.exponential(
+                                       config.jitter_frac *
+                                       static_cast<double>(t.period));
+        release += t.period + static_cast<Slot>(std::llround(slack));
+      }
+    }
+  }
+
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.release != b.release ? a.release < b.release
+                                  : a.task.value < b.task.value;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].id = JobId{static_cast<std::uint32_t>(i)};
+  return jobs;
+}
+
+Slot horizon_for_min_jobs(const TaskSet& tasks, std::size_t min_jobs) {
+  Slot max_period = 0;
+  for (const auto& t : tasks.tasks()) max_period = std::max(max_period, t.period);
+  return max_period * static_cast<Slot>(min_jobs) + 1;
+}
+
+}  // namespace ioguard::workload

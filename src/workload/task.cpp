@@ -1,0 +1,110 @@
+#include "workload/task.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ioguard::workload {
+
+const char* to_string(TaskClass c) {
+  switch (c) {
+    case TaskClass::kSafety: return "safety";
+    case TaskClass::kFunction: return "function";
+    case TaskClass::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+const char* to_string(TaskKind k) {
+  switch (k) {
+    case TaskKind::kPredefined: return "predefined";
+    case TaskKind::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+void TaskSet::add(IoTaskSpec spec) {
+  IOGUARD_CHECK_MSG(spec.period > 0, "task period must be positive");
+  IOGUARD_CHECK_MSG(spec.wcet > 0, "task WCET must be positive");
+  IOGUARD_CHECK_MSG(spec.deadline > 0, "task deadline must be positive");
+  IOGUARD_CHECK_MSG(spec.deadline <= spec.period,
+                    "constrained deadlines required (D <= T)");
+  IOGUARD_CHECK_MSG(spec.wcet <= spec.deadline,
+                    "WCET must fit within the deadline");
+  tasks_.push_back(std::move(spec));
+}
+
+const IoTaskSpec& TaskSet::by_id(TaskId id) const {
+  for (const auto& t : tasks_)
+    if (t.id == id) return t;
+  IOGUARD_CHECK_MSG(false, "unknown task id");
+  __builtin_unreachable();
+}
+
+TaskSet TaskSet::filter_vm(VmId vm) const {
+  TaskSet out;
+  for (const auto& t : tasks_)
+    if (t.vm == vm) out.tasks_.push_back(t);
+  return out;
+}
+
+TaskSet TaskSet::filter_device(DeviceId dev) const {
+  TaskSet out;
+  for (const auto& t : tasks_)
+    if (t.device == dev) out.tasks_.push_back(t);
+  return out;
+}
+
+TaskSet TaskSet::filter_kind(TaskKind kind) const {
+  TaskSet out;
+  for (const auto& t : tasks_)
+    if (t.kind == kind) out.tasks_.push_back(t);
+  return out;
+}
+
+double TaskSet::utilization() const {
+  double u = 0.0;
+  for (const auto& t : tasks_) u += t.utilization();
+  return u;
+}
+
+double TaskSet::utilization_on(DeviceId dev) const {
+  double u = 0.0;
+  for (const auto& t : tasks_)
+    if (t.device == dev) u += t.utilization();
+  return u;
+}
+
+std::vector<VmId> TaskSet::vms() const {
+  std::vector<VmId> ids;
+  for (const auto& t : tasks_)
+    if (std::find(ids.begin(), ids.end(), t.vm) == ids.end())
+      ids.push_back(t.vm);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<DeviceId> TaskSet::devices() const {
+  std::vector<DeviceId> ids;
+  for (const auto& t : tasks_)
+    if (std::find(ids.begin(), ids.end(), t.device) == ids.end())
+      ids.push_back(t.device);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Slot checked_lcm(Slot a, Slot b, Slot cap) {
+  IOGUARD_CHECK(a > 0 && b > 0);
+  const Slot g = std::gcd(a, b);
+  const Slot q = a / g;
+  IOGUARD_CHECK_MSG(q <= cap / b, "hyperperiod overflow");
+  return q * b;
+}
+
+Slot TaskSet::hyperperiod(Slot cap) const {
+  IOGUARD_CHECK(!tasks_.empty());
+  Slot h = 1;
+  for (const auto& t : tasks_) h = checked_lcm(h, t.period, cap);
+  return h;
+}
+
+}  // namespace ioguard::workload

@@ -1,0 +1,115 @@
+// I/O task and job model (Sec. IV of the paper).
+//
+// An I/O task is a sporadic task tau_k = (T_k, C_k, D_k) in *time slots*:
+// it releases jobs at least T_k slots apart; each job needs C_k slots of
+// I/O-device service and must finish within D_k slots of release.
+// Pre-defined (P-channel) tasks are strictly periodic with a known offset;
+// run-time (R-channel) tasks are sporadic.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ioguard::workload {
+
+/// Default slot width for the case study: 1 slot = 10 us => 100 slots per ms.
+inline constexpr Slot kSlotsPerMs = 100;
+
+/// Task provenance in the automotive case study (Sec. V-C).
+enum class TaskClass : std::uint8_t {
+  kSafety,     ///< Renesas automotive safety tasks (CRC, RSA32, ...)
+  kFunction,   ///< EEMBC automotive function tasks (FFT, speed calc, ...)
+  kSynthetic,  ///< EEMBC-derived filler controlling target utilization
+};
+
+/// Which hypervisor channel executes the task (Sec. II-B).
+enum class TaskKind : std::uint8_t {
+  kPredefined,  ///< periodic, loaded into the P-channel before run-time
+  kRuntime,     ///< sporadic, scheduled by the R-channel at run-time
+};
+
+[[nodiscard]] const char* to_string(TaskClass c);
+[[nodiscard]] const char* to_string(TaskKind k);
+
+/// Static description of one I/O task.
+struct IoTaskSpec {
+  TaskId id;
+  VmId vm;
+  DeviceId device;
+  std::string name;
+  TaskClass cls = TaskClass::kSynthetic;
+  TaskKind kind = TaskKind::kRuntime;
+
+  Slot period = 0;    ///< T_k: period / minimum inter-release separation
+  Slot wcet = 0;      ///< C_k: worst-case I/O service demand, in slots
+  Slot deadline = 0;  ///< D_k: relative deadline (D_k <= T_k)
+  Slot offset = 0;    ///< release offset of the first job (pre-defined tasks)
+
+  std::uint32_t payload_bytes = 0;  ///< I/O payload per job (throughput acct.)
+
+  [[nodiscard]] double utilization() const {
+    IOGUARD_DCHECK(period > 0);
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+  [[nodiscard]] bool constrained_deadline() const { return deadline <= period; }
+  [[nodiscard]] bool implicit_deadline() const { return deadline == period; }
+};
+
+/// One released instance of a task.
+struct Job {
+  JobId id;
+  TaskId task;
+  VmId vm;
+  DeviceId device;
+  Slot release = 0;            ///< absolute release slot
+  Slot absolute_deadline = 0;  ///< release + D_k
+  Slot wcet = 0;               ///< service demand of this job, in slots
+  std::uint32_t payload_bytes = 0;
+};
+
+/// A set of I/O tasks with filtered views and aggregate measures.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<IoTaskSpec> tasks) : tasks_(std::move(tasks)) {}
+
+  void add(IoTaskSpec spec);
+
+  [[nodiscard]] const std::vector<IoTaskSpec>& tasks() const { return tasks_; }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] const IoTaskSpec& operator[](std::size_t i) const { return tasks_.at(i); }
+  [[nodiscard]] const IoTaskSpec& by_id(TaskId id) const;
+
+  [[nodiscard]] TaskSet filter_vm(VmId vm) const;
+  [[nodiscard]] TaskSet filter_device(DeviceId dev) const;
+  [[nodiscard]] TaskSet filter_kind(TaskKind kind) const;
+
+  /// Sum of C/T over all tasks.
+  [[nodiscard]] double utilization() const;
+
+  /// Utilization restricted to tasks on `dev`.
+  [[nodiscard]] double utilization_on(DeviceId dev) const;
+
+  /// Distinct VM ids present, ascending.
+  [[nodiscard]] std::vector<VmId> vms() const;
+
+  /// Distinct device ids present, ascending.
+  [[nodiscard]] std::vector<DeviceId> devices() const;
+
+  /// LCM of all task periods; throws on overflow past `cap`.
+  [[nodiscard]] Slot hyperperiod(Slot cap = Slot{1} << 40) const;
+
+ private:
+  std::vector<IoTaskSpec> tasks_;
+};
+
+/// Overflow-checked LCM helper (throws CheckFailure past `cap`).
+[[nodiscard]] Slot checked_lcm(Slot a, Slot b, Slot cap);
+
+}  // namespace ioguard::workload

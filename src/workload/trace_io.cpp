@@ -1,0 +1,116 @@
+#include "workload/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ioguard::workload {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  IOGUARD_CHECK_MSG(!s.empty(), "empty numeric CSV cell");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  IOGUARD_CHECK_MSG(end && *end == '\0', "malformed numeric CSV cell");
+  return v;
+}
+
+TaskClass parse_class(const std::string& s) {
+  if (s == "safety") return TaskClass::kSafety;
+  if (s == "function") return TaskClass::kFunction;
+  if (s == "synthetic") return TaskClass::kSynthetic;
+  IOGUARD_CHECK_MSG(false, "unknown task class: " + s);
+  __builtin_unreachable();
+}
+
+TaskKind parse_kind(const std::string& s) {
+  if (s == "predefined") return TaskKind::kPredefined;
+  if (s == "runtime") return TaskKind::kRuntime;
+  IOGUARD_CHECK_MSG(false, "unknown task kind: " + s);
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+void write_taskset_csv(std::ostream& os, const TaskSet& tasks) {
+  os << "id,vm,device,name,class,kind,period,wcet,deadline,offset,payload\n";
+  for (const auto& t : tasks.tasks()) {
+    os << t.id.value << ',' << t.vm.value << ',' << t.device.value << ','
+       << t.name << ',' << to_string(t.cls) << ',' << to_string(t.kind) << ','
+       << t.period << ',' << t.wcet << ',' << t.deadline << ',' << t.offset
+       << ',' << t.payload_bytes << '\n';
+  }
+}
+
+TaskSet read_taskset_csv(std::istream& is) {
+  TaskSet out;
+  std::string line;
+  IOGUARD_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                    "missing task-set CSV header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    IOGUARD_CHECK_MSG(cells.size() == 11, "task-set CSV row needs 11 cells");
+    IoTaskSpec t;
+    t.id = TaskId{static_cast<std::uint32_t>(to_u64(cells[0]))};
+    t.vm = VmId{static_cast<std::uint32_t>(to_u64(cells[1]))};
+    t.device = DeviceId{static_cast<std::uint32_t>(to_u64(cells[2]))};
+    t.name = cells[3];
+    t.cls = parse_class(cells[4]);
+    t.kind = parse_kind(cells[5]);
+    t.period = to_u64(cells[6]);
+    t.wcet = to_u64(cells[7]);
+    t.deadline = to_u64(cells[8]);
+    t.offset = to_u64(cells[9]);
+    t.payload_bytes = static_cast<std::uint32_t>(to_u64(cells[10]));
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+void write_trace_csv(std::ostream& os, const std::vector<Job>& trace) {
+  os << "id,task,vm,device,release,deadline,wcet,payload\n";
+  for (const auto& j : trace) {
+    os << j.id.value << ',' << j.task.value << ',' << j.vm.value << ','
+       << j.device.value << ',' << j.release << ',' << j.absolute_deadline
+       << ',' << j.wcet << ',' << j.payload_bytes << '\n';
+  }
+}
+
+std::vector<Job> read_trace_csv(std::istream& is) {
+  std::vector<Job> out;
+  std::string line;
+  IOGUARD_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                    "missing trace CSV header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    IOGUARD_CHECK_MSG(cells.size() == 8, "trace CSV row needs 8 cells");
+    Job j;
+    j.id = JobId{static_cast<std::uint32_t>(to_u64(cells[0]))};
+    j.task = TaskId{static_cast<std::uint32_t>(to_u64(cells[1]))};
+    j.vm = VmId{static_cast<std::uint32_t>(to_u64(cells[2]))};
+    j.device = DeviceId{static_cast<std::uint32_t>(to_u64(cells[3]))};
+    j.release = to_u64(cells[4]);
+    j.absolute_deadline = to_u64(cells[5]);
+    j.wcet = to_u64(cells[6]);
+    j.payload_bytes = static_cast<std::uint32_t>(to_u64(cells[7]));
+    out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace ioguard::workload

@@ -1,0 +1,27 @@
+// CSV import/export for task sets and job traces, so workloads can be
+// inspected, versioned, or replayed from files.
+//
+// Task-set columns:
+//   id,vm,device,name,class,kind,period,wcet,deadline,offset,payload
+// Job-trace columns:
+//   id,task,vm,device,release,deadline,wcet,payload
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace ioguard::workload {
+
+void write_taskset_csv(std::ostream& os, const TaskSet& tasks);
+
+/// Parses a task-set CSV (header required). Throws CheckFailure on malformed
+/// rows or constraint violations (the TaskSet invariants still apply).
+[[nodiscard]] TaskSet read_taskset_csv(std::istream& is);
+
+void write_trace_csv(std::ostream& os, const std::vector<Job>& trace);
+
+[[nodiscard]] std::vector<Job> read_trace_csv(std::istream& is);
+
+}  // namespace ioguard::workload

@@ -1,0 +1,211 @@
+// Unit tests for src/common: rng, stats, ring buffer, table, env, check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace ioguard {
+namespace {
+
+TEST(Check, ThrowsWithLocationAndMessage) {
+  try {
+    IOGUARD_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Types, CycleSlotConversions) {
+  EXPECT_EQ(cycles_to_slots(250, 100), 2u);
+  EXPECT_EQ(slots_to_cycles(3, 100), 300u);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(kClockHz), 1.0);
+  EXPECT_EQ(us_to_cycles(1.0), 100u);
+}
+
+TEST(Types, StrongIdsDoNotMix) {
+  VmId vm{3};
+  TaskId task{3};
+  EXPECT_TRUE(vm.valid());
+  EXPECT_FALSE(VmId{}.valid());
+  EXPECT_EQ(vm, VmId{3});
+  EXPECT_NE(vm, VmId{4});
+  // Different tag types are distinct types; equality across them would not
+  // compile. Hash support works in maps:
+  std::hash<VmId> h;
+  EXPECT_EQ(h(vm), h(VmId{3}));
+  (void)task;
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(123);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (f1() == f2()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.log_uniform(10.0, 100.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  Rng r(17);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform(-3, 10);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.99);
+  h.add(42.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(RingBuffer, FifoOrderAndBackPressure) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(4));  // back-pressure, not overwrite
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.at(2), 3);
+  EXPECT_EQ(rb.pop().value(), 1);
+  EXPECT_EQ(rb.pop().value(), 2);
+  EXPECT_TRUE(rb.push(5));
+  EXPECT_EQ(rb.pop().value(), 3);
+  EXPECT_EQ(rb.pop().value(), 5);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, WrapsManyTimes) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rb.push(i));
+    ASSERT_EQ(rb.pop().value(), i);
+  }
+}
+
+TEST(TextTable, RendersAlignedAndCsv) {
+  TextTable t({"name", "value"});
+  t.add(std::string("alpha"), 42);
+  t.add(std::string("b,c"), 3.14159);
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream box;
+  t.render(box);
+  EXPECT_NE(box.str().find("| alpha"), std::string::npos);
+
+  std::ostringstream csv;
+  t.render_csv(csv);
+  EXPECT_NE(csv.str().find("\"b,c\""), std::string::npos);
+  EXPECT_NE(csv.str().find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::setenv("IOGUARD_TEST_INT", "42", 1);
+  ::setenv("IOGUARD_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(env_int("IOGUARD_TEST_INT", 7), 42);
+  EXPECT_EQ(env_int("IOGUARD_TEST_BAD", 7), 7);
+  EXPECT_EQ(env_int("IOGUARD_TEST_UNSET_123", 7), 7);
+  ::setenv("IOGUARD_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("IOGUARD_TEST_DBL", 1.0), 2.5);
+  EXPECT_EQ(env_string("IOGUARD_TEST_UNSET_123", "d"), "d");
+}
+
+}  // namespace
+}  // namespace ioguard

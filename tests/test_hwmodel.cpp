@@ -1,0 +1,138 @@
+// Unit tests for the hardware cost model: Table I anchors and Fig. 8 trends.
+#include <gtest/gtest.h>
+
+#include "hwmodel/catalog.hpp"
+#include "hwmodel/hypervisor_model.hpp"
+#include "hwmodel/scaling.hpp"
+
+namespace ioguard::hw {
+namespace {
+
+TEST(Catalog, TableIReferenceRowsVerbatim) {
+  const auto& mb = reference(ReferenceIp::kMicroBlazeFull).resources;
+  EXPECT_EQ(mb.luts, 4908u);
+  EXPECT_EQ(mb.registers, 4385u);
+  EXPECT_EQ(mb.dsp, 6u);
+  EXPECT_EQ(mb.ram_kb, 256u);
+  EXPECT_DOUBLE_EQ(mb.power_mw, 359.0);
+
+  const auto& rv = reference(ReferenceIp::kRiscVOoo).resources;
+  EXPECT_EQ(rv.luts, 7432u);
+  EXPECT_EQ(rv.registers, 16321u);
+
+  const auto& bv = reference(ReferenceIp::kBlueIo).resources;
+  EXPECT_EQ(bv.luts, 3236u);
+  EXPECT_DOUBLE_EQ(bv.power_mw, 297.0);
+}
+
+TEST(HypervisorModel, ProposedRowMatchesTableI) {
+  // 16 VMs, 2 I/Os: the paper's configuration for Table I.
+  const auto r = hypervisor_core_resources({16, 2, 4});
+  EXPECT_NEAR(r.luts, 2777.0, 2777 * 0.01);
+  EXPECT_NEAR(r.registers, 2974.0, 2974 * 0.01);
+  EXPECT_EQ(r.dsp, 0u);
+  EXPECT_EQ(r.ram_kb, 256u);
+  EXPECT_NEAR(r.power_mw, 279.0, 279 * 0.02);
+}
+
+TEST(HypervisorModel, Observation2ResourceComparisons) {
+  // Obs 2: less hardware than full-featured processors, more than plain I/O
+  // controllers, and less LUTs/registers than BlueVisor at equal memory.
+  const auto prop = hypervisor_core_resources({16, 2, 4});
+  const auto& mb = reference(ReferenceIp::kMicroBlazeFull).resources;
+  const auto& rv = reference(ReferenceIp::kRiscVOoo).resources;
+  const auto& spi = reference(ReferenceIp::kSpiController).resources;
+  const auto& eth = reference(ReferenceIp::kEthernetController).resources;
+  const auto& bv = reference(ReferenceIp::kBlueIo).resources;
+
+  EXPECT_LT(prop.luts, mb.luts);
+  EXPECT_LT(prop.registers, mb.registers);
+  EXPECT_LT(prop.power_mw, mb.power_mw);
+  EXPECT_LT(prop.luts, rv.luts);
+  EXPECT_GT(prop.luts, spi.luts);
+  EXPECT_GT(prop.luts, eth.luts);
+  EXPECT_LT(prop.luts, bv.luts);
+  EXPECT_LT(prop.registers, bv.registers);
+  EXPECT_EQ(prop.ram_kb, bv.ram_kb);
+
+  // Paper's ratios: 56.6% of MicroBlaze LUTs, 67.8% of its registers.
+  EXPECT_NEAR(static_cast<double>(prop.luts) / mb.luts, 0.566, 0.02);
+  EXPECT_NEAR(static_cast<double>(prop.registers) / mb.registers, 0.678, 0.02);
+}
+
+TEST(HypervisorModel, ScalesLinearlyInVmsAndIos) {
+  const auto r8 = hypervisor_core_resources({8, 2, 4});
+  const auto r16 = hypervisor_core_resources({16, 2, 4});
+  const auto r32 = hypervisor_core_resources({32, 2, 4});
+  const auto d1 = r16.luts - r8.luts;
+  const auto d2 = r32.luts - r16.luts;
+  EXPECT_NEAR(static_cast<double>(d2) / d1, 2.0, 0.05);  // doubling VM step
+
+  const auto one_io = hypervisor_core_resources({16, 1, 4});
+  EXPECT_NEAR(static_cast<double>(r16.luts) / one_io.luts, 2.0, 0.01);
+}
+
+TEST(HypervisorModel, PoolDepthGrowsQueueCost) {
+  const auto shallow = hypervisor_core_resources({16, 2, 4});
+  const auto deep = hypervisor_core_resources({16, 2, 16});
+  EXPECT_GT(deep.luts, shallow.luts);
+  EXPECT_GT(deep.registers, shallow.registers);
+}
+
+TEST(Fmax, HypervisorAboveLegacyAndAbovePlatformClock) {
+  // Obs 6: the hypervisor never becomes the critical path.
+  for (std::uint32_t eta = 0; eta <= 5; ++eta) {
+    const std::uint32_t vms = 1u << eta;
+    const double hyp = hypervisor_fmax_mhz({vms, 2, 4});
+    const double legacy = legacy_router_fmax_mhz(vms);
+    EXPECT_GT(hyp, legacy) << "eta=" << eta;
+    EXPECT_GT(hyp, 100.0) << "must sustain the 100 MHz platform clock";
+    EXPECT_GT(legacy, 100.0);
+  }
+}
+
+TEST(Fmax, DecreasesWithScale) {
+  EXPECT_GT(hypervisor_fmax_mhz({2, 2, 4}), hypervisor_fmax_mhz({32, 2, 4}));
+}
+
+TEST(Scaling, AreaOverheadBoundedBy20Percent) {
+  // Obs 5: I/O-GUARD area exceeds legacy by a margin always below 20%.
+  for (const auto& p : scaling_sweep(5)) {
+    EXPECT_GT(p.ioguard.luts, p.legacy.luts);
+    const double margin =
+        static_cast<double>(p.ioguard.luts - p.legacy.luts) / p.legacy.luts;
+    EXPECT_LT(margin, 0.20) << "eta=" << p.eta;
+    EXPECT_GT(p.ioguard_area_norm, p.legacy_area_norm);
+  }
+}
+
+TEST(Scaling, AreaAndPowerIncreaseMonotonically) {
+  const auto sweep = scaling_sweep(5);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].legacy.luts, sweep[i - 1].legacy.luts);
+    EXPECT_GT(sweep[i].ioguard.luts, sweep[i - 1].ioguard.luts);
+    EXPECT_GT(sweep[i].legacy.power_mw, sweep[i - 1].legacy.power_mw);
+    EXPECT_GT(sweep[i].ioguard.power_mw, sweep[i - 1].ioguard.power_mw);
+  }
+}
+
+TEST(Scaling, HypervisorDeltaScalesLinearlyInVms) {
+  // The hypervisor delta (I/O-GUARD minus legacy) doubles with eta once the
+  // per-VM terms dominate.
+  const auto sweep = scaling_sweep(5);
+  const auto delta = [&](std::size_t i) {
+    return static_cast<double>(sweep[i].ioguard.luts - sweep[i].legacy.luts);
+  };
+  EXPECT_NEAR(delta(5) / delta(4), 2.0, 0.25);
+}
+
+TEST(Scaling, PowerFollowsAreaModel) {
+  const PowerModel pm;
+  for (const auto& p : scaling_sweep(4)) {
+    EXPECT_NEAR(p.ioguard.power_mw, pm.power(p.ioguard), 1e-9);
+    EXPECT_GT(p.ioguard.power_mw, p.legacy.power_mw);
+  }
+}
+
+}  // namespace
+}  // namespace ioguard::hw

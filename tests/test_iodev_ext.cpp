@@ -1,0 +1,180 @@
+// Unit tests for the extended device substrate: DMA engine and interrupt
+// controller.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iodev/dma.hpp"
+#include "iodev/interrupt.hpp"
+
+namespace ioguard::iodev {
+namespace {
+
+// ------------------------------------------------------------------ DMA
+
+DmaDescriptor desc(std::uint64_t id, std::uint32_t channel,
+                   std::uint32_t bytes) {
+  DmaDescriptor d;
+  d.id = id;
+  d.channel = channel;
+  d.bytes = bytes;
+  return d;
+}
+
+TEST(Dma, SingleTransferCompletes) {
+  DmaConfig cfg;
+  cfg.channels = 2;
+  cfg.burst_bytes = 64;
+  cfg.cycles_per_burst = 8;
+  cfg.setup_cycles = 12;
+  DmaEngine dma(cfg);
+  std::vector<DmaCompletion> done;
+  dma.set_completion_handler([&](const DmaCompletion& c) { done.push_back(c); });
+
+  ASSERT_TRUE(dma.submit(desc(1, 0, 256), 0));  // 4 bursts
+  Cycle now = 0;
+  while (done.empty() && now < 1000) dma.tick(now++);
+  ASSERT_EQ(done.size(), 1u);
+  // setup 12 + 4 bursts x 8 cycles = 44 cycles.
+  EXPECT_EQ(done[0].completed_at, 12u + 32u);
+  EXPECT_EQ(dma.bytes_moved(), 256u);
+  EXPECT_TRUE(dma.idle());
+}
+
+TEST(Dma, RoundRobinSharesBandwidth) {
+  DmaConfig cfg;
+  cfg.channels = 2;
+  cfg.arbitration = DmaArbitration::kRoundRobin;
+  cfg.setup_cycles = 0;
+  DmaEngine dma(cfg);
+  std::vector<DmaCompletion> done;
+  dma.set_completion_handler([&](const DmaCompletion& c) { done.push_back(c); });
+
+  ASSERT_TRUE(dma.submit(desc(1, 0, 640), 0));  // 10 bursts each
+  ASSERT_TRUE(dma.submit(desc(2, 1, 640), 0));
+  Cycle now = 0;
+  while (done.size() < 2 && now < 10000) dma.tick(now++);
+  ASSERT_EQ(done.size(), 2u);
+  // Interleaved bursts: both finish within one burst of each other.
+  const Cycle delta = done[1].completed_at - done[0].completed_at;
+  EXPECT_LE(delta, cfg.cycles_per_burst + 1);
+}
+
+TEST(Dma, FixedPriorityStarvesLowChannelLast) {
+  DmaConfig cfg;
+  cfg.channels = 2;
+  cfg.arbitration = DmaArbitration::kFixedPriority;
+  cfg.setup_cycles = 0;
+  DmaEngine dma(cfg);
+  std::vector<DmaCompletion> done;
+  dma.set_completion_handler([&](const DmaCompletion& c) { done.push_back(c); });
+
+  ASSERT_TRUE(dma.submit(desc(1, 1, 640), 0));  // low priority first
+  ASSERT_TRUE(dma.submit(desc(2, 0, 640), 0));  // high priority
+  Cycle now = 0;
+  while (done.size() < 2 && now < 10000) dma.tick(now++);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].descriptor.id, 2u);  // channel 0 drained first
+  EXPECT_EQ(done[1].descriptor.id, 1u);
+}
+
+TEST(Dma, RingBackPressure) {
+  DmaConfig cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 2;
+  DmaEngine dma(cfg);
+  EXPECT_TRUE(dma.submit(desc(1, 0, 64), 0));
+  EXPECT_TRUE(dma.submit(desc(2, 0, 64), 0));
+  EXPECT_FALSE(dma.submit(desc(3, 0, 64), 0));
+  EXPECT_EQ(dma.rejected(), 1u);
+  EXPECT_EQ(dma.backlog(0), 2u);
+}
+
+TEST(Dma, PartialLastBurstMovesRemainderOnly) {
+  DmaConfig cfg;
+  cfg.channels = 1;
+  cfg.burst_bytes = 64;
+  cfg.setup_cycles = 0;
+  DmaEngine dma(cfg);
+  std::vector<DmaCompletion> done;
+  dma.set_completion_handler([&](const DmaCompletion& c) { done.push_back(c); });
+  ASSERT_TRUE(dma.submit(desc(1, 0, 100), 0));  // 64 + 36
+  Cycle now = 0;
+  while (done.empty() && now < 1000) dma.tick(now++);
+  EXPECT_EQ(dma.bytes_moved(), 100u);
+}
+
+// ------------------------------------------------------------ interrupts
+
+TEST(Interrupts, ImmediateDeliveryWithDispatchLatency) {
+  InterruptConfig cfg;
+  cfg.dispatch_cycles = 30;
+  InterruptController intc(cfg);
+  std::vector<InterruptEvent> seen;
+  intc.set_handler([&](const InterruptEvent& e) { seen.push_back(e); });
+
+  intc.raise(3, 5);
+  for (Cycle c = 5; c < 100 && seen.empty(); ++c) intc.tick(c);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].line, 3u);
+  EXPECT_EQ(seen[0].raised_count, 1u);
+  EXPECT_GE(seen[0].latency(), cfg.dispatch_cycles);
+  EXPECT_LE(seen[0].latency(), cfg.dispatch_cycles + 2);
+}
+
+TEST(Interrupts, PriorityOrderLowLineFirst) {
+  InterruptController intc(InterruptConfig{});
+  std::vector<std::uint32_t> order;
+  intc.set_handler([&](const InterruptEvent& e) { order.push_back(e.line); });
+  intc.raise(7, 0);
+  intc.raise(2, 0);
+  for (Cycle c = 0; c < 200 && order.size() < 2; ++c) intc.tick(c);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 7u);
+}
+
+TEST(Interrupts, MaskingDefersDelivery) {
+  InterruptController intc(InterruptConfig{});
+  std::vector<InterruptEvent> seen;
+  intc.set_handler([&](const InterruptEvent& e) { seen.push_back(e); });
+  intc.set_mask(1, true);
+  intc.raise(1, 0);
+  for (Cycle c = 0; c < 100; ++c) intc.tick(c);
+  EXPECT_TRUE(seen.empty());
+  EXPECT_TRUE(intc.pending());
+  intc.set_mask(1, false);
+  for (Cycle c = 100; c < 200 && seen.empty(); ++c) intc.tick(c);
+  ASSERT_EQ(seen.size(), 1u);
+}
+
+TEST(Interrupts, CoalescingFoldsBursts) {
+  InterruptConfig cfg;
+  cfg.coalesce_window = 50;
+  InterruptController intc(cfg);
+  std::vector<InterruptEvent> seen;
+  intc.set_handler([&](const InterruptEvent& e) { seen.push_back(e); });
+
+  for (Cycle c = 0; c < 10; ++c) {
+    intc.raise(0, c);
+    intc.tick(c);
+  }
+  for (Cycle c = 10; c < 200 && seen.empty(); ++c) intc.tick(c);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].raised_count, 10u);   // burst folded into one delivery
+  EXPECT_GE(seen[0].latency(), cfg.coalesce_window);
+}
+
+TEST(Interrupts, EdgeFoldingWithoutCoalescingStillCounts) {
+  InterruptController intc(InterruptConfig{});
+  std::vector<InterruptEvent> seen;
+  intc.set_handler([&](const InterruptEvent& e) { seen.push_back(e); });
+  intc.raise(0, 0);
+  intc.raise(0, 0);  // second edge before dispatch
+  for (Cycle c = 0; c < 100 && seen.empty(); ++c) intc.tick(c);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].raised_count, 2u);
+}
+
+}  // namespace
+}  // namespace ioguard::iodev

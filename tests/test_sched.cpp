@@ -1,0 +1,348 @@
+// Unit tests for src/sched: Time Slot Table construction, the supply/demand
+// bound functions of Sec. IV (Eqs. 1-3, 8-9), Theorems 1-4, server design
+// and the reference EDF/FIFO simulators.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "sched/admission.hpp"
+#include "sched/edf_ref.hpp"
+#include "sched/sbf.hpp"
+#include "sched/server_design.hpp"
+#include "sched/slot_table.hpp"
+#include "workload/arrivals.hpp"
+
+namespace ioguard::sched {
+namespace {
+
+using workload::IoTaskSpec;
+using workload::TaskKind;
+using workload::TaskSet;
+
+IoTaskSpec predefined_task(std::uint32_t id, Slot t, Slot c, Slot d,
+                           Slot offset = 0) {
+  IoTaskSpec s;
+  s.id = TaskId{id};
+  s.vm = VmId{0};
+  s.device = DeviceId{0};
+  s.name = "p" + std::to_string(id);
+  s.kind = TaskKind::kPredefined;
+  s.period = t;
+  s.wcet = c;
+  s.deadline = d;
+  s.offset = offset;
+  s.payload_bytes = 16;
+  return s;
+}
+
+IoTaskSpec runtime_task(std::uint32_t id, Slot t, Slot c, Slot d) {
+  IoTaskSpec s = predefined_task(id, t, c, d);
+  s.kind = TaskKind::kRuntime;
+  s.name = "r" + std::to_string(id);
+  return s;
+}
+
+// ---------------------------------------------------------------- slot table
+
+TEST(SlotTable, EmptyPredefinedGivesAllFreeTable) {
+  const auto build = build_time_slot_table(TaskSet{});
+  ASSERT_TRUE(build.feasible);
+  EXPECT_EQ(build.table.hyperperiod(), 1u);
+  EXPECT_EQ(build.table.free_slots(), 1u);
+}
+
+TEST(SlotTable, SingleTaskOccupiesExactlyItsDemand) {
+  TaskSet ts;
+  ts.add(predefined_task(0, 10, 3, 10));
+  const auto build = build_time_slot_table(ts);
+  ASSERT_TRUE(build.feasible) << build.failure;
+  EXPECT_EQ(build.table.hyperperiod(), 10u);
+  EXPECT_EQ(build.table.free_slots(), 7u);
+  // All three reserved slots belong to the task and sit inside its window;
+  // spread placement distributes them rather than packing the front.
+  Slot reserved = 0;
+  for (Slot s = 0; s < 10; ++s)
+    if (auto occ = build.table.occupant(s)) {
+      EXPECT_EQ(*occ, TaskId{0});
+      ++reserved;
+    }
+  EXPECT_EQ(reserved, 3u);
+  EXPECT_FALSE(build.table.occupant(0).has_value() &&
+               build.table.occupant(1).has_value() &&
+               build.table.occupant(2).has_value())
+      << "slots should be spread, not packed";
+}
+
+TEST(SlotTable, EveryJobGetsItsSlotsWithinItsWindow) {
+  TaskSet ts;
+  ts.add(predefined_task(0, 10, 2, 10));
+  ts.add(predefined_task(1, 20, 5, 15));
+  ts.add(predefined_task(2, 40, 8, 40, 3));
+  const auto build = build_time_slot_table(ts);
+  ASSERT_TRUE(build.feasible) << build.failure;
+  const Slot h = build.table.hyperperiod();
+  EXPECT_EQ(h, 40u);
+
+  // Count each task's slots per hyper-period: must equal C * (H / T).
+  std::map<std::uint32_t, Slot> count;
+  for (Slot s = 0; s < h; ++s)
+    if (auto occ = build.table.occupant(s)) ++count[occ->value];
+  EXPECT_EQ(count[0], 2u * 4);
+  EXPECT_EQ(count[1], 5u * 2);
+  EXPECT_EQ(count[2], 8u * 1);
+}
+
+TEST(SlotTable, OverUtilizedIsInfeasible) {
+  TaskSet ts;
+  ts.add(predefined_task(0, 10, 6, 10));
+  ts.add(predefined_task(1, 10, 6, 10));
+  const auto build = build_time_slot_table(ts);
+  EXPECT_FALSE(build.feasible);
+  EXPECT_FALSE(build.failure.empty());
+}
+
+TEST(SlotTable, TightDeadlinesCanBeInfeasibleEvenUnderUnitUtilization) {
+  TaskSet ts;
+  // Two tasks both demanding their full WCET inside the same tight window.
+  ts.add(predefined_task(0, 10, 3, 3));
+  ts.add(predefined_task(1, 10, 3, 3));
+  const auto build = build_time_slot_table(ts);
+  EXPECT_FALSE(build.feasible);
+}
+
+TEST(SlotTable, ReserveReleaseRoundTrip) {
+  TimeSlotTable t(5);
+  EXPECT_EQ(t.free_slots(), 5u);
+  t.reserve(2, TaskId{9});
+  EXPECT_EQ(t.free_slots(), 4u);
+  EXPECT_EQ(t.occupant(2).value(), TaskId{9});
+  EXPECT_THROW(t.reserve(2, TaskId{1}), CheckFailure);
+  t.release(2);
+  EXPECT_EQ(t.free_slots(), 5u);
+  EXPECT_THROW(t.release(2), CheckFailure);
+  EXPECT_TRUE(t.is_free_abs(7));  // 7 mod 5 = 2
+}
+
+// ------------------------------------------------------------------- sbf/dbf
+
+TEST(TableSupply, HandComputedExample) {
+  // H = 4, slots: busy, free, busy, free  =>  F = 2.
+  TimeSlotTable t(4);
+  t.reserve(0, TaskId{0});
+  t.reserve(2, TaskId{0});
+  TableSupply supply(t);
+  EXPECT_EQ(supply.hyperperiod(), 4u);
+  EXPECT_EQ(supply.free_per_period(), 2u);
+  EXPECT_EQ(supply.sbf(0), 0u);
+  EXPECT_EQ(supply.sbf(1), 0u);  // a window of one busy slot exists
+  EXPECT_EQ(supply.sbf(2), 1u);
+  EXPECT_EQ(supply.sbf(3), 1u);
+  EXPECT_EQ(supply.sbf(4), 2u);   // Eq. (2): full period
+  EXPECT_EQ(supply.sbf(5), 2u);   // sbf(1) + F
+  EXPECT_EQ(supply.sbf(9), 4u);   // sbf(1) + 2F
+  EXPECT_DOUBLE_EQ(supply.bandwidth(), 0.5);
+}
+
+TEST(DbfServer, Equation3) {
+  ServerParams g{10, 3};
+  EXPECT_EQ(dbf_server(g, 0), 0u);
+  EXPECT_EQ(dbf_server(g, 9), 0u);
+  EXPECT_EQ(dbf_server(g, 10), 3u);
+  EXPECT_EQ(dbf_server(g, 25), 6u);
+  EXPECT_EQ(dbf_server(g, 30), 9u);
+}
+
+TEST(SbfServer, Equation8HandValues) {
+  ServerParams g{5, 2};  // gap = 3
+  EXPECT_EQ(sbf_server(g, 0), 0u);
+  EXPECT_EQ(sbf_server(g, 3), 0u);
+  EXPECT_EQ(sbf_server(g, 6), 0u);   // 2(Pi-Theta) blackout
+  EXPECT_EQ(sbf_server(g, 7), 1u);
+  EXPECT_EQ(sbf_server(g, 8), 2u);
+  EXPECT_EQ(sbf_server(g, 13), 4u);  // t' = 10: two full budgets
+}
+
+TEST(SbfServer, FullBandwidthServerSuppliesEverything) {
+  ServerParams g{7, 7};
+  for (Slot t = 0; t <= 30; ++t) EXPECT_EQ(sbf_server(g, t), t);
+}
+
+TEST(DbfSporadic, Equation9) {
+  // (T, C, D) = (10, 2, 7)
+  EXPECT_EQ(dbf_sporadic(10, 2, 7, 6), 0u);
+  EXPECT_EQ(dbf_sporadic(10, 2, 7, 7), 2u);
+  EXPECT_EQ(dbf_sporadic(10, 2, 7, 16), 2u);
+  EXPECT_EQ(dbf_sporadic(10, 2, 7, 17), 4u);
+  EXPECT_EQ(dbf_sporadic(10, 2, 7, 27), 6u);
+}
+
+// ------------------------------------------------------------- theorems 1-4
+
+TEST(Theorem1, AcceptsFeasibleServersOnHandTable) {
+  TimeSlotTable t(4);
+  t.reserve(0, TaskId{0});
+  t.reserve(2, TaskId{0});
+  TableSupply supply(t);  // F/H = 0.5
+  // One server demanding 1 slot every 4: bandwidth 0.25 <= 0.5.
+  EXPECT_TRUE(theorem1_exhaustive(supply, {{4, 1}}));
+  // Demanding more than the free bandwidth must fail.
+  EXPECT_FALSE(theorem1_exhaustive(supply, {{4, 3}}));
+}
+
+TEST(Theorem1, ReportsViolationInstant) {
+  TimeSlotTable t(4);
+  t.reserve(0, TaskId{0});
+  t.reserve(1, TaskId{0});
+  t.reserve(2, TaskId{0});
+  TableSupply supply(t);  // F = 1
+  const auto r = theorem1_exhaustive(supply, {{2, 1}});  // needs 0.5, has 0.25
+  EXPECT_FALSE(r.schedulable);
+  ASSERT_TRUE(r.violation_t.has_value());
+  EXPECT_EQ(dbf_server({2, 1}, *r.violation_t) > supply.sbf(*r.violation_t),
+            true);
+}
+
+TEST(Theorem2, AgreesWithTheorem1WhenSlackPositive) {
+  TimeSlotTable t(10);
+  for (Slot s = 0; s < 4; ++s) t.reserve(s, TaskId{0});  // F = 6
+  TableSupply supply(t);
+  const std::vector<ServerParams> ok = {{5, 1}, {10, 2}};   // bw 0.4 < 0.6
+  const std::vector<ServerParams> bad = {{5, 2}, {10, 3}};  // bw 0.7 > 0.6
+  EXPECT_EQ(static_cast<bool>(theorem2_check(supply, ok)),
+            static_cast<bool>(theorem1_exhaustive(supply, ok)));
+  EXPECT_FALSE(theorem2_check(supply, bad));
+  EXPECT_FALSE(theorem1_exhaustive(supply, bad));
+}
+
+TEST(Theorem2, RejectsZeroSlackByStatedLimitation) {
+  TimeSlotTable t(2);
+  t.reserve(0, TaskId{0});  // F/H = 0.5
+  TableSupply supply(t);
+  // Exactly F/H = sum Theta/Pi: Theorem 2's precondition c > 0 fails.
+  EXPECT_FALSE(theorem2_check(supply, {{2, 1}}));
+}
+
+TEST(Theorem3, SimpleVmTaskSet) {
+  ServerParams g{5, 3};
+  TaskSet ts;
+  ts.add(runtime_task(0, 20, 3, 20));
+  ts.add(runtime_task(1, 50, 10, 50));
+  EXPECT_TRUE(theorem3_exhaustive(g, ts));
+
+  TaskSet heavy;
+  heavy.add(runtime_task(0, 10, 7, 10));  // U = 0.7 > 3/5
+  EXPECT_FALSE(theorem3_exhaustive(g, heavy));
+}
+
+TEST(Theorem4, MatchesTheorem3OnConstrainedDeadlines) {
+  ServerParams g{10, 6};
+  TaskSet ts;
+  ts.add(runtime_task(0, 40, 4, 30));
+  ts.add(runtime_task(1, 100, 12, 80));
+  EXPECT_EQ(static_cast<bool>(theorem4_check(g, ts)),
+            static_cast<bool>(theorem3_exhaustive(g, ts)));
+}
+
+TEST(Theorem4, EmptyTaskSetTriviallySchedulable) {
+  EXPECT_TRUE(theorem4_check({10, 1}, TaskSet{}));
+}
+
+// --------------------------------------------------------------- server design
+
+TEST(ServerDesign, MinThetaIsMinimal) {
+  TaskSet ts;
+  ts.add(runtime_task(0, 100, 10, 100));
+  ts.add(runtime_task(1, 200, 30, 200));  // U = 0.25
+  const auto server = min_theta_for_pi(20, ts);
+  ASSERT_TRUE(server.has_value());
+  EXPECT_TRUE(theorem4_check(*server, ts));
+  if (server->theta > 1) {
+    EXPECT_FALSE(theorem4_check({server->pi, server->theta - 1}, ts))
+        << "theta not minimal";
+  }
+  EXPECT_GE(server->bandwidth(), ts.utilization());
+}
+
+TEST(ServerDesign, InfeasibleWhenUtilizationExceedsOne) {
+  TaskSet ts;
+  ts.add(runtime_task(0, 10, 9, 10));
+  ts.add(runtime_task(1, 10, 5, 10));
+  EXPECT_FALSE(min_theta_for_pi(10, ts).has_value());
+  EXPECT_FALSE(synthesize_server(ts).has_value());
+}
+
+TEST(ServerDesign, SystemDesignAdmitsLightLoad) {
+  TimeSlotTable table(20);
+  for (Slot s = 0; s < 4; ++s) table.reserve(s, TaskId{99});
+  TableSupply supply(table);  // 0.8 free bandwidth
+
+  std::vector<TaskSet> vms(2);
+  vms[0].add(runtime_task(0, 100, 8, 100));
+  vms[1].add(runtime_task(1, 200, 10, 200));
+  const auto design = design_system(supply, vms);
+  EXPECT_TRUE(design.feasible) << design.reason;
+  ASSERT_EQ(design.servers.size(), 2u);
+  for (const auto& s : design.servers) EXPECT_GT(s.theta, 0u);
+}
+
+TEST(ServerDesign, EmptyVmGetsZeroBudget) {
+  TimeSlotTable table(10);
+  TableSupply supply(table);
+  std::vector<TaskSet> vms(2);
+  vms[1].add(runtime_task(0, 50, 5, 50));
+  const auto design = design_system(supply, vms);
+  EXPECT_TRUE(design.feasible);
+  EXPECT_EQ(design.servers[0].theta, 0u);
+  EXPECT_GT(design.servers[1].theta, 0u);
+}
+
+// ------------------------------------------------------------ reference sims
+
+TEST(EdfRef, MeetsDeadlinesAtFullUtilizationImplicitDeadlines) {
+  TaskSet ts;
+  ts.add(runtime_task(0, 4, 2, 4));
+  ts.add(runtime_task(1, 8, 4, 8));  // U = 1.0
+  workload::ArrivalConfig cfg;
+  cfg.horizon = 800;
+  cfg.jitter_frac = 0.0;
+  cfg.exec_frac_lo = cfg.exec_frac_hi = 1.0;
+  const auto trace = workload::generate_trace(ts, cfg);
+  const auto r = simulate_edf(trace, full_supply(), cfg.horizon);
+  EXPECT_EQ(r.misses, 0u);
+}
+
+TEST(EdfRef, FifoSuffersPriorityInversionWhereEdfDoesNot) {
+  // A long job released just before a short-deadline job: FIFO blocks the
+  // short job (the paper's hardware-level dilemma); EDF preempts.
+  std::vector<workload::Job> trace(2);
+  trace[0] = {JobId{0}, TaskId{0}, VmId{0}, DeviceId{0}, 0, 100, 50, 0};
+  trace[1] = {JobId{1}, TaskId{1}, VmId{0}, DeviceId{0}, 1, 11, 5, 0};
+  const auto fifo = simulate_fifo(trace, full_supply(), 200);
+  const auto edf = simulate_edf(trace, full_supply(), 200);
+  EXPECT_EQ(fifo.misses, 1u);
+  EXPECT_EQ(edf.misses, 0u);
+  EXPECT_EQ(edf.jobs[1].completion, 6u);  // ran in slots 1..5
+}
+
+TEST(EdfRef, UnfinishedJobsCountAsMisses) {
+  std::vector<workload::Job> trace(1);
+  trace[0] = {JobId{0}, TaskId{0}, VmId{0}, DeviceId{0}, 0, 10, 5, 0};
+  const auto r = simulate_edf(trace, [](Slot) { return false; }, 20);
+  EXPECT_EQ(r.misses, 1u);
+  EXPECT_EQ(r.busy_slots, 0u);
+}
+
+TEST(EdfRef, RespectsSupplyFunction) {
+  std::vector<workload::Job> trace(1);
+  trace[0] = {JobId{0}, TaskId{0}, VmId{0}, DeviceId{0}, 0, 20, 4, 0};
+  // Supply only every other slot: 4 units of work finish at slot 7 (slots
+  // 0,2,4,6).
+  const auto r = simulate_edf(
+      trace, [](Slot t) { return t % 2 == 0; }, 40);
+  EXPECT_EQ(r.misses, 0u);
+  EXPECT_EQ(r.jobs[0].completion, 7u);
+}
+
+}  // namespace
+}  // namespace ioguard::sched

@@ -1,0 +1,191 @@
+// Tests for the tooling layer: CLI parser, event trace buffer, and
+// task/trace CSV round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "core/event_trace.hpp"
+#include "core/hypervisor.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace ioguard {
+namespace {
+
+// ------------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesEqualsAndSwitchForms) {
+  const char* argv[] = {"prog", "--vms=8", "--util=0.7", "--verbose",
+                        "input.csv"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("vms", 0), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("util", 0.0), 0.7);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, FallbacksForMissingAndMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("n", 5), 5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get("missing", "x"), "x");
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_TRUE(args.has("n"));
+}
+
+TEST(Cli, BooleanSwitchValues) {
+  const char* argv[] = {"prog", "--a", "--b=0", "--c=yes"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+// ----------------------------------------------------------- event trace
+
+core::TraceEvent event(Slot slot, core::TraceEventKind kind) {
+  core::TraceEvent e;
+  e.slot = slot;
+  e.kind = kind;
+  e.device = DeviceId{0};
+  e.vm = VmId{1};
+  e.task = TaskId{2};
+  e.job = JobId{3};
+  return e;
+}
+
+TEST(EventTrace, RecordsAndCounts) {
+  core::EventTrace trace(16);
+  trace.record(event(1, core::TraceEventKind::kSubmit));
+  trace.record(event(2, core::TraceEventKind::kComplete));
+  trace.record(event(3, core::TraceEventKind::kComplete));
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count(core::TraceEventKind::kSubmit), 1u);
+  EXPECT_EQ(trace.count(core::TraceEventKind::kComplete), 2u);
+  EXPECT_EQ(trace.total_recorded(), 3u);
+}
+
+TEST(EventTrace, RingOverwritesOldest) {
+  core::EventTrace trace(4);
+  for (Slot s = 0; s < 10; ++s)
+    trace.record(event(s, core::TraceEventKind::kSubmit));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.overwritten(), 6u);
+  std::ostringstream os;
+  trace.dump_csv(os);
+  // Oldest surviving event is slot 6.
+  EXPECT_NE(os.str().find("\n6,"), std::string::npos);
+  EXPECT_EQ(os.str().find("\n5,"), std::string::npos);
+}
+
+TEST(EventTrace, CsvHeaderAndRow) {
+  core::EventTrace trace(8);
+  trace.record(event(42, core::TraceEventKind::kRchannelGrant));
+  std::ostringstream os;
+  trace.dump_csv(os);
+  EXPECT_NE(os.str().find("slot,kind,device,vm,task,job"), std::string::npos);
+  EXPECT_NE(os.str().find("42,rchannel_grant,0,1,2,3"), std::string::npos);
+}
+
+TEST(EventTrace, HypervisorEmitsEvents) {
+  workload::CaseStudyConfig wcfg;
+  wcfg.num_vms = 2;
+  wcfg.target_utilization = 0.5;
+  wcfg.preload_fraction = 0.4;
+  const auto wl = workload::build_case_study(wcfg);
+  core::HypervisorConfig hcfg;
+  hcfg.num_vms = 2;
+  core::Hypervisor hyp(wl, hcfg);
+  core::EventTrace trace;
+  hyp.set_tracer(&trace);
+
+  workload::Job j;
+  j.id = JobId{1};
+  j.task = wl.runtime()[0].id;
+  j.vm = wl.runtime()[0].vm;
+  j.device = wl.runtime()[0].device;
+  j.release = 0;
+  j.absolute_deadline = 100000;
+  j.wcet = 2;
+  j.payload_bytes = 8;
+  ASSERT_TRUE(hyp.submit(j, 0));
+  std::vector<iodev::Completion> done;
+  for (Slot s = 0; s < 20000 && trace.count(core::TraceEventKind::kComplete) ==
+                                    0; ++s)
+    hyp.tick_slot(s, done);
+
+  EXPECT_GE(trace.count(core::TraceEventKind::kSubmit), 1u);
+  EXPECT_GE(trace.count(core::TraceEventKind::kRchannelGrant), 1u);
+  EXPECT_GE(trace.count(core::TraceEventKind::kComplete), 1u);
+}
+
+// ---------------------------------------------------------------- CSV I/O
+
+TEST(TraceIo, TaskSetRoundTrip) {
+  workload::CaseStudyConfig cfg;
+  cfg.num_vms = 4;
+  cfg.preload_fraction = 0.4;
+  const auto wl = workload::build_case_study(cfg);
+
+  std::stringstream buffer;
+  workload::write_taskset_csv(buffer, wl.tasks);
+  const auto restored = workload::read_taskset_csv(buffer);
+
+  ASSERT_EQ(restored.size(), wl.tasks.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i].id, wl.tasks[i].id);
+    EXPECT_EQ(restored[i].name, wl.tasks[i].name);
+    EXPECT_EQ(restored[i].cls, wl.tasks[i].cls);
+    EXPECT_EQ(restored[i].kind, wl.tasks[i].kind);
+    EXPECT_EQ(restored[i].period, wl.tasks[i].period);
+    EXPECT_EQ(restored[i].wcet, wl.tasks[i].wcet);
+    EXPECT_EQ(restored[i].deadline, wl.tasks[i].deadline);
+    EXPECT_EQ(restored[i].offset, wl.tasks[i].offset);
+    EXPECT_EQ(restored[i].payload_bytes, wl.tasks[i].payload_bytes);
+  }
+}
+
+TEST(TraceIo, JobTraceRoundTrip) {
+  workload::CaseStudyConfig cfg;
+  const auto wl = workload::build_case_study(cfg);
+  workload::ArrivalConfig acfg;
+  acfg.horizon = 5000;
+  const auto trace = workload::generate_trace(wl.tasks, acfg);
+
+  std::stringstream buffer;
+  workload::write_trace_csv(buffer, trace);
+  const auto restored = workload::read_trace_csv(buffer);
+
+  ASSERT_EQ(restored.size(), trace.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i].id, trace[i].id);
+    EXPECT_EQ(restored[i].release, trace[i].release);
+    EXPECT_EQ(restored[i].absolute_deadline, trace[i].absolute_deadline);
+    EXPECT_EQ(restored[i].wcet, trace[i].wcet);
+  }
+}
+
+TEST(TraceIo, MalformedRowsRejected) {
+  std::stringstream missing_header;
+  EXPECT_THROW((void)workload::read_taskset_csv(missing_header), CheckFailure);
+
+  std::stringstream short_row;
+  short_row << "id,vm,device,name,class,kind,period,wcet,deadline,offset,"
+               "payload\n1,2,3\n";
+  EXPECT_THROW((void)workload::read_taskset_csv(short_row), CheckFailure);
+
+  std::stringstream bad_class;
+  bad_class << "id,vm,device,name,class,kind,period,wcet,deadline,offset,"
+               "payload\n0,0,0,x,alien,runtime,10,1,10,0,8\n";
+  EXPECT_THROW((void)workload::read_taskset_csv(bad_class), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ioguard
