@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preload.dir/bench_ablation_preload.cpp.o"
+  "CMakeFiles/bench_ablation_preload.dir/bench_ablation_preload.cpp.o.d"
+  "bench_ablation_preload"
+  "bench_ablation_preload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_table.dir/bench_ablation_table.cpp.o"
+  "CMakeFiles/bench_ablation_table.dir/bench_ablation_table.cpp.o.d"
+  "bench_ablation_table"
+  "bench_ablation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_admission.cpp" "bench/CMakeFiles/bench_admission.dir/bench_admission.cpp.o" "gcc" "bench/CMakeFiles/bench_admission.dir/bench_admission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ioguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ioguard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ioguard_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ioguard_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/iodev/CMakeFiles/ioguard_iodev.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ioguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/ioguard_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

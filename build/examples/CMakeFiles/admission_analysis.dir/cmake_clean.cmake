@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_analysis.dir/admission_analysis.cpp.o"
+  "CMakeFiles/admission_analysis.dir/admission_analysis.cpp.o.d"
+  "admission_analysis"
+  "admission_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_accurate_demo.dir/cycle_accurate_demo.cpp.o"
+  "CMakeFiles/cycle_accurate_demo.dir/cycle_accurate_demo.cpp.o.d"
+  "cycle_accurate_demo"
+  "cycle_accurate_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_accurate_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_cli.dir/ioguard_cli.cpp.o"
+  "CMakeFiles/ioguard_cli.dir/ioguard_cli.cpp.o.d"
+  "ioguard_cli"
+  "ioguard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_common.dir/cli.cpp.o"
+  "CMakeFiles/ioguard_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ioguard_common.dir/env.cpp.o"
+  "CMakeFiles/ioguard_common.dir/env.cpp.o.d"
+  "CMakeFiles/ioguard_common.dir/log.cpp.o"
+  "CMakeFiles/ioguard_common.dir/log.cpp.o.d"
+  "CMakeFiles/ioguard_common.dir/stats.cpp.o"
+  "CMakeFiles/ioguard_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ioguard_common.dir/table.cpp.o"
+  "CMakeFiles/ioguard_common.dir/table.cpp.o.d"
+  "libioguard_common.a"
+  "libioguard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_trace.cpp" "src/core/CMakeFiles/ioguard_core.dir/event_trace.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/event_trace.cpp.o.d"
+  "/root/repo/src/core/gsched.cpp" "src/core/CMakeFiles/ioguard_core.dir/gsched.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/gsched.cpp.o.d"
+  "/root/repo/src/core/hypervisor.cpp" "src/core/CMakeFiles/ioguard_core.dir/hypervisor.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/core/io_pool.cpp" "src/core/CMakeFiles/ioguard_core.dir/io_pool.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/io_pool.cpp.o.d"
+  "/root/repo/src/core/pchannel.cpp" "src/core/CMakeFiles/ioguard_core.dir/pchannel.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/pchannel.cpp.o.d"
+  "/root/repo/src/core/priority_queue.cpp" "src/core/CMakeFiles/ioguard_core.dir/priority_queue.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/priority_queue.cpp.o.d"
+  "/root/repo/src/core/regmap.cpp" "src/core/CMakeFiles/ioguard_core.dir/regmap.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/regmap.cpp.o.d"
+  "/root/repo/src/core/translator.cpp" "src/core/CMakeFiles/ioguard_core.dir/translator.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/translator.cpp.o.d"
+  "/root/repo/src/core/vmanager.cpp" "src/core/CMakeFiles/ioguard_core.dir/vmanager.cpp.o" "gcc" "src/core/CMakeFiles/ioguard_core.dir/vmanager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ioguard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ioguard_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/iodev/CMakeFiles/ioguard_iodev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ioguard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_core.dir/event_trace.cpp.o"
+  "CMakeFiles/ioguard_core.dir/event_trace.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/gsched.cpp.o"
+  "CMakeFiles/ioguard_core.dir/gsched.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/hypervisor.cpp.o"
+  "CMakeFiles/ioguard_core.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/io_pool.cpp.o"
+  "CMakeFiles/ioguard_core.dir/io_pool.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/pchannel.cpp.o"
+  "CMakeFiles/ioguard_core.dir/pchannel.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/priority_queue.cpp.o"
+  "CMakeFiles/ioguard_core.dir/priority_queue.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/regmap.cpp.o"
+  "CMakeFiles/ioguard_core.dir/regmap.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/translator.cpp.o"
+  "CMakeFiles/ioguard_core.dir/translator.cpp.o.d"
+  "CMakeFiles/ioguard_core.dir/vmanager.cpp.o"
+  "CMakeFiles/ioguard_core.dir/vmanager.cpp.o.d"
+  "libioguard_core.a"
+  "libioguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/catalog.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/catalog.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/catalog.cpp.o.d"
+  "/root/repo/src/hwmodel/decision_cost.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/decision_cost.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/decision_cost.cpp.o.d"
+  "/root/repo/src/hwmodel/energy.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/energy.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/energy.cpp.o.d"
+  "/root/repo/src/hwmodel/hypervisor_model.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/hypervisor_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/hypervisor_model.cpp.o.d"
+  "/root/repo/src/hwmodel/resources.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/resources.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/resources.cpp.o.d"
+  "/root/repo/src/hwmodel/scaling.cpp" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/scaling.cpp.o" "gcc" "src/hwmodel/CMakeFiles/ioguard_hwmodel.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

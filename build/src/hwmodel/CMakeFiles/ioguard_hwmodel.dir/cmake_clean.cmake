@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_hwmodel.dir/catalog.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/catalog.cpp.o.d"
+  "CMakeFiles/ioguard_hwmodel.dir/decision_cost.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/decision_cost.cpp.o.d"
+  "CMakeFiles/ioguard_hwmodel.dir/energy.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/energy.cpp.o.d"
+  "CMakeFiles/ioguard_hwmodel.dir/hypervisor_model.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/hypervisor_model.cpp.o.d"
+  "CMakeFiles/ioguard_hwmodel.dir/resources.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/resources.cpp.o.d"
+  "CMakeFiles/ioguard_hwmodel.dir/scaling.cpp.o"
+  "CMakeFiles/ioguard_hwmodel.dir/scaling.cpp.o.d"
+  "libioguard_hwmodel.a"
+  "libioguard_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libioguard_hwmodel.a"
+)

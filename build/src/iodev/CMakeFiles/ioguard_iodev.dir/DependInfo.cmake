@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iodev/can_bus.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/can_bus.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/can_bus.cpp.o.d"
+  "/root/repo/src/iodev/device.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/device.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/device.cpp.o.d"
+  "/root/repo/src/iodev/dma.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/dma.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/dma.cpp.o.d"
+  "/root/repo/src/iodev/fifo_controller.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/fifo_controller.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/fifo_controller.cpp.o.d"
+  "/root/repo/src/iodev/flexray_bus.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/flexray_bus.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/flexray_bus.cpp.o.d"
+  "/root/repo/src/iodev/interrupt.cpp" "src/iodev/CMakeFiles/ioguard_iodev.dir/interrupt.cpp.o" "gcc" "src/iodev/CMakeFiles/ioguard_iodev.dir/interrupt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ioguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ioguard_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

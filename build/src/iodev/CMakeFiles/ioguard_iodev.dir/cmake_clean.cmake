@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_iodev.dir/can_bus.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/can_bus.cpp.o.d"
+  "CMakeFiles/ioguard_iodev.dir/device.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/device.cpp.o.d"
+  "CMakeFiles/ioguard_iodev.dir/dma.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/dma.cpp.o.d"
+  "CMakeFiles/ioguard_iodev.dir/fifo_controller.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/fifo_controller.cpp.o.d"
+  "CMakeFiles/ioguard_iodev.dir/flexray_bus.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/flexray_bus.cpp.o.d"
+  "CMakeFiles/ioguard_iodev.dir/interrupt.cpp.o"
+  "CMakeFiles/ioguard_iodev.dir/interrupt.cpp.o.d"
+  "libioguard_iodev.a"
+  "libioguard_iodev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_iodev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ioguard_iodev.
+# This may be replaced when dependencies are built.

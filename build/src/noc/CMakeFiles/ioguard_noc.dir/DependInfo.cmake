@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/mesh.cpp" "src/noc/CMakeFiles/ioguard_noc.dir/mesh.cpp.o" "gcc" "src/noc/CMakeFiles/ioguard_noc.dir/mesh.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/ioguard_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/ioguard_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/ioguard_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/ioguard_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/ioguard_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/ioguard_noc.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ioguard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

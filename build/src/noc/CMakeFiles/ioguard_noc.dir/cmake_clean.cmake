@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_noc.dir/mesh.cpp.o"
+  "CMakeFiles/ioguard_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/ioguard_noc.dir/packet.cpp.o"
+  "CMakeFiles/ioguard_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/ioguard_noc.dir/router.cpp.o"
+  "CMakeFiles/ioguard_noc.dir/router.cpp.o.d"
+  "CMakeFiles/ioguard_noc.dir/traffic.cpp.o"
+  "CMakeFiles/ioguard_noc.dir/traffic.cpp.o.d"
+  "libioguard_noc.a"
+  "libioguard_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/admission.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/admission.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/admission.cpp.o.d"
+  "/root/repo/src/sched/edf_ref.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/edf_ref.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/edf_ref.cpp.o.d"
+  "/root/repo/src/sched/sbf.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/sbf.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/sbf.cpp.o.d"
+  "/root/repo/src/sched/sensitivity.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/sensitivity.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/sched/server_design.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/server_design.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/server_design.cpp.o.d"
+  "/root/repo/src/sched/slot_table.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/slot_table.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/slot_table.cpp.o.d"
+  "/root/repo/src/sched/table_metrics.cpp" "src/sched/CMakeFiles/ioguard_sched.dir/table_metrics.cpp.o" "gcc" "src/sched/CMakeFiles/ioguard_sched.dir/table_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ioguard_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

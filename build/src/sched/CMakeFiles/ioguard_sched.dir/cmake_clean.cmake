@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_sched.dir/admission.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/admission.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/edf_ref.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/edf_ref.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/sbf.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/sbf.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/sensitivity.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/server_design.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/server_design.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/slot_table.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/slot_table.cpp.o.d"
+  "CMakeFiles/ioguard_sched.dir/table_metrics.cpp.o"
+  "CMakeFiles/ioguard_sched.dir/table_metrics.cpp.o.d"
+  "libioguard_sched.a"
+  "libioguard_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_sim.dir/engine.cpp.o"
+  "CMakeFiles/ioguard_sim.dir/engine.cpp.o.d"
+  "libioguard_sim.a"
+  "libioguard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/config.cpp" "src/system/CMakeFiles/ioguard_system.dir/config.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/config.cpp.o.d"
+  "/root/repo/src/system/cosim.cpp" "src/system/CMakeFiles/ioguard_system.dir/cosim.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/cosim.cpp.o.d"
+  "/root/repo/src/system/experiment.cpp" "src/system/CMakeFiles/ioguard_system.dir/experiment.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/experiment.cpp.o.d"
+  "/root/repo/src/system/runner.cpp" "src/system/CMakeFiles/ioguard_system.dir/runner.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/runner.cpp.o.d"
+  "/root/repo/src/system/stages.cpp" "src/system/CMakeFiles/ioguard_system.dir/stages.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/stages.cpp.o.d"
+  "/root/repo/src/system/sw_footprint.cpp" "src/system/CMakeFiles/ioguard_system.dir/sw_footprint.cpp.o" "gcc" "src/system/CMakeFiles/ioguard_system.dir/sw_footprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ioguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ioguard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ioguard_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/iodev/CMakeFiles/ioguard_iodev.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ioguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ioguard_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ioguard_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_system.dir/config.cpp.o"
+  "CMakeFiles/ioguard_system.dir/config.cpp.o.d"
+  "CMakeFiles/ioguard_system.dir/cosim.cpp.o"
+  "CMakeFiles/ioguard_system.dir/cosim.cpp.o.d"
+  "CMakeFiles/ioguard_system.dir/experiment.cpp.o"
+  "CMakeFiles/ioguard_system.dir/experiment.cpp.o.d"
+  "CMakeFiles/ioguard_system.dir/runner.cpp.o"
+  "CMakeFiles/ioguard_system.dir/runner.cpp.o.d"
+  "CMakeFiles/ioguard_system.dir/stages.cpp.o"
+  "CMakeFiles/ioguard_system.dir/stages.cpp.o.d"
+  "CMakeFiles/ioguard_system.dir/sw_footprint.cpp.o"
+  "CMakeFiles/ioguard_system.dir/sw_footprint.cpp.o.d"
+  "libioguard_system.a"
+  "libioguard_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioguard_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/ioguard_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/ioguard_workload.dir/automotive.cpp.o"
+  "CMakeFiles/ioguard_workload.dir/automotive.cpp.o.d"
+  "CMakeFiles/ioguard_workload.dir/generator.cpp.o"
+  "CMakeFiles/ioguard_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ioguard_workload.dir/task.cpp.o"
+  "CMakeFiles/ioguard_workload.dir/task.cpp.o.d"
+  "CMakeFiles/ioguard_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/ioguard_workload.dir/trace_io.cpp.o.d"
+  "libioguard_workload.a"
+  "libioguard_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioguard_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

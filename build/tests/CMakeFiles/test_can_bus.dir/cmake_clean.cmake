@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_can_bus.dir/test_can_bus.cpp.o"
+  "CMakeFiles/test_can_bus.dir/test_can_bus.cpp.o.d"
+  "test_can_bus"
+  "test_can_bus.pdb"
+  "test_can_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_can_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexray_noc_prio.dir/test_flexray_noc_prio.cpp.o"
+  "CMakeFiles/test_flexray_noc_prio.dir/test_flexray_noc_prio.cpp.o.d"
+  "test_flexray_noc_prio"
+  "test_flexray_noc_prio.pdb"
+  "test_flexray_noc_prio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexray_noc_prio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flexray_noc_prio.
+# This may be replaced when dependencies are built.

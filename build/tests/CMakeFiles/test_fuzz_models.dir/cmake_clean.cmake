@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_models.dir/test_fuzz_models.cpp.o"
+  "CMakeFiles/test_fuzz_models.dir/test_fuzz_models.cpp.o.d"
+  "test_fuzz_models"
+  "test_fuzz_models.pdb"
+  "test_fuzz_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iodev.dir/test_iodev.cpp.o"
+  "CMakeFiles/test_iodev.dir/test_iodev.cpp.o.d"
+  "test_iodev"
+  "test_iodev.pdb"
+  "test_iodev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iodev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

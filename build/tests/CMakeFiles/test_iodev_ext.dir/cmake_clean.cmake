@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iodev_ext.dir/test_iodev_ext.cpp.o"
+  "CMakeFiles/test_iodev_ext.dir/test_iodev_ext.cpp.o.d"
+  "test_iodev_ext"
+  "test_iodev_ext.pdb"
+  "test_iodev_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iodev_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

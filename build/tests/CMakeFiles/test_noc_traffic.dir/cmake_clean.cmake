@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_traffic.dir/test_noc_traffic.cpp.o"
+  "CMakeFiles/test_noc_traffic.dir/test_noc_traffic.cpp.o.d"
+  "test_noc_traffic"
+  "test_noc_traffic.pdb"
+  "test_noc_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_regmap.dir/test_table_regmap.cpp.o"
+  "CMakeFiles/test_table_regmap.dir/test_table_regmap.cpp.o.d"
+  "test_table_regmap"
+  "test_table_regmap.pdb"
+  "test_table_regmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_regmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

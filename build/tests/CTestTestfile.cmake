@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_iodev[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_hwmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_can_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_iodev_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_table_regmap[1]_include.cmake")
+include("/root/repo/build/tests/test_flexray_noc_prio[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_models[1]_include.cmake")
+include("/root/repo/build/tests/test_cosim[1]_include.cmake")
+include("/root/repo/build/tests/test_more_properties[1]_include.cmake")
