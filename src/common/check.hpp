@@ -1,10 +1,15 @@
 // Assertion macros. IOGUARD_CHECK is always on (throws, so tests can assert
-// on violations); IOGUARD_DCHECK compiles out in release builds.
+// on violations); IOGUARD_DCHECK compiles out in release builds but still
+// type-checks its condition. The comparison forms (IOGUARD_CHECK_EQ, ...)
+// print both operands on failure, so a failed admission-bound or slot-count
+// check reports the actual values instead of just the expression text.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace ioguard {
 
@@ -15,6 +20,7 @@ class CheckFailure : public std::logic_error {
 };
 
 namespace detail {
+
 [[noreturn]] inline void check_failed(const char* cond, const char* file,
                                       int line, const std::string& msg) {
   std::ostringstream os;
@@ -22,6 +28,48 @@ namespace detail {
   if (!msg.empty()) os << " -- " << msg;
   throw CheckFailure(os.str());
 }
+
+template <class T, class = void>
+struct is_streamable : std::false_type {};
+template <class T>
+struct is_streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                             << std::declval<const T&>())>>
+    : std::true_type {};
+
+/// Renders a value for a failure message; falls back to a placeholder for
+/// types without operator<< (e.g. strong ids, enums).
+template <class T>
+std::string stringify(const T& v) {
+  if constexpr (is_streamable<T>::value) {
+    std::ostringstream os;
+    // Stream integral values numerically even for char-like types.
+    if constexpr (std::is_same_v<T, char> || std::is_same_v<T, signed char> ||
+                  std::is_same_v<T, unsigned char>) {
+      os << static_cast<int>(v);
+    } else {
+      os << v;
+    }
+    return os.str();
+  } else if constexpr (std::is_enum_v<T>) {
+    std::ostringstream os;
+    os << static_cast<std::underlying_type_t<T>>(v);
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Failure path of the comparison checks: includes both operand values.
+template <class A, class B>
+[[noreturn]] void check_op_failed(const char* expr, const char* file, int line,
+                                  const A& a, const B& b,
+                                  const std::string& msg) {
+  std::string text = std::string("(") + stringify(a) + " vs " + stringify(b) +
+                     ")";
+  if (!msg.empty()) text += " -- " + msg;
+  check_failed(expr, file, line, text);
+}
+
 }  // namespace detail
 
 }  // namespace ioguard
@@ -38,8 +86,46 @@ namespace detail {
       ::ioguard::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
   } while (0)
 
+// Comparison checks: evaluate each operand once, print both on failure.
+#define IOGUARD_CHECK_OP_(op, a, b, msg)                                     \
+  do {                                                                       \
+    const auto& ioguard_check_a_ = (a);                                      \
+    const auto& ioguard_check_b_ = (b);                                      \
+    if (!(ioguard_check_a_ op ioguard_check_b_))                             \
+      ::ioguard::detail::check_op_failed(#a " " #op " " #b, __FILE__,        \
+                                         __LINE__, ioguard_check_a_,         \
+                                         ioguard_check_b_, (msg));           \
+  } while (0)
+
+#define IOGUARD_CHECK_EQ(a, b) IOGUARD_CHECK_OP_(==, a, b, "")
+#define IOGUARD_CHECK_NE(a, b) IOGUARD_CHECK_OP_(!=, a, b, "")
+#define IOGUARD_CHECK_LT(a, b) IOGUARD_CHECK_OP_(<, a, b, "")
+#define IOGUARD_CHECK_LE(a, b) IOGUARD_CHECK_OP_(<=, a, b, "")
+#define IOGUARD_CHECK_GT(a, b) IOGUARD_CHECK_OP_(>, a, b, "")
+#define IOGUARD_CHECK_GE(a, b) IOGUARD_CHECK_OP_(>=, a, b, "")
+
+#define IOGUARD_CHECK_EQ_MSG(a, b, msg) IOGUARD_CHECK_OP_(==, a, b, msg)
+#define IOGUARD_CHECK_LE_MSG(a, b, msg) IOGUARD_CHECK_OP_(<=, a, b, msg)
+
 #ifdef NDEBUG
-#define IOGUARD_DCHECK(cond) ((void)0)
+// Release builds: the condition is never evaluated, but sizeof() forces it
+// to type-check, so a DCHECK referencing a renamed member still breaks the
+// build instead of silently rotting.
+#define IOGUARD_DCHECK(cond) ((void)sizeof(cond))
+#define IOGUARD_DCHECK_MSG(cond, msg) ((void)sizeof(cond), (void)sizeof(msg))
+#define IOGUARD_DCHECK_EQ(a, b) ((void)sizeof((a) == (b)))
+#define IOGUARD_DCHECK_NE(a, b) ((void)sizeof((a) != (b)))
+#define IOGUARD_DCHECK_LT(a, b) ((void)sizeof((a) < (b)))
+#define IOGUARD_DCHECK_LE(a, b) ((void)sizeof((a) <= (b)))
+#define IOGUARD_DCHECK_GT(a, b) ((void)sizeof((a) > (b)))
+#define IOGUARD_DCHECK_GE(a, b) ((void)sizeof((a) >= (b)))
 #else
 #define IOGUARD_DCHECK(cond) IOGUARD_CHECK(cond)
+#define IOGUARD_DCHECK_MSG(cond, msg) IOGUARD_CHECK_MSG(cond, msg)
+#define IOGUARD_DCHECK_EQ(a, b) IOGUARD_CHECK_EQ(a, b)
+#define IOGUARD_DCHECK_NE(a, b) IOGUARD_CHECK_NE(a, b)
+#define IOGUARD_DCHECK_LT(a, b) IOGUARD_CHECK_LT(a, b)
+#define IOGUARD_DCHECK_LE(a, b) IOGUARD_CHECK_LE(a, b)
+#define IOGUARD_DCHECK_GT(a, b) IOGUARD_CHECK_GT(a, b)
+#define IOGUARD_DCHECK_GE(a, b) IOGUARD_CHECK_GE(a, b)
 #endif

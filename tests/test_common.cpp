@@ -26,6 +26,56 @@ TEST(Check, ThrowsWithLocationAndMessage) {
   }
 }
 
+TEST(Check, ComparisonMacrosPrintBothOperands) {
+  try {
+    const int lhs = 3, rhs = 7;
+    IOGUARD_CHECK_EQ(lhs, rhs);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find('3'), std::string::npos);
+    EXPECT_NE(what.find('7'), std::string::npos);
+  }
+  EXPECT_NO_THROW(IOGUARD_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(IOGUARD_CHECK_LE(4, 5));
+  EXPECT_NO_THROW(IOGUARD_CHECK_LT(4, 5));
+  EXPECT_NO_THROW(IOGUARD_CHECK_GE(5, 5));
+  EXPECT_NO_THROW(IOGUARD_CHECK_GT(6, 5));
+  EXPECT_NO_THROW(IOGUARD_CHECK_NE(6, 5));
+  EXPECT_THROW(IOGUARD_CHECK_GT(5, 5), CheckFailure);
+}
+
+TEST(Check, ComparisonMsgMacrosCarryContext) {
+  try {
+    IOGUARD_CHECK_LE_MSG(9, 2, "budget overran");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget overran"), std::string::npos);
+    EXPECT_NE(what.find('9'), std::string::npos);
+  }
+}
+
+TEST(Check, CheckOpEvaluatesOperandsOnce) {
+  int calls = 0;
+  const auto bump = [&calls] { return ++calls; };
+  IOGUARD_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, DcheckMsgCompilesInBothModes) {
+  // Under NDEBUG this is ((void)sizeof(...)): the condition must stay
+  // type-checked but unevaluated; in debug builds a true condition is a
+  // no-op either way.
+  int touched = 0;
+  IOGUARD_DCHECK_MSG(touched == 0, "untouched");
+  IOGUARD_DCHECK(touched >= 0);
+#ifdef NDEBUG
+  IOGUARD_DCHECK((++touched, true));  // must not evaluate
+  EXPECT_EQ(touched, 0);
+#endif
+}
+
 TEST(Types, CycleSlotConversions) {
   EXPECT_EQ(cycles_to_slots(250, 100), 2u);
   EXPECT_EQ(slots_to_cycles(3, 100), 300u);
