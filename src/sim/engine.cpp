@@ -14,15 +14,27 @@ void Engine::at(Cycle when, std::function<void(Cycle)> fn) {
   events_.push(Event{when, seq_++, std::move(fn)});
 }
 
+namespace {
+
+// Self-rescheduling wrapper for Engine::every. Each firing copies itself
+// into the next event, so ownership stays with the event queue -- no
+// shared_ptr self-capture cycle.
+struct Repeater {
+  Engine* engine;
+  Cycle period;
+  std::function<void(Cycle)> fn;
+
+  void operator()(Cycle t) const {
+    fn(t);
+    engine->at(t + period, *this);
+  }
+};
+
+}  // namespace
+
 void Engine::every(Cycle start, Cycle period, std::function<void(Cycle)> fn) {
   IOGUARD_CHECK(period > 0);
-  // Self-rescheduling wrapper; shared_ptr lets the lambda re-capture itself.
-  auto repeat = std::make_shared<std::function<void(Cycle)>>();
-  *repeat = [this, period, fn = std::move(fn), repeat](Cycle t) {
-    fn(t);
-    at(t + period, *repeat);
-  };
-  at(start, *repeat);
+  at(start, Repeater{this, period, std::move(fn)});
 }
 
 void Engine::run_until(Cycle end) {
