@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/artifact_builder.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
@@ -42,7 +43,10 @@ int main(int argc, char** argv) {
         << "  --trials=N                         repetitions (10)\n"
         << "  --min-jobs=N                       jobs per task (25)\n"
         << "  --seed=N                           base seed (42)\n"
-        << "  --export-tasks=FILE                dump the task set CSV\n";
+        << "  --export-tasks=FILE                dump the task set CSV\n"
+        << "  --verify                           statically verify the\n"
+        << "                                     scheduling artifacts first;\n"
+        << "                                     refuse to run on errors\n";
     return 0;
   }
 
@@ -58,6 +62,24 @@ int main(int argc, char** argv) {
   std::cout << "system=" << to_string(kind) << " vms=" << vms
             << " util=" << fmt_double(util, 2) << " preload="
             << fmt_double(preload, 2) << " trials=" << trials << "\n\n";
+
+  if (args.has("verify")) {
+    // Static preflight (ioguard-verify): refuse to burn trial time on
+    // artifacts the admission theorems cannot vouch for.
+    workload::CaseStudyConfig vcfg;
+    vcfg.num_vms = vms;
+    vcfg.target_utilization = util;
+    vcfg.preload_fraction = preload;
+    vcfg.seed = seed * 7919ULL * 1000003ULL + 17;  // trial-0 workload seed
+    const auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
+    if (!report.ok()) {
+      report.render_text(std::cerr);
+      std::cerr << "artifact verification failed; aborting\n";
+      return 1;
+    }
+    std::cout << "artifacts verified (" << report.diagnostics().size()
+              << " informational finding(s))\n\n";
+  }
 
   TextTable table({"trial", "success", "counted", "crit misses", "dropped",
                    "goodput Mbit/s", "busy", "admitted"});

@@ -1,0 +1,202 @@
+#include "analysis/diagnostics.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ioguard::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* code_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kSigFreeCountMismatch: return "SIG001";
+    case DiagCode::kSigUnknownOccupant: return "SIG002";
+    case DiagCode::kSigJobUnderAllocated: return "SIG003";
+    case DiagCode::kSigTaskSlotSurplus: return "SIG004";
+    case DiagCode::kSigSlotOutsideWindow: return "SIG005";
+    case DiagCode::kSigPeriodNotDividingH: return "SIG006";
+    case DiagCode::kSigBadPredefinedTask: return "SIG007";
+    case DiagCode::kSupNonMonotone: return "SUP001";
+    case DiagCode::kSupSuperadditivity: return "SUP002";
+    case DiagCode::kSupPeriodicExtension: return "SUP003";
+    case DiagCode::kSupZeroSlack: return "SUP004";
+    case DiagCode::kSupTheoremDisagreement: return "SUP005";
+    case DiagCode::kSupExceedsWindow: return "SUP006";
+    case DiagCode::kSupCheckSkipped: return "SUP007";
+    case DiagCode::kLvlBadServerParams: return "LVL001";
+    case DiagCode::kLvlDeadlineExceedsPeriod: return "LVL002";
+    case DiagCode::kLvlBandwidthDeficit: return "LVL003";
+    case DiagCode::kLvlTheoremDisagreement: return "LVL004";
+    case DiagCode::kLvlServerCountMismatch: return "LVL005";
+    case DiagCode::kLvlBadTaskParams: return "LVL006";
+    case DiagCode::kLvlCheckSkipped: return "LVL007";
+    case DiagCode::kCfgBadNocDims: return "CFG001";
+    case DiagCode::kCfgVmPlacementOverflow: return "CFG002";
+    case DiagCode::kCfgUnknownDevice: return "CFG003";
+    case DiagCode::kCfgVmOutOfRange: return "CFG004";
+    case DiagCode::kCfgBadFraction: return "CFG005";
+    case DiagCode::kCfgDegenerateExperiment: return "CFG006";
+  }
+  return "UNK000";
+}
+
+const char* code_summary(DiagCode code) {
+  switch (code) {
+    case DiagCode::kSigFreeCountMismatch:
+      return "free-slot count F inconsistent with table contents or demand";
+    case DiagCode::kSigUnknownOccupant:
+      return "slot reserved for a task outside the pre-defined set";
+    case DiagCode::kSigJobUnderAllocated:
+      return "a pre-defined job receives fewer than C slots by its deadline";
+    case DiagCode::kSigTaskSlotSurplus:
+      return "a task owns more slots per hyper-period than C*H/T";
+    case DiagCode::kSigSlotOutsideWindow:
+      return "a reserved slot lies outside every job window of its task";
+    case DiagCode::kSigPeriodNotDividingH:
+      return "a pre-defined task period does not divide the hyper-period";
+    case DiagCode::kSigBadPredefinedTask:
+      return "pre-defined task has invalid (T, C, D, offset) parameters";
+    case DiagCode::kSupNonMonotone:
+      return "sbf(sigma, t) decreases with t";
+    case DiagCode::kSupSuperadditivity:
+      return "sbf(sigma, a) + sbf(sigma, b) exceeds sbf(sigma, a+b)";
+    case DiagCode::kSupPeriodicExtension:
+      return "sbf(t+H) != sbf(t) + F, violating Eq. (2)";
+    case DiagCode::kSupZeroSlack:
+      return "slack c = F/H - sum(Theta/Pi) is not positive; Theorem 2 void";
+    case DiagCode::kSupTheoremDisagreement:
+      return "Theorem 1 (exhaustive) and Theorem 2 disagree";
+    case DiagCode::kSupExceedsWindow:
+      return "sbf(sigma, t) exceeds the window length t";
+    case DiagCode::kSupCheckSkipped:
+      return "supply agreement check skipped (check bound too large)";
+    case DiagCode::kLvlBadServerParams:
+      return "server has Pi == 0 or Theta > Pi";
+    case DiagCode::kLvlDeadlineExceedsPeriod:
+      return "VM task has deadline > period (analysis assumes D <= T)";
+    case DiagCode::kLvlBandwidthDeficit:
+      return "server bandwidth Theta/Pi below the VM's utilization";
+    case DiagCode::kLvlTheoremDisagreement:
+      return "Theorem 3 (exhaustive) and Theorem 4 disagree";
+    case DiagCode::kLvlServerCountMismatch:
+      return "server list and VM task-set list differ in length";
+    case DiagCode::kLvlBadTaskParams:
+      return "VM task has zero period, WCET, or deadline";
+    case DiagCode::kLvlCheckSkipped:
+      return "L-level agreement check skipped (check bound too large)";
+    case DiagCode::kCfgBadNocDims:
+      return "NoC mesh cannot host the device floorplan";
+    case DiagCode::kCfgVmPlacementOverflow:
+      return "more VMs than the mesh floorplan can place";
+    case DiagCode::kCfgUnknownDevice:
+      return "task references a device id absent from the platform";
+    case DiagCode::kCfgVmOutOfRange:
+      return "task assigned to a VM index >= the configured VM count";
+    case DiagCode::kCfgBadFraction:
+      return "utilization or preload fraction outside its valid range";
+    case DiagCode::kCfgDegenerateExperiment:
+      return "experiment would run zero trials or zero jobs per task";
+  }
+  return "unknown diagnostic";
+}
+
+Severity default_severity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kSupCheckSkipped:
+    case DiagCode::kLvlCheckSkipped:
+      return Severity::kInfo;
+    default:
+      return Severity::kError;
+  }
+}
+
+void Report::add(DiagCode code, std::string message, std::string context) {
+  add(code, default_severity(code), std::move(message), std::move(context));
+}
+
+void Report::add(DiagCode code, Severity severity, std::string message,
+                 std::string context) {
+  if (severity == Severity::kError) ++errors_;
+  if (severity == Severity::kWarning) ++warnings_;
+  diags_.push_back(Diagnostic{code, severity, std::move(message),
+                              std::move(context)});
+}
+
+bool Report::has(DiagCode code) const {
+  for (const auto& d : diags_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::vector<Diagnostic> Report::with_code(DiagCode code) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags_)
+    if (d.code == code) out.push_back(d);
+  return out;
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& d : other.diags_)
+    add(d.code, d.severity, d.message, d.context);
+}
+
+void Report::render_text(std::ostream& os) const {
+  for (const auto& d : diags_) {
+    os << code_string(d.code) << ' ' << to_string(d.severity);
+    if (!d.context.empty()) os << " [" << d.context << ']';
+    os << ": " << d.message << '\n';
+  }
+  os << (ok() ? "OK" : "FAIL") << ": " << errors_ << " error(s), "
+     << warnings_ << " warning(s), " << diags_.size() << " finding(s)\n";
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters are not expected in diagnostic text; drop them
+          // rather than emitting invalid JSON.
+          break;
+        }
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void Report::render_json(std::ostream& os) const {
+  os << "{\"ok\":" << (ok() ? "true" : "false")
+     << ",\"errors\":" << errors_ << ",\"warnings\":" << warnings_
+     << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const auto& d = diags_[i];
+    if (i > 0) os << ',';
+    os << "{\"code\":\"" << code_string(d.code) << "\",\"severity\":\""
+       << to_string(d.severity) << "\",\"summary\":\"";
+    json_escape(os, code_summary(d.code));
+    os << "\",\"message\":\"";
+    json_escape(os, d.message);
+    os << "\",\"context\":\"";
+    json_escape(os, d.context);
+    os << "\"}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,67 @@
+#include "analysis/verifier.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ioguard::analysis {
+
+namespace {
+
+/// Re-tags every finding of `sub` with the device context prefix.
+void merge_with_context(Report& into, const Report& sub,
+                        const std::string& context) {
+  for (const auto& d : sub.diagnostics()) {
+    std::string ctx = context;
+    if (!d.context.empty()) {
+      if (!ctx.empty()) ctx += ' ';
+      ctx += d.context;
+    }
+    into.add(d.code, d.severity, d.message, std::move(ctx));
+  }
+}
+
+}  // namespace
+
+Report verify_device(const DeviceArtifacts& artifacts,
+                     const std::string& context,
+                     const VerifierOptions& options) {
+  IOGUARD_CHECK_MSG(artifacts.table != nullptr, "table artifact is required");
+  IOGUARD_CHECK_MSG(artifacts.predefined != nullptr,
+                    "pre-defined task set is required");
+  Report sub;
+
+  verify_slot_table(*artifacts.table, *artifacts.predefined, sub);
+
+  const sched::TableSupply supply(*artifacts.table);
+  verify_supply(supply, options.supply, sub);
+
+  if (artifacts.servers != nullptr) {
+    verify_global_admission(supply, *artifacts.servers, options.supply, sub);
+    if (artifacts.vm_tasks != nullptr)
+      verify_servers(*artifacts.servers, *artifacts.vm_tasks, options.servers,
+                     sub);
+  }
+
+  if (context.empty()) return sub;
+  Report out;
+  merge_with_context(out, sub, context);
+  return out;
+}
+
+Report verify_system(const PlatformSpec& platform,
+                     const ExperimentSpec& experiment,
+                     const workload::TaskSet& all_tasks,
+                     const std::vector<DeviceArtifacts>& devices,
+                     const VerifierOptions& options) {
+  Report report;
+  verify_config(platform, experiment, all_tasks, report);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const Report sub = verify_device(
+        devices[d], "device " + std::to_string(d), options);
+    report.merge(sub);
+  }
+  return report;
+}
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,49 @@
+// ioguard-verify: static verification of scheduling artifacts.
+//
+// The admission theorems of Sec. IV only guarantee real-time behaviour when
+// the artifacts they reason about -- the Time Slot Table sigma*, the server
+// set {Gamma_i}, the per-VM task sets and the experiment configuration --
+// are mutually consistent. This module runs every SIG/SUP/LVL/CFG check over
+// one bundle of artifacts and returns a structured Report; it is the
+// correctness gate simulations and benchmarks run behind.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/verify_config.hpp"
+#include "analysis/verify_servers.hpp"
+#include "analysis/verify_supply.hpp"
+#include "analysis/verify_table.hpp"
+
+namespace ioguard::analysis {
+
+/// One device's scheduling artifacts, as produced at system initialization
+/// (offline table build + server synthesis).
+struct DeviceArtifacts {
+  const sched::TimeSlotTable* table = nullptr;        ///< sigma* (required)
+  const workload::TaskSet* predefined = nullptr;      ///< P-channel tasks (required)
+  const std::vector<sched::ServerParams>* servers = nullptr;  ///< optional
+  const std::vector<workload::TaskSet>* vm_tasks = nullptr;   ///< optional
+};
+
+struct VerifierOptions {
+  SupplyCheckOptions supply;
+  ServerCheckOptions servers;
+};
+
+/// Verifies one device's artifacts (table invariants, supply shape, global
+/// admission cross-check, L-level checks). `context` prefixes every finding
+/// locator, e.g. "device 2".
+[[nodiscard]] Report verify_device(const DeviceArtifacts& artifacts,
+                                   const std::string& context = {},
+                                   const VerifierOptions& options = {});
+
+/// Verifies the experiment/platform configuration plus every device bundle.
+[[nodiscard]] Report verify_system(
+    const PlatformSpec& platform, const ExperimentSpec& experiment,
+    const workload::TaskSet& all_tasks,
+    const std::vector<DeviceArtifacts>& devices,
+    const VerifierOptions& options = {});
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,93 @@
+#include "analysis/verify_config.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace ioguard::analysis {
+
+void verify_config(const PlatformSpec& platform,
+                   const ExperimentSpec& experiment,
+                   const workload::TaskSet& all_tasks, Report& report) {
+  // -- floorplan geometry. -------------------------------------------------
+  const bool dims_ok = platform.noc_width > 0 && platform.noc_height > 0;
+  if (!dims_ok) {
+    report.add(DiagCode::kCfgBadNocDims,
+               "mesh dimensions " + std::to_string(platform.noc_width) + "x" +
+                   std::to_string(platform.noc_height) + " are not positive");
+  }
+  const std::size_t nodes =
+      dims_ok ? static_cast<std::size_t>(platform.noc_width) *
+                    static_cast<std::size_t>(platform.noc_height)
+              : 0;
+  if (dims_ok &&
+      platform.device_node_base + platform.device_count > nodes) {
+    report.add(DiagCode::kCfgBadNocDims,
+               "devices occupy nodes " +
+                   std::to_string(platform.device_node_base) + ".." +
+                   std::to_string(platform.device_node_base +
+                                  platform.device_count - 1) +
+                   " but the mesh only has " + std::to_string(nodes) +
+                   " nodes");
+  }
+
+  // -- VM placement: row-major from node 0, below the device rows. ---------
+  const std::size_t vm_capacity =
+      dims_ok ? std::min(platform.max_vms,
+                         std::min(nodes, platform.device_node_base))
+              : platform.max_vms;
+  if (experiment.num_vms > vm_capacity) {
+    report.add(DiagCode::kCfgVmPlacementOverflow,
+               std::to_string(experiment.num_vms) +
+                   " VMs configured but the floorplan places at most " +
+                   std::to_string(vm_capacity) +
+                   " (mesh nodes below the device row, capped at " +
+                   std::to_string(platform.max_vms) + ")");
+  }
+
+  // -- experiment knobs. ---------------------------------------------------
+  if (experiment.target_utilization <= 0.0 ||
+      experiment.target_utilization > 1.0) {
+    report.add(DiagCode::kCfgBadFraction,
+               "target utilization " +
+                   std::to_string(experiment.target_utilization) +
+                   " outside (0, 1]");
+  }
+  if (experiment.preload_fraction < 0.0 ||
+      experiment.preload_fraction > 1.0) {
+    report.add(DiagCode::kCfgBadFraction,
+               "preload fraction " +
+                   std::to_string(experiment.preload_fraction) +
+                   " outside [0, 1]");
+  }
+  if (experiment.trials == 0 || experiment.min_jobs_per_task == 0) {
+    report.add(DiagCode::kCfgDegenerateExperiment,
+               "trials=" + std::to_string(experiment.trials) +
+                   ", min_jobs_per_task=" +
+                   std::to_string(experiment.min_jobs_per_task) +
+                   " -- the experiment would produce no data");
+  }
+
+  // -- task references. ----------------------------------------------------
+  std::set<std::uint32_t> reported_devices, reported_vms;
+  for (const auto& t : all_tasks.tasks()) {
+    if ((!t.device.valid() || t.device.value >= platform.device_count) &&
+        reported_devices.insert(t.device.value).second) {
+      report.add(DiagCode::kCfgUnknownDevice,
+                 "task " + std::to_string(t.id.value) + " (" + t.name +
+                     ") targets device id " + std::to_string(t.device.value) +
+                     " but the platform has " +
+                     std::to_string(platform.device_count) + " device(s)");
+    }
+    if ((!t.vm.valid() || t.vm.value >= experiment.num_vms) &&
+        reported_vms.insert(t.vm.value).second) {
+      report.add(DiagCode::kCfgVmOutOfRange,
+                 "task " + std::to_string(t.id.value) + " (" + t.name +
+                     ") belongs to VM " + std::to_string(t.vm.value) +
+                     " but only " + std::to_string(experiment.num_vms) +
+                     " VM(s) are configured");
+    }
+  }
+}
+
+}  // namespace ioguard::analysis

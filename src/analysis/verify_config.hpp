@@ -1,0 +1,41 @@
+// Platform / experiment configuration sanity (CFGxxx): the NoC floorplan
+// must be able to host the configured VMs and devices, every device id a
+// task references must exist, and the experiment knobs must describe a run
+// that can actually produce data.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/diagnostics.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::analysis {
+
+/// The physical platform the artifacts will run on. Defaults mirror the
+/// paper's 5x5 Blueshell mesh: VMs row-major from node 0 (up to 16
+/// MicroBlaze processors), devices on the last row from node 20.
+struct PlatformSpec {
+  int noc_width = 5;
+  int noc_height = 5;
+  std::size_t max_vms = 16;          ///< co-sim floorplan processor limit
+  std::size_t device_count = 4;      ///< devices present on the platform
+  std::size_t device_node_base = 20; ///< first mesh node hosting a device
+};
+
+/// The experiment configuration under verification (mirror of the knobs in
+/// workload::CaseStudyConfig / sys::ExperimentConfig that affect validity).
+struct ExperimentSpec {
+  std::size_t num_vms = 0;
+  double target_utilization = 0.0;
+  double preload_fraction = 0.0;
+  std::size_t trials = 1;
+  std::size_t min_jobs_per_task = 1;
+};
+
+/// Verifies the platform floorplan, the experiment knobs, and every task's
+/// device/VM reference. Appends CFGxxx findings.
+void verify_config(const PlatformSpec& platform,
+                   const ExperimentSpec& experiment,
+                   const workload::TaskSet& all_tasks, Report& report);
+
+}  // namespace ioguard::analysis

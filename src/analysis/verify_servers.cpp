@@ -1,0 +1,118 @@
+#include "analysis/verify_servers.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+#include "sched/admission.hpp"
+
+namespace ioguard::analysis {
+
+namespace {
+
+std::string vm_ctx(std::size_t vm) { return "vm " + std::to_string(vm); }
+
+/// LVL006: zero parameters make every admission formula divide by zero or
+/// degenerate; report and exclude the task set from the theorem checks.
+bool tasks_well_formed(const workload::TaskSet& tasks, std::size_t vm,
+                       Report& report) {
+  bool ok = true;
+  for (const auto& t : tasks.tasks()) {
+    if (t.period == 0 || t.wcet == 0 || t.deadline == 0) {
+      report.add(DiagCode::kLvlBadTaskParams,
+                 "task " + std::to_string(t.id.value) + " (" + t.name +
+                     ") has (T=" + std::to_string(t.period) + ", C=" +
+                     std::to_string(t.wcet) + ", D=" +
+                     std::to_string(t.deadline) + ")",
+                 vm_ctx(vm));
+      ok = false;
+    } else if (t.deadline > t.period) {
+      report.add(DiagCode::kLvlDeadlineExceedsPeriod,
+                 "task " + std::to_string(t.id.value) + " (" + t.name +
+                     ") has deadline " + std::to_string(t.deadline) +
+                     " > period " + std::to_string(t.period),
+                 vm_ctx(vm));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+void verify_servers(const std::vector<sched::ServerParams>& servers,
+                    const std::vector<workload::TaskSet>& vm_tasks,
+                    const ServerCheckOptions& options, Report& report) {
+  if (servers.size() != vm_tasks.size()) {
+    report.add(DiagCode::kLvlServerCountMismatch,
+               std::to_string(servers.size()) + " server(s) for " +
+                   std::to_string(vm_tasks.size()) + " VM task set(s)");
+    return;
+  }
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const auto& g = servers[i];
+    const auto& tasks = vm_tasks[i];
+
+    if (g.pi == 0 || g.theta > g.pi) {
+      report.add(DiagCode::kLvlBadServerParams,
+                 "server (Pi=" + std::to_string(g.pi) + ", Theta=" +
+                     std::to_string(g.theta) + ") violates Theta <= Pi",
+                 vm_ctx(i));
+      continue;
+    }
+
+    const bool well_formed = tasks_well_formed(tasks, i, report);
+    if (tasks.empty() || !well_formed) continue;
+
+    // Necessary condition before any theorem runs: the server must carry at
+    // least the VM's raw utilization.
+    const double deficit = tasks.utilization() - g.bandwidth();
+    if (deficit > 1e-12) {
+      report.add(DiagCode::kLvlBandwidthDeficit,
+                 "server bandwidth Theta/Pi = " + std::to_string(g.bandwidth()) +
+                     " below VM utilization " +
+                     std::to_string(tasks.utilization()),
+                 vm_ctx(i));
+      continue;  // Theorem 4's slack precondition already fails
+    }
+
+    // Zero slack (c' = 0) is Theorem 4's stated blind spot, not a fault:
+    // the pseudo-polynomial bound is undefined there, so agreement with the
+    // exhaustive test is only owed when c' is strictly positive.
+    if (!options.check_theorem_agreement || g.theta == 0 || -deficit <= 1e-12)
+      continue;
+
+    // Theorem 3 (exhaustive) vs Theorem 4 (pseudo-polynomial): with positive
+    // slack both are exact, so disagreement means the sbf_server/dbf
+    // implementation or the derived bound is wrong.
+    sched::AdmissionResult exact;
+    try {
+      exact = sched::theorem3_exhaustive(g, tasks, /*t_max=*/0,
+                                         options.lcm_cap);
+    } catch (const CheckFailure&) {
+      report.add(DiagCode::kLvlCheckSkipped,
+                 "lcm(Pi, T...) exceeds the configured cap; Theorem 3 vs "
+                 "Theorem 4 agreement not checked",
+                 vm_ctx(i));
+      continue;
+    }
+    check_vm_agreement(exact, sched::theorem4_check(g, tasks), i, report);
+  }
+}
+
+void check_vm_agreement(const sched::AdmissionResult& exact,
+                        const sched::AdmissionResult& pseudo, std::size_t vm,
+                        Report& report) {
+  if (exact.schedulable == pseudo.schedulable) return;
+  std::string detail =
+      "Theorem 3 says " +
+      std::string(exact.schedulable ? "schedulable" : "unschedulable") +
+      ", Theorem 4 says " +
+      std::string(pseudo.schedulable ? "schedulable" : "unschedulable");
+  if (exact.violation_t)
+    detail += "; first violation at t=" + std::to_string(*exact.violation_t);
+  report.add(DiagCode::kLvlTheoremDisagreement, std::move(detail), vm_ctx(vm));
+}
+
+}  // namespace ioguard::analysis

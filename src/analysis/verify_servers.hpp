@@ -1,0 +1,38 @@
+// L-level checks (LVLxxx): per-VM server parameters and task sets. A server
+// Gamma = (Pi, Theta) must be well-formed (Theta <= Pi), carry at least the
+// VM's utilization, and the exhaustive Theorem 3 test must agree with the
+// pseudo-polynomial Theorem 4 test it stands in for.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "sched/admission.hpp"
+#include "sched/sbf.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::analysis {
+
+struct ServerCheckOptions {
+  /// lcm cap for theorem3_exhaustive; past it agreement is skipped (LVL007).
+  Slot lcm_cap = Slot{1} << 22;
+  /// When false, the Theorem 3 vs Theorem 4 agreement check is skipped
+  /// entirely (it dominates verification cost on large task sets).
+  bool check_theorem_agreement = true;
+};
+
+/// Verifies `servers[i]` against `vm_tasks[i]` for every VM. Appends LVLxxx
+/// findings; silent on a sound configuration.
+void verify_servers(const std::vector<sched::ServerParams>& servers,
+                    const std::vector<workload::TaskSet>& vm_tasks,
+                    const ServerCheckOptions& options, Report& report);
+
+/// LVL004: compares an exhaustive Theorem 3 verdict against a Theorem 4
+/// verdict for the same VM. Split out so the comparison logic is testable
+/// with injected disagreements (correct implementations never disagree by
+/// construction).
+void check_vm_agreement(const sched::AdmissionResult& exact,
+                        const sched::AdmissionResult& pseudo, std::size_t vm,
+                        Report& report);
+
+}  // namespace ioguard::analysis

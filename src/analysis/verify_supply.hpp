@@ -1,0 +1,55 @@
+// Supply/demand cross-checks (SUPxxx): structural properties of the supply
+// bound function of Eqs. (1)-(2) -- monotonicity, superadditivity, periodic
+// extension -- plus agreement between the exhaustive Theorem 1 test and the
+// pseudo-polynomial Theorem 2 test on the actual system, gated on the
+// theorem's own slack precondition c = F/H - sum(Theta/Pi) > 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/diagnostics.hpp"
+#include "sched/admission.hpp"
+#include "sched/sbf.hpp"
+
+namespace ioguard::analysis {
+
+struct SupplyCheckOptions {
+  /// Monotonicity / periodic-extension samples are drawn from [0, horizon];
+  /// 0 derives 2H + stride coverage from the table.
+  Slot sample_horizon = 0;
+  /// Number of (a, b) pairs sampled for the superadditivity check.
+  std::size_t superadditivity_samples = 256;
+  /// lcm cap handed to theorem1_exhaustive; past it the agreement check is
+  /// skipped with SUP007 instead of aborting.
+  Slot lcm_cap = Slot{1} << 22;
+};
+
+/// Checks the shape properties of an arbitrary supply function claiming to
+/// describe a table with hyper-period `h` and `f` free slots per period.
+/// Exposed as a std::function so tests (and fault injection in the CLI) can
+/// probe the checker with corrupted supplies.
+void verify_supply_function(const std::function<Slot(Slot)>& sbf, Slot h,
+                            Slot f, const SupplyCheckOptions& options,
+                            Report& report);
+
+/// Shape checks for the real table supply (wraps verify_supply_function).
+void verify_supply(const sched::TableSupply& supply,
+                   const SupplyCheckOptions& options, Report& report);
+
+/// Global-layer admission cross-checks for (supply, servers): positive slack
+/// before Theorem 2 is trusted (SUP004) and Theorem 1 vs Theorem 2 agreement
+/// (SUP005; SUP007 when the exhaustive bound is out of reach).
+void verify_global_admission(const sched::TableSupply& supply,
+                             const std::vector<sched::ServerParams>& servers,
+                             const SupplyCheckOptions& options, Report& report);
+
+/// SUP005: compares an exhaustive Theorem 1 verdict against a Theorem 2
+/// verdict for the same system. Split out so the comparison logic is
+/// testable with injected disagreements (correct implementations never
+/// disagree by construction).
+void check_global_agreement(const sched::AdmissionResult& exact,
+                            const sched::AdmissionResult& pseudo,
+                            Report& report);
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,185 @@
+#include "analysis/verify_table.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ioguard::analysis {
+
+namespace {
+
+std::string task_ctx(const workload::IoTaskSpec& t) {
+  return "task " + std::to_string(t.id.value) + " (" + t.name + ")";
+}
+
+/// True when the spec can be meaningfully laid out in a slot table.
+bool check_params(const workload::IoTaskSpec& t, Report& report) {
+  std::string why;
+  if (t.period == 0) why = "period is 0";
+  else if (t.wcet == 0) why = "wcet is 0";
+  else if (t.deadline == 0) why = "deadline is 0";
+  else if (t.wcet > t.deadline)
+    why = "wcet " + std::to_string(t.wcet) + " exceeds deadline " +
+          std::to_string(t.deadline);
+  else if (t.deadline > t.period)
+    why = "deadline " + std::to_string(t.deadline) + " exceeds period " +
+          std::to_string(t.period);
+  else if (t.offset >= t.period)
+    why = "offset " + std::to_string(t.offset) + " not below period " +
+          std::to_string(t.period);
+  if (why.empty()) return true;
+  report.add(DiagCode::kSigBadPredefinedTask, std::move(why), task_ctx(t));
+  return false;
+}
+
+}  // namespace
+
+void verify_slot_table(const sched::TimeSlotTable& table,
+                       const workload::TaskSet& predefined, Report& report) {
+  const Slot h = table.hyperperiod();
+  const auto& raw = table.raw();
+
+  // -- bookkeeping: the cached F must equal the raw free-slot count. -------
+  const auto raw_free = static_cast<Slot>(
+      std::count(raw.begin(), raw.end(), sched::TimeSlotTable::kFree));
+  if (raw_free != table.free_slots()) {
+    report.add(DiagCode::kSigFreeCountMismatch,
+               "free_slots() reports " + std::to_string(table.free_slots()) +
+                   " but raw() holds " + std::to_string(raw_free) +
+                   " free slots");
+  }
+
+  // -- per-task parameter and hyper-period divisibility checks. ------------
+  std::unordered_map<std::uint32_t, const workload::IoTaskSpec*> layoutable;
+  bool all_layoutable = true;
+  for (const auto& t : predefined.tasks()) {
+    if (!check_params(t, report)) {
+      all_layoutable = false;
+      continue;
+    }
+    if (h % t.period != 0) {
+      report.add(DiagCode::kSigPeriodNotDividingH,
+                 "period " + std::to_string(t.period) +
+                     " does not divide hyper-period " + std::to_string(h),
+                 task_ctx(t));
+      all_layoutable = false;
+      continue;
+    }
+    layoutable.emplace(t.id.value, &t);
+  }
+
+  // -- ownership scan: every reserved slot must belong to a known task. ----
+  std::unordered_map<std::uint32_t, Slot> owned;  // task id -> slot count
+  for (Slot s = 0; s < h; ++s) {
+    const std::uint32_t v = raw[static_cast<std::size_t>(s)];
+    if (v == sched::TimeSlotTable::kFree) continue;
+    ++owned[v];
+    if (layoutable.count(v) == 0 &&
+        !report.has(DiagCode::kSigUnknownOccupant)) {
+      bool declared = false;
+      for (const auto& t : predefined.tasks()) declared |= (t.id.value == v);
+      if (!declared)
+        report.add(DiagCode::kSigUnknownOccupant,
+                   "slot " + std::to_string(s) + " reserved for task id " +
+                       std::to_string(v) +
+                       " which is not in the pre-defined set");
+    }
+  }
+
+  // -- demand accounting: F must equal H minus the pre-defined demand. -----
+  if (all_layoutable) {
+    Slot demand = 0;
+    for (const auto& [id, t] : layoutable) demand += t->wcet * (h / t->period);
+    if (demand <= h && table.free_slots() != h - demand) {
+      report.add(DiagCode::kSigFreeCountMismatch,
+                 "expected F = H - sum(C*H/T) = " + std::to_string(h - demand) +
+                     " free slots, table has " +
+                     std::to_string(table.free_slots()));
+    }
+  }
+
+  // -- per-job allocation: slot-EDF matching of owned slots to jobs. -------
+  // Each physical slot recurs once per hyper-period, so it may serve exactly
+  // one job instance; windows of jobs released near H wrap into the start of
+  // the (identical) next period. Walking the absolute timeline and handing
+  // each owned slot to the earliest-deadline pending job mirrors
+  // build_time_slot_table() and is maximal, so a job reported short here is
+  // short under *every* slot-to-job attribution.
+  for (const auto& [id, tptr] : layoutable) {
+    const auto& t = *tptr;
+    std::vector<bool> used(static_cast<std::size_t>(h), false);
+    const Slot jobs = h / t.period;
+
+    struct JobState {
+      Slot release, deadline, remaining;
+    };
+    std::vector<JobState> states;
+    states.reserve(static_cast<std::size_t>(jobs));
+    Slot max_deadline = 0;
+    for (Slot k = 0; k < jobs; ++k) {
+      const Slot release = t.offset + k * t.period;
+      states.push_back({release, release + t.deadline, t.wcet});
+      max_deadline = std::max(max_deadline, release + t.deadline);
+    }
+
+    // Releases and deadlines are both ascending in k, so the earliest-
+    // deadline pending job is always the lowest unfinished, unexpired index.
+    std::size_t front = 0, next_release = 0;
+    for (Slot at = 0; at < max_deadline; ++at) {
+      while (next_release < states.size() &&
+             states[next_release].release <= at)
+        ++next_release;
+      const Slot phys = at % h;
+      if (raw[static_cast<std::size_t>(phys)] != id) continue;
+      if (used[static_cast<std::size_t>(phys)]) continue;
+      while (front < states.size() &&
+             (states[front].remaining == 0 || states[front].deadline <= at))
+        ++front;
+      if (front >= next_release) continue;  // no pending job wants this slot
+      used[static_cast<std::size_t>(phys)] = true;
+      --states[front].remaining;
+    }
+
+    Slot assigned_total = 0;
+    for (std::size_t k = 0; k < states.size(); ++k) {
+      const auto& j = states[k];
+      assigned_total += t.wcet - j.remaining;
+      if (j.remaining > 0) {
+        report.add(DiagCode::kSigJobUnderAllocated,
+                   "job " + std::to_string(k) + " released at slot " +
+                       std::to_string(j.release) + " holds " +
+                       std::to_string(t.wcet - j.remaining) + " of " +
+                       std::to_string(t.wcet) +
+                       " slots before its deadline at slot " +
+                       std::to_string(j.deadline),
+                   task_ctx(t));
+      }
+    }
+
+    const Slot total = owned.count(id) != 0 ? owned[id] : 0;
+    const Slot needed = t.wcet * jobs;
+    if (total > needed) {
+      report.add(DiagCode::kSigTaskSlotSurplus,
+                 "owns " + std::to_string(total) +
+                     " slots per hyper-period but its jobs only need " +
+                     std::to_string(needed),
+                 task_ctx(t));
+    }
+    if (total > assigned_total) {
+      // Slots the matching could not attribute to any job window: either
+      // surplus or reserved at an instant where the task has no active job.
+      for (Slot s = 0; s < h; ++s) {
+        if (raw[static_cast<std::size_t>(s)] == id &&
+            !used[static_cast<std::size_t>(s)]) {
+          report.add(DiagCode::kSigSlotOutsideWindow,
+                     "slot " + std::to_string(s) +
+                         " serves no job window of its task",
+                     task_ctx(t));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,18 @@
+// sigma* invariant checks (SIGxxx): proves that a Time Slot Table actually
+// implements the pre-defined task set it claims to serve -- every job gets
+// its C slots inside [release, release + D), no slot is double-booked or
+// stray, and the bookkeeping (F, hyper-period) is consistent.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "sched/slot_table.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::analysis {
+
+/// Verifies `table` against the pre-defined task set it was built from.
+/// Appends SIGxxx findings to `report`; adds nothing when the table is sound.
+void verify_slot_table(const sched::TimeSlotTable& table,
+                       const workload::TaskSet& predefined, Report& report);
+
+}  // namespace ioguard::analysis
