@@ -5,6 +5,7 @@
 //         --preload=0.7 --trials=10 --seed=1 [--export-tasks=tasks.csv]
 //
 // Systems: legacy | rtxen | bv | ioguard.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -12,6 +13,8 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/prometheus.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace ioguard;
@@ -44,6 +47,9 @@ int main(int argc, char** argv) {
         << "  --min-jobs=N                       jobs per task (25)\n"
         << "  --seed=N                           base seed (42)\n"
         << "  --export-tasks=FILE                dump the task set CSV\n"
+        << "  --telemetry-out=DIR                write trace.perfetto.json\n"
+        << "                                     (trial 0), metrics.prom\n"
+        << "                                     (all trials) + summary.json\n"
         << "  --verify                           statically verify the\n"
         << "                                     scheduling artifacts first;\n"
         << "                                     refuse to run on errors\n";
@@ -81,6 +87,28 @@ int main(int argc, char** argv) {
               << " informational finding(s))\n\n";
   }
 
+  // Telemetry sinks (only populated with --telemetry-out): the registry
+  // aggregates counters across all trials; the event trace and the summary
+  // cover trial 0.
+  const bool telemetry_on = args.has("telemetry-out");
+  const std::filesystem::path telemetry_dir =
+      args.get("telemetry-out", "telemetry");
+  if (telemetry_on) {
+    // Preflight the output directory so a bad path fails before the trials
+    // run, not after.
+    std::error_code ec;
+    std::filesystem::create_directories(telemetry_dir, ec);
+    if (ec) {
+      std::cerr << "error: --telemetry-out=" << telemetry_dir.string()
+                << ": " << ec.message() << "\n";
+      return 2;
+    }
+  }
+  core::EventTrace events(1 << 20);
+  telemetry::MetricsRegistry metrics;
+  TrialConfig summary_config;
+  TrialResult summary_result;
+
   TextTable table({"trial", "success", "counted", "crit misses", "dropped",
                    "goodput Mbit/s", "busy", "admitted"});
   std::size_t successes = 0;
@@ -93,7 +121,19 @@ int main(int argc, char** argv) {
     tc.workload.preload_fraction = preload;
     tc.min_jobs_per_task = min_jobs;
     tc.trial_seed = seed * 7919ULL + t;
+    if (telemetry_on) {
+      tc.metrics = &metrics;
+      if (t == 0) {
+        tc.trace = &events;
+        tc.collect_response_times = true;
+        tc.collect_stage_latencies = true;
+      }
+    }
     const auto r = run_trial(tc);
+    if (telemetry_on && t == 0) {
+      summary_config = tc;
+      summary_result = r;
+    }
     if (r.success()) ++successes;
     goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
     table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
@@ -118,5 +158,31 @@ int main(int argc, char** argv) {
             << fmt_double(static_cast<double>(successes) / trials, 2)
             << ", mean goodput " << fmt_double(goodput / trials, 1)
             << " Mbit/s\n";
+
+  if (telemetry_on) {
+    const std::filesystem::path& dir = telemetry_dir;
+    bool write_ok = true;
+    {
+      std::ofstream out(dir / "trace.perfetto.json");
+      telemetry::write_perfetto_json(out, events);
+      write_ok &= static_cast<bool>(out);
+    }
+    {
+      std::ofstream out(dir / "metrics.prom");
+      telemetry::write_prometheus(out, metrics);
+      write_ok &= static_cast<bool>(out);
+    }
+    {
+      std::ofstream out(dir / "summary.json");
+      write_trial_summary_json(out, summary_config, summary_result);
+      write_ok &= static_cast<bool>(out);
+    }
+    if (!write_ok) {
+      std::cerr << "error: cannot write telemetry to " << dir.string() << "\n";
+      return 2;
+    }
+    std::cout << "telemetry written to " << dir.string()
+              << "/{trace.perfetto.json, metrics.prom, summary.json}\n";
+  }
   return 0;
 }

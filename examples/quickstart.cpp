@@ -1,22 +1,33 @@
 // Quickstart: build an I/O-GUARD hypervisor for a small workload, submit
 // run-time I/O jobs, and watch the two-layer scheduler execute them.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart [--telemetry-out=DIR]
 //
 // Walks through the public API end to end:
 //   1. describe I/O tasks (workload::TaskSet / CaseStudyWorkload),
 //   2. let the design layer build the Time Slot Table and periodic servers,
-//   3. run the slot-level hypervisor and collect completions.
+//   3. run the slot-level hypervisor and collect completions,
+//   4. (with --telemetry-out) run one instrumented trial and export the
+//      telemetry artifacts: trace.perfetto.json (open in ui.perfetto.dev),
+//      metrics.prom (Prometheus text exposition) and summary.json.
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
+#include "system/runner.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/spans.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
 using namespace ioguard;
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
   std::cout << "I/O-GUARD quickstart\n====================\n\n";
 
   // 1. A small automotive workload: 4 VMs, 60% target utilization per
@@ -87,5 +98,60 @@ int main() {
   std::cout << "ethernet manager: " << eth.busy_slots() << " busy slots, "
             << eth.runtime_jobs_completed() << " R-channel jobs, "
             << eth.pchannel().jobs_completed() << " P-channel jobs\n";
+
+  // 4. Telemetry export: run one fully instrumented trial through the system
+  //    runner and write the three artifacts. Off by default -- the plain
+  //    quickstart run records nothing.
+  if (args.has("telemetry-out")) {
+    const std::filesystem::path dir = args.get("telemetry-out", "telemetry");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::cerr << "error: --telemetry-out=" << dir.string()
+                << ": " << ec.message() << "\n";
+      return 2;
+    }
+
+    core::EventTrace events(1 << 20);
+    telemetry::MetricsRegistry metrics;
+    sys::TrialConfig tc;
+    tc.kind = sys::SystemKind::kIoGuard;
+    tc.workload = wcfg;
+    tc.min_jobs_per_task = 10;
+    tc.collect_response_times = true;
+    tc.collect_stage_latencies = true;
+    tc.trace = &events;
+    tc.metrics = &metrics;
+    auto result = sys::run_trial(tc);
+
+    bool write_ok = true;
+    {
+      std::ofstream out(dir / "trace.perfetto.json");
+      telemetry::write_perfetto_json(out, events);
+      write_ok &= static_cast<bool>(out);
+    }
+    {
+      std::ofstream out(dir / "metrics.prom");
+      telemetry::write_prometheus(out, metrics);
+      write_ok &= static_cast<bool>(out);
+    }
+    {
+      std::ofstream out(dir / "summary.json");
+      sys::write_trial_summary_json(out, tc, result);
+      write_ok &= static_cast<bool>(out);
+    }
+    if (!write_ok) {
+      std::cerr << "error: cannot write telemetry to " << dir.string() << "\n";
+      return 2;
+    }
+
+    std::cout << "\ninstrumented trial: " << events.total_recorded()
+              << " trace events over " << result.horizon << " slots\n";
+    auto breakdown = telemetry::fold_stages(telemetry::collect_spans(events));
+    telemetry::print_stage_breakdown(std::cout, breakdown);
+    std::cout << "telemetry written to " << dir.string()
+              << "/{trace.perfetto.json, metrics.prom, summary.json}\n"
+              << "open trace.perfetto.json in https://ui.perfetto.dev\n";
+  }
   return 0;
 }

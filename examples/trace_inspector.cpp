@@ -1,13 +1,17 @@
 // Trace inspector: runs a short I/O-GUARD window with the on-chip event
-// trace enabled and prints what the two channels did, slot by slot.
+// trace enabled, prints what the two channels did, and decomposes the
+// R-channel job lifecycles into per-stage latencies (the Fig.-6 view).
 //
 //   $ ./build/examples/trace_inspector [--slots=N] [--csv=FILE]
+//                                      [--perfetto=FILE]
 #include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/spans.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
@@ -44,13 +48,17 @@ int main(int argc, char** argv) {
   std::cout << "I/O-GUARD event trace over " << slots << " slots ("
             << slots / 100 << " ms)\n\n";
   TextTable summary({"event", "count"});
-  for (auto kind : {core::TraceEventKind::kSubmit, core::TraceEventKind::kDrop,
-                    core::TraceEventKind::kPchannelSlot,
-                    core::TraceEventKind::kRchannelGrant,
-                    core::TraceEventKind::kComplete}) {
+  for (auto kind : core::all_trace_event_kinds())
     summary.add(std::string(core::to_string(kind)), trace.count(kind));
-  }
   summary.render(std::cout);
+  if (trace.overwritten() > 0)
+    std::cout << "(ring saturated: " << trace.overwritten()
+              << " oldest events overwritten)\n";
+
+  // Per-stage latency decomposition of the R-channel job lifecycles.
+  std::cout << "\nstage breakdown (R-channel jobs):\n";
+  auto breakdown = telemetry::fold_stages(telemetry::collect_spans(trace));
+  telemetry::print_stage_breakdown(std::cout, breakdown);
 
   // First few events, human readable.
   std::cout << "\nfirst events:\n";
@@ -70,6 +78,17 @@ int main(int argc, char** argv) {
     trace.dump_csv(out);
     std::cout << "\nfull trace (" << trace.size() << " events) written to "
               << path << '\n';
+  }
+  if (args.has("perfetto")) {
+    const std::string path = args.get("perfetto", "trace.perfetto.json");
+    std::ofstream out(path);
+    telemetry::write_perfetto_json(out, trace);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 2;
+    }
+    std::cout << "\nPerfetto trace written to " << path
+              << " (open in https://ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate a --telemetry-out export directory.
+
+Checks, with no third-party dependencies:
+  * trace.perfetto.json parses, has a non-empty traceEvents array,
+    process/thread metadata, and well-formed X/i events;
+  * metrics.prom is valid Prometheus text exposition 0.0.4: every sample
+    line matches the grammar, histogram buckets are cumulative/monotone and
+    _count equals the +Inf bucket;
+  * summary.json parses and carries the required keys.
+
+Usage: check_telemetry.py DIR
+Exit status: 0 all checks pass, 1 any failure (each failure is printed).
+"""
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def check_perfetto(path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path.name}: cannot load JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path.name}: traceEvents missing or empty")
+        return
+    phases = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph not in ("M", "X", "i", "B", "E"):
+            fail(f"{path.name}: event {i} has unknown ph {ph!r}")
+            return
+        if ph == "X":
+            for key in ("name", "pid", "tid", "ts", "dur"):
+                if key not in e:
+                    fail(f"{path.name}: X event {i} missing {key!r}")
+                    return
+            if e["dur"] < 0:
+                fail(f"{path.name}: X event {i} has negative dur")
+                return
+        if ph == "i" and "ts" not in e:
+            fail(f"{path.name}: instant event {i} missing ts")
+            return
+    if phases.get("M", 0) < 2:
+        fail(f"{path.name}: expected process/thread metadata (M) events")
+    if phases.get("X", 0) == 0:
+        fail(f"{path.name}: no complete (X) events — empty trace?")
+    names = [
+        e.get("args", {}).get("name")
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    ]
+    if not any(names):
+        fail(f"{path.name}: no process_name metadata")
+    print(
+        f"ok: {path.name}: {len(events)} events "
+        f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants)"
+    )
+
+
+METRIC_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\")*\})?"  # optional labels
+    r" [0-9eE.+-]+|nan$"  # value
+)
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+
+
+def parse_sample(line):
+    """Returns (name, labels-dict, value) or None."""
+    brace = line.find("{")
+    if brace == -1:
+        name, _, value = line.partition(" ")
+        return name, {}, float(value)
+    name = line[:brace]
+    close = line.rindex("}")
+    labels = {}
+    body = line[brace + 1:close]
+    for part in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"', body):
+        labels[part[0]] = part[1]
+    return name, labels, float(line[close + 1:].strip())
+
+
+def check_prometheus(path):
+    try:
+        text = path.read_text()
+    except OSError as e:
+        fail(f"{path.name}: cannot read: {e}")
+        return
+    types = {}
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                m = TYPE_RE.match(line)
+                if not m:
+                    fail(f"{path.name}:{lineno}: malformed TYPE line: {line}")
+                    return
+                types[m.group(1)] = m.group(2)
+            continue
+        if not METRIC_RE.match(line):
+            fail(f"{path.name}:{lineno}: malformed sample line: {line}")
+            return
+        samples.append(parse_sample(line))
+    if not samples:
+        fail(f"{path.name}: no samples")
+        return
+
+    # Histogram invariants: cumulative buckets are monotone in le order and
+    # the +Inf bucket equals _count.
+    hist_names = [n for n, k in types.items() if k == "histogram"]
+    for hist in hist_names:
+        series = {}
+        counts = {}
+        for name, labels, value in samples:
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            if name == hist + "_bucket":
+                series.setdefault(key, []).append(
+                    (float(labels["le"]) if labels["le"] != "+Inf"
+                     else math.inf, value))
+            elif name == hist + "_count":
+                counts[key] = value
+        if not series:
+            fail(f"{path.name}: histogram {hist} has no _bucket samples")
+            continue
+        for key, buckets in series.items():
+            buckets.sort()
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                fail(f"{path.name}: {hist}{dict(key)} buckets not cumulative")
+            if buckets[-1][0] != math.inf:
+                fail(f"{path.name}: {hist}{dict(key)} missing +Inf bucket")
+            elif key in counts and counts[key] != buckets[-1][1]:
+                fail(f"{path.name}: {hist}{dict(key)} _count "
+                     f"{counts[key]} != +Inf bucket {buckets[-1][1]}")
+    print(f"ok: {path.name}: {len(samples)} samples, "
+          f"{len(types)} families ({len(hist_names)} histograms)")
+
+
+def check_summary(path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path.name}: cannot load JSON: {e}")
+        return
+    required = [
+        "system", "horizon_slots", "jobs_counted", "jobs_on_time", "misses",
+        "critical_misses", "dropped", "goodput_bytes_per_s",
+        "device_busy_frac", "admitted", "success", "response_slots",
+        "misses_by_task",
+    ]
+    for key in required:
+        if key not in doc:
+            fail(f"{path.name}: missing key {key!r}")
+    if doc.get("jobs_counted", 0) < doc.get("jobs_on_time", 0):
+        fail(f"{path.name}: jobs_on_time exceeds jobs_counted")
+    print(f"ok: {path.name}: {len(doc)} keys, system={doc.get('system')!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    directory = Path(sys.argv[1])
+    if not directory.is_dir():
+        print(f"FAIL: {directory} is not a directory")
+        return 1
+    expected = {
+        "trace.perfetto.json": check_perfetto,
+        "metrics.prom": check_prometheus,
+        "summary.json": check_summary,
+    }
+    for name, checker in expected.items():
+        path = directory / name
+        if not path.is_file():
+            fail(f"{name}: missing from {directory}")
+            continue
+        checker(path)
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)")
+        return 1
+    print("all telemetry checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

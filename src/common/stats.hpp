@@ -19,8 +19,14 @@ class OnlineStats {
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  ///< sample variance (n-1)
   [[nodiscard]] double stddev() const;
-  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  /// NaN when no samples: an empty accumulator has no extrema, and a silent
+  /// 0.0 would read as a genuine observed latency downstream.
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
 
  private:

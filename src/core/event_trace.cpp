@@ -6,13 +6,30 @@
 
 namespace ioguard::core {
 
+const std::array<TraceEventKind, kTraceEventKindCount>&
+all_trace_event_kinds() {
+  static const std::array<TraceEventKind, kTraceEventKindCount> kinds = {
+      TraceEventKind::kSubmit,        TraceEventKind::kDrop,
+      TraceEventKind::kShadowExpose,  TraceEventKind::kPchannelSlot,
+      TraceEventKind::kRchannelGrant, TraceEventKind::kTranslate,
+      TraceEventKind::kDeviceBegin,   TraceEventKind::kComplete,
+      TraceEventKind::kDeadlineMiss,  TraceEventKind::kDemote,
+  };
+  return kinds;
+}
+
 const char* to_string(TraceEventKind k) {
   switch (k) {
     case TraceEventKind::kSubmit: return "submit";
     case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kShadowExpose: return "shadow_expose";
     case TraceEventKind::kPchannelSlot: return "pchannel_slot";
     case TraceEventKind::kRchannelGrant: return "rchannel_grant";
+    case TraceEventKind::kTranslate: return "translate";
+    case TraceEventKind::kDeviceBegin: return "device_begin";
     case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kDeadlineMiss: return "deadline_miss";
+    case TraceEventKind::kDemote: return "demote";
   }
   return "?";
 }
@@ -34,18 +51,24 @@ void EventTrace::record(const TraceEvent& event) {
   ++overwritten_;
 }
 
+const TraceEvent& EventTrace::ordered(std::size_t i) const {
+  IOGUARD_CHECK(i < events_.size());
+  return events_[(head_ + i) % events_.size()];
+}
+
 std::uint64_t EventTrace::count(TraceEventKind kind) const {
   return counts_[static_cast<std::size_t>(kind)];
 }
 
 void EventTrace::dump_csv(std::ostream& os) const {
-  os << "slot,kind,device,vm,task,job\n";
+  os << "slot,kind,device,vm,task,job,aux\n";
   // Oldest-first: when saturated the ring starts at head_.
   const std::size_t n = events_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const TraceEvent& e = events_[(head_ + i) % n];
     os << e.slot << ',' << to_string(e.kind) << ',' << e.device.value << ','
-       << e.vm.value << ',' << e.task.value << ',' << e.job.value << '\n';
+       << e.vm.value << ',' << e.task.value << ',' << e.job.value << ','
+       << e.aux << '\n';
   }
 }
 

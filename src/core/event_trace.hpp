@@ -1,9 +1,15 @@
 // Hardware event tracing: a bounded ring of scheduler-visible events
 // (submissions, grants, completions, drops) with CSV export -- the
-// equivalent of an on-chip trace buffer, used by examples and tests to
-// inspect exactly what the hypervisor did slot by slot.
+// equivalent of an on-chip trace buffer, used by examples, tests and the
+// telemetry layer to inspect exactly what the hypervisor did slot by slot.
+//
+// Every run-time job leaves a full lifecycle span in the trace:
+//   kSubmit -> kShadowExpose -> kRchannelGrant -> kDeviceBegin -> kComplete
+// (kDrop or kDeadlineMiss terminate/annotate unlucky jobs), which
+// telemetry::collect_spans() folds into per-stage latency histograms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -16,10 +22,23 @@ namespace ioguard::core {
 enum class TraceEventKind : std::uint8_t {
   kSubmit,         ///< run-time job entered an I/O pool
   kDrop,           ///< pool full: job rejected
+  kShadowExpose,   ///< L-Sched exposed the job in its pool's shadow register
   kPchannelSlot,   ///< P-channel executed a reserved slot
   kRchannelGrant,  ///< G-Sched granted a free slot to a VM
+  kTranslate,      ///< virtualization driver translated a request/response;
+                   ///< aux = translation latency in cycles
+  kDeviceBegin,    ///< first device slot of an R-channel job's service
   kComplete,       ///< a job finished (either channel)
+  kDeadlineMiss,   ///< a job completed after its absolute deadline;
+                   ///< aux = lateness in slots
+  kDemote,         ///< pre-defined task demoted to the R-channel at init
 };
+
+inline constexpr std::size_t kTraceEventKindCount = 10;
+
+/// All kinds in declaration order (iteration aid for summaries/exporters).
+[[nodiscard]] const std::array<TraceEventKind, kTraceEventKindCount>&
+all_trace_event_kinds();
 
 [[nodiscard]] const char* to_string(TraceEventKind k);
 
@@ -30,6 +49,9 @@ struct TraceEvent {
   VmId vm;
   TaskId task;
   JobId job;
+  /// Kind-specific phase payload: cycles for kTranslate, lateness in slots
+  /// for kDeadlineMiss, 0 otherwise.
+  std::uint32_t aux = 0;
 };
 
 /// Bounded ring buffer of events; recording drops the oldest entries when
@@ -44,11 +66,13 @@ class EventTrace {
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
+  /// The i-th oldest surviving event (insertion order across ring wraps).
+  [[nodiscard]] const TraceEvent& ordered(std::size_t i) const;
   [[nodiscard]] std::uint64_t count(TraceEventKind kind) const;
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
   [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
 
-  /// CSV: slot,kind,device,vm,task,job
+  /// CSV: slot,kind,device,vm,task,job,aux (header row included).
   void dump_csv(std::ostream& os) const;
 
   void clear();
@@ -59,7 +83,7 @@ class EventTrace {
   std::size_t head_ = 0;            // ring start when saturated
   std::uint64_t total_ = 0;
   std::uint64_t overwritten_ = 0;
-  std::uint64_t counts_[5] = {};
+  std::uint64_t counts_[kTraceEventKindCount] = {};
 };
 
 }  // namespace ioguard::core

@@ -89,6 +89,7 @@ Hypervisor::Hypervisor(const workload::CaseStudyWorkload& wl,
       workload::IoTaskSpec moved = remaining[victim];
       moved.kind = workload::TaskKind::kRuntime;
       design.note += " " + moved.name;
+      demotions_.push_back(Demotion{dev, moved.vm, moved.id});
       demoted.add(moved);
       remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(victim));
       predefined = workload::TaskSet(std::move(remaining));
@@ -171,6 +172,12 @@ bool Hypervisor::fully_admitted() const {
 void Hypervisor::set_tracer(EventTrace* tracer) {
   for (std::size_t d = 0; d < managers_.size(); ++d)
     managers_[d]->set_tracer(tracer, DeviceId{static_cast<std::uint32_t>(d)});
+  if (!tracer) return;
+  // Init-time decisions happened before any trace buffer existed; replay
+  // them at slot 0 so demotions are no longer silent.
+  for (const auto& d : demotions_)
+    tracer->record(TraceEvent{0, TraceEventKind::kDemote, d.device, d.vm,
+                              d.task, JobId{}, 0});
 }
 
 std::uint64_t Hypervisor::dropped_jobs() const {

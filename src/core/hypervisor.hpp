@@ -75,8 +75,21 @@ class Hypervisor {
 
   [[nodiscard]] std::uint64_t dropped_jobs() const;
 
-  /// Attaches one trace buffer to every device manager (not owned).
+  /// Attaches one trace buffer to every device manager (not owned). Design
+  /// decisions taken at init (P-channel -> R-channel demotions) are replayed
+  /// into the buffer as kDemote events so the trace tells the whole story.
   void set_tracer(EventTrace* tracer);
+
+  /// Pre-defined tasks demoted to the R-channel because their Time Slot
+  /// Table placement failed (in demotion order).
+  struct Demotion {
+    DeviceId device;
+    VmId vm;
+    TaskId task;
+  };
+  [[nodiscard]] const std::vector<Demotion>& demotions() const {
+    return demotions_;
+  }
 
   /// Is this task executed by a P-channel (it was pre-defined AND its table
   /// placement succeeded)? Pre-defined tasks that could not be placed are
@@ -90,6 +103,7 @@ class Hypervisor {
   std::vector<std::unique_ptr<VirtManager>> managers_;  // index = DeviceId
   std::vector<DeviceDesign> designs_;
   std::unordered_set<std::uint32_t> pchannel_tasks_;
+  std::vector<Demotion> demotions_;
 };
 
 /// Maps a case-study DeviceId to its physical device spec.

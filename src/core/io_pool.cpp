@@ -27,11 +27,17 @@ void IoPool::refresh_shadow() {
   if (!earliest) {
     shadow_.valid = false;
     shadow_.handle = kInvalidHandle;
+    shadow_.task = TaskId{};
+    shadow_.job = JobId{};
     return;
   }
+  const ParamSlot& p = queue_.params(*earliest);
   shadow_.valid = true;
   shadow_.handle = *earliest;
-  shadow_.absolute_deadline = queue_.params(*earliest).absolute_deadline;
+  shadow_.absolute_deadline = p.absolute_deadline;
+  shadow_.release = p.release;
+  shadow_.task = p.task;
+  shadow_.job = p.job;
 }
 
 std::optional<ParamSlot> IoPool::execute_shadow_slot() {

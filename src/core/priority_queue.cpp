@@ -18,7 +18,7 @@ std::optional<EntryHandle> HwPriorityQueue::insert(const workload::Job& job) {
         static_cast<EntryHandle>((next_free_hint_ + k) % entries_.size());
     if (!entries_[h].valid) {
       entries_[h].valid = true;
-      entries_[h].slot = ParamSlot{job.absolute_deadline, job.wcet,
+      entries_[h].slot = ParamSlot{job.absolute_deadline, job.wcet, job.wcet,
                                    job.release, job.vm, job.task, job.id,
                                    job.device, job.payload_bytes};
       next_free_hint_ = (h + 1) % static_cast<std::uint32_t>(entries_.size());

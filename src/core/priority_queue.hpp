@@ -29,6 +29,8 @@ inline constexpr EntryHandle kInvalidHandle = 0xffffffffu;
 struct ParamSlot {
   Slot absolute_deadline = 0;
   Slot remaining = 0;        ///< slots of service still needed
+  Slot total = 0;            ///< service demand at insertion (remaining ==
+                             ///< total until the first slot executes)
   Slot release = 0;
   VmId vm;
   TaskId task;

@@ -4,6 +4,16 @@
 
 namespace ioguard::core {
 
+namespace {
+
+/// Saturating slot delta for trace payloads (aux is 32-bit).
+std::uint32_t clamp_aux(Slot value) {
+  constexpr Slot kMax = 0xffffffffu;
+  return static_cast<std::uint32_t>(value < kMax ? value : kMax);
+}
+
+}  // namespace
+
 VirtManager::VirtManager(iodev::DeviceSpec device,
                          workload::TaskSet predefined,
                          sched::TimeSlotTable table,
@@ -24,19 +34,22 @@ VirtManager::VirtManager(iodev::DeviceSpec device,
         VmId{static_cast<std::uint32_t>(i)}, config.pool_capacity,
         config.dispatch_overhead_slots));
   shadow_snapshot_.resize(config.num_vms);
+  last_exposed_.resize(config.num_vms);
 }
 
 void VirtManager::trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
-                        JobId job) const {
+                        JobId job, std::uint32_t aux) const {
   if (!tracer_) return;
-  tracer_->record(TraceEvent{slot, kind, trace_device_, vm, task, job});
+  tracer_->record(TraceEvent{slot, kind, trace_device_, vm, task, job, aux});
 }
 
 bool VirtManager::submit(const workload::Job& job, Slot now) {
   IOGUARD_CHECK_MSG(job.vm.value < pools_.size(), "job from unknown VM");
   // Request translation happens on the access path; its bounded sub-slot
   // latency is tracked for calibration but does not consume a slot.
-  (void)request_translator_.translate();
+  const Cycle request_cycles = request_translator_.translate();
+  trace(now, TraceEventKind::kTranslate, job.vm, job.task, job.id,
+        static_cast<std::uint32_t>(request_cycles));
   const bool accepted = pools_[job.vm.value]->submit(job);
   trace(now, accepted ? TraceEventKind::kSubmit : TraceEventKind::kDrop,
         job.vm, job.task, job.id);
@@ -52,6 +65,10 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
           done->job.id);
     trace(now, TraceEventKind::kComplete, done->job.vm, done->job.task,
           done->job.id);
+    if (done->completed_at > done->job.absolute_deadline)
+      trace(now, TraceEventKind::kDeadlineMiss, done->job.vm, done->job.task,
+            done->job.id,
+            clamp_aux(done->completed_at - done->job.absolute_deadline));
     out.push_back(*done);
     return;
   }
@@ -67,6 +84,14 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
   for (std::size_t i = 0; i < pools_.size(); ++i) {
     pools_[i]->refresh_shadow();
     shadow_snapshot_[i] = pools_[i]->shadow();
+    // Edge-trigger a kShadowExpose whenever the exposed job changes (the
+    // L-Sched latching a new head into the shadow register).
+    if (tracer_ && shadow_snapshot_[i].valid &&
+        shadow_snapshot_[i].job != last_exposed_[i]) {
+      last_exposed_[i] = shadow_snapshot_[i].job;
+      trace(now, TraceEventKind::kShadowExpose, shadow_snapshot_[i].vm,
+            shadow_snapshot_[i].task, shadow_snapshot_[i].job);
+    }
   }
 
   // 3. ...and the G-Sched picks the slot's owner.
@@ -74,10 +99,18 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
   if (!winner) return;
 
   ++busy_slots_;
+  const ShadowRegister& granted = shadow_snapshot_[*winner];
   trace(now, TraceEventKind::kRchannelGrant,
-        VmId{static_cast<std::uint32_t>(*winner)}, TaskId{}, JobId{});
+        VmId{static_cast<std::uint32_t>(*winner)}, granted.task, granted.job);
+  if (tracer_ && granted.valid) {
+    const ParamSlot& p = pools_[*winner]->queue().params(granted.handle);
+    if (p.remaining == p.total)
+      trace(now, TraceEventKind::kDeviceBegin, granted.vm, granted.task,
+            granted.job);
+  }
   if (auto finished = pools_[*winner]->execute_shadow_slot()) {
-    (void)response_translator_.translate();  // pass-through response channel
+    // Pass-through response channel: bounded response translation.
+    const Cycle response_cycles = response_translator_.translate();
     ++runtime_jobs_completed_;
     iodev::Completion done;
     done.job.id = finished->job;
@@ -90,8 +123,14 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
     done.job.payload_bytes = finished->payload_bytes;
     done.enqueued_at = finished->release;
     done.completed_at = now + 1;
+    trace(now, TraceEventKind::kTranslate, done.job.vm, done.job.task,
+          done.job.id, static_cast<std::uint32_t>(response_cycles));
     trace(now, TraceEventKind::kComplete, done.job.vm, done.job.task,
           done.job.id);
+    if (done.completed_at > done.job.absolute_deadline)
+      trace(now, TraceEventKind::kDeadlineMiss, done.job.vm, done.job.task,
+            done.job.id,
+            clamp_aux(done.completed_at - done.job.absolute_deadline));
     out.push_back(done);
   }
 }

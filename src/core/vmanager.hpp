@@ -82,13 +82,14 @@ class VirtManager {
   RtTranslator request_translator_;
   RtTranslator response_translator_;
   std::vector<ShadowRegister> shadow_snapshot_;
+  std::vector<JobId> last_exposed_;  ///< per pool, for kShadowExpose edges
   Slot busy_slots_ = 0;
   std::uint64_t runtime_jobs_completed_ = 0;
   EventTrace* tracer_ = nullptr;
   DeviceId trace_device_;
 
-  void trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
-             JobId job) const;
+  void trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task, JobId job,
+             std::uint32_t aux = 0) const;
 };
 
 }  // namespace ioguard::core

@@ -33,6 +33,8 @@ std::optional<Completion> FifoController::tick_slot(Slot now) {
     done.job = current_->request.job;
     done.enqueued_at = current_->request.enqueued_at;
     done.completed_at = now + 1;
+    ++jobs_completed_;
+    bytes_completed_ += done.job.payload_bytes;
     current_.reset();
     return done;
   }

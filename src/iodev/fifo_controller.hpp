@@ -54,6 +54,12 @@ class FifoController {
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
   [[nodiscard]] bool idle() const { return queue_.empty() && !current_; }
 
+  /// Telemetry counters: completed jobs and their cumulative payload.
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] std::uint64_t bytes_completed() const {
+    return bytes_completed_;
+  }
+
  private:
   struct Active {
     Request request;
@@ -66,6 +72,8 @@ class FifoController {
   std::optional<Active> current_;
   Slot busy_slots_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t bytes_completed_ = 0;
 };
 
 }  // namespace ioguard::iodev

@@ -136,6 +136,16 @@ XY Mesh::xy_of(NodeId node) const {
             static_cast<int>(node.value) / config_.width};
 }
 
+const Router& Mesh::router(NodeId node) const {
+  IOGUARD_CHECK(node.value < node_count());
+  return *routers_[node.value];
+}
+
+const Nic& Mesh::nic(NodeId node) const {
+  IOGUARD_CHECK(node.value < node_count());
+  return *nics_[node.value];
+}
+
 void Mesh::send(Packet packet, Cycle now) {
   IOGUARD_CHECK(packet.src.value < node_count());
   IOGUARD_CHECK(packet.dst.value < node_count());

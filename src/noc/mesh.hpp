@@ -102,6 +102,10 @@ class Mesh : public sim::Tickable {
   [[nodiscard]] SampleSet& latencies() { return latencies_; }
   [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
 
+  /// Per-node router, for per-port/link telemetry counters.
+  [[nodiscard]] const Router& router(NodeId node) const;
+  [[nodiscard]] const Nic& nic(NodeId node) const;
+
  private:
   MeshConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;

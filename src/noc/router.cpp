@@ -19,6 +19,7 @@ void Link::put(Flit flit, Cycle now) {
   IOGUARD_CHECK_MSG(!flit_.has_value(), "link already carries a flit");
   flit_ = flit;
   flit_arrival_ = now + 1;
+  ++flits_carried_;
 }
 
 std::optional<Flit> Link::take(Cycle now) {
@@ -143,8 +144,12 @@ void Router::tick(Cycle now) {
     out.link->put(*popped, now);
     --out.credits;
     ++flits_routed_;
+    ++flits_by_port_[o];
     if (in.link) in.link->put_credit(now);  // freed one FIFO slot upstream
-    if (popped->tail) out.owner.reset();
+    if (popped->tail) {
+      ++packets_by_port_[o];
+      out.owner.reset();
+    }
   }
 }
 

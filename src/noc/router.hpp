@@ -45,8 +45,12 @@ class Link {
 
   [[nodiscard]] bool busy() const { return flit_.has_value(); }
 
+  /// Total flits this wire has carried (per-link telemetry counter).
+  [[nodiscard]] std::uint64_t flits_carried() const { return flits_carried_; }
+
  private:
   std::optional<Flit> flit_;
+  std::uint64_t flits_carried_ = 0;
   Cycle flit_arrival_ = 0;
   // Credits in flight: (arrival cycle, count) pairs collapse to two buckets
   // because latency is exactly one cycle.
@@ -96,6 +100,15 @@ class Router {
   [[nodiscard]] XY position() const { return pos_; }
   [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
 
+  /// Flits forwarded through output `port` (per-link load telemetry).
+  [[nodiscard]] std::uint64_t flits_routed(Port port) const {
+    return flits_by_port_[static_cast<std::size_t>(port)];
+  }
+  /// Whole packets (tail flits) forwarded through output `port`.
+  [[nodiscard]] std::uint64_t packets_routed(Port port) const {
+    return packets_by_port_[static_cast<std::size_t>(port)];
+  }
+
   /// True when all FIFOs are empty and no output is mid-packet.
   [[nodiscard]] bool idle() const;
 
@@ -120,6 +133,8 @@ class Router {
   std::vector<Input> inputs_;
   std::array<Output, kPortCount> outputs_;
   std::uint64_t flits_routed_ = 0;
+  std::array<std::uint64_t, kPortCount> flits_by_port_{};
+  std::array<std::uint64_t, kPortCount> packets_by_port_{};
 };
 
 }  // namespace ioguard::noc

@@ -1,13 +1,17 @@
 #include "system/runner.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <memory>
+#include <ostream>
 #include <queue>
+#include <string>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "iodev/fifo_controller.hpp"
 #include "system/stages.hpp"
+#include "telemetry/spans.hpp"
 
 namespace ioguard::sys {
 
@@ -35,6 +39,71 @@ struct Outcome {
   std::uint32_t payload = 0;
   std::uint32_t task = 0;
 };
+
+/// End-of-trial export into the caller's MetricsRegistry. Counters add up
+/// across trials sharing one registry; gauges keep the last trial's value.
+void fill_metrics(telemetry::MetricsRegistry& reg, const TrialConfig& config,
+                  const TrialResult& result, const core::Hypervisor* hyp,
+                  const std::vector<iodev::FifoController>& fifos) {
+  using telemetry::Labels;
+  const Labels sys_label{{"system", to_string(config.kind)}};
+
+  auto outcome = [&](const char* o) {
+    return Labels{{"system", to_string(config.kind)}, {"outcome", o}};
+  };
+  reg.counter("ioguard_trial_jobs_total", outcome("counted"))
+      .inc(result.jobs_counted);
+  reg.counter("ioguard_trial_jobs_total", outcome("on_time"))
+      .inc(result.jobs_on_time);
+  reg.counter("ioguard_trial_jobs_total", outcome("missed"))
+      .inc(result.misses);
+  reg.counter("ioguard_trial_jobs_total", outcome("critical_miss"))
+      .inc(result.critical_misses);
+  reg.counter("ioguard_trial_jobs_total", outcome("dropped"))
+      .inc(result.dropped);
+
+  reg.gauge("ioguard_trial_goodput_bytes_per_second", sys_label)
+      .set(result.goodput_bytes_per_s);
+  reg.gauge("ioguard_trial_device_busy_fraction", sys_label)
+      .set(result.device_busy_frac);
+  reg.gauge("ioguard_trial_admitted", sys_label)
+      .set(result.admitted ? 1.0 : 0.0);
+  reg.gauge("ioguard_trial_horizon_slots", sys_label)
+      .set(static_cast<double>(result.horizon));
+
+  if (hyp) {
+    for (std::size_t d = 0; d < hyp->device_count(); ++d) {
+      const auto& vm = hyp->manager(DeviceId{static_cast<std::uint32_t>(d)});
+      const std::string dev = std::to_string(d);
+      const Labels dev_label{{"device", dev}};
+      reg.counter("ioguard_device_busy_slots_total", dev_label)
+          .inc(vm.busy_slots());
+      reg.counter("ioguard_device_runtime_jobs_completed_total", dev_label)
+          .inc(vm.runtime_jobs_completed());
+      reg.counter("ioguard_translations_total", dev_label)
+          .inc(vm.request_translator().translations());
+      reg.gauge("ioguard_translation_worst_cycles", dev_label)
+          .set(static_cast<double>(vm.request_translator().worst_observed()));
+      for (std::size_t v = 0; v < vm.num_vms(); ++v) {
+        const Labels dv{{"device", dev}, {"vm", std::to_string(v)}};
+        reg.counter("ioguard_pool_dropped_total", dv).inc(vm.pool(v).dropped());
+        reg.counter("ioguard_gsched_granted_slots_total", dv)
+            .inc(static_cast<std::uint64_t>(vm.gsched().granted(v)));
+        reg.counter("ioguard_gsched_slack_slots_total", dv)
+            .inc(static_cast<std::uint64_t>(vm.gsched().slack_granted(v)));
+      }
+    }
+  }
+  for (std::size_t d = 0; d < fifos.size(); ++d) {
+    const Labels dev_label{{"device", std::to_string(d)}};
+    reg.counter("ioguard_fifo_jobs_completed_total", dev_label)
+        .inc(fifos[d].jobs_completed());
+    reg.counter("ioguard_fifo_bytes_completed_total", dev_label)
+        .inc(fifos[d].bytes_completed());
+    reg.counter("ioguard_fifo_rejected_total", dev_label)
+        .inc(fifos[d].rejected());
+  }
+}
 
 }  // namespace
 
@@ -100,6 +169,7 @@ TrialResult run_trial(const TrialConfig& config) {
     hc.translator.wcet_cycles = cal.translation_wcet_cycles;
     hyp = std::make_unique<core::Hypervisor>(wl, hc);
     result.admitted = hyp->fully_admitted();
+    if (config.trace) hyp->set_tracer(config.trace);
   } else {
     for (std::size_t d = 0; d < workload::kCaseStudyDeviceCount; ++d)
       fifos.emplace_back(cal.device_fifo_capacity,
@@ -287,7 +357,98 @@ TrialResult run_trial(const TrialConfig& config) {
   }
   result.device_busy_frac = static_cast<double>(busy) /
                             static_cast<double>(horizon * n_dev);
+
+  if (config.metrics) {
+    fill_metrics(*config.metrics, config, result, hyp.get(), fifos);
+    if (config.trace)
+      telemetry::register_span_metrics(*config.trace, *config.metrics);
+  }
   return result;
+}
+
+namespace {
+
+void json_kv(std::ostream& os, const char* key, double v, bool comma = true) {
+  os << "  \"" << key << "\": ";
+  if (v != v) {
+    os << "null";
+  } else {
+    os << v;
+  }
+  if (comma) os << ",";
+  os << "\n";
+}
+
+void json_kv(std::ostream& os, const char* key, std::uint64_t v,
+             bool comma = true) {
+  os << "  \"" << key << "\": " << v;
+  if (comma) os << ",";
+  os << "\n";
+}
+
+void json_stats(std::ostream& os, const char* key, const OnlineStats& s,
+                bool comma = true) {
+  os << "  \"" << key << "\": ";
+  if (s.count() == 0) {
+    os << "null";
+  } else {
+    os << "{\"count\": " << s.count() << ", \"mean\": " << s.mean()
+       << ", \"min\": " << s.min() << ", \"max\": " << s.max() << "}";
+  }
+  if (comma) os << ",";
+  os << "\n";
+}
+
+}  // namespace
+
+void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
+                              TrialResult& result) {
+  const auto prev_precision = os.precision(15);
+  os << "{\n";
+  os << "  \"system\": \"" << to_string(config.kind) << "\",\n";
+  json_kv(os, "num_vms", static_cast<std::uint64_t>(config.workload.num_vms));
+  json_kv(os, "target_utilization", config.workload.target_utilization);
+  json_kv(os, "preload_fraction", config.workload.preload_fraction);
+  json_kv(os, "trial_seed", config.trial_seed);
+  json_kv(os, "horizon_slots", static_cast<std::uint64_t>(result.horizon));
+  json_kv(os, "jobs_counted", result.jobs_counted);
+  json_kv(os, "jobs_on_time", result.jobs_on_time);
+  json_kv(os, "misses", result.misses);
+  json_kv(os, "critical_misses", result.critical_misses);
+  json_kv(os, "dropped", result.dropped);
+  json_kv(os, "goodput_bytes_per_s", result.goodput_bytes_per_s);
+  json_kv(os, "device_busy_frac", result.device_busy_frac);
+  os << "  \"admitted\": " << (result.admitted ? "true" : "false") << ",\n";
+  os << "  \"success\": " << (result.success() ? "true" : "false") << ",\n";
+
+  os << "  \"response_slots\": ";
+  if (result.response_slots.empty()) {
+    os << "null";
+  } else {
+    auto& r = result.response_slots;
+    os << "{\"count\": " << r.count() << ", \"mean\": " << r.mean()
+       << ", \"p50\": " << r.percentile(50.0)
+       << ", \"p95\": " << r.percentile(95.0)
+       << ", \"p99\": " << r.percentile(99.0) << ", \"max\": " << r.max()
+       << "}";
+  }
+  os << ",\n";
+
+  json_stats(os, "stage_issue_slots", result.stage_issue);
+  json_stats(os, "stage_vmm_slots", result.stage_vmm);
+  json_stats(os, "stage_transit_slots", result.stage_transit);
+  json_stats(os, "stage_backend_slots", result.stage_backend);
+
+  os << "  \"misses_by_task\": {";
+  bool first = true;
+  for (const auto& [task, count] : result.misses_by_task) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << task << "\": " << count;
+  }
+  os << "}\n";
+  os << "}\n";
+  os.precision(prev_precision);
 }
 
 }  // namespace ioguard::sys

@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/event_trace.hpp"
 #include "core/hypervisor.hpp"
 #include "system/config.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
@@ -29,6 +32,14 @@ struct TrialConfig {
   core::GschedPolicy gsched_policy = core::GschedPolicy::kServerEdf;
   bool collect_response_times = false;
   bool collect_stage_latencies = false;  ///< fill TrialResult::stage_*
+
+  // --- telemetry hooks (both off by default: zero overhead) ---------------
+  /// Attached to the hypervisor as its on-chip trace buffer (I/O-GUARD
+  /// back-end only; not owned).
+  core::EventTrace* trace = nullptr;
+  /// Filled with run counters/gauges/histograms at the end of the trial
+  /// (not owned; pass the same registry across trials to aggregate).
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrialResult {
@@ -60,5 +71,12 @@ struct TrialResult {
 
 /// Runs one trial. Deterministic in (config).
 TrialResult run_trial(const TrialConfig& config);
+
+/// Machine-readable run summary (one JSON object): configuration echo,
+/// outcome counters, and -- when collected -- response-time percentiles and
+/// the per-stage latency decomposition. `result` is non-const because exact
+/// percentile extraction sorts the sample set.
+void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
+                              TrialResult& result);
 
 }  // namespace ioguard::sys

@@ -1,0 +1,201 @@
+#include "telemetry/perfetto.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "telemetry/spans.hpp"
+
+namespace ioguard::telemetry {
+
+namespace {
+
+constexpr int kVmPid = 1;
+constexpr int kDevicePid = 2;
+
+/// Escapes a string for a JSON literal (all emitted names are ASCII).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  /// Starts one event object; caller appends fields via kv/raw, then end().
+  void begin() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "  {";
+    field_first_ = true;
+  }
+  void kv(const char* key, const std::string& value) {
+    sep();
+    os_ << '"' << key << "\":\"" << json_escape(value) << '"';
+  }
+  void kv(const char* key, double value) {
+    sep();
+    os_ << '"' << key << "\":" << value;
+  }
+  void kv(const char* key, std::uint64_t value) {
+    sep();
+    os_ << '"' << key << "\":" << value;
+  }
+  void kv(const char* key, int value) {
+    sep();
+    os_ << '"' << key << "\":" << value;
+  }
+  void raw(const char* key, const std::string& json) {
+    sep();
+    os_ << '"' << key << "\":" << json;
+  }
+  void end() { os_ << '}'; }
+
+ private:
+  void sep() {
+    if (!field_first_) os_ << ',';
+    field_first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+  bool field_first_ = true;
+};
+
+void write_thread_name(EventWriter& w, int pid, std::uint64_t tid,
+                       const std::string& name) {
+  w.begin();
+  w.kv("ph", std::string("M"));
+  w.kv("name", std::string("thread_name"));
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.raw("args", "{\"name\":\"" + json_escape(name) + "\"}");
+  w.end();
+}
+
+void write_process_name(EventWriter& w, int pid, const std::string& name) {
+  w.begin();
+  w.kv("ph", std::string("M"));
+  w.kv("name", std::string("process_name"));
+  w.kv("pid", pid);
+  w.kv("tid", std::uint64_t{0});
+  w.raw("args", "{\"name\":\"" + json_escape(name) + "\"}");
+  w.end();
+}
+
+}  // namespace
+
+void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
+                         const PerfettoOptions& options) {
+  const auto saved_precision = os.precision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter w(os);
+
+  // ---- Track metadata: one thread per VM, one per device. ----------------
+  std::set<std::uint32_t> vms, devices;
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::TraceEvent& e = trace.ordered(i);
+    if (e.vm.valid()) vms.insert(e.vm.value);
+    if (e.device.valid()) devices.insert(e.device.value);
+  }
+  write_process_name(w, kVmPid, options.process_vms);
+  write_process_name(w, kDevicePid, options.process_devices);
+  for (std::uint32_t vm : vms)
+    write_thread_name(w, kVmPid, vm, "VM " + std::to_string(vm));
+  for (std::uint32_t dev : devices)
+    write_thread_name(w, kDevicePid, dev, "device " + std::to_string(dev));
+
+  const double us = options.us_per_slot;
+
+  // ---- VM tracks: one complete ("X") event per finished job span. --------
+  for (const JobSpan& s : collect_spans(trace)) {
+    if (!s.vm.valid()) continue;
+    if (s.dropped || s.submit == kNeverSlot) continue;
+    if (!s.finished()) continue;
+    w.begin();
+    w.kv("ph", std::string("X"));
+    w.kv("name", "job " + std::to_string(s.job.value) + " (task " +
+                     std::to_string(s.task.value) + ")");
+    w.kv("cat", std::string(s.deadline_missed ? "job,missed" : "job"));
+    w.kv("pid", kVmPid);
+    w.kv("tid", std::uint64_t{s.vm.value});
+    w.kv("ts", static_cast<double>(s.submit) * us);
+    w.kv("dur", static_cast<double>(s.complete + 1 - s.submit) * us);
+    std::string args = "{\"device\":" + std::to_string(s.device.value);
+    if (s.expose != kNeverSlot)
+      args += ",\"shadow_expose_slot\":" + std::to_string(s.expose);
+    if (s.first_grant != kNeverSlot)
+      args += ",\"first_grant_slot\":" + std::to_string(s.first_grant);
+    if (s.deadline_missed)
+      args += ",\"lateness_slots\":" + std::to_string(s.lateness_slots);
+    args += '}';
+    w.raw("args", args);
+    w.end();
+  }
+
+  // ---- Device tracks: slot-aligned channel activity + instants. ----------
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::TraceEvent& e = trace.ordered(i);
+    const auto ts = static_cast<double>(e.slot) * us;
+    switch (e.kind) {
+      case core::TraceEventKind::kPchannelSlot:
+      case core::TraceEventKind::kRchannelGrant: {
+        const bool pch = e.kind == core::TraceEventKind::kPchannelSlot;
+        w.begin();
+        w.kv("ph", std::string("X"));
+        w.kv("name", pch ? std::string("P-channel")
+                         : "R-grant vm" + std::to_string(e.vm.value));
+        w.kv("cat", std::string(pch ? "pchannel" : "rchannel"));
+        w.kv("pid", kDevicePid);
+        w.kv("tid", std::uint64_t{e.device.value});
+        w.kv("ts", ts);
+        w.kv("dur", us);
+        w.end();
+        break;
+      }
+      case core::TraceEventKind::kDrop:
+      case core::TraceEventKind::kDeadlineMiss:
+      case core::TraceEventKind::kDemote: {
+        w.begin();
+        w.kv("ph", std::string("i"));
+        w.kv("s", std::string("t"));
+        w.kv("name", std::string(core::to_string(e.kind)) + " task " +
+                         std::to_string(e.task.value));
+        w.kv("cat", std::string("alert"));
+        w.kv("pid", kDevicePid);
+        w.kv("tid", std::uint64_t{e.device.value});
+        w.kv("ts", ts);
+        w.end();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  os << "\n]}\n";
+  os.precision(saved_precision);
+}
+
+}  // namespace ioguard::telemetry

@@ -1,0 +1,27 @@
+// Chrome trace_event / Perfetto JSON exporter for the hypervisor EventTrace.
+//
+// Produces the legacy "traceEvents" JSON array that ui.perfetto.dev and
+// chrome://tracing load directly: one track ("thread") per VM carrying the
+// reconstructed job spans, one track per device carrying the slot-aligned
+// channel activity (P-channel slots, R-channel grants), and instant events
+// for drops, deadline misses and demotions. Timestamps are microseconds
+// (slot * us_per_slot), matching the platform's 10 us slot width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/event_trace.hpp"
+
+namespace ioguard::telemetry {
+
+struct PerfettoOptions {
+  double us_per_slot = 10.0;  ///< 1 slot = 1000 cycles = 10 us at 100 MHz
+  std::string process_vms = "R-channel jobs";   ///< pid 1 display name
+  std::string process_devices = "Devices";      ///< pid 2 display name
+};
+
+void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
+                         const PerfettoOptions& options = {});
+
+}  // namespace ioguard::telemetry

@@ -1,0 +1,84 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace ioguard::telemetry {
+
+namespace {
+
+std::string fmt_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+/// Renders {a="x"} or, with an extra pair appended, {a="x",le="1"}.
+std::string label_block(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key + "=\"" + l.value + '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* type_name(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter: return "counter";
+    case MetricsRegistry::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  std::string current_family;
+  for (const auto& e : registry.entries()) {
+    if (e.name != current_family) {
+      current_family = e.name;
+      os << "# TYPE " << e.name << ' ' << type_name(e.kind) << '\n';
+    }
+    switch (e.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        os << e.name << label_block(e.labels) << ' ' << e.counter->value()
+           << '\n';
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        os << e.name << label_block(e.labels) << ' '
+           << fmt_value(e.gauge->value()) << '\n';
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const LatencyHistogram& h = *e.histogram;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i)
+          os << e.name << "_bucket"
+             << label_block(e.labels, "le", fmt_value(h.bounds()[i])) << ' '
+             << h.cumulative(i) << '\n';
+        os << e.name << "_bucket" << label_block(e.labels, "le", "+Inf")
+           << ' ' << h.count() << '\n';
+        os << e.name << "_sum" << label_block(e.labels) << ' '
+           << fmt_value(h.sum()) << '\n';
+        os << e.name << "_count" << label_block(e.labels) << ' ' << h.count()
+           << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ioguard::telemetry

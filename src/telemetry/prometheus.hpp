@@ -1,0 +1,16 @@
+// Prometheus text exposition (version 0.0.4) for a MetricsRegistry:
+// `# TYPE` headers, labelled samples, and the `_bucket`/`_sum`/`_count`
+// triplet with cumulative `le` buckets for histograms. Output is
+// deterministic (families sorted by name, series by label key) so CI can
+// diff it.
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+
+namespace ioguard::telemetry {
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace ioguard::telemetry

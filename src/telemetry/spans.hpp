@@ -1,0 +1,71 @@
+// Job-lifecycle spans: folds the hypervisor's EventTrace into per-job spans
+// (submit -> pool-enqueue -> shadow-expose -> grant/device-begin ->
+// complete/drop/deadline-miss) and per-stage latency views -- the Fig.-6
+// style software-overhead decomposition of the paper, measured instead of
+// estimated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ioguard::telemetry {
+
+/// The reconstructed lifecycle of one R-channel job. Timestamps are absolute
+/// slots; kNeverSlot marks a phase the job never reached (still queued when
+/// the run ended, or the event was overwritten in the ring).
+struct JobSpan {
+  JobId job;
+  TaskId task;
+  VmId vm;
+  DeviceId device;
+  Slot submit = kNeverSlot;        ///< accepted into its VM's I/O pool
+  Slot expose = kNeverSlot;        ///< first latched into the shadow register
+  Slot first_grant = kNeverSlot;   ///< first G-Sched grant for this job
+  Slot device_begin = kNeverSlot;  ///< first device slot of its service
+  Slot complete = kNeverSlot;      ///< event slot of completion (done at +1)
+  bool dropped = false;
+  bool deadline_missed = false;
+  std::uint32_t lateness_slots = 0;  ///< kDeadlineMiss aux, 0 when on time
+
+  [[nodiscard]] bool finished() const { return complete != kNeverSlot; }
+};
+
+/// Reconstructs spans from the trace, one per R-channel job seen (insertion
+/// order of their first event). Jobs whose submit fell off a saturated ring
+/// are reported with the phases that survived. P-channel slots carry no
+/// lifecycle and are not spanned.
+[[nodiscard]] std::vector<JobSpan> collect_spans(const core::EventTrace& trace);
+
+/// Per-stage latency decomposition over the finished spans, in slots.
+struct StageBreakdown {
+  SampleSet pool_wait;    ///< submit -> shadow-expose (queued behind the pool)
+  SampleSet shadow_wait;  ///< shadow-expose -> first grant (waiting for a slot)
+  SampleSet service;      ///< first device slot -> completion, inclusive
+  SampleSet total;        ///< submit -> completion
+  std::size_t finished_jobs = 0;
+  std::size_t unfinished_jobs = 0;
+  std::size_t dropped_jobs = 0;
+  std::size_t missed_jobs = 0;
+};
+
+[[nodiscard]] StageBreakdown fold_stages(const std::vector<JobSpan>& spans);
+
+/// Renders the breakdown as a p50/p95/max table (the Fig.-6 view).
+void print_stage_breakdown(std::ostream& os, StageBreakdown& breakdown,
+                           double us_per_slot = 10.0);
+
+/// Folds spans and raw event counts into `registry`:
+///   ioguard_stage_latency_slots{stage=...,device=...}   (histogram)
+///   ioguard_trace_events_total{kind=...}                (counter)
+///   ioguard_translation_cycles{device=...}              (histogram)
+///   ioguard_jobs_dropped_total / ioguard_deadline_misses_total{device=...}
+void register_span_metrics(const core::EventTrace& trace,
+                           MetricsRegistry& registry);
+
+}  // namespace ioguard::telemetry

@@ -162,6 +162,15 @@ TEST(OnlineStats, MeanVarianceMinMax) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(OnlineStats, EmptyExtremaAreNaN) {
+  OnlineStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
 TEST(OnlineStats, MergeMatchesSequential) {
   OnlineStats all, a, b;
   Rng r(17);

@@ -112,6 +112,29 @@ TEST_F(MeshFixture, LocalDeliveryWorks) {
   EXPECT_EQ(count, 1);
 }
 
+TEST_F(MeshFixture, PerLinkCountersFollowXyPath) {
+  Mesh mesh(cfg_);
+  mesh.set_delivery_handler(mesh.node_at(3, 2), [](const Packet&, Cycle) {});
+  Packet p;
+  p.src = mesh.node_at(0, 0);
+  p.dst = mesh.node_at(3, 2);
+  p.payload_bytes = 64;  // head + 4 body flits at the 16-byte flit size
+  mesh.send(p, 0);
+  run(mesh, 300);
+  ASSERT_TRUE(mesh.idle());
+  const auto flits = flits_for(64, 16);
+  // XY routing goes east along y=0 through x=0..2, turns south at (3,0).
+  EXPECT_EQ(mesh.router(mesh.node_at(0, 0)).flits_routed(Port::kEast), flits);
+  EXPECT_EQ(mesh.router(mesh.node_at(0, 0)).packets_routed(Port::kEast), 1u);
+  EXPECT_EQ(mesh.router(mesh.node_at(2, 0)).flits_routed(Port::kEast), flits);
+  EXPECT_EQ(mesh.router(mesh.node_at(3, 0)).flits_routed(Port::kSouth), flits);
+  EXPECT_EQ(mesh.router(mesh.node_at(3, 2)).flits_routed(Port::kLocal), flits);
+  EXPECT_EQ(mesh.router(mesh.node_at(3, 2)).packets_routed(Port::kLocal), 1u);
+  // A router off the XY path saw nothing.
+  EXPECT_EQ(mesh.router(mesh.node_at(4, 4)).flits_routed(), 0u);
+  EXPECT_EQ(mesh.nic(mesh.node_at(3, 2)).packets_received(), 1u);
+}
+
 TEST_F(MeshFixture, NoLossUnderRandomTraffic) {
   Mesh mesh(cfg_);
   Rng rng(99);

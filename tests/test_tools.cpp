@@ -2,7 +2,9 @@
 // task/trace CSV round-tripping.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
@@ -85,13 +87,80 @@ TEST(EventTrace, RingOverwritesOldest) {
   EXPECT_EQ(os.str().find("\n5,"), std::string::npos);
 }
 
-TEST(EventTrace, CsvHeaderAndRow) {
-  core::EventTrace trace(8);
-  trace.record(event(42, core::TraceEventKind::kRchannelGrant));
+TEST(EventTrace, OverwrittenAccountingAcrossWraps) {
+  core::EventTrace trace(3);
+  EXPECT_EQ(trace.overwritten(), 0u);
+  for (Slot s = 0; s < 3; ++s)
+    trace.record(event(s, core::TraceEventKind::kSubmit));
+  EXPECT_EQ(trace.overwritten(), 0u);  // exactly full: nothing lost yet
+  trace.record(event(3, core::TraceEventKind::kSubmit));
+  EXPECT_EQ(trace.overwritten(), 1u);
+  for (Slot s = 4; s < 10; ++s)
+    trace.record(event(s, core::TraceEventKind::kSubmit));
+  EXPECT_EQ(trace.overwritten(), 7u);  // 10 recorded - 3 kept
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(EventTrace, OrderedIsInsertionOrderAfterSaturation) {
+  core::EventTrace trace(4);
+  for (Slot s = 0; s < 11; ++s)  // head ends mid-ring, not at index 0
+    trace.record(event(s, core::TraceEventKind::kSubmit));
+  // ordered() must walk oldest -> newest across the wrap point: 7,8,9,10.
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace.ordered(i).slot, 7 + i);
+  // CSV dumps in the same oldest-first order.
   std::ostringstream os;
   trace.dump_csv(os);
-  EXPECT_NE(os.str().find("slot,kind,device,vm,task,job"), std::string::npos);
-  EXPECT_NE(os.str().find("42,rchannel_grant,0,1,2,3"), std::string::npos);
+  const std::string csv = os.str();
+  EXPECT_LT(csv.find("\n7,"), csv.find("\n8,"));
+  EXPECT_LT(csv.find("\n8,"), csv.find("\n9,"));
+  EXPECT_LT(csv.find("\n9,"), csv.find("\n10,"));
+}
+
+TEST(EventTrace, PerKindCountsSurviveOverwrite) {
+  core::EventTrace trace(2);
+  for (int i = 0; i < 5; ++i)
+    trace.record(event(i, core::TraceEventKind::kSubmit));
+  for (int i = 0; i < 3; ++i)
+    trace.record(event(5 + i, core::TraceEventKind::kComplete));
+  // Only 2 events survive in the ring, but the per-kind totals cover
+  // everything ever recorded.
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.count(core::TraceEventKind::kSubmit), 5u);
+  EXPECT_EQ(trace.count(core::TraceEventKind::kComplete), 3u);
+  trace.clear();
+  EXPECT_EQ(trace.count(core::TraceEventKind::kSubmit), 0u);
+  EXPECT_EQ(trace.overwritten(), 0u);
+}
+
+TEST(EventTrace, ToStringCoversEveryKind) {
+  ASSERT_EQ(core::all_trace_event_kinds().size(),
+            core::kTraceEventKindCount);
+  std::set<std::string> names;
+  for (auto kind : core::all_trace_event_kinds()) {
+    const std::string name = core::to_string(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find('?'), std::string::npos) << "unnamed kind";
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), core::kTraceEventKindCount);  // all distinct
+  EXPECT_EQ(std::string(core::to_string(core::TraceEventKind::kDeadlineMiss)),
+            "deadline_miss");
+  EXPECT_EQ(std::string(core::to_string(core::TraceEventKind::kDemote)),
+            "demote");
+}
+
+TEST(EventTrace, CsvHeaderAndRow) {
+  core::EventTrace trace(8);
+  core::TraceEvent e = event(42, core::TraceEventKind::kRchannelGrant);
+  e.aux = 17;
+  trace.record(e);
+  std::ostringstream os;
+  trace.dump_csv(os);
+  EXPECT_NE(os.str().find("slot,kind,device,vm,task,job,aux"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("42,rchannel_grant,0,1,2,3,17"), std::string::npos);
 }
 
 TEST(EventTrace, HypervisorEmitsEvents) {
