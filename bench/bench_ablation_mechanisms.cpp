@@ -11,7 +11,9 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 
@@ -27,11 +29,13 @@ struct Variant {
   core::GschedPolicy policy;
 };
 
-void print_ablation() {
+BatchTiming print_ablation(std::size_t jobs) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
       static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
+  const auto base_seed =
+      static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
 
   const std::vector<Variant> variants = {
       {"Legacy(NoC+FIFO)", SystemKind::kLegacy, 0.0,
@@ -55,21 +59,32 @@ void print_ablation() {
   for (double u : utils) header.push_back(fmt_double(u * 100, 0) + "%");
   TextTable table(header);
 
+  ParallelRunner runner(jobs);
+  BatchTiming timing;
   for (const auto& v : variants) {
     std::vector<std::string> row{v.label};
     for (double util : utils) {
+      BatchTiming batch;
+      // Seeds depend on (base, sweep point, t) only -- every variant sees
+      // the same workloads, so rows differ by mechanism, not by luck.
+      const auto results = runner.run_trials(
+          trials,
+          [&](std::size_t t) {
+            TrialConfig tc;
+            tc.kind = v.kind;
+            tc.workload.num_vms = 8;
+            tc.workload.target_utilization = util;
+            tc.workload.preload_fraction = v.preload;
+            tc.gsched_policy = v.policy;
+            tc.min_jobs_per_task = min_jobs;
+            tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
+            return tc;
+          },
+          /*metrics=*/nullptr, &batch);
       std::size_t successes = 0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        TrialConfig tc;
-        tc.kind = v.kind;
-        tc.workload.num_vms = 8;
-        tc.workload.target_utilization = util;
-        tc.workload.preload_fraction = v.preload;
-        tc.gsched_policy = v.policy;
-        tc.min_jobs_per_task = min_jobs;
-        tc.trial_seed = 42 * 7919ULL + t;
-        if (run_trial(tc).success()) ++successes;
-      }
+      for (const auto& r : results)
+        if (r.success()) ++successes;
+      timing.accumulate(batch);
       row.push_back(
           fmt_double(static_cast<double>(successes) / trials, 2));
     }
@@ -77,6 +92,7 @@ void print_ablation() {
   }
   table.render(std::cout);
   std::cout << '\n';
+  return timing;
 }
 
 void BM_AblationTrial(benchmark::State& state) {
@@ -97,7 +113,11 @@ BENCHMARK(BM_AblationTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation();
+  const auto timing = print_ablation(bench::parse_jobs_flag(&argc, argv));
+  bench::BenchReport report("ablation_mechanisms");
+  report.set_jobs(timing.jobs);
+  report.add_stage("mechanism_grid", timing);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,7 +6,9 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 
@@ -15,11 +17,13 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-void print_sweep() {
+BatchTiming print_sweep(std::size_t jobs) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
       static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
+  const auto base_seed =
+      static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
   const std::vector<double> preloads = {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 1.0};
   const std::vector<double> utils = {0.7, 0.85, 1.0};
 
@@ -31,24 +35,33 @@ void print_sweep() {
   header.push_back("goodput@100% (Mbit/s)");
   TextTable table(header);
 
+  ParallelRunner runner(jobs);
+  BatchTiming timing;
   for (double x : preloads) {
     std::vector<std::string> row{fmt_double(x * 100, 0) + "%"};
     double goodput_at_full = 0.0;
     for (double util : utils) {
+      BatchTiming batch;
+      const auto results = runner.run_trials(
+          trials,
+          [&](std::size_t t) {
+            TrialConfig tc;
+            tc.kind = SystemKind::kIoGuard;
+            tc.workload.num_vms = 8;
+            tc.workload.target_utilization = util;
+            tc.workload.preload_fraction = x;
+            tc.min_jobs_per_task = min_jobs;
+            tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
+            return tc;
+          },
+          /*metrics=*/nullptr, &batch);
       std::size_t successes = 0;
       double goodput = 0.0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        TrialConfig tc;
-        tc.kind = SystemKind::kIoGuard;
-        tc.workload.num_vms = 8;
-        tc.workload.target_utilization = util;
-        tc.workload.preload_fraction = x;
-        tc.min_jobs_per_task = min_jobs;
-        tc.trial_seed = 42 * 7919ULL + t;
-        const auto r = run_trial(tc);
+      for (const auto& r : results) {
         if (r.success()) ++successes;
         goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
       }
+      timing.accumulate(batch);
       row.push_back(fmt_double(static_cast<double>(successes) / trials, 2));
       if (util == 1.0) goodput_at_full = goodput / trials;
     }
@@ -58,6 +71,7 @@ void print_sweep() {
   table.render(std::cout);
   std::cout << "paper (Obs 3): higher preload fraction => higher success "
                "ratio and throughput, lower variance\n\n";
+  return timing;
 }
 
 void BM_PreloadTrial(benchmark::State& state) {
@@ -79,7 +93,11 @@ BENCHMARK(BM_PreloadTrial)->Arg(0)->Arg(40)->Arg(70)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_sweep();
+  const auto timing = print_sweep(bench::parse_jobs_flag(&argc, argv));
+  bench::BenchReport report("ablation_preload");
+  report.set_jobs(timing.jobs);
+  report.add_stage("preload_sweep", timing);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

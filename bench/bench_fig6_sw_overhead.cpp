@@ -8,8 +8,10 @@
 // a forwarding stub.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "system/sw_footprint.hpp"
 
@@ -63,7 +65,16 @@ BENCHMARK(BM_FootprintModel);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_jobs_flag(&argc, argv);  // accepted for uniformity; analytic
+  const auto t0 = std::chrono::steady_clock::now();
   print_figure6();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  bench::BenchReport report("fig6_sw_overhead");
+  report.add_stage_seconds("footprint_tables", wall);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

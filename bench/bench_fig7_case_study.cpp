@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
@@ -21,16 +22,17 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-ExperimentConfig experiment_config() {
+ExperimentConfig experiment_config(std::size_t jobs) {
   ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   cfg.min_jobs_per_task =
       static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
   cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
+  cfg.jobs = jobs;
   return cfg;
 }
 
-void print_group(std::size_t num_vms, const ExperimentConfig& cfg) {
+BatchTiming print_group(std::size_t num_vms, const ExperimentConfig& cfg) {
   const auto systems = figure7_systems();
   const auto sweep = utilization_sweep();
 
@@ -42,11 +44,12 @@ void print_group(std::size_t num_vms, const ExperimentConfig& cfg) {
   TextTable success(header);
   TextTable throughput(header);
 
+  BatchTiming timing;
   for (double util : sweep) {
     std::vector<std::string> srow{fmt_double(util * 100, 0) + "%"};
     std::vector<std::string> trow = srow;
     for (const auto& s : systems) {
-      const auto p = run_point(s, num_vms, util, cfg);
+      const auto p = run_point(s, num_vms, util, cfg, &timing);
       srow.push_back(fmt_double(p.success_ratio(), 2));
       trow.push_back(fmt_double(p.goodput_mbps.mean(), 1));
     }
@@ -58,6 +61,7 @@ void print_group(std::size_t num_vms, const ExperimentConfig& cfg) {
             << " VMs ===\n";
   throughput.render(std::cout);
   std::cout << '\n';
+  return timing;
 }
 
 void BM_TrialLegacy(benchmark::State& state) {
@@ -92,9 +96,20 @@ BENCHMARK(BM_TrialIoGuard)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cfg = experiment_config();
-  print_group(4, cfg);
-  print_group(8, cfg);
+  const auto cfg = experiment_config(bench::parse_jobs_flag(&argc, argv));
+
+  bench::BenchReport report("fig7_case_study");
+  const auto t4 = print_group(4, cfg);
+  const auto t8 = print_group(8, cfg);
+  report.set_jobs(t4.jobs);
+  report.add_stage("fig7_4vm", t4);
+  report.add_stage("fig7_8vm", t8);
+  std::cout << "trial fan-out: jobs=" << t4.jobs << ", "
+            << fmt_double(t4.trials_per_second(), 1) << " trials/s, speedup "
+            << fmt_double(t4.speedup_estimate(), 2) << "x (4 VMs)\n";
+  const auto path = report.write();
+  if (!path.empty()) std::cout << "report: " << path << "\n\n";
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,12 +2,18 @@
 //   (a) normalized area consumption, BS|Legacy vs I/O-GUARD
 //   (b) power consumption
 //   (c) maximum frequency of the hypervisor vs the legacy router fabric
+// Plus a simulated companion sweep: full-system trials at each VM count,
+// fanned out over --jobs threads (this is the parallel-runner smoke bench:
+// CI checks its BENCH json for throughput and speedup).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_json.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "hwmodel/scaling.hpp"
+#include "system/experiment.hpp"
 
 namespace {
 
@@ -48,6 +54,38 @@ void print_figure8() {
                "(never the critical path)\n\n";
 }
 
+/// Simulated scalability: success ratio and goodput of I/O-GUARD-70 as the
+/// VM count doubles, `trials` full-system trials per point fanned out over
+/// the requested worker width. Aggregates are bit-identical for any jobs
+/// value (see DESIGN.md, "Determinism contract"); only the timing varies.
+sys::BatchTiming print_simulated_sweep(std::size_t jobs) {
+  sys::ExperimentConfig cfg;
+  cfg.trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
+  cfg.min_jobs_per_task =
+      static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
+  cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
+  cfg.jobs = jobs;
+  const sys::EvaluatedSystem system{sys::SystemKind::kIoGuard, 0.7,
+                                    "I/O-GUARD-70"};
+
+  sys::BatchTiming timing;
+  std::cout << "=== Figure 8 companion: simulated trials vs VM count ("
+            << cfg.trials << " trials/point) ===\n";
+  TextTable table({"VMs", "success", "goodput_mbps", "busy"});
+  for (std::size_t vms = 2; vms <= 16; vms *= 2) {
+    const auto p = sys::run_point(system, vms, 0.7, cfg, &timing);
+    table.add(vms, fmt_double(p.success_ratio(), 2),
+              fmt_double(p.goodput_mbps.mean(), 1),
+              fmt_double(p.busy_frac.mean(), 2));
+  }
+  table.render(std::cout);
+  std::cout << "trial fan-out: jobs=" << timing.jobs << ", "
+            << fmt_double(timing.trials_per_second(), 1)
+            << " trials/s, speedup "
+            << fmt_double(timing.speedup_estimate(), 2) << "x\n\n";
+  return timing;
+}
+
 void BM_ScalingPoint(benchmark::State& state) {
   const auto eta = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(scaling_point(eta).ioguard.luts);
@@ -57,7 +95,16 @@ BENCHMARK(BM_ScalingPoint)->DenseRange(0, 5);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t jobs = bench::parse_jobs_flag(&argc, argv);
   print_figure8();
+  const auto timing = print_simulated_sweep(jobs);
+
+  bench::BenchReport report("fig8_scalability");
+  report.set_jobs(timing.jobs);
+  report.add_stage("simulated_vm_sweep", timing);
+  const auto path = report.write();
+  if (!path.empty()) std::cout << "report: " << path << "\n\n";
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

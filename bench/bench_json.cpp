@@ -1,0 +1,105 @@
+#include "bench_json.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace ioguard::bench {
+
+std::size_t parse_jobs_flag(int* argc, char** argv) {
+  std::size_t jobs = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return jobs;
+}
+
+void BenchReport::add_stage(const std::string& stage,
+                            const sys::BatchTiming& timing) {
+  Stage s;
+  s.name = stage;
+  s.has_batch = true;
+  s.timing = timing;
+  stages_.push_back(std::move(s));
+}
+
+void BenchReport::add_stage_seconds(const std::string& stage,
+                                    double wall_seconds) {
+  Stage s;
+  s.name = stage;
+  s.wall_seconds = wall_seconds;
+  stages_.push_back(std::move(s));
+}
+
+std::string BenchReport::write() const {
+  const std::string dir = env_string("IOGUARD_BENCH_OUT", ".");
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench: cannot write " << path << " (skipping report)\n";
+    return {};
+  }
+  os.precision(9);
+
+  // Batch totals across fan-out stages.
+  sys::BatchTiming total;
+  bool any_batch = false;
+  for (const auto& s : stages_)
+    if (s.has_batch) {
+      total.accumulate(s.timing);
+      any_batch = true;
+    }
+
+  os << "{\n";
+  os << "  \"bench\": \"" << name_ << "\",\n";
+  os << "  \"jobs\": " << jobs_ << ",\n";
+  os << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& s = stages_[i];
+    os << "    {\"name\": \"" << s.name << "\"";
+    if (s.has_batch) {
+      const auto& t = s.timing;
+      os << ", \"trials\": " << t.trials
+         << ", \"wall_seconds\": " << t.wall_seconds
+         << ", \"trial_seconds_sum\": " << t.trial_seconds_sum
+         << ", \"trials_per_second\": " << t.trials_per_second()
+         << ", \"speedup_estimate\": " << t.speedup_estimate();
+      if (t.trial_seconds.count() > 0)
+        os << ", \"trial_seconds_mean\": " << t.trial_seconds.mean()
+           << ", \"trial_seconds_max\": " << t.trial_seconds.max();
+    } else {
+      os << ", \"wall_seconds\": " << s.wall_seconds;
+    }
+    os << "}" << (i + 1 < stages_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"totals\": {";
+  if (any_batch) {
+    os << "\"trials\": " << total.trials
+       << ", \"wall_seconds\": " << total.wall_seconds
+       << ", \"trial_seconds_sum\": " << total.trial_seconds_sum
+       << ", \"trials_per_second\": " << total.trials_per_second()
+       << ", \"speedup_estimate\": " << total.speedup_estimate();
+  } else {
+    double wall = 0.0;
+    for (const auto& s : stages_) wall += s.wall_seconds;
+    os << "\"trials\": 0, \"wall_seconds\": " << wall
+       << ", \"trial_seconds_sum\": 0, \"trials_per_second\": 0"
+       << ", \"speedup_estimate\": 1";
+  }
+  os << "}\n";
+  os << "}\n";
+  return path;
+}
+
+}  // namespace ioguard::bench

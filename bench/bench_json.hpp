@@ -1,0 +1,57 @@
+// Machine-readable benchmark reports.
+//
+// Every experiment driver that fans trials out through ParallelRunner emits
+// one BENCH_<name>.json next to its table output, so CI (and humans) can
+// check throughput and parallel speedup without scraping stdout. The file
+// lands in $IOGUARD_BENCH_OUT (default: current directory) and is validated
+// by scripts/check_bench.py.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "system/parallel.hpp"
+
+namespace ioguard::bench {
+
+/// Extracts a leading `--jobs=N` from argv before benchmark::Initialize
+/// sees it (Google Benchmark aborts on unknown flags). Returns N, or 0
+/// ("use default_jobs(): IOGUARD_JOBS env or hardware concurrency") when
+/// the flag is absent.
+std::size_t parse_jobs_flag(int* argc, char** argv);
+
+/// Collects per-stage timing of one benchmark run and writes it as
+/// BENCH_<name>.json. Stages either carry full fan-out accounting (a
+/// BatchTiming) or just a wall-clock figure for analytic phases.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_jobs(std::size_t jobs) { jobs_ = jobs; }
+
+  /// Records a trial fan-out stage (trials/sec + speedup derivable).
+  void add_stage(const std::string& stage, const sys::BatchTiming& timing);
+
+  /// Records an analytic/serial stage where only wall time is meaningful.
+  void add_stage_seconds(const std::string& stage, double wall_seconds);
+
+  /// Writes BENCH_<name>.json into $IOGUARD_BENCH_OUT (default ".").
+  /// Returns the path written, or an empty string on I/O failure (benches
+  /// must not fail the run because a results directory is read-only).
+  std::string write() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    bool has_batch = false;
+    sys::BatchTiming timing;     ///< valid when has_batch
+    double wall_seconds = 0.0;   ///< valid when !has_batch
+  };
+
+  std::string name_;
+  std::size_t jobs_ = 1;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace ioguard::bench

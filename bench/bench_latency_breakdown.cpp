@@ -7,7 +7,9 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 
@@ -16,27 +18,40 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-void print_breakdown() {
+BatchTiming print_breakdown(std::size_t jobs) {
   const auto trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 4));
+  const auto base_seed =
+      static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
   constexpr double kUsPerSlot = 10.0;
 
+  ParallelRunner runner(jobs);
+  BatchTiming timing;
   for (double util : {0.5, 0.9}) {
     std::cout << "=== Request-path latency breakdown (us), 8 VMs, "
               << fmt_double(util * 100, 0) << "% utilization ===\n";
     TextTable table({"system", "sw issue", "VMM", "transit",
                      "backend (queue+serve)", "total"});
     for (const auto& system : figure7_systems()) {
+      BatchTiming batch;
+      const auto results = runner.run_trials(
+          trials,
+          [&](std::size_t t) {
+            TrialConfig tc;
+            tc.kind = system.kind;
+            tc.workload.num_vms = 8;
+            tc.workload.target_utilization = util;
+            tc.workload.preload_fraction = system.preload_fraction;
+            tc.min_jobs_per_task = 15;
+            tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
+            tc.collect_stage_latencies = true;
+            return tc;
+          },
+          /*metrics=*/nullptr, &batch);
+      timing.accumulate(batch);
+      // Merge per-trial stage stats in trial-index order (deterministic for
+      // any jobs value).
       OnlineStats issue, vmm, transit, backend;
-      for (std::size_t t = 0; t < trials; ++t) {
-        TrialConfig tc;
-        tc.kind = system.kind;
-        tc.workload.num_vms = 8;
-        tc.workload.target_utilization = util;
-        tc.workload.preload_fraction = system.preload_fraction;
-        tc.min_jobs_per_task = 15;
-        tc.trial_seed = 42 * 7919ULL + t;
-        tc.collect_stage_latencies = true;
-        const auto r = run_trial(tc);
+      for (const auto& r : results) {
         issue.merge(r.stage_issue);
         vmm.merge(r.stage_vmm);
         transit.merge(r.stage_transit);
@@ -58,6 +73,7 @@ void print_breakdown() {
   std::cout << "(I/O-GUARD's path collapses to the dedicated link + the "
                "preemptively scheduled back-end; P-channel jobs bypass the "
                "request path entirely and are not in these averages)\n\n";
+  return timing;
 }
 
 void BM_InstrumentedTrial(benchmark::State& state) {
@@ -78,7 +94,11 @@ BENCHMARK(BM_InstrumentedTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_breakdown();
+  const auto timing = print_breakdown(bench::parse_jobs_flag(&argc, argv));
+  bench::BenchReport report("latency_breakdown");
+  report.set_jobs(timing.jobs);
+  report.add_stage("breakdown_grid", timing);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

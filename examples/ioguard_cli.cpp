@@ -2,7 +2,8 @@
 // automotive case-study workload with one command.
 //
 //   $ ./build/examples/ioguard_cli --system=ioguard --vms=8 --util=0.9
-//         --preload=0.7 --trials=10 --seed=1 [--export-tasks=tasks.csv]
+//         --preload=0.7 --trials=10 --seed=1 --jobs=4
+//         [--export-tasks=tasks.csv]
 //
 // Systems: legacy | rtxen | bv | ioguard.
 #include <filesystem>
@@ -11,6 +12,7 @@
 
 #include "analysis/artifact_builder.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 #include "telemetry/perfetto.hpp"
@@ -46,6 +48,10 @@ int main(int argc, char** argv) {
         << "  --trials=N                         repetitions (10)\n"
         << "  --min-jobs=N                       jobs per task (25)\n"
         << "  --seed=N                           base seed (42)\n"
+        << "  --jobs=N                           worker threads; 0 = auto\n"
+        << "                                     (IOGUARD_JOBS env or cores).\n"
+        << "                                     Results are identical for\n"
+        << "                                     any value (1 = sequential)\n"
         << "  --export-tasks=FILE                dump the task set CSV\n"
         << "  --telemetry-out=DIR                write trace.perfetto.json\n"
         << "                                     (trial 0), metrics.prom\n"
@@ -64,10 +70,19 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 10));
   const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
 
+  // Trial t's seed, shared with the batch experiment drivers: depends only
+  // on (base seed, sweep point, t), never on jobs or execution order.
+  const auto seed_of = [&](std::size_t t) {
+    return mix_seed(seed, sweep_point_key(vms, util), t);
+  };
+
+  ParallelRunner runner(jobs);
   std::cout << "system=" << to_string(kind) << " vms=" << vms
             << " util=" << fmt_double(util, 2) << " preload="
-            << fmt_double(preload, 2) << " trials=" << trials << "\n\n";
+            << fmt_double(preload, 2) << " trials=" << trials
+            << " jobs=" << runner.jobs() << "\n\n";
 
   if (args.has("verify")) {
     // Static preflight (ioguard-verify): refuse to burn trial time on
@@ -76,7 +91,7 @@ int main(int argc, char** argv) {
     vcfg.num_vms = vms;
     vcfg.target_utilization = util;
     vcfg.preload_fraction = preload;
-    vcfg.seed = seed * 7919ULL * 1000003ULL + 17;  // trial-0 workload seed
+    vcfg.seed = seed_of(0) * 1000003ULL + 17;  // trial-0 workload seed
     const auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
     if (!report.ok()) {
       report.render_text(std::cerr);
@@ -106,34 +121,36 @@ int main(int argc, char** argv) {
   }
   core::EventTrace events(1 << 20);
   telemetry::MetricsRegistry metrics;
-  TrialConfig summary_config;
-  TrialResult summary_result;
 
-  TextTable table({"trial", "success", "counted", "crit misses", "dropped",
-                   "goodput Mbit/s", "busy", "admitted"});
-  std::size_t successes = 0;
-  double goodput = 0.0;
-  for (std::size_t t = 0; t < trials; ++t) {
+  // Fan the trials out. The event trace and the per-trial summary cover
+  // trial 0 only (one trace buffer, one attached trial); the registry is
+  // merged across all trials in index order.
+  const auto make_config = [&](std::size_t t) {
     TrialConfig tc;
     tc.kind = kind;
     tc.workload.num_vms = vms;
     tc.workload.target_utilization = util;
     tc.workload.preload_fraction = preload;
     tc.min_jobs_per_task = min_jobs;
-    tc.trial_seed = seed * 7919ULL + t;
-    if (telemetry_on) {
-      tc.metrics = &metrics;
-      if (t == 0) {
-        tc.trace = &events;
-        tc.collect_response_times = true;
-        tc.collect_stage_latencies = true;
-      }
-    }
-    const auto r = run_trial(tc);
+    tc.trial_seed = seed_of(t);
     if (telemetry_on && t == 0) {
-      summary_config = tc;
-      summary_result = r;
+      tc.trace = &events;
+      tc.collect_response_times = true;
+      tc.collect_stage_latencies = true;
     }
+    return tc;
+  };
+
+  BatchTiming timing;
+  const auto results = runner.run_trials(
+      trials, make_config, telemetry_on ? &metrics : nullptr, &timing);
+
+  TextTable table({"trial", "success", "counted", "crit misses", "dropped",
+                   "goodput Mbit/s", "busy", "admitted"});
+  std::size_t successes = 0;
+  double goodput = 0.0;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const TrialResult& r = results[t];
     if (r.success()) ++successes;
     goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
     table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
@@ -141,23 +158,27 @@ int main(int argc, char** argv) {
               fmt_double(r.goodput_bytes_per_s * 8.0 / 1e6, 1),
               fmt_double(r.device_busy_frac, 3),
               std::string(r.admitted ? "yes" : "no"));
+  }
 
-    if (t == 0 && args.has("export-tasks")) {
-      auto wcfg = tc.workload;
-      if (kind != SystemKind::kIoGuard) wcfg.preload_fraction = 0.0;
-      wcfg.seed = tc.trial_seed * 1000003ULL + 17;
-      const auto wl = workload::build_case_study(wcfg);
-      std::ofstream out(args.get("export-tasks", "tasks.csv"));
-      workload::write_taskset_csv(out, wl.tasks);
-      std::cout << "task set written to "
-                << args.get("export-tasks", "tasks.csv") << "\n";
-    }
+  if (args.has("export-tasks") && trials > 0) {
+    auto wcfg = make_config(0).workload;
+    if (kind != SystemKind::kIoGuard) wcfg.preload_fraction = 0.0;
+    wcfg.seed = seed_of(0) * 1000003ULL + 17;
+    const auto wl = workload::build_case_study(wcfg);
+    std::ofstream out(args.get("export-tasks", "tasks.csv"));
+    workload::write_taskset_csv(out, wl.tasks);
+    std::cout << "task set written to "
+              << args.get("export-tasks", "tasks.csv") << "\n";
   }
   table.render(std::cout);
   std::cout << "\nsuccess ratio "
             << fmt_double(static_cast<double>(successes) / trials, 2)
             << ", mean goodput " << fmt_double(goodput / trials, 1)
-            << " Mbit/s\n";
+            << " Mbit/s\n"
+            << fmt_double(timing.trials_per_second(), 1)
+            << " trials/s on " << timing.jobs << " worker(s), speedup "
+            << fmt_double(timing.speedup_estimate(), 2)
+            << "x over sequential\n";
 
   if (telemetry_on) {
     const std::filesystem::path& dir = telemetry_dir;
@@ -172,9 +193,9 @@ int main(int argc, char** argv) {
       telemetry::write_prometheus(out, metrics);
       write_ok &= static_cast<bool>(out);
     }
-    {
+    if (!results.empty()) {
       std::ofstream out(dir / "summary.json");
-      write_trial_summary_json(out, summary_config, summary_result);
+      write_trial_summary_json(out, make_config(0), results[0]);
       write_ok &= static_cast<bool>(out);
     }
     if (!write_ok) {

@@ -11,6 +11,31 @@
 
 namespace ioguard {
 
+/// One splitmix64 output step (Steele, Lea & Flood): a full-avalanche
+/// 64-bit mix. Exposed for seed derivation; Rng seeding uses the same
+/// function through its streaming form.
+[[nodiscard]] constexpr std::uint64_t splitmix64_step(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a trial seed from (base_seed, stream, index) by chained
+/// splitmix64 rounds. Every bit of every component avalanches into the
+/// result, unlike affine schemes (base * K + t) where nearby (base, t)
+/// pairs collide: base and base - K produce overlapping seed sequences.
+/// Used as mix_seed(base_seed, sweep_point, trial_index) by the experiment
+/// drivers -- see DESIGN.md (determinism contract).
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t base,
+                                               std::uint64_t stream = 0,
+                                               std::uint64_t index = 0) {
+  std::uint64_t x = splitmix64_step(base);
+  x = splitmix64_step(x ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  x = splitmix64_step(x ^ (0xbf58476d1ce4e5b9ULL * (index + 1)));
+  return x;
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
 class Rng {
  public:
@@ -103,10 +128,9 @@ class Rng {
 
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) {
-    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    const std::uint64_t z = splitmix64_step(x);
+    x += 0x9e3779b97f4a7c15ULL;
+    return z;
   }
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -39,6 +39,13 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+void SampleSet::merge(const SampleSet& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 void SampleSet::ensure_sorted() {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -58,6 +65,24 @@ double SampleSet::percentile(double p) {
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
 }
 
+double SampleSet::percentile(double p) const {
+  IOGUARD_CHECK(!samples_.empty());
+  IOGUARD_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  std::vector<double> scratch = samples_;
+  const auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), nth, scratch.end());
+  const double at_lo = *nth;
+  if (lo + 1 >= scratch.size() || frac == 0.0) return at_lo;
+  // The (lo+1)-th order statistic is the minimum of the tail after
+  // nth_element partitioned around lo.
+  const double at_hi = *std::min_element(nth + 1, scratch.end());
+  return at_lo * (1.0 - frac) + at_hi * frac;
+}
+
 double SampleSet::mean() const {
   if (samples_.empty()) return 0.0;
   double s = 0.0;
@@ -71,10 +96,20 @@ double SampleSet::min() {
   return samples_.front();
 }
 
+double SampleSet::min() const {
+  IOGUARD_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
 double SampleSet::max() {
   IOGUARD_CHECK(!samples_.empty());
   ensure_sorted();
   return samples_.back();
+}
+
+double SampleSet::max() const {
+  IOGUARD_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -44,15 +44,25 @@ class SampleSet {
   void add(double x) { samples_.push_back(x); sorted_ = false; }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
+  /// Appends every sample of `other` (parallel-reduction building block;
+  /// merging in trial-index order reproduces the sequential insert order).
+  void merge(const SampleSet& other);
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
   /// Exact percentile by linear interpolation; p in [0, 100].
+  /// The non-const overload sorts in place (cheapest when the caller owns
+  /// the set); the const overload leaves the set untouched, extracting the
+  /// neighbouring order statistics via nth_element on a scratch copy.
   [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() { return percentile(50.0); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min();
+  [[nodiscard]] double min() const;
   [[nodiscard]] double max();
+  [[nodiscard]] double max() const;
 
  private:
   void ensure_sorted();

@@ -1,0 +1,122 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace ioguard {
+
+std::size_t default_jobs() {
+  const auto env = env_int("IOGUARD_JOBS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// One parallel_for invocation. Heap-allocated and shared with every worker
+/// that participates, so its lifetime outlasts any late wakeup.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;  ///< guarded by mutex
+  std::exception_ptr first_error;
+
+  /// Claims and runs indices until the counter is exhausted; reports the
+  /// per-executor tally so `completed` reaches n exactly once.
+  void run() {
+    std::size_t ran = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ++ran;
+    }
+    if (ran > 0) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      completed += ran;
+      if (completed == n) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  workers_.reserve(jobs - 1);
+  for (std::size_t i = 0; i + 1 < jobs; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Batch> seen;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || current_ != seen; });
+      if (shutdown_) return;
+      seen = current_;
+      batch = current_;
+    }
+    if (batch) batch->run();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline fast path: a 1-job pool is exactly a sequential loop.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    IOGUARD_CHECK_MSG(current_ == nullptr || current_->next.load() >= current_->n,
+                      "ThreadPool::parallel_for is not reentrant");
+    current_ = batch;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread participates instead of idling.
+  batch->run();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done_cv.wait(lock, [&] { return batch->completed == batch->n; });
+    error = batch->first_error;
+  }
+  {
+    // Drop the pool's reference so the Batch (and the caller's fn with it)
+    // is not considered live past this call.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ == batch) current_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ioguard

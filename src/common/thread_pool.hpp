@@ -1,0 +1,63 @@
+// Reusable fixed-size worker pool for embarrassingly parallel fan-out.
+//
+// The experiment drivers run hundreds of independent trials; this pool
+// spreads index-based batches over N threads with dynamic (atomic-counter)
+// load balance. Determinism is the caller's contract: each index writes only
+// its own output slot, and order-sensitive reductions are performed by the
+// caller in index order after the batch drains (see sys::ParallelRunner).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace ioguard {
+
+/// Worker count used when a caller passes jobs == 0: the IOGUARD_JOBS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t default_jobs();
+
+/// Fixed set of worker threads executing index-based parallel loops.
+/// With jobs == 1 no threads are spawned and every batch runs inline on the
+/// calling thread, so a single-job pool is bit-for-bit a sequential loop.
+class ThreadPool {
+ public:
+  /// `jobs` is the total execution width including the calling thread
+  /// (jobs - 1 workers are spawned); 0 means default_jobs().
+  explicit ThreadPool(std::size_t jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), claiming indices dynamically across
+  /// the workers and the calling thread; blocks until all n calls returned.
+  /// Reentrancy (parallel_for from inside fn) is not supported. If any fn
+  /// throws, the remaining indices still run and the first exception (in
+  /// completion order) is rethrown here once the batch drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  // Workers keep the Batch alive via shared_ptr, so a worker waking after
+  // the batch drained only ever sees an exhausted index counter -- it can
+  // never touch a newer batch's state or a dead caller frame.
+  std::shared_ptr<Batch> current_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ioguard

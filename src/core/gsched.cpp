@@ -48,12 +48,19 @@ std::optional<std::size_t> GSched::pick(
     return std::tuple(kNeverSlot, kNeverSlot, static_cast<Slot>(i));
   };
 
+  // The running winner's key is cached so each candidate costs one key
+  // computation, not two (pick() runs once per free slot per device).
+  std::tuple<Slot, Slot, Slot> best_key{};
   for (std::size_t i = 0; i < shadows.size(); ++i) {
     if (!shadows[i].valid) continue;
     if (policy_ != GschedPolicy::kGlobalEdfNoBudget &&
         state_[i].budget == 0)
       continue;
-    if (!best || key(i) < key(*best)) best = i;
+    const auto k = key(i);
+    if (!best || k < best_key) {
+      best = i;
+      best_key = k;
+    }
   }
 
   if (best) {
@@ -67,11 +74,13 @@ std::optional<std::size_t> GSched::pick(
 
   // Slack reclamation: no budgeted candidate, but the slot would otherwise
   // idle -- hand it to the earliest-deadline pending operation for free.
+  Slot best_deadline = kNeverSlot;
   for (std::size_t i = 0; i < shadows.size(); ++i) {
     if (!shadows[i].valid) continue;
-    if (!best || shadows[i].absolute_deadline <
-                     shadows[*best].absolute_deadline)
+    if (!best || shadows[i].absolute_deadline < best_deadline) {
       best = i;
+      best_deadline = shadows[i].absolute_deadline;
+    }
   }
   if (best) {
     ++state_[*best].granted;

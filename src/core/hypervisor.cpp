@@ -97,7 +97,11 @@ Hypervisor::Hypervisor(const workload::CaseStudyWorkload& wl,
     }
     if (!design.note.empty()) design.note += ")";
     IOGUARD_CHECK_MSG(build.feasible, "empty table must be feasible");
-    for (const auto& t : predefined.tasks()) pchannel_tasks_.insert(t.id.value);
+    for (const auto& t : predefined.tasks()) {
+      if (t.id.value >= pchannel_tasks_.size())
+        pchannel_tasks_.resize(t.id.value + 1, 0);
+      pchannel_tasks_[t.id.value] = 1;
+    }
     design.hyperperiod = build.table.hyperperiod();
     design.free_slots = build.table.free_slots();
 

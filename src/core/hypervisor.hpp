@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/vmanager.hpp"
@@ -96,13 +95,16 @@ class Hypervisor {
   /// demoted to the R-channel; their jobs must be submitted like run-time
   /// jobs.
   [[nodiscard]] bool pchannel_task(TaskId task) const {
-    return pchannel_tasks_.count(task.value) != 0;
+    // Dense bitmap, not a hash set: the runner asks this once per trace job
+    // per release and once per completion, so the probe is on the hot path.
+    return task.value < pchannel_tasks_.size() &&
+           pchannel_tasks_[task.value] != 0;
   }
 
  private:
   std::vector<std::unique_ptr<VirtManager>> managers_;  // index = DeviceId
   std::vector<DeviceDesign> designs_;
-  std::unordered_set<std::uint32_t> pchannel_tasks_;
+  std::vector<std::uint8_t> pchannel_tasks_;  ///< bitmap over TaskId.value
   std::vector<Demotion> demotions_;
 };
 

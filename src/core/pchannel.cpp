@@ -11,7 +11,10 @@ PChannel::PChannel(workload::TaskSet predefined, sched::TimeSlotTable table)
     TaskRun run;
     run.spec = t;
     run.next_release = t.offset;
-    runs_.emplace(t.id.value, run);
+    if (t.id.value >= run_of_task_.size())
+      run_of_task_.resize(t.id.value + 1, kNoRun);
+    run_of_task_[t.id.value] = static_cast<std::uint32_t>(runs_.size());
+    runs_.push_back(run);
   }
 }
 
@@ -21,9 +24,11 @@ std::optional<iodev::Completion> PChannel::execute_slot(Slot now,
   const auto occupant = table_.occupant(now % table_.hyperperiod());
   if (!occupant) return std::nullopt;
 
-  auto it = runs_.find(occupant->value);
-  IOGUARD_CHECK_MSG(it != runs_.end(), "table references unknown task");
-  TaskRun& run = it->second;
+  const std::uint32_t idx = occupant->value < run_of_task_.size()
+                                ? run_of_task_[occupant->value]
+                                : kNoRun;
+  IOGUARD_CHECK_MSG(idx != kNoRun, "table references unknown task");
+  TaskRun& run = runs_[idx];
 
   if (run.remaining == 0) {
     // Start the next job if it has been released by now.

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "iodev/fifo_controller.hpp"  // for iodev::Completion
@@ -55,7 +54,12 @@ class PChannel {
 
   workload::TaskSet tasks_;
   sched::TimeSlotTable table_;
-  std::unordered_map<std::uint32_t, TaskRun> runs_;  // TaskId.value -> state
+  // Run state, indexed through run_of_task_ (TaskId.value -> runs_ index,
+  // kNoRun when the id is not pre-loaded here). The executor hits this once
+  // per reserved slot, so the lookup is a plain array read, not a hash probe.
+  static constexpr std::uint32_t kNoRun = 0xffffffffu;
+  std::vector<TaskRun> runs_;
+  std::vector<std::uint32_t> run_of_task_;
   Slot busy_slots_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t wasted_slots_ = 0;

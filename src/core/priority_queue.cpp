@@ -7,6 +7,17 @@
 
 namespace ioguard::core {
 
+namespace {
+
+/// EDF total order of the comparator tree, ties broken toward the lower
+/// handle (the scan kept the first entry it saw among equal keys).
+[[nodiscard]] std::tuple<Slot, Slot, std::uint64_t, EntryHandle> order_key(
+    const ParamSlot& p, EntryHandle h) {
+  return {p.absolute_deadline, p.release, p.job.value, h};
+}
+
+}  // namespace
+
 HwPriorityQueue::HwPriorityQueue(std::size_t capacity) : entries_(capacity) {
   IOGUARD_CHECK(capacity > 0);
 }
@@ -23,6 +34,14 @@ std::optional<EntryHandle> HwPriorityQueue::insert(const workload::Job& job) {
                                    job.device, job.payload_bytes};
       next_free_hint_ = (h + 1) % static_cast<std::uint32_t>(entries_.size());
       ++live_;
+      if (live_ == 1) {
+        cached_best_ = h;
+        cache_valid_ = true;
+      } else if (cache_valid_ &&
+                 order_key(entries_[h].slot, h) <
+                     order_key(entries_[cached_best_].slot, cached_best_)) {
+        cached_best_ = h;
+      }
       return h;
     }
   }
@@ -30,21 +49,23 @@ std::optional<EntryHandle> HwPriorityQueue::insert(const workload::Job& job) {
 }
 
 std::optional<EntryHandle> HwPriorityQueue::peek_earliest() const {
-  std::optional<EntryHandle> best;
-  for (std::size_t h = 0; h < entries_.size(); ++h) {
-    if (!entries_[h].valid) continue;
-    if (!best) {
-      best = static_cast<EntryHandle>(h);
-      continue;
+  if (live_ == 0) return std::nullopt;
+  if (!cache_valid_) {
+    EntryHandle best = kInvalidHandle;
+    std::size_t seen = 0;
+    for (std::size_t h = 0; h < entries_.size() && seen < live_; ++h) {
+      if (!entries_[h].valid) continue;
+      ++seen;
+      const auto eh = static_cast<EntryHandle>(h);
+      if (best == kInvalidHandle ||
+          order_key(entries_[h].slot, eh) <
+              order_key(entries_[best].slot, best))
+        best = eh;
     }
-    const ParamSlot& a = entries_[h].slot;
-    const ParamSlot& b = entries_[*best].slot;
-    const auto key = [](const ParamSlot& p) {
-      return std::tuple(p.absolute_deadline, p.release, p.job.value);
-    };
-    if (key(a) < key(b)) best = static_cast<EntryHandle>(h);
+    cached_best_ = best;
+    cache_valid_ = true;
   }
-  return best;
+  return cached_best_;
 }
 
 bool HwPriorityQueue::valid(EntryHandle h) const {
@@ -66,12 +87,21 @@ bool HwPriorityQueue::consume_one_slot(EntryHandle h) {
 void HwPriorityQueue::set_deadline(EntryHandle h, Slot absolute_deadline) {
   IOGUARD_CHECK(valid(h));
   entries_[h].slot.absolute_deadline = absolute_deadline;
+  if (!cache_valid_) return;
+  if (h == cached_best_) {
+    // The winner's key changed; it may no longer win. Re-evaluate lazily.
+    cache_valid_ = false;
+  } else if (order_key(entries_[h].slot, h) <
+             order_key(entries_[cached_best_].slot, cached_best_)) {
+    cached_best_ = h;
+  }
 }
 
 void HwPriorityQueue::remove(EntryHandle h) {
   IOGUARD_CHECK(valid(h));
   entries_[h].valid = false;
   --live_;
+  if (cache_valid_ && h == cached_best_) cache_valid_ = false;
 }
 
 std::vector<EntryHandle> HwPriorityQueue::live_handles() const {

@@ -83,6 +83,16 @@ class HwPriorityQueue {
   std::vector<Entry> entries_;
   std::size_t live_ = 0;
   std::uint32_t next_free_hint_ = 0;
+
+  // Cached result of the comparator tree. Hardware evaluates the tree
+  // combinationally every cycle; the model only re-evaluates (O(capacity)
+  // scan) when an operation could have changed the winner: removal of the
+  // cached best or a deadline rewrite of it. Inserts and deadline rewrites
+  // of other entries update the cache with a single comparison using the
+  // same total order as the scan -- (deadline, release, job id, handle) --
+  // so peek_earliest() returns bit-identical handles either way.
+  mutable EntryHandle cached_best_ = kInvalidHandle;
+  mutable bool cache_valid_ = false;
 };
 
 }  // namespace ioguard::core

@@ -41,8 +41,10 @@ void Engine::run_until(Cycle end) {
   stop_requested_ = false;
   while (now_ <= end && !stop_requested_) {
     while (!events_.empty() && events_.top().when == now_) {
-      // Copy out before pop: fn may schedule new events.
-      auto fn = events_.top().fn;
+      // Detach before pop: fn may schedule new events. Moving the handler
+      // out of the (const) top element is safe -- the heap is ordered by
+      // (when, seq) only, which the move leaves untouched.
+      auto fn = std::move(const_cast<Event&>(events_.top()).fn);
       events_.pop();
       fn(now_);
     }

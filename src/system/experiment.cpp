@@ -1,5 +1,9 @@
 #include "system/experiment.hpp"
 
+#include <cmath>
+
+#include "common/rng.hpp"
+
 namespace ioguard::sys {
 
 std::vector<EvaluatedSystem> figure7_systems() {
@@ -12,25 +16,49 @@ std::vector<EvaluatedSystem> figure7_systems() {
   };
 }
 
+std::uint64_t sweep_point_key(std::size_t num_vms, double target_utilization) {
+  // Utilization is quantized to 1e-4 so the key survives parsing round
+  // trips (0.85 from a flag == 0.85 from the sweep generator).
+  const auto util_ticks =
+      static_cast<std::uint64_t>(std::llround(target_utilization * 10000.0));
+  return (static_cast<std::uint64_t>(num_vms) << 32) | util_ticks;
+}
+
+std::uint64_t trial_seed_for(const ExperimentConfig& cfg, std::size_t num_vms,
+                             double target_utilization, std::size_t t) {
+  return mix_seed(cfg.base_seed, sweep_point_key(num_vms, target_utilization),
+                  t);
+}
+
 PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
-                      double target_utilization, const ExperimentConfig& cfg) {
+                      double target_utilization, const ExperimentConfig& cfg,
+                      BatchTiming* timing) {
   PointResult point;
   point.system = system;
   point.num_vms = num_vms;
   point.target_utilization = target_utilization;
   point.trials = cfg.trials;
 
-  for (std::size_t t = 0; t < cfg.trials; ++t) {
-    TrialConfig tc;
-    tc.kind = system.kind;
-    tc.workload.num_vms = num_vms;
-    tc.workload.target_utilization = target_utilization;
-    tc.workload.preload_fraction = system.preload_fraction;
-    tc.min_jobs_per_task = cfg.min_jobs_per_task;
-    tc.trial_seed = cfg.base_seed * 7919ULL + t;
-    tc.cal = cfg.cal;
+  ParallelRunner runner(cfg.jobs);
+  BatchTiming batch;
+  const auto results = runner.run_trials(
+      cfg.trials,
+      [&](std::size_t t) {
+        TrialConfig tc;
+        tc.kind = system.kind;
+        tc.workload.num_vms = num_vms;
+        tc.workload.target_utilization = target_utilization;
+        tc.workload.preload_fraction = system.preload_fraction;
+        tc.min_jobs_per_task = cfg.min_jobs_per_task;
+        tc.trial_seed = trial_seed_for(cfg, num_vms, target_utilization, t);
+        tc.cal = cfg.cal;
+        return tc;
+      },
+      /*metrics=*/nullptr, timing ? &batch : nullptr);
 
-    const TrialResult r = run_trial(tc);
+  // Deterministic merge: fold trial results in index order, exactly as the
+  // sequential loop used to.
+  for (const TrialResult& r : results) {
     if (r.success()) ++point.successes;
     point.goodput_mbps.add(r.goodput_bytes_per_s * 8.0 / 1e6);
     point.busy_frac.add(r.device_busy_frac);
@@ -38,6 +66,7 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
       point.critical_miss_rate.add(static_cast<double>(r.critical_misses) /
                                    static_cast<double>(r.jobs_counted));
   }
+  if (timing) timing->accumulate(batch);
   return point;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "system/parallel.hpp"
 #include "system/runner.hpp"
 
 namespace ioguard::sys {
@@ -42,13 +43,35 @@ struct ExperimentConfig {
   std::size_t trials = 20;            ///< paper: 1000 (see DESIGN.md scaling)
   std::size_t min_jobs_per_task = 50; ///< paper: >= 250
   std::uint64_t base_seed = 42;
+  /// Trial fan-out width: 0 = default_jobs() (IOGUARD_JOBS env or hardware
+  /// concurrency), 1 = sequential. Aggregates are bit-identical either way.
+  std::size_t jobs = 1;
   Calibration cal;
 };
 
-/// Runs `trials` trials of one point. Trial seeds depend only on
-/// (base_seed, trial index), so all systems see identical workloads/traces.
+/// Stable identifier of one (num_vms, utilization) sweep point, used as the
+/// `stream` component of per-trial seed derivation (mix_seed). The system
+/// under test is deliberately excluded: all systems evaluated at one sweep
+/// point must see identical workloads and release traces.
+[[nodiscard]] std::uint64_t sweep_point_key(std::size_t num_vms,
+                                            double target_utilization);
+
+/// Seed of trial `t` at one sweep point: mix_seed over
+/// (base_seed, sweep_point_key, t). Exposed so single-trial drivers (CLI
+/// --verify preflight, export paths) can reproduce exactly what a batch ran.
+[[nodiscard]] std::uint64_t trial_seed_for(const ExperimentConfig& cfg,
+                                           std::size_t num_vms,
+                                           double target_utilization,
+                                           std::size_t t);
+
+/// Runs `trials` trials of one point, fanned out over cfg.jobs threads.
+/// Trial seeds depend only on (base_seed, sweep point, trial index), so all
+/// systems see identical workloads/traces; aggregation happens in trial-
+/// index order, so the result is independent of cfg.jobs. When `timing` is
+/// non-null, the batch's wall-clock accounting is accumulated into it.
 PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
-                      double target_utilization, const ExperimentConfig& cfg);
+                      double target_utilization, const ExperimentConfig& cfg,
+                      BatchTiming* timing = nullptr);
 
 /// Utilization sweep of the paper: 40%..100% step 5%.
 [[nodiscard]] std::vector<double> utilization_sweep();

@@ -1,0 +1,62 @@
+#include "system/parallel.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace ioguard::sys {
+
+void BatchTiming::accumulate(const BatchTiming& other) {
+  trials += other.trials;
+  jobs = other.jobs > jobs ? other.jobs : jobs;
+  wall_seconds += other.wall_seconds;
+  trial_seconds_sum += other.trial_seconds_sum;
+  trial_seconds.merge(other.trial_seconds);
+}
+
+std::vector<TrialResult> ParallelRunner::run_trials(
+    std::size_t n, const std::function<TrialConfig(std::size_t)>& make_config,
+    telemetry::MetricsRegistry* metrics, BatchTiming* timing) {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  std::vector<TrialResult> results(n);
+  // One registry per trial, merged in index order below: counter/histogram
+  // merges are commutative sums, but gauges are last-writer-wins, so the
+  // merge order must reproduce the sequential write order exactly.
+  std::vector<telemetry::MetricsRegistry> registries(metrics ? n : 0);
+  std::vector<double> trial_secs(n, 0.0);
+
+  const auto batch_start = clock::now();
+  pool_.parallel_for(n, [&](std::size_t t) {
+    TrialConfig tc = make_config(t);
+    IOGUARD_CHECK_MSG(tc.metrics == nullptr,
+                      "pass the registry to run_trials, not TrialConfig: a "
+                      "registry shared across trials is a data race");
+    if (metrics) tc.metrics = &registries[t];
+    const auto trial_start = clock::now();
+    results[t] = run_trial(tc);
+    trial_secs[t] = seconds_since(trial_start);
+  });
+  const double wall = seconds_since(batch_start);
+
+  if (metrics)
+    for (const auto& reg : registries) metrics->merge(reg);
+
+  if (timing) {
+    timing->trials = n;
+    timing->jobs = pool_.jobs();
+    timing->wall_seconds = wall;
+    timing->trial_seconds_sum = 0.0;
+    timing->trial_seconds = OnlineStats{};
+    for (double s : trial_secs) {
+      timing->trial_seconds_sum += s;
+      timing->trial_seconds.add(s);
+    }
+  }
+  return results;
+}
+
+}  // namespace ioguard::sys

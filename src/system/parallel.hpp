@@ -1,0 +1,80 @@
+// Parallel experiment runner: multi-threaded trial fan-out with a
+// deterministic merge.
+//
+// Every headline figure is an aggregate over independent `run_trial`
+// invocations, each "deterministic in (config)". The runner fans a batch of
+// trials out over a thread pool and re-establishes the sequential order at
+// the merge: results land in an index-addressed vector, per-trial metrics
+// registries are folded into the caller's registry in trial-index order,
+// and per-trial seeds come from mix_seed rather than execution order. The
+// contract (see DESIGN.md, "Determinism contract"): for a fixed config and
+// base seed, every aggregate -- TrialResult fields, merged MetricsRegistry,
+// exported Prometheus text -- is bit-identical for any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "system/runner.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ioguard::sys {
+
+/// Wall-clock accounting of one fan-out batch. Timing values are the only
+/// non-deterministic output of the runner; everything derived from trial
+/// *results* stays bit-identical across --jobs values.
+struct BatchTiming {
+  std::size_t trials = 0;
+  std::size_t jobs = 1;
+  double wall_seconds = 0.0;
+  double trial_seconds_sum = 0.0;  ///< sum of per-trial wall times
+  OnlineStats trial_seconds;       ///< per-trial wall-time distribution
+
+  [[nodiscard]] double trials_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
+                              : 0.0;
+  }
+  /// Estimated speedup over a sequential run of the same batch: the summed
+  /// per-trial time is what one thread would have spent.
+  [[nodiscard]] double speedup_estimate() const {
+    return wall_seconds > 0.0 ? trial_seconds_sum / wall_seconds : 1.0;
+  }
+
+  /// Folds another batch in (multi-point sweeps accumulate one timing).
+  void accumulate(const BatchTiming& other);
+};
+
+/// Fans independent trials out over worker threads and merges their outputs
+/// deterministically. Reusable across batches; construct once per driver.
+class ParallelRunner {
+ public:
+  /// `jobs` = total worker width (0 = default_jobs(): IOGUARD_JOBS env or
+  /// hardware concurrency). jobs == 1 runs inline with no threads.
+  explicit ParallelRunner(std::size_t jobs = 0) : pool_(jobs) {}
+
+  [[nodiscard]] std::size_t jobs() const { return pool_.jobs(); }
+
+  /// Runs `make_config(t)` -> run_trial for t in [0, n). Results are
+  /// returned in trial-index order. When `metrics` is non-null, each trial
+  /// accumulates into a private registry and the registries are merged into
+  /// `metrics` in trial-index order after the batch drains -- bit-identical
+  /// to sequentially passing `metrics` to every trial.
+  ///
+  /// make_config must not set TrialConfig::metrics (checked); a shared
+  /// registry would be a data race. TrialConfig::trace is passed through:
+  /// the caller must attach a given EventTrace to at most one trial.
+  /// make_config itself may be called concurrently from worker threads.
+  std::vector<TrialResult> run_trials(
+      std::size_t n,
+      const std::function<TrialConfig(std::size_t)>& make_config,
+      telemetry::MetricsRegistry* metrics = nullptr,
+      BatchTiming* timing = nullptr);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace ioguard::sys

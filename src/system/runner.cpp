@@ -178,6 +178,9 @@ TrialResult run_trial(const TrialConfig& config) {
 
   // ---- 3. Miss accounting setup. ------------------------------------------
   std::vector<Outcome> outcomes(trace.size());
+  // Dense per-task miss counters (task ids are dense); compacted into
+  // result.misses_by_task at tally so the hot path never touches a map.
+  std::vector<std::uint32_t> miss_counts(wl.tasks.size(), 0);
   std::uint64_t bytes_on_time = 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const auto& j = trace[i];
@@ -213,7 +216,7 @@ TrialResult run_trial(const TrialConfig& config) {
             bytes_on_time += done.job.payload_bytes;
           } else {
             ++result.misses;
-            ++result.misses_by_task[done.job.task.value];
+            ++miss_counts[done.job.task.value];
             if (is_critical(done.job.task)) ++result.critical_misses;
           }
         }
@@ -233,9 +236,16 @@ TrialResult run_trial(const TrialConfig& config) {
   };
 
   // ---- 4. Slot-level main loop. -------------------------------------------
-  std::priority_queue<InFlight, std::vector<InFlight>, ArriveLater> transit_q;
+  // Pre-size the scratch buffers so the per-slot loop never reallocates.
+  std::vector<InFlight> transit_storage;
+  transit_storage.reserve(64);
+  std::priority_queue<InFlight, std::vector<InFlight>, ArriveLater> transit_q(
+      ArriveLater{}, std::move(transit_storage));
   std::vector<workload::Job> issued, vmm_done;
+  issued.reserve(num_vms);
+  vmm_done.reserve(num_vms);
   std::vector<iodev::Completion> completions;
+  completions.reserve(workload::kCaseStudyDeviceCount);
   std::size_t next_release = 0;
 
   // Stage timestamps per trace job (kNeverSlot = not reached).
@@ -339,10 +349,13 @@ TrialResult run_trial(const TrialConfig& config) {
       ++result.jobs_on_time;
     } else {
       ++result.misses;
-      ++result.misses_by_task[o.task];
+      ++miss_counts[o.task];
       if (o.critical) ++result.critical_misses;
     }
   }
+  for (std::uint32_t task = 0; task < miss_counts.size(); ++task)
+    if (miss_counts[task] > 0)
+      result.misses_by_task.emplace_back(task, miss_counts[task]);
   const double seconds =
       cycles_to_seconds(slots_to_cycles(horizon, cal.cycles_per_slot));
   result.goodput_bytes_per_s = static_cast<double>(bytes_on_time) / seconds;
@@ -402,7 +415,7 @@ void json_stats(std::ostream& os, const char* key, const OnlineStats& s,
 }  // namespace
 
 void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
-                              TrialResult& result) {
+                              const TrialResult& result) {
   const auto prev_precision = os.precision(15);
   os << "{\n";
   os << "  \"system\": \"" << to_string(config.kind) << "\",\n";
@@ -425,7 +438,7 @@ void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
   if (result.response_slots.empty()) {
     os << "null";
   } else {
-    auto& r = result.response_slots;
+    const auto& r = result.response_slots;
     os << "{\"count\": " << r.count() << ", \"mean\": " << r.mean()
        << ", \"p50\": " << r.percentile(50.0)
        << ", \"p95\": " << r.percentile(95.0)

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -53,7 +53,10 @@ struct TrialResult {
   double device_busy_frac = 0.0;
   bool admitted = true;                 ///< I/O-GUARD: Theorems 2/4 held
   SampleSet response_slots;             ///< critical tasks, when collected
-  std::map<std::uint32_t, std::uint32_t> misses_by_task;  ///< TaskId -> count
+  /// (TaskId value, miss count) of every task with misses, ascending by
+  /// task. Compacted from a dense per-task array at end of trial, so miss
+  /// accounting on the hot path is an indexed increment, not a map insert.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> misses_by_task;
 
   // Per-stage latency decomposition (slots) of *critical* (safety/function)
   // jobs, filled when collect_stage_latencies is set. "backend" covers
@@ -74,9 +77,10 @@ TrialResult run_trial(const TrialConfig& config);
 
 /// Machine-readable run summary (one JSON object): configuration echo,
 /// outcome counters, and -- when collected -- response-time percentiles and
-/// the per-stage latency decomposition. `result` is non-const because exact
-/// percentile extraction sorts the sample set.
+/// the per-stage latency decomposition. Percentiles are extracted without
+/// mutating `result` (nth_element on a scratch copy), so one result can be
+/// summarized and still aggregated afterwards.
 void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
-                              TrialResult& result);
+                              const TrialResult& result);
 
 }  // namespace ioguard::sys
