@@ -29,7 +29,7 @@ struct Variant {
   core::GschedPolicy policy;
 };
 
-BatchTiming print_ablation(std::size_t jobs) {
+BatchTiming print_ablation(const bench::BenchFlags& flags) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
@@ -59,7 +59,7 @@ BatchTiming print_ablation(std::size_t jobs) {
   for (double u : utils) header.push_back(fmt_double(u * 100, 0) + "%");
   TextTable table(header);
 
-  ParallelRunner runner(jobs);
+  ParallelRunner runner(flags.jobs);
   BatchTiming timing;
   for (const auto& v : variants) {
     std::vector<std::string> row{v.label};
@@ -78,6 +78,7 @@ BatchTiming print_ablation(std::size_t jobs) {
             tc.gsched_policy = v.policy;
             tc.min_jobs_per_task = min_jobs;
             tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
+            tc.faults = flags.faults;
             return tc;
           },
           /*metrics=*/nullptr, &batch);
@@ -113,7 +114,7 @@ BENCHMARK(BM_AblationTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_ablation(bench::parse_jobs_flag(&argc, argv));
+  const auto timing = print_ablation(bench::parse_bench_flags(&argc, argv));
   bench::BenchReport report("ablation_mechanisms");
   report.set_jobs(timing.jobs);
   report.add_stage("mechanism_grid", timing);

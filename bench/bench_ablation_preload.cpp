@@ -17,7 +17,7 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-BatchTiming print_sweep(std::size_t jobs) {
+BatchTiming print_sweep(const bench::BenchFlags& flags) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
@@ -35,7 +35,7 @@ BatchTiming print_sweep(std::size_t jobs) {
   header.push_back("goodput@100% (Mbit/s)");
   TextTable table(header);
 
-  ParallelRunner runner(jobs);
+  ParallelRunner runner(flags.jobs);
   BatchTiming timing;
   for (double x : preloads) {
     std::vector<std::string> row{fmt_double(x * 100, 0) + "%"};
@@ -52,6 +52,7 @@ BatchTiming print_sweep(std::size_t jobs) {
             tc.workload.preload_fraction = x;
             tc.min_jobs_per_task = min_jobs;
             tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
+            tc.faults = flags.faults;
             return tc;
           },
           /*metrics=*/nullptr, &batch);
@@ -93,7 +94,7 @@ BENCHMARK(BM_PreloadTrial)->Arg(0)->Arg(40)->Arg(70)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_sweep(bench::parse_jobs_flag(&argc, argv));
+  const auto timing = print_sweep(bench::parse_bench_flags(&argc, argv));
   bench::BenchReport report("ablation_preload");
   report.set_jobs(timing.jobs);
   report.add_stage("preload_sweep", timing);

@@ -65,7 +65,7 @@ BENCHMARK(BM_FootprintModel);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parse_jobs_flag(&argc, argv);  // accepted for uniformity; analytic
+  (void)bench::parse_bench_flags(&argc, argv);  // uniform flags; analytic
   const auto t0 = std::chrono::steady_clock::now();
   print_figure6();
   const double wall =

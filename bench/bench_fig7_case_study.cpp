@@ -22,13 +22,14 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-ExperimentConfig experiment_config(std::size_t jobs) {
+ExperimentConfig experiment_config(const bench::BenchFlags& flags) {
   ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   cfg.min_jobs_per_task =
       static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
   cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
-  cfg.jobs = jobs;
+  cfg.jobs = flags.jobs;
+  cfg.faults = flags.faults;
   return cfg;
 }
 
@@ -96,7 +97,7 @@ BENCHMARK(BM_TrialIoGuard)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cfg = experiment_config(bench::parse_jobs_flag(&argc, argv));
+  const auto cfg = experiment_config(bench::parse_bench_flags(&argc, argv));
 
   bench::BenchReport report("fig7_case_study");
   const auto t4 = print_group(4, cfg);

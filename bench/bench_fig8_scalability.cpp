@@ -58,13 +58,14 @@ void print_figure8() {
 /// VM count doubles, `trials` full-system trials per point fanned out over
 /// the requested worker width. Aggregates are bit-identical for any jobs
 /// value (see DESIGN.md, "Determinism contract"); only the timing varies.
-sys::BatchTiming print_simulated_sweep(std::size_t jobs) {
+sys::BatchTiming print_simulated_sweep(const bench::BenchFlags& flags) {
   sys::ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   cfg.min_jobs_per_task =
       static_cast<std::size_t>(env_int("IOGUARD_MIN_JOBS", 25));
   cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
-  cfg.jobs = jobs;
+  cfg.jobs = flags.jobs;
+  cfg.faults = flags.faults;
   const sys::EvaluatedSystem system{sys::SystemKind::kIoGuard, 0.7,
                                     "I/O-GUARD-70"};
 
@@ -95,9 +96,9 @@ BENCHMARK(BM_ScalingPoint)->DenseRange(0, 5);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t jobs = bench::parse_jobs_flag(&argc, argv);
+  const auto flags = bench::parse_bench_flags(&argc, argv);
   print_figure8();
-  const auto timing = print_simulated_sweep(jobs);
+  const auto timing = print_simulated_sweep(flags);
 
   bench::BenchReport report("fig8_scalability");
   report.set_jobs(timing.jobs);

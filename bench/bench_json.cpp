@@ -1,27 +1,45 @@
 #include "bench_json.hpp"
 
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/env.hpp"
+#include "common/status.hpp"
 
 namespace ioguard::bench {
 
-std::size_t parse_jobs_flag(int* argc, char** argv) {
-  std::size_t jobs = 0;
-  int out = 1;
-  for (int i = 1; i < *argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      jobs = static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
-    } else {
-      argv[out++] = argv[i];
-    }
+BenchFlags parse_bench_flags(int* argc, char** argv) {
+  CliSpec spec("ioguard experiment driver (remaining flags go to Google "
+               "Benchmark, e.g. --benchmark_filter=REGEX)");
+  spec.flag_int("jobs", 0,
+                "worker threads for the trial fan-out; 0 = auto "
+                "(IOGUARD_JOBS env or hardware concurrency)")
+      .flag("faults", "none",
+            "fault plan for the simulated sweeps: a canned name "
+            "(none|device-stall|lossy-frames|noc-flaky|translator-jitter|"
+            "mixed) or a spec string; 'none' keeps the fault-free baseline");
+  const auto args = spec.extract(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(*argc > 0 ? argv[0] : "bench");
+    std::exit(exit_code(args.status()));
   }
-  *argc = out;
-  return jobs;
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    std::exit(0);
+  }
+  BenchFlags flags;
+  flags.jobs = static_cast<std::size_t>(args->get_int("jobs"));
+  auto plan = faults::FaultPlan::parse(args->get("faults"));
+  if (!plan.ok()) {
+    std::cerr << "error: " << plan.status() << "\n";
+    std::exit(exit_code(plan.status()));
+  }
+  flags.faults = std::move(plan).value();
+  return flags;
 }
 
 void BenchReport::add_stage(const std::string& stage,

@@ -11,15 +11,26 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "system/parallel.hpp"
 
 namespace ioguard::bench {
 
-/// Extracts a leading `--jobs=N` from argv before benchmark::Initialize
-/// sees it (Google Benchmark aborts on unknown flags). Returns N, or 0
-/// ("use default_jobs(): IOGUARD_JOBS env or hardware concurrency") when
-/// the flag is absent.
-std::size_t parse_jobs_flag(int* argc, char** argv);
+/// Flags shared by every experiment driver, extracted from argv before
+/// benchmark::Initialize sees them (Google Benchmark aborts on unknown
+/// flags). `jobs == 0` means "use default_jobs(): IOGUARD_JOBS env or
+/// hardware concurrency"; `faults` defaults to the empty plan, keeping the
+/// simulated sweeps bit-identical to a fault-free build.
+struct BenchFlags {
+  std::size_t jobs = 0;
+  faults::FaultPlan faults;
+};
+
+/// Pulls `--jobs=N`, `--faults=PLAN` and `--help` out of argv via
+/// CliSpec::extract, leaving Google Benchmark's own flags in place. On a
+/// parse error this prints the error plus the flag list and exits with the
+/// Status-mapped code; on --help it prints the flag list and exits 0.
+BenchFlags parse_bench_flags(int* argc, char** argv);
 
 /// Collects per-stage timing of one benchmark run and writes it as
 /// BENCH_<name>.json. Stages either carry full fan-out accounting (a

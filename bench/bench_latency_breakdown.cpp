@@ -18,13 +18,13 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-BatchTiming print_breakdown(std::size_t jobs) {
+BatchTiming print_breakdown(const bench::BenchFlags& flags) {
   const auto trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 4));
   const auto base_seed =
       static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
   constexpr double kUsPerSlot = 10.0;
 
-  ParallelRunner runner(jobs);
+  ParallelRunner runner(flags.jobs);
   BatchTiming timing;
   for (double util : {0.5, 0.9}) {
     std::cout << "=== Request-path latency breakdown (us), 8 VMs, "
@@ -44,6 +44,7 @@ BatchTiming print_breakdown(std::size_t jobs) {
             tc.min_jobs_per_task = 15;
             tc.trial_seed = mix_seed(base_seed, sweep_point_key(8, util), t);
             tc.collect_stage_latencies = true;
+            tc.faults = flags.faults;
             return tc;
           },
           /*metrics=*/nullptr, &batch);
@@ -94,7 +95,7 @@ BENCHMARK(BM_InstrumentedTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_breakdown(bench::parse_jobs_flag(&argc, argv));
+  const auto timing = print_breakdown(bench::parse_bench_flags(&argc, argv));
   bench::BenchReport report("latency_breakdown");
   report.set_jobs(timing.jobs);
   report.add_stage("breakdown_grid", timing);

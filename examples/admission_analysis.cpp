@@ -6,6 +6,8 @@
 //   $ ./build/examples/admission_analysis
 #include <iostream>
 
+#include "common/cli.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "sched/admission.hpp"
 #include "sched/edf_ref.hpp"
@@ -17,7 +19,9 @@
 using namespace ioguard;
 using namespace ioguard::sched;
 
-int main() {
+namespace {
+
+Status run() {
   std::cout << "Two-layer schedulability analysis walkthrough\n"
             << "=============================================\n\n";
 
@@ -38,10 +42,8 @@ int main() {
 
   // 1. P-channel: offline slot-EDF placement into sigma*.
   const auto build = build_time_slot_table(predefined);
-  if (!build.feasible) {
-    std::cout << "slot table infeasible: " << build.failure << '\n';
-    return 1;
-  }
+  if (!build.feasible)
+    return FailedPreconditionError("slot table infeasible: " + build.failure);
   TableSupply supply(build.table);
   std::cout << "sigma*: H = " << supply.hyperperiod()
             << " slots, F = " << supply.free_per_period() << " free (bandwidth "
@@ -96,5 +98,24 @@ int main() {
             << sim.misses << " misses over " << acfg.horizon << " slots\n";
   if (design.feasible && sim.misses == 0)
     std::cout << "analysis and execution agree: admitted and no misses.\n";
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliSpec spec("walk through the Sec. IV two-layer admission analysis");
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "admission_analysis");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run();
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

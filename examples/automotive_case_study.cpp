@@ -3,20 +3,38 @@
 // ratio, goodput and response-time percentiles of the critical tasks.
 //
 //   $ ./build/examples/automotive_case_study [num_vms] [utilization%]
-//   e.g. ./build/examples/automotive_case_study 8 85
+//   e.g. ./build/examples/automotive_case_study 8 85 --faults=device-stall
 #include <cstdlib>
 #include <iostream>
 
+#include "common/cli.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 
 using namespace ioguard;
 using namespace ioguard::sys;
 
-int main(int argc, char** argv) {
+namespace {
+
+CliSpec make_spec() {
+  CliSpec spec("run all five evaluated systems at one operating point");
+  spec.positional("num_vms", "active VMs (default 8)")
+      .positional("utilization%", "target utilization in percent (default 85)")
+      .flag("faults", "none", "fault plan applied to every trial");
+  return spec;
+}
+
+Status run(const CliArgs& args) {
+  const auto& pos = args.positional();
   const std::size_t num_vms =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
-  const double util = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.85;
+      !pos.empty() ? static_cast<std::size_t>(std::atoi(pos[0].c_str())) : 8;
+  const double util =
+      pos.size() > 1 ? std::atof(pos[1].c_str()) / 100.0 : 0.85;
+  IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
+                           faults::FaultPlan::parse(args.get("faults")));
+  if (num_vms == 0 || util <= 0.0)
+    return InvalidArgumentError("num_vms and utilization%% must be positive");
 
   std::cout << "Automotive case study: " << num_vms << " VMs, "
             << fmt_double(util * 100, 0) << "% target utilization\n\n";
@@ -37,6 +55,7 @@ int main(int argc, char** argv) {
       tc.workload.preload_fraction = system.preload_fraction;
       tc.min_jobs_per_task = 20;
       tc.trial_seed = 100 + t;
+      tc.faults = plan;
       tc.collect_response_times = true;
       auto r = run_trial(tc);
       if (r.success()) ++successes;
@@ -61,5 +80,24 @@ int main(int argc, char** argv) {
   table.render(std::cout);
   std::cout << "\n(1 slot = 10 us; response times cover safety+function "
                "tasks only)\n";
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "automotive_case_study");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run(*args);
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

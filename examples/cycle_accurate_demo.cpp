@@ -8,18 +8,30 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "system/cosim.hpp"
 
 using namespace ioguard;
 using namespace ioguard::sys;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const Slot slots = static_cast<Slot>(args.get_int("slots", 4000));
-  const double util = args.get_double("util", 0.6);
-  const auto vms = static_cast<std::size_t>(args.get_int("vms", 8));
-  const double bg = args.get_double("bg", 0.002);
+namespace {
+
+CliSpec make_spec() {
+  CliSpec spec("cycle-accurate co-simulation of all four architectures");
+  spec.flag_int("slots", 4000, "simulated slots")
+      .flag_double("util", 0.6, "target utilization")
+      .flag_int("vms", 8, "active VMs")
+      .flag_double("bg", 0.002, "background traffic in pkt/node/cycle");
+  return spec;
+}
+
+Status run(const CliArgs& args) {
+  const Slot slots = static_cast<Slot>(args.get_int("slots"));
+  const double util = args.get_double("util");
+  const auto vms = static_cast<std::size_t>(args.get_int("vms"));
+  const double bg = args.get_double("bg");
+  if (slots == 0) return InvalidArgumentError("--slots must be > 0");
 
   std::cout << "Cycle-accurate co-simulation: " << slots << " slots ("
             << slots / 100 << " ms), " << vms << " VMs, "
@@ -54,5 +66,24 @@ int main(int argc, char** argv) {
   table.render(std::cout);
   std::cout << "\n(I/O-GUARD shows no request-latency column: its dedicated "
                "processor-hypervisor links bypass the routers entirely)\n";
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "cycle_accurate_demo");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run(*args);
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

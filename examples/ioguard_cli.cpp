@@ -3,7 +3,7 @@
 //
 //   $ ./build/examples/ioguard_cli --system=ioguard --vms=8 --util=0.9
 //         --preload=0.7 --trials=10 --seed=1 --jobs=4
-//         [--export-tasks=tasks.csv]
+//         [--faults=device-stall] [--export-tasks=tasks.csv]
 //
 // Systems: legacy | rtxen | bv | ioguard.
 #include <filesystem>
@@ -11,8 +11,10 @@
 #include <iostream>
 
 #include "analysis/artifact_builder.hpp"
+#include "analysis/verify_resilience.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 #include "telemetry/perfetto.hpp"
@@ -24,53 +26,55 @@ using namespace ioguard::sys;
 
 namespace {
 
-SystemKind parse_system(const std::string& name) {
+StatusOr<SystemKind> parse_system(const std::string& name) {
   if (name == "legacy") return SystemKind::kLegacy;
   if (name == "rtxen") return SystemKind::kRtXen;
   if (name == "bv") return SystemKind::kBlueVisor;
   if (name == "ioguard") return SystemKind::kIoGuard;
-  std::cerr << "unknown system '" << name
-            << "' (expected legacy|rtxen|bv|ioguard); using ioguard\n";
-  return SystemKind::kIoGuard;
+  return InvalidArgumentError("unknown system '" + name +
+                              "' (expected legacy|rtxen|bv|ioguard)");
 }
 
-}  // namespace
+CliSpec make_spec() {
+  CliSpec spec("run case-study trials of one architecture");
+  spec.flag("system", "ioguard", "architecture: legacy|rtxen|bv|ioguard")
+      .flag_int("vms", 8, "active VMs")
+      .flag_double("util", 0.9, "target utilization")
+      .flag_double("preload", 0.7, "P-channel fraction (ioguard only)")
+      .flag_int("trials", 10, "repetitions")
+      .flag_int("min-jobs", 25, "jobs per task")
+      .flag_int("seed", 42, "base seed")
+      .flag_int("jobs", 0,
+                "worker threads; 0 = auto (IOGUARD_JOBS env or cores); "
+                "results are identical for any value (1 = sequential)")
+      .flag("faults", "none",
+            "fault plan: a canned name (none|device-stall|lossy-frames|"
+            "noc-flaky|translator-jitter|mixed) or a spec like "
+            "\"stall:rate=0.002,param=12;flit:rate=0.001\"")
+      .flag("export-tasks", "", "dump the task set CSV to this file")
+      .flag("telemetry-out", "",
+            "write trace.perfetto.json (trial 0), metrics.prom (all trials) "
+            "and summary.json to this directory")
+      .flag_switch("verify",
+                   "statically verify the scheduling artifacts (and any "
+                   "fault plan) first; refuse to run on errors");
+  return spec;
+}
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  if (args.has("help")) {
-    std::cout
-        << "usage: " << args.program() << " [flags]\n"
-        << "  --system=legacy|rtxen|bv|ioguard   architecture (ioguard)\n"
-        << "  --vms=N                            active VMs (8)\n"
-        << "  --util=U                           target utilization (0.9)\n"
-        << "  --preload=X                        P-channel fraction (0.7)\n"
-        << "  --trials=N                         repetitions (10)\n"
-        << "  --min-jobs=N                       jobs per task (25)\n"
-        << "  --seed=N                           base seed (42)\n"
-        << "  --jobs=N                           worker threads; 0 = auto\n"
-        << "                                     (IOGUARD_JOBS env or cores).\n"
-        << "                                     Results are identical for\n"
-        << "                                     any value (1 = sequential)\n"
-        << "  --export-tasks=FILE                dump the task set CSV\n"
-        << "  --telemetry-out=DIR                write trace.perfetto.json\n"
-        << "                                     (trial 0), metrics.prom\n"
-        << "                                     (all trials) + summary.json\n"
-        << "  --verify                           statically verify the\n"
-        << "                                     scheduling artifacts first;\n"
-        << "                                     refuse to run on errors\n";
-    return 0;
-  }
-
-  const SystemKind kind = parse_system(args.get("system", "ioguard"));
-  const auto vms = static_cast<std::size_t>(args.get_int("vms", 8));
-  const double util = args.get_double("util", 0.9);
+Status run(const CliArgs& args) {
+  IOGUARD_ASSIGN_OR_RETURN(const SystemKind kind,
+                           parse_system(args.get("system")));
+  const auto vms = static_cast<std::size_t>(args.get_int("vms"));
+  const double util = args.get_double("util");
   const double preload =
-      kind == SystemKind::kIoGuard ? args.get_double("preload", 0.7) : 0.0;
-  const auto trials = static_cast<std::size_t>(args.get_int("trials", 10));
-  const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs", 25));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+      kind == SystemKind::kIoGuard ? args.get_double("preload") : 0.0;
+  const auto trials = static_cast<std::size_t>(args.get_int("trials"));
+  const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs"));
+  IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
+                           faults::FaultPlan::parse(args.get("faults")));
+  const faults::ResilienceConfig resilience;
 
   // Trial t's seed, shared with the batch experiment drivers: depends only
   // on (base seed, sweep point, t), never on jobs or execution order.
@@ -82,9 +86,11 @@ int main(int argc, char** argv) {
   std::cout << "system=" << to_string(kind) << " vms=" << vms
             << " util=" << fmt_double(util, 2) << " preload="
             << fmt_double(preload, 2) << " trials=" << trials
-            << " jobs=" << runner.jobs() << "\n\n";
+            << " jobs=" << runner.jobs();
+  if (!plan.empty()) std::cout << " faults=" << plan.spec_string();
+  std::cout << "\n\n";
 
-  if (args.has("verify")) {
+  if (args.get_bool("verify")) {
     // Static preflight (ioguard-verify): refuse to burn trial time on
     // artifacts the admission theorems cannot vouch for.
     workload::CaseStudyConfig vcfg;
@@ -92,11 +98,11 @@ int main(int argc, char** argv) {
     vcfg.target_utilization = util;
     vcfg.preload_fraction = preload;
     vcfg.seed = seed_of(0) * 1000003ULL + 17;  // trial-0 workload seed
-    const auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
+    auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
+    analysis::verify_resilience(plan, resilience, report);
     if (!report.ok()) {
       report.render_text(std::cerr);
-      std::cerr << "artifact verification failed; aborting\n";
-      return 1;
+      return FailedPreconditionError("artifact verification failed");
     }
     std::cout << "artifacts verified (" << report.diagnostics().size()
               << " informational finding(s))\n\n";
@@ -105,19 +111,16 @@ int main(int argc, char** argv) {
   // Telemetry sinks (only populated with --telemetry-out): the registry
   // aggregates counters across all trials; the event trace and the summary
   // cover trial 0.
-  const bool telemetry_on = args.has("telemetry-out");
-  const std::filesystem::path telemetry_dir =
-      args.get("telemetry-out", "telemetry");
+  const bool telemetry_on = !args.get("telemetry-out").empty();
+  const std::filesystem::path telemetry_dir = args.get("telemetry-out");
   if (telemetry_on) {
     // Preflight the output directory so a bad path fails before the trials
     // run, not after.
     std::error_code ec;
     std::filesystem::create_directories(telemetry_dir, ec);
-    if (ec) {
-      std::cerr << "error: --telemetry-out=" << telemetry_dir.string()
-                << ": " << ec.message() << "\n";
-      return 2;
-    }
+    if (ec)
+      return UnavailableError("--telemetry-out=" + telemetry_dir.string() +
+                              ": " + ec.message());
   }
   core::EventTrace events(1 << 20);
   telemetry::MetricsRegistry metrics;
@@ -133,6 +136,8 @@ int main(int argc, char** argv) {
     tc.workload.preload_fraction = preload;
     tc.min_jobs_per_task = min_jobs;
     tc.trial_seed = seed_of(t);
+    tc.faults = plan;
+    tc.resilience = resilience;
     if (telemetry_on && t == 0) {
       tc.trace = &events;
       tc.collect_response_times = true;
@@ -140,6 +145,9 @@ int main(int argc, char** argv) {
     }
     return tc;
   };
+  IOGUARD_ASSIGN_OR_RETURN(const TrialConfig preflight,
+                           TrialConfig::validated(make_config(0)));
+  (void)preflight;
 
   BatchTiming timing;
   const auto results = runner.run_trials(
@@ -149,10 +157,16 @@ int main(int argc, char** argv) {
                    "goodput Mbit/s", "busy", "admitted"});
   std::size_t successes = 0;
   double goodput = 0.0;
+  FaultCounters fc;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const TrialResult& r = results[t];
     if (r.success()) ++successes;
     goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
+    fc.injected_total += r.faults.injected_total;
+    fc.watchdog_aborts += r.faults.watchdog_aborts;
+    fc.retries += r.faults.retries;
+    fc.jobs_shed += r.faults.jobs_shed;
+    fc.transit_drops += r.faults.transit_drops;
     table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
               r.critical_misses, r.dropped,
               fmt_double(r.goodput_bytes_per_s * 8.0 / 1e6, 1),
@@ -160,15 +174,16 @@ int main(int argc, char** argv) {
               std::string(r.admitted ? "yes" : "no"));
   }
 
-  if (args.has("export-tasks") && trials > 0) {
+  if (!args.get("export-tasks").empty() && trials > 0) {
     auto wcfg = make_config(0).workload;
     if (kind != SystemKind::kIoGuard) wcfg.preload_fraction = 0.0;
     wcfg.seed = seed_of(0) * 1000003ULL + 17;
     const auto wl = workload::build_case_study(wcfg);
-    std::ofstream out(args.get("export-tasks", "tasks.csv"));
+    std::ofstream out(args.get("export-tasks"));
     workload::write_taskset_csv(out, wl.tasks);
-    std::cout << "task set written to "
-              << args.get("export-tasks", "tasks.csv") << "\n";
+    if (!out)
+      return UnavailableError("cannot write " + args.get("export-tasks"));
+    std::cout << "task set written to " << args.get("export-tasks") << "\n";
   }
   table.render(std::cout);
   std::cout << "\nsuccess ratio "
@@ -179,6 +194,12 @@ int main(int argc, char** argv) {
             << " trials/s on " << timing.jobs << " worker(s), speedup "
             << fmt_double(timing.speedup_estimate(), 2)
             << "x over sequential\n";
+  if (!plan.empty()) {
+    std::cout << "faults injected " << fc.injected_total
+              << ", watchdog aborts " << fc.watchdog_aborts << ", retries "
+              << fc.retries << ", jobs shed " << fc.jobs_shed
+              << ", transit drops " << fc.transit_drops << "\n";
+  }
 
   if (telemetry_on) {
     const std::filesystem::path& dir = telemetry_dir;
@@ -198,12 +219,29 @@ int main(int argc, char** argv) {
       write_trial_summary_json(out, make_config(0), results[0]);
       write_ok &= static_cast<bool>(out);
     }
-    if (!write_ok) {
-      std::cerr << "error: cannot write telemetry to " << dir.string() << "\n";
-      return 2;
-    }
+    if (!write_ok)
+      return UnavailableError("cannot write telemetry to " + dir.string());
     std::cout << "telemetry written to " << dir.string()
               << "/{trace.perfetto.json, metrics.prom, summary.json}\n";
   }
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "ioguard_cli");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run(*args);
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

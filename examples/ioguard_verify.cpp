@@ -24,7 +24,9 @@
 
 #include "analysis/artifact_builder.hpp"
 #include "analysis/verifier.hpp"
+#include "analysis/verify_resilience.hpp"
 #include "common/cli.hpp"
+#include "common/status.hpp"
 #include "sched/slot_table.hpp"
 #include "workload/generator.hpp"
 
@@ -168,52 +170,54 @@ bool apply_corruption(ExperimentArtifacts& a, const std::string& name) {
   return true;
 }
 
-}  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  if (args.has("help")) {
-    std::cout
-        << "usage: " << args.program() << " [flags]\n"
-        << "  --vms=N               active VMs (4)\n"
-        << "  --util=U              per-device target utilization (0.4)\n"
-        << "  --preload=X           P-channel fraction (0.7)\n"
-        << "  --trials=N            declared experiment trials (10)\n"
-        << "  --min-jobs=N          declared jobs per task (25)\n"
-        << "  --seed=N              workload seed (42)\n"
-        << "  --json                emit the report as JSON\n"
-        << "  --corrupt=NAME        inject a named corruption first\n"
-        << "  --list-corruptions    list corruption names and exit\n"
-        << "exit status: 0 verified, 1 errors found, 2 usage error\n";
-    return 0;
-  }
-  if (args.has("list-corruptions")) {
+CliSpec make_spec() {
+  CliSpec spec("statically verify the scheduling artifacts of one workload");
+  spec.flag_int("vms", 4, "active VMs")
+      .flag_double("util", 0.4, "per-device target utilization")
+      .flag_double("preload", 0.7, "P-channel fraction")
+      .flag_int("trials", 10, "declared experiment trials")
+      .flag_int("min-jobs", 25, "declared jobs per task")
+      .flag_int("seed", 42, "workload seed")
+      .flag("faults", "none",
+            "also verify this fault plan / resilience policy (RES checks)")
+      .flag_switch("json", "emit the report as JSON")
+      .flag("corrupt", "", "inject a named corruption first")
+      .flag_switch("list-corruptions", "list corruption names and exit");
+  return spec;
+}
+
+/// Runs verification; on success `report_ok` distinguishes a clean report
+/// from diagnostics at error severity (exit 1 vs 0, mapped in main).
+Status run(const CliArgs& args, bool& report_ok) {
+  report_ok = true;
+  if (args.get_bool("list-corruptions")) {
     for (const auto& c : kCorruptions)
       std::cout << c.name << " -> " << c.expected_code << ": " << c.what
                 << "\n";
-    return 0;
+    return OkStatus();
   }
 
   workload::CaseStudyConfig cfg;
-  cfg.num_vms = static_cast<std::size_t>(args.get_int("vms", 4));
-  cfg.target_utilization = args.get_double("util", 0.4);
-  cfg.preload_fraction = args.get_double("preload", 0.7);
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const auto trials = static_cast<std::size_t>(args.get_int("trials", 10));
-  const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs", 25));
+  cfg.num_vms = static_cast<std::size_t>(args.get_int("vms"));
+  cfg.target_utilization = args.get_double("util");
+  cfg.preload_fraction = args.get_double("preload");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto trials = static_cast<std::size_t>(args.get_int("trials"));
+  const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs"));
+  IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
+                           faults::FaultPlan::parse(args.get("faults")));
 
   ExperimentArtifacts a =
       analysis::build_experiment_artifacts(cfg, trials, min_jobs);
 
-  const std::string corrupt = args.get("corrupt", "");
+  const std::string corrupt = args.get("corrupt");
   if (!corrupt.empty()) {
     bool known = false;
     for (const auto& c : kCorruptions) known |= (corrupt == c.name);
-    if (!known || !apply_corruption(a, corrupt)) {
-      std::cerr << "unknown or inapplicable corruption '" << corrupt
-                << "' (see --list-corruptions)\n";
-      return 2;
-    }
+    if (!known || !apply_corruption(a, corrupt))
+      return NotFoundError("unknown or inapplicable corruption '" + corrupt +
+                           "' (see --list-corruptions)");
   }
 
   std::vector<analysis::DeviceArtifacts> devices;
@@ -224,6 +228,7 @@ int main(int argc, char** argv) {
 
   analysis::Report report = analysis::verify_system(
       a.platform, a.experiment, a.all, devices);
+  analysis::verify_resilience(plan, faults::ResilienceConfig{}, report);
 
   if (corrupt == "sbf-nonmonotone") {
     // Supply-shape corruption cannot be expressed through TimeSlotTable (its
@@ -234,10 +239,35 @@ int main(int argc, char** argv) {
         supply.hyperperiod(), supply.free_per_period(), {}, report);
   }
 
-  if (args.has("json")) {
+  if (args.get_bool("json")) {
     report.render_json(std::cout);
   } else {
     report.render_text(std::cout);
   }
-  return report.ok() ? 0 : 1;
+  report_ok = report.ok();
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "ioguard_verify");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program())
+              << "exit status: 0 verified, 1 errors found, 2 usage error\n";
+    return 0;
+  }
+  bool report_ok = true;
+  const Status status = run(*args, report_ok);
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return exit_code(status);
+  }
+  return report_ok ? 0 : 1;
 }

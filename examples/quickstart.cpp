@@ -18,6 +18,7 @@
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
 #include "system/parallel.hpp"
@@ -30,8 +31,18 @@
 
 using namespace ioguard;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+namespace {
+
+CliSpec make_spec() {
+  CliSpec spec("end-to-end tour of the public API on a small workload");
+  spec.flag_int("jobs", 0, "batch worker threads; 0 = auto")
+      .flag("telemetry-out", "",
+            "run one instrumented trial and write trace.perfetto.json, "
+            "metrics.prom and summary.json to this directory");
+  return spec;
+}
+
+Status run(const CliArgs& args) {
   std::cout << "I/O-GUARD quickstart\n====================\n\n";
 
   // 1. A small automotive workload: 4 VMs, 60% target utilization per
@@ -108,7 +119,7 @@ int main(int argc, char** argv) {
   //    happens in trial-index order, so the aggregate below is bit-identical
   //    whether --jobs is 1 or 16.
   {
-    const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+    const auto jobs = static_cast<std::size_t>(args.get_int("jobs"));
     sys::ParallelRunner runner(jobs);
     sys::BatchTiming timing;
     const std::size_t batch_trials = 8;
@@ -138,15 +149,13 @@ int main(int argc, char** argv) {
   // 5. Telemetry export: run one fully instrumented trial through the system
   //    runner and write the three artifacts. Off by default -- the plain
   //    quickstart run records nothing.
-  if (args.has("telemetry-out")) {
-    const std::filesystem::path dir = args.get("telemetry-out", "telemetry");
+  if (!args.get("telemetry-out").empty()) {
+    const std::filesystem::path dir = args.get("telemetry-out");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    if (ec) {
-      std::cerr << "error: --telemetry-out=" << dir.string()
-                << ": " << ec.message() << "\n";
-      return 2;
-    }
+    if (ec)
+      return UnavailableError("--telemetry-out=" + dir.string() + ": " +
+                              ec.message());
 
     core::EventTrace events(1 << 20);
     telemetry::MetricsRegistry metrics;
@@ -176,10 +185,8 @@ int main(int argc, char** argv) {
       sys::write_trial_summary_json(out, tc, result);
       write_ok &= static_cast<bool>(out);
     }
-    if (!write_ok) {
-      std::cerr << "error: cannot write telemetry to " << dir.string() << "\n";
-      return 2;
-    }
+    if (!write_ok)
+      return UnavailableError("cannot write telemetry to " + dir.string());
 
     std::cout << "\ninstrumented trial: " << events.total_recorded()
               << " trace events over " << result.horizon << " slots\n";
@@ -189,5 +196,24 @@ int main(int argc, char** argv) {
               << "/{trace.perfetto.json, metrics.prom, summary.json}\n"
               << "open trace.perfetto.json in https://ui.perfetto.dev\n";
   }
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "quickstart");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run(*args);
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

@@ -3,13 +3,15 @@
 // R-channel job lifecycles into per-stage latencies (the Fig.-6 view).
 //
 //   $ ./build/examples/trace_inspector [--slots=N] [--csv=FILE]
-//                                      [--perfetto=FILE]
+//                                      [--perfetto=FILE] [--faults=PLAN]
 #include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
+#include "faults/injector.hpp"
 #include "telemetry/perfetto.hpp"
 #include "telemetry/spans.hpp"
 #include "workload/arrivals.hpp"
@@ -17,9 +19,22 @@
 
 using namespace ioguard;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const Slot slots = static_cast<Slot>(args.get_int("slots", 2000));
+namespace {
+
+CliSpec make_spec() {
+  CliSpec spec(
+      "run a short traced I/O-GUARD window and decompose job lifecycles");
+  spec.flag_int("slots", 2000, "simulated slots")
+      .flag("faults", "none", "fault plan (canned name or spec string)")
+      .flag("csv", "", "dump the full trace CSV to this file")
+      .flag("perfetto", "", "write a Perfetto JSON trace to this file");
+  return spec;
+}
+
+Status run(const CliArgs& args) {
+  const Slot slots = static_cast<Slot>(args.get_int("slots"));
+  IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
+                           faults::FaultPlan::parse(args.get("faults")));
 
   workload::CaseStudyConfig wcfg;
   wcfg.num_vms = 4;
@@ -27,8 +42,10 @@ int main(int argc, char** argv) {
   wcfg.preload_fraction = 0.5;
   const auto wl = workload::build_case_study(wcfg);
 
+  faults::FaultInjector injector(plan, /*trial_seed=*/1);
   core::HypervisorConfig hcfg;
   hcfg.num_vms = wcfg.num_vms;
+  if (!plan.empty()) hcfg.injector = &injector;
   core::Hypervisor hyp(wl, hcfg);
   core::EventTrace trace;
   hyp.set_tracer(&trace);
@@ -46,10 +63,16 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "I/O-GUARD event trace over " << slots << " slots ("
-            << slots / 100 << " ms)\n\n";
+            << slots / 100 << " ms)";
+  if (!plan.empty()) std::cout << ", faults=" << plan.spec_string();
+  std::cout << "\n\n";
   TextTable summary({"event", "count"});
-  for (auto kind : core::all_trace_event_kinds())
+  for (auto kind : core::all_trace_event_kinds()) {
+    // Fault-kind rows appear only when something actually fired, mirroring
+    // the exporters' byte-identity rule for fault-free runs.
+    if (core::is_fault_kind(kind) && trace.count(kind) == 0) continue;
     summary.add(std::string(core::to_string(kind)), trace.count(kind));
+  }
   summary.render(std::cout);
   if (trace.overwritten() > 0)
     std::cout << "(ring saturated: " << trace.overwritten()
@@ -72,23 +95,40 @@ int main(int argc, char** argv) {
     std::cout << '\n';
   }
 
-  if (args.has("csv")) {
-    const std::string path = args.get("csv", "trace.csv");
+  if (!args.get("csv").empty()) {
+    const std::string path = args.get("csv");
     std::ofstream out(path);
     trace.dump_csv(out);
+    if (!out) return UnavailableError("cannot write " + path);
     std::cout << "\nfull trace (" << trace.size() << " events) written to "
               << path << '\n';
   }
-  if (args.has("perfetto")) {
-    const std::string path = args.get("perfetto", "trace.perfetto.json");
+  if (!args.get("perfetto").empty()) {
+    const std::string path = args.get("perfetto");
     std::ofstream out(path);
     telemetry::write_perfetto_json(out, trace);
-    if (!out) {
-      std::cerr << "error: cannot write " << path << "\n";
-      return 2;
-    }
+    if (!out) return UnavailableError("cannot write " + path);
     std::cout << "\nPerfetto trace written to " << path
               << " (open in https://ui.perfetto.dev)\n";
   }
-  return 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliSpec spec = make_spec();
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.status() << "\n\n"
+              << spec.help_text(argc > 0 ? argv[0] : "trace_inspector");
+    return exit_code(args.status());
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  const Status status = run(*args);
+  if (!status.ok()) std::cerr << "error: " << status << "\n";
+  return exit_code(status);
 }

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Fault-matrix smoke check for the deterministic fault-injection subsystem.
+
+Drives ioguard_cli through a small matrix of canned fault plans and asserts
+the DESIGN.md §11 contract, with no third-party dependencies:
+
+  * baseline byte-identity -- `--faults=none` produces a metrics.prom that
+    is byte-identical to a run without the flag at all AND to the checked-in
+    reference (tests/data/fault_baseline_metrics.prom), and mentions no
+    fault/resilience metric family;
+  * deterministic replay -- every faulted plan produces byte-identical
+    metrics.prom and summary.json at --jobs=1 and --jobs=2;
+  * recovery evidence -- each faulted plan's metrics show faults injected
+    and the expected resilience action counters non-zero (watchdog aborts
+    for device stalls, retries for lossy frames).
+
+Usage: check_faults.py CLI_BINARY [--reference=FILE] [--workdir=DIR]
+Exit status: 0 all checks pass, 1 any failure (each failure is printed),
+2 usage error.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# One row per canned plan: (plan, {metric sample regex that must be > 0}).
+MATRIX = [
+    ("device-stall", [
+        r'ioguard_faults_injected_total\{kind="device_stall"\}',
+        r'ioguard_resilience_actions_total\{action="watchdog_abort"\}',
+        r'ioguard_resilience_actions_total\{action="retry"\}',
+    ]),
+    ("lossy-frames", [
+        r'ioguard_faults_injected_total\{kind="dropped_frame"\}',
+        r'ioguard_resilience_actions_total\{action="retry"\}',
+    ]),
+]
+
+CLI_ARGS = ["--trials=2", "--vms=4", "--util=0.5", "--min-jobs=10"]
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def run_cli(binary, outdir, jobs, faults=None):
+    cmd = [str(binary), *CLI_ARGS, f"--jobs={jobs}",
+           f"--telemetry-out={outdir}"]
+    if faults is not None:
+        cmd.append(f"--faults={faults}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}: "
+             f"{proc.stderr.strip()}")
+        return None
+    return Path(outdir)
+
+
+def sample_value(text, pattern):
+    """Value of the first sample line matching `pattern`, or None."""
+    for line in text.splitlines():
+        if re.match(pattern + r" ", line):
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+
+def check_baseline(binary, workdir, reference):
+    bare = run_cli(binary, workdir / "bare", jobs=2)
+    none = run_cli(binary, workdir / "none", jobs=2, faults="none")
+    if bare is None or none is None:
+        return
+    bare_prom = (bare / "metrics.prom").read_bytes()
+    none_prom = (none / "metrics.prom").read_bytes()
+    if bare_prom != none_prom:
+        fail("--faults=none metrics.prom differs from a run without the flag")
+    else:
+        print("ok: --faults=none is byte-identical to no --faults flag")
+    for family in (b"ioguard_faults_", b"ioguard_resilience_",
+                   b"ioguard_fault_", b"ioguard_degraded_"):
+        if family in none_prom:
+            fail(f"fault-free metrics.prom mentions {family.decode()}*")
+    if reference is not None:
+        ref_bytes = reference.read_bytes()
+        if none_prom != ref_bytes:
+            fail(f"baseline metrics.prom differs from reference {reference} "
+                 "(if the metrics surface changed intentionally, regenerate "
+                 "the reference with the commands in this script)")
+        else:
+            print(f"ok: baseline matches reference ({len(ref_bytes)} bytes)")
+
+
+def check_plan(binary, workdir, plan, expectations):
+    j1 = run_cli(binary, workdir / f"{plan}-j1", jobs=1, faults=plan)
+    j2 = run_cli(binary, workdir / f"{plan}-j2", jobs=2, faults=plan)
+    if j1 is None or j2 is None:
+        return
+    for artifact in ("metrics.prom", "summary.json"):
+        a = (j1 / artifact).read_bytes()
+        b = (j2 / artifact).read_bytes()
+        if a != b:
+            fail(f"{plan}: {artifact} differs between --jobs=1 and --jobs=2")
+        else:
+            print(f"ok: {plan}: {artifact} replays byte-identically "
+                  f"({len(a)} bytes)")
+    prom = (j2 / "metrics.prom").read_text()
+    for pattern in expectations:
+        value = sample_value(prom, pattern)
+        if value is None:
+            fail(f"{plan}: no sample matches {pattern}")
+        elif value <= 0:
+            fail(f"{plan}: {pattern} is {value}, expected > 0")
+        else:
+            print(f"ok: {plan}: {pattern} = {value:g}")
+    summary = (j2 / "summary.json").read_text()
+    if '"fault_plan"' not in summary:
+        fail(f"{plan}: summary.json carries no fault_plan echo")
+
+
+def main():
+    args = sys.argv[1:]
+    reference = Path(__file__).resolve().parent.parent / \
+        "tests" / "data" / "fault_baseline_metrics.prom"
+    workdir = None
+    positional = []
+    for a in args:
+        if a.startswith("--reference="):
+            reference = Path(a.split("=", 1)[1])
+        elif a.startswith("--workdir="):
+            workdir = Path(a.split("=", 1)[1])
+        else:
+            positional.append(a)
+    if len(positional) != 1:
+        print(__doc__)
+        return 2
+    binary = Path(positional[0])
+    if not binary.is_file():
+        print(f"FAIL: {binary} is not a file")
+        return 1
+    if not reference.is_file():
+        print(f"note: reference {reference} missing; skipping that check")
+        reference = None
+
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="fault-matrix-")
+        workdir = Path(tmp.name)
+    else:
+        workdir.mkdir(parents=True, exist_ok=True)
+
+    check_baseline(binary, workdir, reference)
+    for plan, expectations in MATRIX:
+        check_plan(binary, workdir, plan, expectations)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)")
+        return 1
+    print("all fault-matrix checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,12 @@ const char* code_string(DiagCode code) {
     case DiagCode::kCfgVmOutOfRange: return "CFG004";
     case DiagCode::kCfgBadFraction: return "CFG005";
     case DiagCode::kCfgDegenerateExperiment: return "CFG006";
+    case DiagCode::kResRateOutOfRange: return "RES001";
+    case DiagCode::kResWatchdogZero: return "RES002";
+    case DiagCode::kResBackoffOverflow: return "RES003";
+    case DiagCode::kResRetryBudgetExcessive: return "RES004";
+    case DiagCode::kResWatchdogIneffective: return "RES005";
+    case DiagCode::kResDegradationDisabled: return "RES006";
   }
   return "UNK000";
 }
@@ -104,6 +110,18 @@ const char* code_summary(DiagCode code) {
       return "utilization or preload fraction outside its valid range";
     case DiagCode::kCfgDegenerateExperiment:
       return "experiment would run zero trials or zero jobs per task";
+    case DiagCode::kResRateOutOfRange:
+      return "fault rate outside the [0, 1] probability range";
+    case DiagCode::kResWatchdogZero:
+      return "watchdog timeout of zero slots can never bound a stall";
+    case DiagCode::kResBackoffOverflow:
+      return "final retry backoff (base << (max_retries-1)) overflows";
+    case DiagCode::kResRetryBudgetExcessive:
+      return "max_retries exceeds the supported cap of 16";
+    case DiagCode::kResWatchdogIneffective:
+      return "planned stalls end before the watchdog can fire";
+    case DiagCode::kResDegradationDisabled:
+      return "high-rate fault plan with graceful degradation disabled";
   }
   return "unknown diagnostic";
 }
@@ -113,6 +131,9 @@ Severity default_severity(DiagCode code) {
     case DiagCode::kSupCheckSkipped:
     case DiagCode::kLvlCheckSkipped:
       return Severity::kInfo;
+    case DiagCode::kResWatchdogIneffective:
+    case DiagCode::kResDegradationDisabled:
+      return Severity::kWarning;
     default:
       return Severity::kError;
   }

@@ -8,6 +8,7 @@
 //   SUPxxx -- supply/demand bound cross-checks         (verify_supply)
 //   LVLxxx -- L-level (per-VM server) checks           (verify_servers)
 //   CFGxxx -- experiment / platform config sanity      (verify_config)
+//   RESxxx -- fault plan / resilience policy sanity    (verify_resilience)
 #pragma once
 
 #include <cstdint>
@@ -61,6 +62,14 @@ enum class DiagCode : std::uint16_t {
   kCfgVmOutOfRange = 404,        ///< CFG004: task assigned to VM >= num_vms
   kCfgBadFraction = 405,         ///< CFG005: utilization/preload out of range
   kCfgDegenerateExperiment = 406,///< CFG006: zero trials or zero jobs/task
+
+  // --- fault plan / resilience policy -------------------------------------
+  kResRateOutOfRange = 501,      ///< RES001: fault rate outside [0, 1]
+  kResWatchdogZero = 502,        ///< RES002: watchdog timeout of 0 slots
+  kResBackoffOverflow = 503,     ///< RES003: final retry backoff overflows
+  kResRetryBudgetExcessive = 504,///< RES004: max_retries above the 16 cap
+  kResWatchdogIneffective = 505, ///< RES005: stalls end before the watchdog
+  kResDegradationDisabled = 506, ///< RES006: heavy plan, degradation off
 };
 
 /// Stable string form, e.g. kSigJobUnderAllocated -> "SIG003".

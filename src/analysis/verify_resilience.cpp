@@ -1,0 +1,63 @@
+#include "analysis/verify_resilience.hpp"
+
+#include <string>
+
+namespace ioguard::analysis {
+
+void verify_resilience(const faults::FaultPlan& plan,
+                       const faults::ResilienceConfig& resilience,
+                       Report& report) {
+  // --- plan-level checks ----------------------------------------------------
+  double total_rate = 0.0;
+  for (const auto& spec : plan.events) {
+    total_rate += spec.rate;
+    if (spec.rate < 0.0 || spec.rate > 1.0) {
+      report.add(DiagCode::kResRateOutOfRange,
+                 "rate " + std::to_string(spec.rate) + " for " +
+                     faults::to_string(spec.kind) + " is not a probability",
+                 std::string("fault ") + faults::spec_token(spec.kind));
+    }
+  }
+
+  // --- policy-level checks --------------------------------------------------
+  if (resilience.watchdog_timeout_slots == 0) {
+    report.add(DiagCode::kResWatchdogZero,
+               "watchdog_timeout_slots is 0; a stalled op would never be "
+               "aborted within its slot budget");
+  }
+  if (resilience.max_retries > 16) {
+    report.add(DiagCode::kResRetryBudgetExcessive,
+               "max_retries " + std::to_string(resilience.max_retries) +
+                   " exceeds the supported cap of 16");
+  } else if (resilience.max_retries > 0) {
+    // Final retry waits base << (max_retries - 1) slots; detect shifts that
+    // lose bits (Slot is 64-bit, so shifting past bit 63 is the overflow).
+    const unsigned shift = resilience.max_retries - 1;
+    const Slot base = resilience.retry_backoff_base_slots;
+    if (base > 0 && shift < 64 && (base << shift) >> shift != base) {
+      report.add(DiagCode::kResBackoffOverflow,
+                 "retry backoff base " + std::to_string(base) + " << " +
+                     std::to_string(shift) + " overflows the slot counter");
+    }
+  }
+
+  const double stall_rate = plan.rate(faults::FaultKind::kDeviceStall);
+  if (stall_rate > 0.0 && resilience.watchdog_timeout_slots > 0 &&
+      plan.param(faults::FaultKind::kDeviceStall) <
+          resilience.watchdog_timeout_slots) {
+    report.add(DiagCode::kResWatchdogIneffective,
+               "planned stalls last " +
+                   std::to_string(plan.param(faults::FaultKind::kDeviceStall)) +
+                   " slots but the watchdog waits " +
+                   std::to_string(resilience.watchdog_timeout_slots) +
+                   "; every stall ends before the watchdog fires");
+  }
+  if (total_rate > 0.05 && !resilience.degradation_enabled) {
+    report.add(DiagCode::kResDegradationDisabled,
+               "aggregate fault rate " + std::to_string(total_rate) +
+                   " with degradation disabled; a faulty VM can monopolize "
+                   "recovery bandwidth");
+  }
+}
+
+}  // namespace ioguard::analysis

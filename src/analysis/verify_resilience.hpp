@@ -1,0 +1,22 @@
+// Static verification of fault plans and resilience policy (RESxxx codes).
+//
+// Runs before a faulted experiment the same way verify_table runs before a
+// scheduled one: catches plans that cannot possibly behave as intended
+// (rates outside [0,1], a watchdog that can never fire, a retry backoff
+// that overflows) without simulating a single slot.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace ioguard::analysis {
+
+/// Checks `plan` + `resilience` for internal consistency; findings are
+/// appended to `report` (RES001..RES006). Empty plans pass trivially --
+/// policy-only checks (watchdog/backoff) still run so a bad resilience
+/// config is caught even before any plan is chosen.
+void verify_resilience(const faults::FaultPlan& plan,
+                       const faults::ResilienceConfig& resilience,
+                       Report& report);
+
+}  // namespace ioguard::analysis

@@ -1,0 +1,154 @@
+// Canonical error propagation for tools and library parse/IO paths:
+// Status carries (code, message); StatusOr<T> carries a Status or a value.
+//
+// The contract across the repo: libraries *return* Status/StatusOr instead
+// of printing to std::cerr or calling exit(); only main() maps a Status to
+// a process exit code (see exit_code()). Programming errors -- violated
+// invariants inside the simulator -- stay IOGUARD_CHECK; Status is for
+// errors a caller can reasonably cause (bad flag, malformed file, bad plan).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ioguard {
+
+/// Canonical codes (a stable subset of the usual gRPC/absl vocabulary).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed something unusable (bad flag/spec)
+  kNotFound,            ///< named entity (file, plan, flag) does not exist
+  kFailedPrecondition,  ///< system state refuses the operation (verify failed)
+  kOutOfRange,          ///< numeric value outside its documented range
+  kDataLoss,            ///< parse target is corrupt (malformed CSV row)
+  kUnavailable,         ///< environment failure (cannot write output path)
+  kInternal,            ///< bug-shaped failure surfaced as a status
+};
+
+[[nodiscard]] const char* to_string(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default: OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+[[nodiscard]] inline Status OkStatus() { return Status(); }
+[[nodiscard]] inline Status InvalidArgumentError(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+[[nodiscard]] inline Status NotFoundError(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+[[nodiscard]] inline Status FailedPreconditionError(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+[[nodiscard]] inline Status OutOfRangeError(std::string message) {
+  return {StatusCode::kOutOfRange, std::move(message)};
+}
+[[nodiscard]] inline Status DataLossError(std::string message) {
+  return {StatusCode::kDataLoss, std::move(message)};
+}
+[[nodiscard]] inline Status UnavailableError(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+[[nodiscard]] inline Status InternalError(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+/// The one place a Status becomes a process exit code (tool mains only):
+/// ok -> 0; usage-shaped errors (invalid argument / not found / out of
+/// range / unavailable sink) -> 2; everything else (verification failed,
+/// data loss, internal) -> 1. Matches the documented tool contract:
+/// "0 verified, 1 errors found, 2 usage error".
+[[nodiscard]] int exit_code(const Status& status);
+
+/// A Status or a value of type T; mirrors absl::StatusOr's core API.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    IOGUARD_CHECK_MSG(!status_.ok(),
+                      "StatusOr constructed from an OK status without a value");
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    IOGUARD_CHECK_MSG(ok(), "StatusOr::value() on error: " + status_.message());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    IOGUARD_CHECK_MSG(ok(), "StatusOr::value() on error: " + status_.message());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    IOGUARD_CHECK_MSG(ok(), "StatusOr::value() on error: " + status_.message());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// The contained value, or `fallback` on error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ioguard
+
+// Propagation helpers for Status-returning code paths.
+#define IOGUARD_STATUS_CONCAT_INNER_(a, b) a##b
+#define IOGUARD_STATUS_CONCAT_(a, b) IOGUARD_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `expr` (a Status); returns it from the enclosing function when
+/// not OK.
+#define IOGUARD_RETURN_IF_ERROR(expr)                                     \
+  do {                                                                    \
+    ::ioguard::Status ioguard_status_tmp_ = (expr);                       \
+    if (!ioguard_status_tmp_.ok()) return ioguard_status_tmp_;            \
+  } while (false)
+
+/// Evaluates `expr` (a StatusOr<T>); on error returns its status from the
+/// enclosing function, otherwise assigns the value to `lhs` (which may be a
+/// declaration, e.g. `const auto x`, or an existing lvalue).
+#define IOGUARD_ASSIGN_OR_RETURN(lhs, expr)                               \
+  auto IOGUARD_STATUS_CONCAT_(ioguard_statusor_, __LINE__) = (expr);      \
+  if (!IOGUARD_STATUS_CONCAT_(ioguard_statusor_, __LINE__).ok())          \
+    return IOGUARD_STATUS_CONCAT_(ioguard_statusor_, __LINE__).status();  \
+  lhs = std::move(IOGUARD_STATUS_CONCAT_(ioguard_statusor_, __LINE__)).value()

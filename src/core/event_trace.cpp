@@ -14,6 +14,8 @@ all_trace_event_kinds() {
       TraceEventKind::kRchannelGrant, TraceEventKind::kTranslate,
       TraceEventKind::kDeviceBegin,   TraceEventKind::kComplete,
       TraceEventKind::kDeadlineMiss,  TraceEventKind::kDemote,
+      TraceEventKind::kFaultInject,   TraceEventKind::kRetry,
+      TraceEventKind::kWatchdogAbort, TraceEventKind::kShed,
   };
   return kinds;
 }
@@ -30,6 +32,10 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kComplete: return "complete";
     case TraceEventKind::kDeadlineMiss: return "deadline_miss";
     case TraceEventKind::kDemote: return "demote";
+    case TraceEventKind::kFaultInject: return "fault_inject";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kWatchdogAbort: return "watchdog_abort";
+    case TraceEventKind::kShed: return "shed";
   }
   return "?";
 }

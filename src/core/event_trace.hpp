@@ -32,9 +32,24 @@ enum class TraceEventKind : std::uint8_t {
   kDeadlineMiss,   ///< a job completed after its absolute deadline;
                    ///< aux = lateness in slots
   kDemote,         ///< pre-defined task demoted to the R-channel at init
+  kFaultInject,    ///< a fault fired (stall/frame/flit/overrun/irq);
+                   ///< aux = faults::FaultKind
+  kRetry,          ///< resilience: faulted job re-submitted; aux = attempt #
+  kWatchdogAbort,  ///< hypervisor watchdog aborted a stalled op;
+                   ///< aux = slots the op was watched before the abort
+  kShed,           ///< graceful degradation shed a VM's R-channel queue;
+                   ///< aux = jobs shed
 };
 
-inline constexpr std::size_t kTraceEventKindCount = 10;
+inline constexpr std::size_t kTraceEventKindCount = 14;
+
+/// True for the fault/resilience kinds introduced with the fault-injection
+/// subsystem; exporters emit these only when they actually occurred so a
+/// fault-free run's output stays byte-identical to pre-fault builds.
+[[nodiscard]] constexpr bool is_fault_kind(TraceEventKind k) {
+  return k == TraceEventKind::kFaultInject || k == TraceEventKind::kRetry ||
+         k == TraceEventKind::kWatchdogAbort || k == TraceEventKind::kShed;
+}
 
 /// All kinds in declaration order (iteration aid for summaries/exporters).
 [[nodiscard]] const std::array<TraceEventKind, kTraceEventKindCount>&

@@ -39,6 +39,10 @@ struct HypervisorConfig {
   sched::ServerDesignConfig server_design;
   /// Per-job device occupancy of translation/controller setup.
   Slot dispatch_overhead_slots = 1;
+  /// Optional fault injection (not owned; nullptr = fault-free baseline).
+  /// Each device manager becomes fault site `DeviceId.value`.
+  faults::FaultInjector* injector = nullptr;
+  faults::ResilienceConfig resilience;
 };
 
 /// The hardware hypervisor: routes submissions by device and advances all
@@ -73,6 +77,17 @@ class Hypervisor {
   [[nodiscard]] bool fully_admitted() const;
 
   [[nodiscard]] std::uint64_t dropped_jobs() const;
+
+  // ---- Aggregate fault/resilience counters across all device managers ----
+  [[nodiscard]] std::uint64_t watchdog_aborts() const;
+  [[nodiscard]] std::uint64_t retries_scheduled() const;
+  [[nodiscard]] std::uint64_t retries_exhausted() const;
+  [[nodiscard]] std::uint32_t max_retry_attempt() const;
+  [[nodiscard]] std::uint64_t jobs_shed() const;
+  [[nodiscard]] std::uint64_t frame_faults() const;
+  [[nodiscard]] std::uint64_t stalled_slots() const;
+  [[nodiscard]] std::uint64_t spurious_irq_slots() const;
+  [[nodiscard]] std::size_t degraded_vms() const;
 
   /// Attaches one trace buffer to every device manager (not owned). Design
   /// decisions taken at init (P-channel -> R-channel demotions) are replayed

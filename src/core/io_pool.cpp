@@ -40,6 +40,22 @@ void IoPool::refresh_shadow() {
   shadow_.job = p.job;
 }
 
+ParamSlot IoPool::abort(EntryHandle handle) {
+  IOGUARD_CHECK_MSG(queue_.valid(handle), "aborting an invalid pool entry");
+  ParamSlot p = queue_.params(handle);
+  queue_.remove(handle);
+  if (shadow_.valid && shadow_.handle == handle) shadow_.valid = false;
+  return p;
+}
+
+std::size_t IoPool::shed_all() {
+  const auto handles = queue_.live_handles();
+  for (EntryHandle h : handles) queue_.remove(h);
+  shadow_.valid = false;
+  shadow_.handle = kInvalidHandle;
+  return handles.size();
+}
+
 std::optional<ParamSlot> IoPool::execute_shadow_slot() {
   IOGUARD_CHECK_MSG(shadow_.valid, "executing an invalid shadow register");
   const EntryHandle h = shadow_.handle;

@@ -14,9 +14,19 @@ RtTranslator::RtTranslator(const TranslatorConfig& config, std::uint64_t seed)
 
 Cycle RtTranslator::translate() {
   ++count_;
-  const Cycle latency = rng_.uniform_int(config_.best_case_cycles,
-                                         config_.wcet_cycles);
+  Cycle latency = rng_.uniform_int(config_.best_case_cycles,
+                                   config_.wcet_cycles);
   IOGUARD_CHECK(latency <= config_.wcet_cycles);
+  if (injector_ != nullptr) {
+    // Injected overruns bypass the bound on purpose: they model the fault
+    // the WCET analysis did not cover. The baseline invariant above still
+    // guards every non-faulted translation.
+    const Cycle extra = injector_->translator_overrun(fault_site_);
+    if (extra > 0) {
+      latency = config_.wcet_cycles + extra;
+      ++overruns_;
+    }
+  }
   worst_observed_ = std::max(worst_observed_, latency);
   return latency;
 }

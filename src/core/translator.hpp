@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "faults/injector.hpp"
 
 namespace ioguard::core {
 
@@ -28,18 +29,33 @@ class RtTranslator {
   explicit RtTranslator(const TranslatorConfig& config = {},
                         std::uint64_t seed = 7);
 
-  /// Latency of the next translation, in cycles; always <= wcet_cycles.
+  /// Latency of the next translation, in cycles; always <= wcet_cycles --
+  /// unless a fault injector forces a WCET overrun for this call, in which
+  /// case latency = wcet + injected extra (the fault the resilience layer
+  /// and ROTA-I/O-style analyses must absorb).
   Cycle translate();
+
+  /// Attaches a fault injector; `site` keys this translator's RNG stream
+  /// (kTranslatorOverrun draws). Pass nullptr to detach.
+  void attach_faults(faults::FaultInjector* injector, std::size_t site) {
+    injector_ = injector;
+    fault_site_ = site;
+  }
 
   [[nodiscard]] Cycle wcet() const { return config_.wcet_cycles; }
   [[nodiscard]] std::uint64_t translations() const { return count_; }
   [[nodiscard]] Cycle worst_observed() const { return worst_observed_; }
+  /// Translations that overran the WCET bound (injected faults only).
+  [[nodiscard]] std::uint64_t overruns() const { return overruns_; }
 
  private:
   TranslatorConfig config_;
   Rng rng_;
   std::uint64_t count_ = 0;
   Cycle worst_observed_ = 0;
+  faults::FaultInjector* injector_ = nullptr;
+  std::size_t fault_site_ = 0;
+  std::uint64_t overruns_ = 0;
 };
 
 /// The full virtualization-driver path cost for one I/O operation:

@@ -1,5 +1,7 @@
 #include "core/vmanager.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ioguard::core {
@@ -10,6 +12,10 @@ namespace {
 std::uint32_t clamp_aux(Slot value) {
   constexpr Slot kMax = 0xffffffffu;
   return static_cast<std::uint32_t>(value < kMax ? value : kMax);
+}
+
+std::uint32_t fault_aux(faults::FaultKind kind) {
+  return static_cast<std::uint32_t>(kind);
 }
 
 }  // namespace
@@ -24,7 +30,11 @@ VirtManager::VirtManager(iodev::DeviceSpec device,
                                            std::move(table))),
       gsched_(std::make_unique<GSched>(std::move(servers), config.policy)),
       request_translator_(config.translator, /*seed=*/11),
-      response_translator_(config.translator, /*seed=*/13) {
+      response_translator_(config.translator, /*seed=*/13),
+      injector_(config.injector),
+      fault_site_(config.device_index),
+      resilience_(config.resilience),
+      dispatch_overhead_(config.dispatch_overhead_slots) {
   IOGUARD_CHECK(config.num_vms > 0);
   IOGUARD_CHECK_MSG(gsched_->servers().size() == config.num_vms,
                     "one server per VM required");
@@ -35,6 +45,14 @@ VirtManager::VirtManager(iodev::DeviceSpec device,
         config.dispatch_overhead_slots));
   shadow_snapshot_.resize(config.num_vms);
   last_exposed_.resize(config.num_vms);
+  vm_fault_counts_.resize(config.num_vms, 0);
+  vm_degraded_.resize(config.num_vms, 0);
+  if (injector_ != nullptr) {
+    // The translator pair shares one fault domain per device: both draw
+    // overruns from the same (kind, device) stream, in call order.
+    request_translator_.attach_faults(injector_, fault_site_);
+    response_translator_.attach_faults(injector_, fault_site_);
+  }
 }
 
 void VirtManager::trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
@@ -45,6 +63,13 @@ void VirtManager::trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
 
 bool VirtManager::submit(const workload::Job& job, Slot now) {
   IOGUARD_CHECK_MSG(job.vm.value < pools_.size(), "job from unknown VM");
+  if (vm_degraded_[job.vm.value] != 0) {
+    // Graceful degradation: the driver rejects the request outright instead
+    // of letting a faulting VM churn the R-channel.
+    ++degraded_rejected_;
+    trace(now, TraceEventKind::kDrop, job.vm, job.task, job.id);
+    return false;
+  }
   // Request translation happens on the access path; its bounded sub-slot
   // latency is tracked for calibration but does not consume a slot.
   const Cycle request_cycles = request_translator_.translate();
@@ -56,8 +81,122 @@ bool VirtManager::submit(const workload::Job& job, Slot now) {
   return accepted;
 }
 
+void VirtManager::drain_retries(Slot now) {
+  // Insertion order is deterministic, so the drain order is too.
+  std::size_t kept = 0;
+  for (auto& r : retry_queue_) {
+    if (r.due > now) {
+      retry_queue_[kept++] = r;
+      continue;
+    }
+    (void)submit(r.job, now);  // pool-full / degraded drops are accounted
+  }
+  retry_queue_.resize(kept);
+}
+
+void VirtManager::begin_tick_faults(Slot now) {
+  if (!retry_queue_.empty()) drain_retries(now);
+  if (stall_remaining_ == 0) {
+    const Slot stall = injector_->device_stall_begins(fault_site_);
+    if (stall > 0) {
+      stall_remaining_ = stall;
+      trace(now, TraceEventKind::kFaultInject, VmId{}, TaskId{}, JobId{},
+            fault_aux(faults::FaultKind::kDeviceStall));
+    }
+  }
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    stalled_now_ = true;
+    ++stalled_slots_;
+    if (active_valid_) {
+      // Watchdog: an R-channel op is wedged on the stalled device. Abort it
+      // within the configured budget so its slot reservation cannot leak.
+      ++stall_watch_;
+      if (stall_watch_ >= resilience_.watchdog_timeout_slots)
+        abort_active(now);
+    }
+    return;
+  }
+  stalled_now_ = false;
+  stall_watch_ = 0;
+}
+
+void VirtManager::abort_active(Slot now) {
+  const ParamSlot p = pools_[active_vm_]->abort(active_handle_);
+  trace(now, TraceEventKind::kWatchdogAbort, p.vm, p.task, p.job,
+        clamp_aux(stall_watch_));
+  ++watchdog_aborts_;
+  active_valid_ = false;
+  stall_watch_ = 0;
+  stall_remaining_ = 0;  // the abort resets the device
+  stalled_now_ = false;
+  note_vm_fault(p.vm, now);
+  schedule_retry(p, now);
+}
+
+void VirtManager::schedule_retry(const ParamSlot& params, Slot now) {
+  if (vm_degraded_[params.vm.value] != 0) return;
+  const std::uint32_t attempt = ++attempts_[params.job.value];
+  if (attempt > resilience_.max_retries) {
+    ++retries_exhausted_;
+    return;
+  }
+  // Exponential backoff, but never a retry that cannot meet the deadline:
+  // re-service needs `total` more slots after the backoff expires.
+  const Slot delay = resilience_.retry_backoff_base_slots
+                     << (attempt - 1);
+  const Slot due = now + 1 + delay;
+  if (due + params.total > params.absolute_deadline) {
+    ++retries_exhausted_;
+    return;
+  }
+  workload::Job job;
+  job.id = params.job;
+  job.task = params.task;
+  job.vm = params.vm;
+  job.device = params.device;
+  job.release = params.release;
+  job.absolute_deadline = params.absolute_deadline;
+  // The pool re-adds the dispatch overhead on submit; a retry retransmits
+  // the full payload.
+  job.wcet = params.total > dispatch_overhead_
+                 ? params.total - dispatch_overhead_
+                 : 1;
+  job.payload_bytes = params.payload_bytes;
+  retry_queue_.push_back(PendingRetry{due, job, attempt});
+  ++retries_;
+  max_retry_attempt_ = std::max(max_retry_attempt_, attempt);
+  trace(now, TraceEventKind::kRetry, job.vm, job.task, job.id, attempt);
+}
+
+void VirtManager::note_vm_fault(VmId vm, Slot now) {
+  const std::size_t i = vm.value;
+  ++vm_fault_counts_[i];
+  if (!resilience_.degradation_enabled || vm_degraded_[i] != 0) return;
+  if (vm_fault_counts_[i] < resilience_.degradation_threshold) return;
+  vm_degraded_[i] = 1;
+  const std::size_t shed = pools_[i]->shed_all();
+  jobs_shed_ += shed;
+  // Pending retries of the degraded VM are shed with the queue.
+  std::size_t kept = 0;
+  for (auto& r : retry_queue_) {
+    if (r.job.vm == vm) {
+      ++jobs_shed_;
+      continue;
+    }
+    retry_queue_[kept++] = r;
+  }
+  retry_queue_.resize(kept);
+  if (active_valid_ && active_vm_ == i) active_valid_ = false;
+  trace(now, TraceEventKind::kShed, vm, TaskId{}, JobId{},
+        clamp_aux(jobs_shed_));
+}
+
 void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
-  // 1. P-channel has absolute priority on its reserved slots.
+  if (injector_ != nullptr) begin_tick_faults(now);
+
+  // 1. P-channel has absolute priority on its reserved slots. Fault gating
+  // never reaches this path: sigma* execution is identical under any plan.
   bool used = false;
   if (auto done = pchannel_->execute_slot(now, used)) {
     ++busy_slots_;
@@ -79,6 +218,18 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
     return;  // reserved slot consumed mid-job
   }
   if (!pchannel_->slot_is_free(now)) return;  // reserved but idle (transient)
+
+  if (injector_ != nullptr) {
+    if (stalled_now_) return;  // device not draining: the free slot is lost
+    if (injector_->spurious_interrupt(fault_site_)) {
+      // A phantom IRQ makes the hypervisor service a completion that never
+      // happened; the free slot is burned on the spurious handler.
+      ++spurious_irqs_;
+      trace(now, TraceEventKind::kFaultInject, VmId{}, TaskId{}, JobId{},
+            fault_aux(faults::FaultKind::kSpuriousInterrupt));
+      return;
+    }
+  }
 
   // 2. Free slot: L-Scheds refresh the shadow registers...
   for (std::size_t i = 0; i < pools_.size(); ++i) {
@@ -109,6 +260,28 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
             granted.job);
   }
   if (auto finished = pools_[*winner]->execute_shadow_slot()) {
+    if (active_valid_ && active_job_ == finished->job) active_valid_ = false;
+    if (injector_ != nullptr) {
+      // The response frame is the fault surface: it can be lost in flight
+      // or arrive corrupted; either way the driver must retransmit.
+      faults::FaultKind frame_fault{};
+      bool faulted = false;
+      if (injector_->drop_frame(fault_site_)) {
+        frame_fault = faults::FaultKind::kDroppedFrame;
+        faulted = true;
+      } else if (injector_->corrupt_frame(fault_site_)) {
+        frame_fault = faults::FaultKind::kCorruptFrame;
+        faulted = true;
+      }
+      if (faulted) {
+        ++frame_faults_;
+        trace(now, TraceEventKind::kFaultInject, finished->vm, finished->task,
+              finished->job, fault_aux(frame_fault));
+        note_vm_fault(finished->vm, now);
+        schedule_retry(*finished, now);
+        return;  // no completion: the frame never reached its VM intact
+      }
+    }
     // Pass-through response channel: bounded response translation.
     const Cycle response_cycles = response_translator_.translate();
     ++runtime_jobs_completed_;
@@ -132,6 +305,13 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
             done.job.id,
             clamp_aux(done.completed_at - done.job.absolute_deadline));
     out.push_back(done);
+  } else if (injector_ != nullptr) {
+    // Partially-executed op now in flight on the device: the watchdog's
+    // charge if the device stalls under it.
+    active_valid_ = true;
+    active_vm_ = *winner;
+    active_handle_ = granted.handle;
+    active_job_ = granted.job;
   }
 }
 
@@ -139,6 +319,12 @@ std::uint64_t VirtManager::dropped_jobs() const {
   std::uint64_t total = 0;
   for (const auto& pool : pools_) total += pool->dropped();
   return total;
+}
+
+std::size_t VirtManager::degraded_vms() const {
+  std::size_t n = 0;
+  for (auto d : vm_degraded_) n += d;
+  return n;
 }
 
 }  // namespace ioguard::core

@@ -7,11 +7,20 @@
 // Slot arbitration per slot `t`: if sigma* reserves t for a pre-defined
 // task, the P-channel executes it; otherwise the slot is free and the
 // G-Sched hands it to a VM's shadow-register operation.
+//
+// Resilience (DESIGN.md §11): when a FaultInjector is attached, the manager
+// also runs the recovery machinery -- a watchdog that aborts an R-channel
+// operation stalled on a dead device within its slot budget, bounded
+// deadline-aware retry of faulted jobs, and graceful degradation that sheds
+// a persistently faulting VM's R-channel queue. The P-channel is immune by
+// construction: faults gate only the free-slot path, so sigma* execution is
+// bit-identical with or without faults.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/event_trace.hpp"
@@ -19,6 +28,7 @@
 #include "core/io_pool.hpp"
 #include "core/pchannel.hpp"
 #include "core/translator.hpp"
+#include "faults/injector.hpp"
 #include "iodev/device.hpp"
 #include "sched/slot_table.hpp"
 
@@ -31,6 +41,11 @@ struct VManagerConfig {
   TranslatorConfig translator;
   /// Per-job device occupancy of translation/controller setup (see IoPool).
   Slot dispatch_overhead_slots = 1;
+  /// Optional fault injection (not owned; nullptr = fault-free baseline).
+  faults::FaultInjector* injector = nullptr;
+  /// Site index keying this device's fault RNG streams.
+  std::size_t device_index = 0;
+  faults::ResilienceConfig resilience;
 };
 
 class VirtManager {
@@ -41,7 +56,8 @@ class VirtManager {
               const VManagerConfig& config);
 
   /// Buffers a run-time job from its VM's I/O pool. False when that pool is
-  /// full (the request is dropped; isolation keeps other pools unaffected).
+  /// full (the request is dropped; isolation keeps other pools unaffected)
+  /// or the VM has been degraded (requests rejected at the driver).
   [[nodiscard]] bool submit(const workload::Job& job, Slot now);
 
   /// Advances one scheduler slot; completions (P- and R-channel) finishing
@@ -62,10 +78,36 @@ class VirtManager {
   }
   [[nodiscard]] std::uint64_t dropped_jobs() const;
 
+  // ---- Fault/resilience observability (all 0 in a fault-free run). ------
+  [[nodiscard]] std::uint64_t watchdog_aborts() const {
+    return watchdog_aborts_;
+  }
+  [[nodiscard]] std::uint64_t retries_scheduled() const { return retries_; }
+  [[nodiscard]] std::uint64_t retries_exhausted() const {
+    return retries_exhausted_;
+  }
+  /// The largest retry attempt number ever scheduled (<= max_retries).
+  [[nodiscard]] std::uint32_t max_retry_attempt() const {
+    return max_retry_attempt_;
+  }
+  [[nodiscard]] std::uint64_t jobs_shed() const { return jobs_shed_; }
+  [[nodiscard]] std::uint64_t degraded_rejected() const {
+    return degraded_rejected_;
+  }
+  [[nodiscard]] std::uint64_t stalled_slots() const { return stalled_slots_; }
+  [[nodiscard]] std::uint64_t frame_faults() const { return frame_faults_; }
+  [[nodiscard]] std::uint64_t spurious_irq_slots() const {
+    return spurious_irqs_;
+  }
+  [[nodiscard]] std::size_t degraded_vms() const;
+
   /// Cycle cost of the virtualization-driver path for the last completion
   /// (request + response translation); sub-slot, reported for calibration.
   [[nodiscard]] const RtTranslator& request_translator() const {
     return request_translator_;
+  }
+  [[nodiscard]] const RtTranslator& response_translator() const {
+    return response_translator_;
   }
 
   /// Attaches an event trace buffer (not owned); `device` labels the events.
@@ -75,6 +117,21 @@ class VirtManager {
   }
 
  private:
+  /// A faulted job waiting out its backoff before re-entering the driver.
+  struct PendingRetry {
+    Slot due = 0;
+    workload::Job job;
+    std::uint32_t attempt = 0;
+  };
+
+  /// Per-slot fault bookkeeping: retry drain, stall onset/countdown,
+  /// watchdog. Runs every slot (stalls are wall-clock, not free-slot-clock).
+  void begin_tick_faults(Slot now);
+  void drain_retries(Slot now);
+  void abort_active(Slot now);
+  void schedule_retry(const ParamSlot& params, Slot now);
+  void note_vm_fault(VmId vm, Slot now);
+
   iodev::DeviceSpec device_;
   std::unique_ptr<PChannel> pchannel_;
   std::vector<std::unique_ptr<IoPool>> pools_;
@@ -87,6 +144,32 @@ class VirtManager {
   std::uint64_t runtime_jobs_completed_ = 0;
   EventTrace* tracer_ = nullptr;
   DeviceId trace_device_;
+
+  // ---- Fault state (inert without an injector). -------------------------
+  faults::FaultInjector* injector_ = nullptr;
+  std::size_t fault_site_ = 0;
+  faults::ResilienceConfig resilience_;
+  Slot dispatch_overhead_ = 1;  ///< mirrored from config, for retry rebuild
+  Slot stall_remaining_ = 0;   ///< slots of device stall still to serve
+  bool stalled_now_ = false;   ///< this slot is inside a stall window
+  Slot stall_watch_ = 0;       ///< watchdog: stalled slots with an op in flight
+  bool active_valid_ = false;  ///< an R-channel op is partially executed
+  std::size_t active_vm_ = 0;
+  EntryHandle active_handle_ = kInvalidHandle;
+  JobId active_job_;
+  std::vector<PendingRetry> retry_queue_;
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;  // by job id
+  std::vector<std::uint64_t> vm_fault_counts_;
+  std::vector<std::uint8_t> vm_degraded_;
+  std::uint64_t watchdog_aborts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint32_t max_retry_attempt_ = 0;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t degraded_rejected_ = 0;
+  std::uint64_t stalled_slots_ = 0;
+  std::uint64_t frame_faults_ = 0;
+  std::uint64_t spurious_irqs_ = 0;
 
   void trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task, JobId job,
              std::uint32_t aux = 0) const;

@@ -1,0 +1,65 @@
+#include "faults/injector.hpp"
+
+namespace ioguard::faults {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t trial_seed)
+    : plan_(plan),
+      stream_base_(mix_seed(plan.seed ^ 0xFA117EC7ED5EEDULL, trial_seed)) {
+  for (FaultKind k : all_fault_kinds()) {
+    const auto i = static_cast<std::size_t>(k);
+    rates_[i] = plan_.rate(k);
+    params_[i] = plan_.param(k);
+  }
+}
+
+Rng& FaultInjector::stream(FaultKind kind, std::size_t site) {
+  const auto i = static_cast<std::size_t>(kind);
+  auto& per_site = streams_[i];
+  while (per_site.size() <= site) {
+    per_site.emplace_back(
+        mix_seed(stream_base_, i + 1, per_site.size()));
+  }
+  return per_site[site];
+}
+
+bool FaultInjector::fire(FaultKind kind, std::size_t site) {
+  const auto i = static_cast<std::size_t>(kind);
+  if (rates_[i] <= 0.0) return false;
+  if (!stream(kind, site).bernoulli(rates_[i])) return false;
+  ++injected_[i];
+  return true;
+}
+
+Slot FaultInjector::device_stall_begins(std::size_t site) {
+  if (!fire(FaultKind::kDeviceStall, site)) return 0;
+  return params_[static_cast<std::size_t>(FaultKind::kDeviceStall)];
+}
+
+bool FaultInjector::drop_frame(std::size_t site) {
+  return fire(FaultKind::kDroppedFrame, site);
+}
+
+bool FaultInjector::corrupt_frame(std::size_t site) {
+  return fire(FaultKind::kCorruptFrame, site);
+}
+
+bool FaultInjector::drop_packet(std::size_t site) {
+  return fire(FaultKind::kLinkFlitLoss, site);
+}
+
+Cycle FaultInjector::translator_overrun(std::size_t site) {
+  if (!fire(FaultKind::kTranslatorOverrun, site)) return 0;
+  return params_[static_cast<std::size_t>(FaultKind::kTranslatorOverrun)];
+}
+
+bool FaultInjector::spurious_interrupt(std::size_t site) {
+  return fire(FaultKind::kSpuriousInterrupt, site);
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (auto n : injected_) total += n;
+  return total;
+}
+
+}  // namespace ioguard::faults

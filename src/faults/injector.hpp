@@ -1,0 +1,62 @@
+// FaultInjector: the runtime half of a FaultPlan. One injector serves one
+// trial; components query it at each fault *opportunity* (a slot tick, a
+// frame completion, a head-flit arbitration, a translation).
+//
+// Determinism contract: each (fault kind, site) pair owns a private Rng
+// seeded from mix_seed(plan.seed ^ trial_seed, kind, site), so
+//   * the same (plan, trial seed) replays bit-identically at any --jobs=N
+//     (sites are queried in simulation order, which is deterministic), and
+//   * injector draws never touch the baseline RNG streams (workload,
+//     translator latency), so a zero-rate kind changes *nothing*.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace ioguard::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t trial_seed);
+
+  /// Slots of stall beginning now at device `site` (0 = no fault). Callers
+  /// must query once per opportunity (per slot while un-stalled).
+  [[nodiscard]] Slot device_stall_begins(std::size_t site);
+  /// The completed frame at `site` is lost in flight.
+  [[nodiscard]] bool drop_frame(std::size_t site);
+  /// The completed frame at `site` arrives corrupted.
+  [[nodiscard]] bool corrupt_frame(std::size_t site);
+  /// The packet whose head flit is being arbitrated at router `site` is lost.
+  [[nodiscard]] bool drop_packet(std::size_t site);
+  /// Extra cycles beyond WCET for this translation at `site` (0 = no fault).
+  [[nodiscard]] Cycle translator_overrun(std::size_t site);
+  /// A phantom interrupt burns the current free slot at device `site`.
+  [[nodiscard]] bool spurious_interrupt(std::size_t site);
+
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Draws a bernoulli(rate[kind]) from the (kind, site) stream and counts
+  /// injections. Zero-rate kinds never construct a stream (and never draw).
+  [[nodiscard]] bool fire(FaultKind kind, std::size_t site);
+  [[nodiscard]] Rng& stream(FaultKind kind, std::size_t site);
+
+  FaultPlan plan_;
+  std::uint64_t stream_base_ = 0;
+  std::array<double, kFaultKindCount> rates_{};
+  std::array<std::uint64_t, kFaultKindCount> params_{};
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+  std::array<std::vector<Rng>, kFaultKindCount> streams_;  // indexed by site
+};
+
+}  // namespace ioguard::faults

@@ -20,6 +20,18 @@ bool FifoController::enqueue(const workload::Job& job, Slot now) {
 }
 
 std::optional<Completion> FifoController::tick_slot(Slot now) {
+  if (injector_ != nullptr) {
+    if (stall_remaining_ == 0) {
+      stall_remaining_ = injector_->device_stall_begins(fault_site_);
+    }
+    if (stall_remaining_ > 0) {
+      // No watchdog here: the FIFO head (and everything behind it) waits
+      // out the whole stall.
+      --stall_remaining_;
+      ++stalled_slots_;
+      return std::nullopt;
+    }
+  }
   if (!current_ && !queue_.empty()) {
     Request r = queue_.front();
     queue_.pop_front();
@@ -29,6 +41,14 @@ std::optional<Completion> FifoController::tick_slot(Slot now) {
 
   ++busy_slots_;
   if (--current_->remaining == 0) {
+    if (injector_ != nullptr && (injector_->drop_frame(fault_site_) ||
+                                 injector_->corrupt_frame(fault_site_))) {
+      // Lost/corrupt frame with no retransmission: the job silently never
+      // completes (the system layer accounts the deadline miss).
+      ++frames_lost_;
+      current_.reset();
+      return std::nullopt;
+    }
     Completion done;
     done.job = current_->request.job;
     done.enqueued_at = current_->request.enqueued_at;

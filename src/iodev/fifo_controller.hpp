@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/types.hpp"
+#include "faults/injector.hpp"
 #include "workload/task.hpp"
 
 namespace ioguard::iodev {
@@ -60,6 +61,18 @@ class FifoController {
     return bytes_completed_;
   }
 
+  /// Attaches a fault injector (not owned); `site` keys this controller's
+  /// fault RNG streams. Legacy controllers have *no* resilience: a stall
+  /// just blocks the head of line, a lost frame is simply gone -- the
+  /// contrast the I/O-GUARD watchdog/retry path is measured against.
+  void set_fault_injector(faults::FaultInjector* injector, std::size_t site) {
+    injector_ = injector;
+    fault_site_ = site;
+  }
+
+  [[nodiscard]] std::uint64_t stalled_slots() const { return stalled_slots_; }
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+
  private:
   struct Active {
     Request request;
@@ -74,6 +87,11 @@ class FifoController {
   std::uint64_t rejected_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t bytes_completed_ = 0;
+  faults::FaultInjector* injector_ = nullptr;
+  std::size_t fault_site_ = 0;
+  Slot stall_remaining_ = 0;
+  std::uint64_t stalled_slots_ = 0;
+  std::uint64_t frames_lost_ = 0;
 };
 
 }  // namespace ioguard::iodev

@@ -187,4 +187,15 @@ bool Mesh::idle() const {
   return true;
 }
 
+void Mesh::set_fault_injector(faults::FaultInjector* injector) {
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    routers_[i]->set_fault_injector(injector, i);
+}
+
+std::uint64_t Mesh::packets_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->packets_dropped();
+  return total;
+}
+
 }  // namespace ioguard::noc

@@ -106,6 +106,13 @@ class Mesh : public sim::Tickable {
   [[nodiscard]] const Router& router(NodeId node) const;
   [[nodiscard]] const Nic& nic(NodeId node) const;
 
+  /// Attaches a fault injector to every router (not owned); router `i`
+  /// becomes kLinkFlitLoss site `i`. Pass nullptr to detach.
+  void set_fault_injector(faults::FaultInjector* injector);
+
+  /// Packets eaten by injected link faults, summed over all routers.
+  [[nodiscard]] std::uint64_t packets_dropped() const;
+
  private:
   MeshConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;

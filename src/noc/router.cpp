@@ -82,12 +82,33 @@ Port Router::output_for(const Flit& flit) const {
   return route_xy(pos_, node_to_xy_(flit.dst));
 }
 
+void Router::drop_flit(Input& in, const Flit& flit, Cycle now) {
+  ++flits_dropped_;
+  // The flit still consumed a wire cycle and an (implicit) buffer slot;
+  // return the credit so the upstream router never wedges on the loss.
+  in.link->put_credit(now);
+  if (flit.tail) in.dropping = false;
+}
+
 void Router::tick(Cycle now) {
   // 1. Drain inbound links into input FIFOs (flits put at t-1 arrive now).
+  //    Fault surface: a fired kLinkFlitLoss eats the arriving packet whole,
+  //    head flit through tail flit, bypassing the FIFO.
   for (auto& in : inputs_) {
     if (!in.link) continue;
+    if (in.dropping) {
+      if (auto flit = in.link->take(now)) drop_flit(in, *flit, now);
+      continue;
+    }
     if (!in.fifo.full()) {
       if (auto flit = in.link->take(now)) {
+        if (injector_ != nullptr && flit->head &&
+            injector_->drop_packet(fault_site_)) {
+          ++packets_dropped_;
+          in.dropping = true;
+          drop_flit(in, *flit, now);
+          continue;
+        }
         const bool ok = in.fifo.push(*flit);
         IOGUARD_CHECK(ok);
       }

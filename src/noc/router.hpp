@@ -16,6 +16,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
+#include "faults/injector.hpp"
 #include "noc/packet.hpp"
 
 namespace ioguard::noc {
@@ -112,10 +113,26 @@ class Router {
   /// True when all FIFOs are empty and no output is mid-packet.
   [[nodiscard]] bool idle() const;
 
+  /// Attaches a fault injector (not owned); `site` keys this router's
+  /// kLinkFlitLoss stream. A fired fault eats a *whole packet* on arrival
+  /// (head through tail), returning upstream credits for every eaten flit --
+  /// dropping only the head would wedge the wormhole behind orphaned body
+  /// flits.
+  void set_fault_injector(faults::FaultInjector* injector, std::size_t site) {
+    injector_ = injector;
+    fault_site_ = site;
+  }
+
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+  [[nodiscard]] std::uint64_t flits_dropped() const { return flits_dropped_; }
+
  private:
   struct Input {
     Link* link = nullptr;
     RingBuffer<Flit> fifo;
+    bool dropping = false;  ///< mid-drop: eat flits until this packet's tail
     explicit Input(std::size_t depth) : fifo(depth) {}
   };
   struct Output {
@@ -135,6 +152,12 @@ class Router {
   std::uint64_t flits_routed_ = 0;
   std::array<std::uint64_t, kPortCount> flits_by_port_{};
   std::array<std::uint64_t, kPortCount> packets_by_port_{};
+  faults::FaultInjector* injector_ = nullptr;
+  std::size_t fault_site_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t flits_dropped_ = 0;
+
+  void drop_flit(Input& in, const Flit& flit, Cycle now);
 };
 
 }  // namespace ioguard::noc

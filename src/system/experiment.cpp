@@ -30,6 +30,19 @@ std::uint64_t trial_seed_for(const ExperimentConfig& cfg, std::size_t num_vms,
                   t);
 }
 
+StatusOr<ExperimentConfig> ExperimentConfig::validated(ExperimentConfig raw) {
+  if (raw.trials < 1) return InvalidArgumentError("trials must be >= 1");
+  if (raw.min_jobs_per_task < 1)
+    return InvalidArgumentError("min_jobs_per_task must be >= 1");
+  if (raw.resilience.watchdog_timeout_slots == 0)
+    return InvalidArgumentError("watchdog_timeout_slots must be > 0");
+  if (raw.resilience.retry_backoff_base_slots < 1)
+    return InvalidArgumentError("retry_backoff_base_slots must be >= 1");
+  if (raw.resilience.max_retries > 16)
+    return OutOfRangeError("max_retries must be <= 16");
+  return raw;
+}
+
 PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
                       double target_utilization, const ExperimentConfig& cfg,
                       BatchTiming* timing) {
@@ -52,6 +65,8 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
         tc.min_jobs_per_task = cfg.min_jobs_per_task;
         tc.trial_seed = trial_seed_for(cfg, num_vms, target_utilization, t);
         tc.cal = cfg.cal;
+        tc.faults = cfg.faults;
+        tc.resilience = cfg.resilience;
         return tc;
       },
       /*metrics=*/nullptr, timing ? &batch : nullptr);

@@ -47,6 +47,14 @@ struct ExperimentConfig {
   /// concurrency), 1 = sequential. Aggregates are bit-identical either way.
   std::size_t jobs = 1;
   Calibration cal;
+  /// Fault plan applied to every trial (empty = fault-free baseline; trial
+  /// seeds still differ per trial, so fault schedules differ per trial too).
+  faults::FaultPlan faults;
+  faults::ResilienceConfig resilience;
+
+  /// Single validated construction path (mirrors TrialConfig::validated).
+  [[nodiscard]] static StatusOr<ExperimentConfig> validated(
+      ExperimentConfig raw);
 };
 
 /// Stable identifier of one (num_vms, utilization) sweep point, used as the

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "faults/injector.hpp"
 #include "iodev/fifo_controller.hpp"
 #include "system/stages.hpp"
 #include "telemetry/spans.hpp"
@@ -42,6 +43,35 @@ struct Outcome {
 
 /// End-of-trial export into the caller's MetricsRegistry. Counters add up
 /// across trials sharing one registry; gauges keep the last trial's value.
+/// Fault/resilience metric block; called only when an injector was active,
+/// so fault-free Prometheus output stays byte-identical to pre-fault builds.
+void fill_fault_metrics(telemetry::MetricsRegistry& reg,
+                        const TrialConfig& config, const TrialResult& result,
+                        const faults::FaultInjector& injector) {
+  using telemetry::Labels;
+  for (faults::FaultKind kind : faults::all_fault_kinds()) {
+    if (config.faults.rate(kind) <= 0.0) continue;  // kind not in the plan
+    reg.counter("ioguard_faults_injected_total",
+                {{"kind", faults::to_string(kind)}})
+        .inc(injector.injected(kind));
+  }
+  auto action = [&](const char* a) -> telemetry::Counter& {
+    return reg.counter("ioguard_resilience_actions_total", {{"action", a}});
+  };
+  action("watchdog_abort").inc(result.faults.watchdog_aborts);
+  action("retry").inc(result.faults.retries);
+  action("retry_exhausted").inc(result.faults.retries_exhausted);
+  action("shed").inc(result.faults.jobs_shed);
+  reg.counter("ioguard_fault_stalled_slots_total", {})
+      .inc(result.faults.stalled_slots + result.faults.fifo_stalled_slots);
+  reg.counter("ioguard_fault_lost_frames_total", {})
+      .inc(result.faults.frame_faults + result.faults.fifo_frames_lost);
+  reg.counter("ioguard_fault_transit_drops_total", {})
+      .inc(result.faults.transit_drops);
+  reg.gauge("ioguard_degraded_vms", {})
+      .set(static_cast<double>(result.faults.degraded_vms));
+}
+
 void fill_metrics(telemetry::MetricsRegistry& reg, const TrialConfig& config,
                   const TrialResult& result, const core::Hypervisor* hyp,
                   const std::vector<iodev::FifoController>& fifos) {
@@ -107,6 +137,31 @@ void fill_metrics(telemetry::MetricsRegistry& reg, const TrialConfig& config,
 
 }  // namespace
 
+StatusOr<TrialConfig> TrialConfig::validated(TrialConfig raw) {
+  const auto& w = raw.workload;
+  if (w.num_vms < 1 || w.num_vms > 64)
+    return InvalidArgumentError("num_vms must be in [1, 64], got " +
+                                std::to_string(w.num_vms));
+  if (!(w.target_utilization > 0.0) || w.target_utilization > 2.0)
+    return OutOfRangeError("target_utilization must be in (0, 2], got " +
+                           std::to_string(w.target_utilization));
+  if (w.preload_fraction < 0.0 || w.preload_fraction > 1.0)
+    return OutOfRangeError("preload_fraction must be in [0, 1], got " +
+                           std::to_string(w.preload_fraction));
+  if (raw.min_jobs_per_task < 1)
+    return InvalidArgumentError("min_jobs_per_task must be >= 1");
+  if (raw.cal.cycles_per_slot == 0)
+    return InvalidArgumentError("cycles_per_slot must be > 0");
+  if (raw.resilience.watchdog_timeout_slots == 0)
+    return InvalidArgumentError("watchdog_timeout_slots must be > 0");
+  if (raw.resilience.retry_backoff_base_slots < 1)
+    return InvalidArgumentError("retry_backoff_base_slots must be >= 1");
+  if (raw.resilience.max_retries > 16)
+    return OutOfRangeError("max_retries must be <= 16, got " +
+                           std::to_string(raw.resilience.max_retries));
+  return raw;
+}
+
 TrialResult run_trial(const TrialConfig& config) {
   // ---- 1. Build the workload and the release trace. ----------------------
   workload::CaseStudyConfig wl_cfg = config.workload;
@@ -157,6 +212,13 @@ TrialResult run_trial(const TrialConfig& config) {
                                 wl_cfg.target_utilization,
                                 config.trial_seed ^ 0x222);
 
+  // Fault injector: only constructed for a non-empty plan so the fault-free
+  // path takes zero extra branches inside the components (null injector).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!config.faults.empty())
+    injector = std::make_unique<faults::FaultInjector>(config.faults,
+                                                       config.trial_seed);
+
   // Device back-ends: legacy FIFO controllers or the I/O-GUARD hypervisor.
   std::vector<iodev::FifoController> fifos;
   std::unique_ptr<core::Hypervisor> hyp;
@@ -167,13 +229,17 @@ TrialResult run_trial(const TrialConfig& config) {
     hc.dispatch_overhead_slots = cal.dispatch_overhead_slots;
     hc.policy = config.gsched_policy;
     hc.translator.wcet_cycles = cal.translation_wcet_cycles;
+    hc.injector = injector.get();
+    hc.resilience = config.resilience;
     hyp = std::make_unique<core::Hypervisor>(wl, hc);
     result.admitted = hyp->fully_admitted();
     if (config.trace) hyp->set_tracer(config.trace);
   } else {
-    for (std::size_t d = 0; d < workload::kCaseStudyDeviceCount; ++d)
+    for (std::size_t d = 0; d < workload::kCaseStudyDeviceCount; ++d) {
       fifos.emplace_back(cal.device_fifo_capacity,
                          cal.dispatch_overhead_slots);
+      fifos.back().set_fault_injector(injector.get(), d);
+    }
   }
 
   // ---- 3. Miss accounting setup. ------------------------------------------
@@ -292,6 +358,24 @@ TrialResult run_trial(const TrialConfig& config) {
     while (!transit_q.empty() && transit_q.top().arrival <= now) {
       const workload::Job j = transit_q.top().job;
       transit_q.pop();
+      // Interconnect fault surface: a fired kLinkFlitLoss eats the request
+      // packet in transit -- it never reaches the back-end, so the job can
+      // only miss (mirrors a whole-packet drop in the NoC model).
+      if (injector && injector->drop_packet(j.device.value)) {
+        ++result.faults.transit_drops;
+        if (config.trace) {
+          core::TraceEvent ev;
+          ev.slot = now;
+          ev.kind = core::TraceEventKind::kFaultInject;
+          ev.device = j.device;
+          ev.vm = j.vm;
+          ev.task = j.task;
+          ev.job = j.id;
+          ev.aux = static_cast<std::uint32_t>(faults::FaultKind::kLinkFlitLoss);
+          config.trace->record(ev);
+        }
+        continue;
+      }
       stamp(t_arrive, j.id, now);
       bool accepted;
       if (hyp) {
@@ -371,8 +455,29 @@ TrialResult run_trial(const TrialConfig& config) {
   result.device_busy_frac = static_cast<double>(busy) /
                             static_cast<double>(horizon * n_dev);
 
+  if (injector) {
+    result.faults.injected_total = injector->total_injected();
+    if (hyp) {
+      result.faults.watchdog_aborts = hyp->watchdog_aborts();
+      result.faults.retries = hyp->retries_scheduled();
+      result.faults.retries_exhausted = hyp->retries_exhausted();
+      result.faults.max_retry_attempt = hyp->max_retry_attempt();
+      result.faults.jobs_shed = hyp->jobs_shed();
+      result.faults.degraded_vms = hyp->degraded_vms();
+      result.faults.frame_faults = hyp->frame_faults();
+      result.faults.stalled_slots = hyp->stalled_slots();
+      result.faults.spurious_irq_slots = hyp->spurious_irq_slots();
+    }
+    for (const auto& f : fifos) {
+      result.faults.fifo_frames_lost += f.frames_lost();
+      result.faults.fifo_stalled_slots += f.stalled_slots();
+    }
+  }
+
   if (config.metrics) {
     fill_metrics(*config.metrics, config, result, hyp.get(), fifos);
+    if (injector)
+      fill_fault_metrics(*config.metrics, config, result, *injector);
     if (config.trace)
       telemetry::register_span_metrics(*config.trace, *config.metrics);
   }
@@ -451,6 +556,26 @@ void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
   json_stats(os, "stage_vmm_slots", result.stage_vmm);
   json_stats(os, "stage_transit_slots", result.stage_transit);
   json_stats(os, "stage_backend_slots", result.stage_backend);
+
+  // Fault block only for trials that ran a plan, so fault-free summaries
+  // stay byte-identical to pre-fault builds.
+  if (!config.faults.empty()) {
+    os << "  \"fault_plan\": \"" << config.faults.spec_string() << "\",\n";
+    const FaultCounters& fc = result.faults;
+    os << "  \"faults\": {\"injected\": " << fc.injected_total
+       << ", \"watchdog_aborts\": " << fc.watchdog_aborts
+       << ", \"retries\": " << fc.retries
+       << ", \"retries_exhausted\": " << fc.retries_exhausted
+       << ", \"max_retry_attempt\": " << fc.max_retry_attempt
+       << ", \"jobs_shed\": " << fc.jobs_shed
+       << ", \"degraded_vms\": " << fc.degraded_vms
+       << ", \"frame_faults\": " << fc.frame_faults
+       << ", \"stalled_slots\": " << fc.stalled_slots
+       << ", \"spurious_irq_slots\": " << fc.spurious_irq_slots
+       << ", \"transit_drops\": " << fc.transit_drops
+       << ", \"fifo_frames_lost\": " << fc.fifo_frames_lost
+       << ", \"fifo_stalled_slots\": " << fc.fifo_stalled_slots << "},\n";
+  }
 
   os << "  \"misses_by_task\": {";
   bool first = true;

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "core/event_trace.hpp"
 #include "core/hypervisor.hpp"
+#include "faults/fault_plan.hpp"
 #include "system/config.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/arrivals.hpp"
@@ -33,6 +35,15 @@ struct TrialConfig {
   bool collect_response_times = false;
   bool collect_stage_latencies = false;  ///< fill TrialResult::stage_*
 
+  // --- fault injection (empty plan = bit-identical fault-free baseline) ---
+  faults::FaultPlan faults;
+  faults::ResilienceConfig resilience;
+
+  /// The single validated construction path for trial configs: every range
+  /// check the benches / run_point / CLI preflight used to duplicate lives
+  /// here. Returns the config unchanged when valid.
+  [[nodiscard]] static StatusOr<TrialConfig> validated(TrialConfig raw);
+
   // --- telemetry hooks (both off by default: zero overhead) ---------------
   /// Attached to the hypervisor as its on-chip trace buffer (I/O-GUARD
   /// back-end only; not owned).
@@ -40,6 +51,24 @@ struct TrialConfig {
   /// Filled with run counters/gauges/histograms at the end of the trial
   /// (not owned; pass the same registry across trials to aggregate).
   telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+/// Fault/resilience outcome of one trial; every field is 0 when the plan is
+/// empty, so zero-fault TrialResults compare equal to pre-fault baselines.
+struct FaultCounters {
+  std::uint64_t injected_total = 0;      ///< faults fired, all kinds
+  std::uint64_t watchdog_aborts = 0;     ///< hypervisor watchdog recoveries
+  std::uint64_t retries = 0;             ///< retry submissions scheduled
+  std::uint64_t retries_exhausted = 0;   ///< jobs given up (attempts/deadline)
+  std::uint32_t max_retry_attempt = 0;   ///< never exceeds max_retries
+  std::uint64_t jobs_shed = 0;           ///< degradation queue sheds
+  std::uint64_t degraded_vms = 0;        ///< VMs in degraded mode at end
+  std::uint64_t frame_faults = 0;        ///< dropped/corrupt response frames
+  std::uint64_t stalled_slots = 0;       ///< device-stall slots served
+  std::uint64_t spurious_irq_slots = 0;  ///< free slots burned on phantom IRQs
+  std::uint64_t transit_drops = 0;       ///< requests eaten on the interconnect
+  std::uint64_t fifo_frames_lost = 0;    ///< baseline FIFOs: unrecovered loss
+  std::uint64_t fifo_stalled_slots = 0;  ///< baseline FIFOs: stall slots
 };
 
 struct TrialResult {
@@ -67,6 +96,8 @@ struct TrialResult {
   OnlineStats stage_vmm;      ///< issue -> left the VMM (RT-XEN only)
   OnlineStats stage_transit;  ///< VMM/issue -> arrived at the back-end
   OnlineStats stage_backend;  ///< arrival -> completion at the device
+
+  FaultCounters faults;  ///< all-zero unless the trial ran a fault plan
 
   /// Paper's per-trial success criterion.
   [[nodiscard]] bool success() const { return critical_misses == 0; }

@@ -176,7 +176,11 @@ void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
       }
       case core::TraceEventKind::kDrop:
       case core::TraceEventKind::kDeadlineMiss:
-      case core::TraceEventKind::kDemote: {
+      case core::TraceEventKind::kDemote:
+      case core::TraceEventKind::kFaultInject:
+      case core::TraceEventKind::kRetry:
+      case core::TraceEventKind::kWatchdogAbort:
+      case core::TraceEventKind::kShed: {
         w.begin();
         w.kv("ph", std::string("i"));
         w.kv("s", std::string("t"));

@@ -74,6 +74,10 @@ std::vector<JobSpan> collect_spans(const core::EventTrace& trace) {
       case core::TraceEventKind::kTranslate:
       case core::TraceEventKind::kPchannelSlot:
       case core::TraceEventKind::kDemote:
+      case core::TraceEventKind::kFaultInject:
+      case core::TraceEventKind::kRetry:
+      case core::TraceEventKind::kWatchdogAbort:
+      case core::TraceEventKind::kShed:
         break;  // no lifecycle phase
     }
   }
@@ -134,7 +138,10 @@ void print_stage_breakdown(std::ostream& os, StageBreakdown& b,
 void register_span_metrics(const core::EventTrace& trace,
                            MetricsRegistry& registry) {
   // Raw event-kind totals (includes events overwritten in the ring).
+  // Fault/resilience kinds appear only when they occurred, so the exported
+  // metric set of a fault-free run is byte-identical to pre-fault builds.
   for (auto kind : core::all_trace_event_kinds()) {
+    if (core::is_fault_kind(kind) && trace.count(kind) == 0) continue;
     registry
         .counter("ioguard_trace_events_total",
                  {{"kind", core::to_string(kind)}})

@@ -5,8 +5,6 @@
 #include <sstream>
 #include <string>
 
-#include "common/check.hpp"
-
 namespace ioguard::workload {
 
 namespace {
@@ -20,27 +18,31 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
-std::uint64_t to_u64(const std::string& s) {
-  IOGUARD_CHECK_MSG(!s.empty(), "empty numeric CSV cell");
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  IOGUARD_CHECK_MSG(end && *end == '\0', "malformed numeric CSV cell");
-  return v;
+Status row_error(std::size_t line_no, const std::string& what) {
+  return InvalidArgumentError("CSV line " + std::to_string(line_no) + ": " +
+                              what);
 }
 
-TaskClass parse_class(const std::string& s) {
+StatusOr<std::uint64_t> to_u64(const std::string& s, std::size_t line_no) {
+  if (s.empty()) return row_error(line_no, "empty numeric cell");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (!end || *end != '\0')
+    return row_error(line_no, "malformed numeric cell '" + s + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+StatusOr<TaskClass> parse_class(const std::string& s, std::size_t line_no) {
   if (s == "safety") return TaskClass::kSafety;
   if (s == "function") return TaskClass::kFunction;
   if (s == "synthetic") return TaskClass::kSynthetic;
-  IOGUARD_CHECK_MSG(false, "unknown task class: " + s);
-  __builtin_unreachable();
+  return row_error(line_no, "unknown task class: " + s);
 }
 
-TaskKind parse_kind(const std::string& s) {
+StatusOr<TaskKind> parse_kind(const std::string& s, std::size_t line_no) {
   if (s == "predefined") return TaskKind::kPredefined;
   if (s == "runtime") return TaskKind::kRuntime;
-  IOGUARD_CHECK_MSG(false, "unknown task kind: " + s);
-  __builtin_unreachable();
+  return row_error(line_no, "unknown task kind: " + s);
 }
 
 }  // namespace
@@ -55,27 +57,35 @@ void write_taskset_csv(std::ostream& os, const TaskSet& tasks) {
   }
 }
 
-TaskSet read_taskset_csv(std::istream& is) {
+StatusOr<TaskSet> read_taskset_csv(std::istream& is) {
   TaskSet out;
   std::string line;
-  IOGUARD_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
-                    "missing task-set CSV header");
+  if (!std::getline(is, line))
+    return InvalidArgumentError("missing task-set CSV header");
+  std::size_t line_no = 1;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
-    IOGUARD_CHECK_MSG(cells.size() == 11, "task-set CSV row needs 11 cells");
+    if (cells.size() != 11)
+      return row_error(line_no, "task-set row needs 11 cells, got " +
+                                    std::to_string(cells.size()));
     IoTaskSpec t;
-    t.id = TaskId{static_cast<std::uint32_t>(to_u64(cells[0]))};
-    t.vm = VmId{static_cast<std::uint32_t>(to_u64(cells[1]))};
-    t.device = DeviceId{static_cast<std::uint32_t>(to_u64(cells[2]))};
+    IOGUARD_ASSIGN_OR_RETURN(const auto id, to_u64(cells[0], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto vm, to_u64(cells[1], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto device, to_u64(cells[2], line_no));
+    t.id = TaskId{static_cast<std::uint32_t>(id)};
+    t.vm = VmId{static_cast<std::uint32_t>(vm)};
+    t.device = DeviceId{static_cast<std::uint32_t>(device)};
     t.name = cells[3];
-    t.cls = parse_class(cells[4]);
-    t.kind = parse_kind(cells[5]);
-    t.period = to_u64(cells[6]);
-    t.wcet = to_u64(cells[7]);
-    t.deadline = to_u64(cells[8]);
-    t.offset = to_u64(cells[9]);
-    t.payload_bytes = static_cast<std::uint32_t>(to_u64(cells[10]));
+    IOGUARD_ASSIGN_OR_RETURN(t.cls, parse_class(cells[4], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(t.kind, parse_kind(cells[5], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(t.period, to_u64(cells[6], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(t.wcet, to_u64(cells[7], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(t.deadline, to_u64(cells[8], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(t.offset, to_u64(cells[9], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto payload, to_u64(cells[10], line_no));
+    t.payload_bytes = static_cast<std::uint32_t>(payload);
     out.add(std::move(t));
   }
   return out;
@@ -90,24 +100,33 @@ void write_trace_csv(std::ostream& os, const std::vector<Job>& trace) {
   }
 }
 
-std::vector<Job> read_trace_csv(std::istream& is) {
+StatusOr<std::vector<Job>> read_trace_csv(std::istream& is) {
   std::vector<Job> out;
   std::string line;
-  IOGUARD_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
-                    "missing trace CSV header");
+  if (!std::getline(is, line))
+    return InvalidArgumentError("missing trace CSV header");
+  std::size_t line_no = 1;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
-    IOGUARD_CHECK_MSG(cells.size() == 8, "trace CSV row needs 8 cells");
+    if (cells.size() != 8)
+      return row_error(line_no, "trace row needs 8 cells, got " +
+                                    std::to_string(cells.size()));
     Job j;
-    j.id = JobId{static_cast<std::uint32_t>(to_u64(cells[0]))};
-    j.task = TaskId{static_cast<std::uint32_t>(to_u64(cells[1]))};
-    j.vm = VmId{static_cast<std::uint32_t>(to_u64(cells[2]))};
-    j.device = DeviceId{static_cast<std::uint32_t>(to_u64(cells[3]))};
-    j.release = to_u64(cells[4]);
-    j.absolute_deadline = to_u64(cells[5]);
-    j.wcet = to_u64(cells[6]);
-    j.payload_bytes = static_cast<std::uint32_t>(to_u64(cells[7]));
+    IOGUARD_ASSIGN_OR_RETURN(const auto id, to_u64(cells[0], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto task, to_u64(cells[1], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto vm, to_u64(cells[2], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto device, to_u64(cells[3], line_no));
+    j.id = JobId{static_cast<std::uint32_t>(id)};
+    j.task = TaskId{static_cast<std::uint32_t>(task)};
+    j.vm = VmId{static_cast<std::uint32_t>(vm)};
+    j.device = DeviceId{static_cast<std::uint32_t>(device)};
+    IOGUARD_ASSIGN_OR_RETURN(j.release, to_u64(cells[4], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(j.absolute_deadline, to_u64(cells[5], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(j.wcet, to_u64(cells[6], line_no));
+    IOGUARD_ASSIGN_OR_RETURN(const auto payload, to_u64(cells[7], line_no));
+    j.payload_bytes = static_cast<std::uint32_t>(payload);
     out.push_back(j);
   }
   return out;

@@ -10,18 +10,20 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/status.hpp"
 #include "workload/task.hpp"
 
 namespace ioguard::workload {
 
 void write_taskset_csv(std::ostream& os, const TaskSet& tasks);
 
-/// Parses a task-set CSV (header required). Throws CheckFailure on malformed
-/// rows or constraint violations (the TaskSet invariants still apply).
-[[nodiscard]] TaskSet read_taskset_csv(std::istream& is);
+/// Parses a task-set CSV (header required). Malformed rows yield
+/// kInvalidArgument with the offending line number; TaskSet invariant
+/// violations (duplicate ids etc.) still fail the process-wide CHECK.
+[[nodiscard]] StatusOr<TaskSet> read_taskset_csv(std::istream& is);
 
 void write_trace_csv(std::ostream& os, const std::vector<Job>& trace);
 
-[[nodiscard]] std::vector<Job> read_trace_csv(std::istream& is);
+[[nodiscard]] StatusOr<std::vector<Job>> read_trace_csv(std::istream& is);
 
 }  // namespace ioguard::workload

@@ -1,0 +1,383 @@
+// Deterministic fault injection + resilience (DESIGN.md §11).
+//
+// The contract under test, in increasing order of strength:
+//   1. FaultPlan round-trips through its spec string and rejects malformed
+//      or out-of-range specs with the right Status codes.
+//   2. A FaultInjector replays bit-identically for the same (plan, trial
+//      seed), and zero-rate kinds never fire or draw.
+//   3. An *empty* plan is byte-identical to the fault-free baseline --
+//      TrialResult fields and exported Prometheus text -- because the
+//      runner never constructs an injector. A *zero-rate* plan constructs
+//      one and must still not perturb the simulation (private streams).
+//   4. A non-empty plan replays bit-identically at any --jobs value.
+//   5. Resilience honors its bounds: the watchdog aborts within its slot
+//      budget, retries never exceed max_retries, and degradation never
+//      touches the P-channel's reserved sigma* slots.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/verify_resilience.hpp"
+#include "common/rng.hpp"
+#include "core/event_trace.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "system/experiment.hpp"
+#include "system/parallel.hpp"
+#include "telemetry/prometheus.hpp"
+
+namespace ioguard {
+namespace {
+
+using sys::ParallelRunner;
+using sys::SystemKind;
+using sys::TrialConfig;
+using sys::TrialResult;
+
+TrialConfig small_trial(std::size_t t, SystemKind kind,
+                        const faults::FaultPlan& plan = {}) {
+  TrialConfig tc;
+  tc.kind = kind;
+  tc.workload.num_vms = 4;
+  tc.workload.target_utilization = 0.8;
+  tc.workload.preload_fraction = kind == SystemKind::kIoGuard ? 0.5 : 0.0;
+  tc.min_jobs_per_task = 8;
+  tc.trial_seed = mix_seed(42, sys::sweep_point_key(4, 0.8), t);
+  tc.faults = plan;
+  return tc;
+}
+
+faults::FaultPlan plan_of(const std::string& spec) {
+  auto plan = faults::FaultPlan::parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return std::move(plan).value();
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.jobs_counted, b.jobs_counted);
+  EXPECT_EQ(a.jobs_on_time, b.jobs_on_time);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.critical_misses, b.critical_misses);
+  EXPECT_EQ(a.dropped, b.dropped);
+  // Bitwise, not EXPECT_DOUBLE_EQ: same trial, same arithmetic.
+  EXPECT_EQ(a.goodput_bytes_per_s, b.goodput_bytes_per_s);
+  EXPECT_EQ(a.device_busy_frac, b.device_busy_frac);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.misses_by_task, b.misses_by_task);
+  EXPECT_EQ(a.faults.injected_total, b.faults.injected_total);
+  EXPECT_EQ(a.faults.watchdog_aborts, b.faults.watchdog_aborts);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.retries_exhausted, b.faults.retries_exhausted);
+  EXPECT_EQ(a.faults.max_retry_attempt, b.faults.max_retry_attempt);
+  EXPECT_EQ(a.faults.jobs_shed, b.faults.jobs_shed);
+  EXPECT_EQ(a.faults.degraded_vms, b.faults.degraded_vms);
+  EXPECT_EQ(a.faults.frame_faults, b.faults.frame_faults);
+  EXPECT_EQ(a.faults.stalled_slots, b.faults.stalled_slots);
+  EXPECT_EQ(a.faults.spurious_irq_slots, b.faults.spurious_irq_slots);
+  EXPECT_EQ(a.faults.transit_drops, b.faults.transit_drops);
+  EXPECT_EQ(a.faults.fifo_frames_lost, b.faults.fifo_frames_lost);
+  EXPECT_EQ(a.faults.fifo_stalled_slots, b.faults.fifo_stalled_slots);
+}
+
+// --- FaultPlan parsing --------------------------------------------------
+
+TEST(FaultPlan, CannedPlansRoundTripThroughSpecStrings) {
+  for (const auto& name : faults::FaultPlan::canned_plan_names()) {
+    SCOPED_TRACE(name);
+    auto canned = faults::FaultPlan::canned(name);
+    ASSERT_TRUE(canned.ok()) << canned.status();
+    // parse() accepts both the canned name and the canonical spec string,
+    // and both land on the same plan value.
+    auto by_name = faults::FaultPlan::parse(name);
+    ASSERT_TRUE(by_name.ok()) << by_name.status();
+    EXPECT_EQ(*by_name, *canned);
+    auto by_spec = faults::FaultPlan::parse(canned->spec_string());
+    ASSERT_TRUE(by_spec.ok()) << by_spec.status();
+    EXPECT_EQ(*by_spec, *canned);
+  }
+  EXPECT_TRUE(plan_of("none").empty());
+  EXPECT_EQ(plan_of("none").spec_string(), "none");
+}
+
+TEST(FaultPlan, ParsesSpecStringsWithSeedRatesAndParams) {
+  const auto plan = plan_of("seed=7;stall:rate=0.002,param=12;flit:rate=0.001");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.rate(faults::FaultKind::kDeviceStall), 0.002);
+  EXPECT_EQ(plan.param(faults::FaultKind::kDeviceStall), 12u);
+  EXPECT_EQ(plan.rate(faults::FaultKind::kLinkFlitLoss), 0.001);
+  // Unset param falls back to the kind default; unlisted kinds have rate 0.
+  EXPECT_EQ(plan.param(faults::FaultKind::kLinkFlitLoss),
+            faults::default_param(faults::FaultKind::kLinkFlitLoss));
+  EXPECT_EQ(plan.rate(faults::FaultKind::kSpuriousInterrupt), 0.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsWithTypedStatusCodes) {
+  EXPECT_EQ(faults::FaultPlan::parse("bogus").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(faults::FaultPlan::parse("stall:rate=1.5").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(faults::FaultPlan::parse("stall:rate=nope").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      faults::FaultPlan::parse("stall:rate=0.1;stall:rate=0.2").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults::FaultPlan::parse("warp:rate=0.1").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- FaultInjector determinism ------------------------------------------
+
+TEST(FaultInjector, ReplaysBitIdenticallyForSamePlanAndSeed) {
+  const auto plan = plan_of("mixed");
+  faults::FaultInjector a(plan, /*trial_seed=*/99);
+  faults::FaultInjector b(plan, /*trial_seed=*/99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t site = static_cast<std::size_t>(i) % 3;
+    EXPECT_EQ(a.device_stall_begins(site), b.device_stall_begins(site));
+    EXPECT_EQ(a.drop_frame(site), b.drop_frame(site));
+    EXPECT_EQ(a.drop_packet(site), b.drop_packet(site));
+    EXPECT_EQ(a.translator_overrun(site), b.translator_overrun(site));
+    EXPECT_EQ(a.spurious_interrupt(site), b.spurious_interrupt(site));
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  for (auto kind : faults::all_fault_kinds())
+    EXPECT_EQ(a.injected(kind), b.injected(kind));
+}
+
+TEST(FaultInjector, ZeroRateKindsNeverFire) {
+  const auto plan = plan_of("stall:rate=0.5,param=4");
+  faults::FaultInjector inj(plan, /*trial_seed=*/7);
+  std::uint64_t stalls = 0;
+  for (int i = 0; i < 1000; ++i) {
+    stalls += inj.device_stall_begins(0) > 0 ? 1 : 0;
+    EXPECT_FALSE(inj.drop_frame(0));
+    EXPECT_FALSE(inj.corrupt_frame(0));
+    EXPECT_FALSE(inj.drop_packet(0));
+    EXPECT_EQ(inj.translator_overrun(0), 0u);
+    EXPECT_FALSE(inj.spurious_interrupt(0));
+  }
+  EXPECT_GT(stalls, 0u);
+  EXPECT_EQ(inj.injected(faults::FaultKind::kDeviceStall), stalls);
+  EXPECT_EQ(inj.total_injected(), stalls);
+}
+
+// --- byte-identity of the fault-free path -------------------------------
+
+TEST(FaultTrials, EmptyPlanIsBitIdenticalToBaseline) {
+  for (SystemKind kind : {SystemKind::kLegacy, SystemKind::kIoGuard}) {
+    const TrialResult base = sys::run_trial(small_trial(0, kind));
+    const TrialResult none =
+        sys::run_trial(small_trial(0, kind, plan_of("none")));
+    expect_identical(base, none);
+    EXPECT_EQ(none.faults.injected_total, 0u);
+  }
+}
+
+TEST(FaultTrials, ZeroRatePlanDoesNotPerturbTheSimulation) {
+  // Non-empty plan, all rates zero: the injector is constructed and queried
+  // at every opportunity, but its draws come from private streams, so the
+  // simulated outcome must match the no-injector baseline exactly.
+  const auto plan = plan_of("stall:rate=0;drop:rate=0;flit:rate=0");
+  for (SystemKind kind : {SystemKind::kLegacy, SystemKind::kIoGuard}) {
+    const TrialResult base = sys::run_trial(small_trial(0, kind));
+    const TrialResult zero = sys::run_trial(small_trial(0, kind, plan));
+    expect_identical(base, zero);
+  }
+}
+
+TEST(FaultTrials, EmptyPlanPrometheusBytesIdenticalToBaseline) {
+  const auto run = [](const faults::FaultPlan& plan) {
+    ParallelRunner runner(1);
+    telemetry::MetricsRegistry metrics;
+    runner.run_trials(
+        3,
+        [&](std::size_t t) {
+          return small_trial(t, SystemKind::kIoGuard, plan);
+        },
+        &metrics);
+    std::ostringstream os;
+    telemetry::write_prometheus(os, metrics);
+    return os.str();
+  };
+  const std::string base = run({});
+  const std::string none = run(plan_of("none"));
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, none);
+  EXPECT_EQ(base.find("ioguard_fault"), std::string::npos);
+  EXPECT_EQ(base.find("ioguard_resilience"), std::string::npos);
+}
+
+// --- deterministic replay under load ------------------------------------
+
+TEST(FaultTrials, FaultedTrialsIdenticalAcrossJobCounts) {
+  const auto plan = plan_of("mixed");
+  ParallelRunner seq(1), par(4);
+  const std::size_t trials = 6;
+  const auto make = [&](std::size_t t) {
+    return small_trial(t, SystemKind::kIoGuard, plan);
+  };
+  telemetry::MetricsRegistry ma, mb;
+  const auto a = seq.run_trials(trials, make, &ma);
+  const auto b = par.run_trials(trials, make, &mb);
+  ASSERT_EQ(a.size(), trials);
+  ASSERT_EQ(b.size(), trials);
+  std::uint64_t injected = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    expect_identical(a[t], b[t]);
+    injected += a[t].faults.injected_total;
+  }
+  EXPECT_GT(injected, 0u) << "mixed plan injected nothing; test is vacuous";
+  std::ostringstream pa, pb;
+  telemetry::write_prometheus(pa, ma);
+  telemetry::write_prometheus(pb, mb);
+  EXPECT_EQ(pa.str(), pb.str());
+  EXPECT_NE(pa.str().find("ioguard_faults_injected_total"), std::string::npos);
+}
+
+// --- resilience bounds --------------------------------------------------
+
+TEST(Resilience, WatchdogAbortsWithinItsSlotBudget) {
+  core::EventTrace trace;
+  auto tc = small_trial(0, SystemKind::kIoGuard, plan_of("device-stall"));
+  tc.trace = &trace;
+  const TrialResult r = sys::run_trial(tc);
+  EXPECT_GT(r.faults.stalled_slots, 0u);
+  ASSERT_GT(r.faults.watchdog_aborts, 0u);
+  std::size_t aborts_seen = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind != core::TraceEventKind::kWatchdogAbort) continue;
+    ++aborts_seen;
+    // aux = slots the op was watched before the abort; the watchdog must
+    // fire the moment the budget is reached, never later.
+    EXPECT_LE(e.aux, tc.resilience.watchdog_timeout_slots);
+  }
+  EXPECT_GT(aborts_seen, 0u);
+}
+
+TEST(Resilience, RetriesNeverExceedTheConfiguredBudget) {
+  for (std::uint32_t budget : {1u, 2u, 3u}) {
+    auto tc = small_trial(0, SystemKind::kIoGuard, plan_of("device-stall"));
+    tc.resilience.max_retries = budget;
+    core::EventTrace trace;
+    tc.trace = &trace;
+    const TrialResult r = sys::run_trial(tc);
+    EXPECT_LE(r.faults.max_retry_attempt, budget);
+    for (const auto& e : trace.events()) {
+      if (e.kind == core::TraceEventKind::kRetry) {
+        EXPECT_LE(e.aux, budget);
+      }
+    }
+  }
+}
+
+TEST(Resilience, DegradationNeverTouchesPchannelSlots) {
+  // sigma* execution is reserved-slot hardware: the same seed must execute
+  // the same number of P-channel slots whether the R-channel is being
+  // shredded by faults or not.
+  core::EventTrace clean_trace, faulted_trace;
+  auto clean = small_trial(0, SystemKind::kIoGuard);
+  clean.trace = &clean_trace;
+  auto faulted = small_trial(
+      0, SystemKind::kIoGuard,
+      plan_of("stall:rate=0.01,param=12;drop:rate=0.05;irq:rate=0.01"));
+  faulted.resilience.degradation_threshold = 4;  // force sheds
+  faulted.trace = &faulted_trace;
+  const TrialResult rc = sys::run_trial(clean);
+  const TrialResult rf = sys::run_trial(faulted);
+  EXPECT_GT(rf.faults.injected_total, 0u);
+  EXPECT_EQ(clean_trace.count(core::TraceEventKind::kPchannelSlot),
+            faulted_trace.count(core::TraceEventKind::kPchannelSlot));
+  // Fault kinds never appear in a clean trace.
+  for (auto kind : core::all_trace_event_kinds()) {
+    if (core::is_fault_kind(kind)) {
+      EXPECT_EQ(clean_trace.count(kind), 0u) << core::to_string(kind);
+    }
+  }
+  (void)rc;
+}
+
+// --- validated construction + static verification -----------------------
+
+TEST(ValidatedConfigs, TrialConfigRangeChecks) {
+  EXPECT_TRUE(TrialConfig::validated(small_trial(0, SystemKind::kIoGuard)).ok());
+
+  auto bad_vms = small_trial(0, SystemKind::kIoGuard);
+  bad_vms.workload.num_vms = 0;
+  EXPECT_EQ(TrialConfig::validated(bad_vms).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto bad_util = small_trial(0, SystemKind::kIoGuard);
+  bad_util.workload.target_utilization = 3.0;
+  EXPECT_EQ(TrialConfig::validated(bad_util).status().code(),
+            StatusCode::kOutOfRange);
+
+  auto bad_watchdog = small_trial(0, SystemKind::kIoGuard);
+  bad_watchdog.resilience.watchdog_timeout_slots = 0;
+  EXPECT_FALSE(TrialConfig::validated(bad_watchdog).ok());
+
+  auto bad_retries = small_trial(0, SystemKind::kIoGuard);
+  bad_retries.resilience.max_retries = 17;
+  EXPECT_EQ(TrialConfig::validated(bad_retries).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(VerifyResilience, FlagsBrokenPlansAndPolicies) {
+  // RES001: rates outside [0, 1] cannot come from parse(); build by hand.
+  faults::FaultPlan bad_rate;
+  bad_rate.events.push_back({faults::FaultKind::kDroppedFrame, 1.5, 0});
+  analysis::Report r1;
+  analysis::verify_resilience(bad_rate, {}, r1);
+  EXPECT_TRUE(r1.has(analysis::DiagCode::kResRateOutOfRange));
+  EXPECT_FALSE(r1.ok());
+
+  faults::ResilienceConfig no_watchdog;
+  no_watchdog.watchdog_timeout_slots = 0;
+  analysis::Report r2;
+  analysis::verify_resilience(plan_of("device-stall"), no_watchdog, r2);
+  EXPECT_TRUE(r2.has(analysis::DiagCode::kResWatchdogZero));
+  EXPECT_FALSE(r2.ok());
+
+  faults::ResilienceConfig silly_budget;
+  silly_budget.max_retries = 20;
+  analysis::Report r3;
+  analysis::verify_resilience(plan_of("device-stall"), silly_budget, r3);
+  EXPECT_TRUE(r3.has(analysis::DiagCode::kResRetryBudgetExcessive));
+
+  faults::ResilienceConfig overflow;
+  overflow.max_retries = 8;
+  overflow.retry_backoff_base_slots = Slot{1} << 60;
+  analysis::Report r4;
+  analysis::verify_resilience(plan_of("device-stall"), overflow, r4);
+  EXPECT_TRUE(r4.has(analysis::DiagCode::kResBackoffOverflow));
+
+  // RES005/RES006 are warnings: findings, but the report stays ok().
+  faults::ResilienceConfig slow_watchdog;
+  slow_watchdog.watchdog_timeout_slots = 1000;
+  analysis::Report r5;
+  analysis::verify_resilience(plan_of("stall:rate=0.01,param=4"),
+                              slow_watchdog, r5);
+  EXPECT_TRUE(r5.has(analysis::DiagCode::kResWatchdogIneffective));
+  EXPECT_TRUE(r5.ok());
+
+  faults::ResilienceConfig no_degradation;
+  no_degradation.degradation_enabled = false;
+  analysis::Report r6;
+  analysis::verify_resilience(plan_of("drop:rate=0.04;irq:rate=0.04"),
+                              no_degradation, r6);
+  EXPECT_TRUE(r6.has(analysis::DiagCode::kResDegradationDisabled));
+  EXPECT_TRUE(r6.ok());
+
+  // A clean canned plan with the default policy verifies silently.
+  analysis::Report r7;
+  analysis::verify_resilience(plan_of("mixed"), {}, r7);
+  EXPECT_TRUE(r7.ok());
+}
+
+}  // namespace
+}  // namespace ioguard

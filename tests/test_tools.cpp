@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/status.hpp"
 #include "core/event_trace.hpp"
 #include "core/hypervisor.hpp"
 #include "workload/arrivals.hpp"
@@ -195,6 +196,124 @@ TEST(EventTrace, HypervisorEmitsEvents) {
   EXPECT_GE(trace.count(core::TraceEventKind::kComplete), 1u);
 }
 
+// -------------------------------------------------------------- Status
+
+TEST(Status, OkAndErrorBasics) {
+  EXPECT_TRUE(OkStatus().ok());
+  const Status err = InvalidArgumentError("bad flag");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.message(), "bad flag");
+  EXPECT_NE(err.to_string().find("bad flag"), std::string::npos);
+}
+
+TEST(Status, ExitCodeMapping) {
+  EXPECT_EQ(exit_code(OkStatus()), 0);
+  EXPECT_EQ(exit_code(InvalidArgumentError("x")), 2);
+  EXPECT_EQ(exit_code(NotFoundError("x")), 2);
+  EXPECT_EQ(exit_code(OutOfRangeError("x")), 2);
+  EXPECT_EQ(exit_code(UnavailableError("x")), 2);
+  EXPECT_EQ(exit_code(FailedPreconditionError("x")), 1);
+  EXPECT_EQ(exit_code(DataLossError("x")), 1);
+  EXPECT_EQ(exit_code(InternalError("x")), 1);
+}
+
+TEST(Status, StatusOrValueAndError) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(7), 42);
+
+  StatusOr<int> bad = NotFoundError("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+// -------------------------------------------------------------- CliSpec
+
+TEST(CliSpec, TypedDefaultsAndParsedValues) {
+  CliSpec spec("test tool");
+  spec.flag_int("vms", 8, "VM count");
+  spec.flag_double("util", 0.7, "target utilization");
+  spec.flag("out", "", "output path");
+  spec.flag_switch("verbose", "chatty");
+
+  const char* argv[] = {"prog", "--vms=4", "--verbose"};
+  const auto args = spec.parse(3, argv);
+  ASSERT_TRUE(args.ok()) << args.status().to_string();
+  EXPECT_EQ(args->get_int("vms"), 4);              // parsed
+  EXPECT_DOUBLE_EQ(args->get_double("util"), 0.7); // registered default
+  EXPECT_TRUE(args->get_bool("verbose"));
+  EXPECT_EQ(args->get("out"), "");
+}
+
+TEST(CliSpec, RejectsUnknownFlagsAndBadTypes) {
+  CliSpec spec("test tool");
+  spec.flag_int("vms", 8, "VM count");
+
+  const char* unknown[] = {"prog", "--bogus=1"};
+  const auto u = spec.parse(2, unknown);
+  ASSERT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(u.status().message().find("bogus"), std::string::npos);
+
+  const char* bad_type[] = {"prog", "--vms=abc"};
+  const auto b = spec.parse(2, bad_type);
+  ASSERT_FALSE(b.ok());
+  EXPECT_NE(b.status().message().find("vms"), std::string::npos);
+}
+
+TEST(CliSpec, RequiredFlagsAndPositionals) {
+  CliSpec spec("test tool");
+  spec.required("in", "input file");
+  spec.positional("FILE", "extra input");
+
+  const char* missing[] = {"prog"};
+  ASSERT_FALSE(spec.parse(1, missing).ok());
+
+  const char* full[] = {"prog", "--in=x.csv", "pos.csv"};
+  const auto args = spec.parse(3, full);
+  ASSERT_TRUE(args.ok()) << args.status().to_string();
+  EXPECT_EQ(args->get("in"), "x.csv");
+  ASSERT_EQ(args->positional().size(), 1u);
+  EXPECT_EQ(args->positional()[0], "pos.csv");
+}
+
+TEST(CliSpec, HelpShortCircuitsValidation) {
+  CliSpec spec("test tool");
+  spec.required("in", "input file");
+  const char* argv[] = {"prog", "--help"};
+  const auto args = spec.parse(2, argv);
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->help_requested());
+  const std::string help = spec.help_text("prog");
+  EXPECT_NE(help.find("--in"), std::string::npos);
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+}
+
+TEST(CliSpec, ExtractRemovesOwnFlagsFromArgv) {
+  CliSpec spec("bench tool");
+  spec.flag_int("jobs", 1, "fan-out");
+  spec.flag("faults", "", "fault plan");
+
+  const char* a0 = "prog";
+  const char* a1 = "--jobs=4";
+  const char* a2 = "--benchmark_filter=foo";
+  const char* a3 = "--faults=device-stall";
+  char* argv[] = {const_cast<char*>(a0), const_cast<char*>(a1),
+                  const_cast<char*>(a2), const_cast<char*>(a3), nullptr};
+  int argc = 4;
+  const auto args = spec.extract(&argc, argv);
+  ASSERT_TRUE(args.ok()) << args.status().to_string();
+  EXPECT_EQ(args->get_int("jobs"), 4);
+  EXPECT_EQ(args->get("faults"), "device-stall");
+  // Only the unregistered benchmark flag survives for the harness.
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "prog");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=foo");
+}
+
 // ---------------------------------------------------------------- CSV I/O
 
 TEST(TraceIo, TaskSetRoundTrip) {
@@ -205,7 +324,9 @@ TEST(TraceIo, TaskSetRoundTrip) {
 
   std::stringstream buffer;
   workload::write_taskset_csv(buffer, wl.tasks);
-  const auto restored = workload::read_taskset_csv(buffer);
+  const auto restored_or = workload::read_taskset_csv(buffer);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().to_string();
+  const auto& restored = *restored_or;
 
   ASSERT_EQ(restored.size(), wl.tasks.size());
   for (std::size_t i = 0; i < restored.size(); ++i) {
@@ -230,7 +351,9 @@ TEST(TraceIo, JobTraceRoundTrip) {
 
   std::stringstream buffer;
   workload::write_trace_csv(buffer, trace);
-  const auto restored = workload::read_trace_csv(buffer);
+  const auto restored_or = workload::read_trace_csv(buffer);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().to_string();
+  const auto& restored = *restored_or;
 
   ASSERT_EQ(restored.size(), trace.size());
   for (std::size_t i = 0; i < restored.size(); ++i) {
@@ -243,17 +366,23 @@ TEST(TraceIo, JobTraceRoundTrip) {
 
 TEST(TraceIo, MalformedRowsRejected) {
   std::stringstream missing_header;
-  EXPECT_THROW((void)workload::read_taskset_csv(missing_header), CheckFailure);
+  const auto no_header = workload::read_taskset_csv(missing_header);
+  ASSERT_FALSE(no_header.ok());
+  EXPECT_EQ(no_header.status().code(), StatusCode::kInvalidArgument);
 
   std::stringstream short_row;
   short_row << "id,vm,device,name,class,kind,period,wcet,deadline,offset,"
                "payload\n1,2,3\n";
-  EXPECT_THROW((void)workload::read_taskset_csv(short_row), CheckFailure);
+  const auto bad_row = workload::read_taskset_csv(short_row);
+  ASSERT_FALSE(bad_row.ok());
+  EXPECT_NE(bad_row.status().message().find("line 2"), std::string::npos);
 
   std::stringstream bad_class;
   bad_class << "id,vm,device,name,class,kind,period,wcet,deadline,offset,"
                "payload\n0,0,0,x,alien,runtime,10,1,10,0,8\n";
-  EXPECT_THROW((void)workload::read_taskset_csv(bad_class), CheckFailure);
+  const auto bad_cls = workload::read_taskset_csv(bad_class);
+  ASSERT_FALSE(bad_cls.ok());
+  EXPECT_NE(bad_cls.status().message().find("alien"), std::string::npos);
 }
 
 }  // namespace
