@@ -13,6 +13,7 @@
 
 #include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
@@ -29,7 +30,8 @@ struct Variant {
   core::GschedPolicy policy;
 };
 
-BatchTiming print_ablation(const bench::BenchFlags& flags) {
+BatchTiming print_ablation(const bench::BenchFlags& flags,
+                           CheckpointJournal* journal) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
@@ -61,13 +63,22 @@ BatchTiming print_ablation(const bench::BenchFlags& flags) {
 
   ParallelRunner runner(flags.jobs);
   BatchTiming timing;
-  for (const auto& v : variants) {
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const auto& v = variants[vi];
     std::vector<std::string> row{v.label};
     for (double util : utils) {
       BatchTiming batch;
+      SupervisionPolicy policy;
+      policy.trial_timeout_seconds = flags.trial_timeout;
+      policy.stop = InterruptGuard::flag();
+      policy.journal = journal;
+      // Three IOG variants share (kind, preload) and differ only in the
+      // grant policy, so the variant index salts the journal key.
+      policy.point_key =
+          checkpoint_point_key(v.kind, v.preload, 8, util, /*salt=*/vi);
       // Seeds depend on (base, sweep point, t) only -- every variant sees
       // the same workloads, so rows differ by mechanism, not by luck.
-      const auto results = runner.run_trials(
+      const auto supervised = runner.run_supervised(
           trials,
           [&](std::size_t t) {
             TrialConfig tc;
@@ -81,10 +92,14 @@ BatchTiming print_ablation(const bench::BenchFlags& flags) {
             tc.faults = flags.faults;
             return tc;
           },
-          /*metrics=*/nullptr, &batch);
+          policy, /*metrics=*/nullptr, &batch);
       std::size_t successes = 0;
-      for (const auto& r : results)
-        if (r.success()) ++successes;
+      for (std::size_t t = 0; t < supervised.results.size(); ++t) {
+        if (supervised.outcomes[t] == TrialOutcome::kAbandoned ||
+            supervised.outcomes[t] == TrialOutcome::kSkipped)
+          continue;
+        if (supervised.results[t].success()) ++successes;
+      }
       timing.accumulate(batch);
       row.push_back(
           fmt_double(static_cast<double>(successes) / trials, 2));
@@ -114,7 +129,20 @@ BENCHMARK(BM_AblationTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_ablation(bench::parse_bench_flags(&argc, argv));
+  const auto flags = bench::parse_bench_flags(&argc, argv);
+  const auto journal = bench::open_bench_journal(
+      flags, "ablation_mechanisms",
+      "trials=" + std::to_string(env_int("IOGUARD_TRIALS", 8)) +
+          " min_jobs=" + std::to_string(env_int("IOGUARD_MIN_JOBS", 25)) +
+          " seed=" + std::to_string(env_int("IOGUARD_SEED", 42)));
+  ioguard::InterruptGuard interrupt_guard;
+  const auto timing = print_ablation(flags, journal.get());
+  if (ioguard::InterruptGuard::requested()) {
+    std::cerr << "interrupted; finished trials are journaled"
+              << (journal ? ", re-run with --resume to continue" : "")
+              << "\n";
+    return ioguard::kInterruptedExitCode;
+  }
   bench::BenchReport report("ablation_mechanisms");
   report.set_jobs(timing.jobs);
   report.add_stage("mechanism_grid", timing);

@@ -8,6 +8,7 @@
 
 #include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
@@ -17,7 +18,8 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-BatchTiming print_sweep(const bench::BenchFlags& flags) {
+BatchTiming print_sweep(const bench::BenchFlags& flags,
+                        CheckpointJournal* journal) {
   const std::size_t trials =
       static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   const std::size_t min_jobs =
@@ -42,7 +44,15 @@ BatchTiming print_sweep(const bench::BenchFlags& flags) {
     double goodput_at_full = 0.0;
     for (double util : utils) {
       BatchTiming batch;
-      const auto results = runner.run_trials(
+      SupervisionPolicy policy;
+      policy.trial_timeout_seconds = flags.trial_timeout;
+      policy.stop = InterruptGuard::flag();
+      policy.journal = journal;
+      // The preload fraction feeds the point key, so every sweep row
+      // journals under its own key.
+      policy.point_key =
+          checkpoint_point_key(SystemKind::kIoGuard, x, 8, util);
+      const auto supervised = runner.run_supervised(
           trials,
           [&](std::size_t t) {
             TrialConfig tc;
@@ -55,10 +65,14 @@ BatchTiming print_sweep(const bench::BenchFlags& flags) {
             tc.faults = flags.faults;
             return tc;
           },
-          /*metrics=*/nullptr, &batch);
+          policy, /*metrics=*/nullptr, &batch);
       std::size_t successes = 0;
       double goodput = 0.0;
-      for (const auto& r : results) {
+      for (std::size_t t = 0; t < supervised.results.size(); ++t) {
+        if (supervised.outcomes[t] == TrialOutcome::kAbandoned ||
+            supervised.outcomes[t] == TrialOutcome::kSkipped)
+          continue;
+        const auto& r = supervised.results[t];
         if (r.success()) ++successes;
         goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
       }
@@ -94,7 +108,20 @@ BENCHMARK(BM_PreloadTrial)->Arg(0)->Arg(40)->Arg(70)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_sweep(bench::parse_bench_flags(&argc, argv));
+  const auto flags = bench::parse_bench_flags(&argc, argv);
+  const auto journal = bench::open_bench_journal(
+      flags, "ablation_preload",
+      "trials=" + std::to_string(env_int("IOGUARD_TRIALS", 8)) +
+          " min_jobs=" + std::to_string(env_int("IOGUARD_MIN_JOBS", 25)) +
+          " seed=" + std::to_string(env_int("IOGUARD_SEED", 42)));
+  ioguard::InterruptGuard interrupt_guard;
+  const auto timing = print_sweep(flags, journal.get());
+  if (ioguard::InterruptGuard::requested()) {
+    std::cerr << "interrupted; finished trials are journaled"
+              << (journal ? ", re-run with --resume to continue" : "")
+              << "\n";
+    return ioguard::kInterruptedExitCode;
+  }
   bench::BenchReport report("ablation_preload");
   report.set_jobs(timing.jobs);
   report.add_stage("preload_sweep", timing);

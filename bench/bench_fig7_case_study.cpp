@@ -14,6 +14,7 @@
 
 #include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
 
@@ -30,6 +31,7 @@ ExperimentConfig experiment_config(const bench::BenchFlags& flags) {
   cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
   cfg.jobs = flags.jobs;
   cfg.faults = flags.faults;
+  cfg.trial_timeout_seconds = flags.trial_timeout;
   return cfg;
 }
 
@@ -97,11 +99,30 @@ BENCHMARK(BM_TrialIoGuard)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cfg = experiment_config(bench::parse_bench_flags(&argc, argv));
+  const auto flags = bench::parse_bench_flags(&argc, argv);
+  auto cfg = experiment_config(flags);
+
+  // Every (system, vms, util) point journals under its own key, so one
+  // journal file covers the whole two-group sweep; SIGINT/SIGTERM drain
+  // in-flight trials and exit 3, and --resume picks up where it stopped.
+  const auto journal = bench::open_bench_journal(
+      flags, "fig7_case_study",
+      "trials=" + std::to_string(cfg.trials) +
+          " min_jobs=" + std::to_string(cfg.min_jobs_per_task) +
+          " seed=" + std::to_string(cfg.base_seed));
+  ioguard::InterruptGuard interrupt_guard;
+  cfg.checkpoint = journal.get();
+  cfg.stop = ioguard::InterruptGuard::flag();
 
   bench::BenchReport report("fig7_case_study");
   const auto t4 = print_group(4, cfg);
   const auto t8 = print_group(8, cfg);
+  if (ioguard::InterruptGuard::requested()) {
+    std::cerr << "interrupted; finished trials are journaled"
+              << (journal ? ", re-run with --resume to continue" : "")
+              << "\n";
+    return ioguard::kInterruptedExitCode;
+  }
   report.set_jobs(t4.jobs);
   report.add_stage("fig7_4vm", t4);
   report.add_stage("fig7_8vm", t8);

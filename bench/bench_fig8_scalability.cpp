@@ -11,6 +11,7 @@
 
 #include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "common/table.hpp"
 #include "hwmodel/scaling.hpp"
 #include "system/experiment.hpp"
@@ -58,7 +59,8 @@ void print_figure8() {
 /// VM count doubles, `trials` full-system trials per point fanned out over
 /// the requested worker width. Aggregates are bit-identical for any jobs
 /// value (see DESIGN.md, "Determinism contract"); only the timing varies.
-sys::BatchTiming print_simulated_sweep(const bench::BenchFlags& flags) {
+sys::BatchTiming print_simulated_sweep(const bench::BenchFlags& flags,
+                                       sys::CheckpointJournal* journal) {
   sys::ExperimentConfig cfg;
   cfg.trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 8));
   cfg.min_jobs_per_task =
@@ -66,6 +68,9 @@ sys::BatchTiming print_simulated_sweep(const bench::BenchFlags& flags) {
   cfg.base_seed = static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
   cfg.jobs = flags.jobs;
   cfg.faults = flags.faults;
+  cfg.trial_timeout_seconds = flags.trial_timeout;
+  cfg.checkpoint = journal;
+  cfg.stop = ioguard::InterruptGuard::flag();
   const sys::EvaluatedSystem system{sys::SystemKind::kIoGuard, 0.7,
                                     "I/O-GUARD-70"};
 
@@ -97,8 +102,20 @@ BENCHMARK(BM_ScalingPoint)->DenseRange(0, 5);
 
 int main(int argc, char** argv) {
   const auto flags = bench::parse_bench_flags(&argc, argv);
+  const auto journal = bench::open_bench_journal(
+      flags, "fig8_scalability",
+      "trials=" + std::to_string(env_int("IOGUARD_TRIALS", 8)) +
+          " min_jobs=" + std::to_string(env_int("IOGUARD_MIN_JOBS", 25)) +
+          " seed=" + std::to_string(env_int("IOGUARD_SEED", 42)));
+  ioguard::InterruptGuard interrupt_guard;
   print_figure8();
-  const auto timing = print_simulated_sweep(flags);
+  const auto timing = print_simulated_sweep(flags, journal.get());
+  if (ioguard::InterruptGuard::requested()) {
+    std::cerr << "interrupted; finished trials are journaled"
+              << (journal ? ", re-run with --resume to continue" : "")
+              << "\n";
+    return ioguard::kInterruptedExitCode;
+  }
 
   bench::BenchReport report("fig8_scalability");
   report.set_jobs(timing.jobs);

@@ -1,10 +1,11 @@
 #include "bench_json.hpp"
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/cli.hpp"
 #include "common/env.hpp"
 #include "common/status.hpp"
@@ -20,7 +21,16 @@ BenchFlags parse_bench_flags(int* argc, char** argv) {
       .flag("faults", "none",
             "fault plan for the simulated sweeps: a canned name "
             "(none|device-stall|lossy-frames|noc-flaky|translator-jitter|"
-            "mixed) or a spec string; 'none' keeps the fault-free baseline");
+            "mixed) or a spec string; 'none' keeps the fault-free baseline")
+      .flag("checkpoint", "",
+            "journal every finished trial to this file (crash-safe; resume "
+            "an interrupted sweep with --resume)")
+      .flag_switch("resume",
+                   "restore finished trials from --checkpoint; resumed "
+                   "aggregates are byte-identical to an uninterrupted sweep")
+      .flag_double("trial-timeout", 0.0,
+                   "soft per-trial deadline in seconds; slower trials are "
+                   "flagged as wedged (0 = off)");
   const auto args = spec.extract(argc, argv);
   if (!args.ok()) {
     std::cerr << "error: " << args.status() << "\n\n"
@@ -39,7 +49,38 @@ BenchFlags parse_bench_flags(int* argc, char** argv) {
     std::exit(exit_code(plan.status()));
   }
   flags.faults = std::move(plan).value();
+  flags.checkpoint = args->get("checkpoint");
+  flags.resume = args->get_bool("resume");
+  flags.trial_timeout = args->get_double("trial-timeout");
+  if (flags.resume && flags.checkpoint.empty()) {
+    std::cerr << "error: --resume requires --checkpoint=PATH\n";
+    std::exit(exit_code(InvalidArgumentError("--resume without --checkpoint")));
+  }
+  if (flags.trial_timeout < 0.0) {
+    std::cerr << "error: --trial-timeout must be >= 0\n";
+    std::exit(exit_code(OutOfRangeError("negative --trial-timeout")));
+  }
   return flags;
+}
+
+std::unique_ptr<sys::CheckpointJournal> open_bench_journal(
+    const BenchFlags& flags, const std::string& bench_name,
+    const std::string& config) {
+  if (flags.checkpoint.empty()) return nullptr;
+  sys::CheckpointMeta meta;
+  meta.config_echo = "bench=" + bench_name + " " + config +
+                     " faults=" + (flags.faults.empty()
+                                       ? std::string("none")
+                                       : flags.faults.spec_string());
+  meta.fingerprint = fnv1a64(meta.config_echo);
+  auto journal =
+      sys::CheckpointJournal::open(flags.checkpoint, meta, flags.resume);
+  if (!journal.ok()) {
+    std::cerr << "error: --checkpoint=" << flags.checkpoint << ": "
+              << journal.status() << "\n";
+    std::exit(exit_code(journal.status()));
+  }
+  return std::move(journal).value();
 }
 
 void BenchReport::add_stage(const std::string& stage,
@@ -62,11 +103,10 @@ void BenchReport::add_stage_seconds(const std::string& stage,
 std::string BenchReport::write() const {
   const std::string dir = env_string("IOGUARD_BENCH_OUT", ".");
   const std::string path = dir + "/BENCH_" + name_ + ".json";
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "bench: cannot write " << path << " (skipping report)\n";
-    return {};
-  }
+  // Atomic publish: check_bench.py must never see a torn report, even if
+  // the bench is killed between write and close.
+  AtomicFileWriter writer(path);
+  std::ostream& os = writer.stream();
   os.precision(9);
 
   // Batch totals across fan-out stages.
@@ -117,6 +157,11 @@ std::string BenchReport::write() const {
   }
   os << "}\n";
   os << "}\n";
+  if (const Status s = writer.commit(); !s.ok()) {
+    std::cerr << "bench: cannot write " << path << " (skipping report): " << s
+              << "\n";
+    return {};
+  }
   return path;
 }
 

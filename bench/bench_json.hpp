@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "faults/fault_plan.hpp"
+#include "system/checkpoint.hpp"
 #include "system/parallel.hpp"
 
 namespace ioguard::bench {
@@ -20,17 +23,33 @@ namespace ioguard::bench {
 /// benchmark::Initialize sees them (Google Benchmark aborts on unknown
 /// flags). `jobs == 0` means "use default_jobs(): IOGUARD_JOBS env or
 /// hardware concurrency"; `faults` defaults to the empty plan, keeping the
-/// simulated sweeps bit-identical to a fault-free build.
+/// simulated sweeps bit-identical to a fault-free build. `checkpoint` /
+/// `resume` / `trial_timeout` enable crash-safe supervised fan-out in the
+/// drivers that thread them through (fig7/fig8/latency/ablations).
 struct BenchFlags {
   std::size_t jobs = 0;
   faults::FaultPlan faults;
+  std::string checkpoint;      ///< journal path; empty = no checkpointing
+  bool resume = false;         ///< restore finished trials from `checkpoint`
+  double trial_timeout = 0.0;  ///< soft per-trial deadline (s); 0 = off
 };
 
-/// Pulls `--jobs=N`, `--faults=PLAN` and `--help` out of argv via
-/// CliSpec::extract, leaving Google Benchmark's own flags in place. On a
-/// parse error this prints the error plus the flag list and exits with the
-/// Status-mapped code; on --help it prints the flag list and exits 0.
+/// Pulls `--jobs=N`, `--faults=PLAN`, `--checkpoint=PATH`, `--resume`,
+/// `--trial-timeout=S` and `--help` out of argv via CliSpec::extract,
+/// leaving Google Benchmark's own flags in place. On a parse error this
+/// prints the error plus the flag list and exits with the Status-mapped
+/// code; on --help it prints the flag list and exits 0.
 BenchFlags parse_bench_flags(int* argc, char** argv);
+
+/// Opens the bench's checkpoint journal per `flags` (nullptr when no
+/// --checkpoint was given). The fingerprint covers the bench name, the
+/// sweep shape (`config` -- any stable driver-chosen string), trial count,
+/// seed and the fault plan, so resuming a different sweep is refused with
+/// CKP002. Exits with the Status-mapped code on open failure, mirroring
+/// parse_bench_flags' error handling.
+std::unique_ptr<sys::CheckpointJournal> open_bench_journal(
+    const BenchFlags& flags, const std::string& bench_name,
+    const std::string& config);
 
 /// Collects per-stage timing of one benchmark run and writes it as
 /// BENCH_<name>.json. Stages either carry full fan-out accounting (a

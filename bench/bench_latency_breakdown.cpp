@@ -9,6 +9,7 @@
 
 #include "bench_json.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "system/experiment.hpp"
@@ -18,7 +19,8 @@ namespace {
 using namespace ioguard;
 using namespace ioguard::sys;
 
-BatchTiming print_breakdown(const bench::BenchFlags& flags) {
+BatchTiming print_breakdown(const bench::BenchFlags& flags,
+                            CheckpointJournal* journal) {
   const auto trials = static_cast<std::size_t>(env_int("IOGUARD_TRIALS", 4));
   const auto base_seed =
       static_cast<std::uint64_t>(env_int("IOGUARD_SEED", 42));
@@ -33,7 +35,13 @@ BatchTiming print_breakdown(const bench::BenchFlags& flags) {
                      "backend (queue+serve)", "total"});
     for (const auto& system : figure7_systems()) {
       BatchTiming batch;
-      const auto results = runner.run_trials(
+      SupervisionPolicy policy;
+      policy.trial_timeout_seconds = flags.trial_timeout;
+      policy.stop = InterruptGuard::flag();
+      policy.journal = journal;
+      policy.point_key = checkpoint_point_key(
+          system.kind, system.preload_fraction, 8, util);
+      const auto supervised = runner.run_supervised(
           trials,
           [&](std::size_t t) {
             TrialConfig tc;
@@ -47,12 +55,16 @@ BatchTiming print_breakdown(const bench::BenchFlags& flags) {
             tc.faults = flags.faults;
             return tc;
           },
-          /*metrics=*/nullptr, &batch);
+          policy, /*metrics=*/nullptr, &batch);
       timing.accumulate(batch);
       // Merge per-trial stage stats in trial-index order (deterministic for
-      // any jobs value).
+      // any jobs value); abandoned/skipped slots hold no data.
       OnlineStats issue, vmm, transit, backend;
-      for (const auto& r : results) {
+      for (std::size_t t = 0; t < supervised.results.size(); ++t) {
+        if (supervised.outcomes[t] == TrialOutcome::kAbandoned ||
+            supervised.outcomes[t] == TrialOutcome::kSkipped)
+          continue;
+        const auto& r = supervised.results[t];
         issue.merge(r.stage_issue);
         vmm.merge(r.stage_vmm);
         transit.merge(r.stage_transit);
@@ -95,7 +107,19 @@ BENCHMARK(BM_InstrumentedTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto timing = print_breakdown(bench::parse_bench_flags(&argc, argv));
+  const auto flags = bench::parse_bench_flags(&argc, argv);
+  const auto journal = bench::open_bench_journal(
+      flags, "latency_breakdown",
+      "trials=" + std::to_string(env_int("IOGUARD_TRIALS", 4)) +
+          " seed=" + std::to_string(env_int("IOGUARD_SEED", 42)));
+  ioguard::InterruptGuard interrupt_guard;
+  const auto timing = print_breakdown(flags, journal.get());
+  if (ioguard::InterruptGuard::requested()) {
+    std::cerr << "interrupted; finished trials are journaled"
+              << (journal ? ", re-run with --resume to continue" : "")
+              << "\n";
+    return ioguard::kInterruptedExitCode;
+  }
   bench::BenchReport report("latency_breakdown");
   report.set_jobs(timing.jobs);
   report.add_stage("breakdown_grid", timing);

@@ -4,18 +4,28 @@
 //   $ ./build/examples/ioguard_cli --system=ioguard --vms=8 --util=0.9
 //         --preload=0.7 --trials=10 --seed=1 --jobs=4
 //         [--faults=device-stall] [--export-tasks=tasks.csv]
+//         [--checkpoint=ck.bin [--resume]] [--trial-timeout=SECONDS]
 //
 // Systems: legacy | rtxen | bv | ioguard.
+//
+// Exit codes: 0 success, 1 errors, 2 usage, 3 interrupted after a graceful
+// drain (re-run with --checkpoint=... --resume to continue).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/artifact_builder.hpp"
+#include "analysis/verify_checkpoint.hpp"
 #include "analysis/verify_resilience.hpp"
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/cli.hpp"
+#include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "system/checkpoint.hpp"
 #include "system/experiment.hpp"
 #include "telemetry/perfetto.hpp"
 #include "telemetry/prometheus.hpp"
@@ -51,13 +61,26 @@ CliSpec make_spec() {
             "fault plan: a canned name (none|device-stall|lossy-frames|"
             "noc-flaky|translator-jitter|mixed) or a spec like "
             "\"stall:rate=0.002,param=12;flit:rate=0.001\"")
+      .flag("checkpoint", "",
+            "journal every finished trial to this file (crash-safe; see "
+            "--resume); SIGINT/SIGTERM drain gracefully and exit 3")
+      .flag_switch("resume",
+                   "restore finished trials from --checkpoint instead of "
+                   "re-running them; merged results are byte-identical to "
+                   "an uninterrupted run")
+      .flag_double("trial-timeout", 0.0,
+                   "soft per-trial deadline in seconds; slower trials are "
+                   "flagged as wedged (0 = off)")
+      .flag_int("crash-after", 0,
+                "test hook: simulate a hard crash (exit 70) after N "
+                "checkpoint records have been appended (0 = off)")
       .flag("export-tasks", "", "dump the task set CSV to this file")
       .flag("telemetry-out", "",
             "write trace.perfetto.json (trial 0), metrics.prom (all trials) "
             "and summary.json to this directory")
       .flag_switch("verify",
                    "statically verify the scheduling artifacts (and any "
-                   "fault plan) first; refuse to run on errors");
+                   "fault plan / checkpoint) first; refuse to run on errors");
   return spec;
 }
 
@@ -76,6 +99,25 @@ Status run(const CliArgs& args) {
                            faults::FaultPlan::parse(args.get("faults")));
   const faults::ResilienceConfig resilience;
 
+  const std::string checkpoint_path = args.get("checkpoint");
+  const bool resume = args.get_bool("resume");
+  if (resume && checkpoint_path.empty())
+    return InvalidArgumentError("--resume requires --checkpoint=PATH");
+  const double trial_timeout = args.get_double("trial-timeout");
+  if (trial_timeout < 0.0)
+    return OutOfRangeError("--trial-timeout must be >= 0");
+  const auto crash_after =
+      static_cast<std::size_t>(args.get_int("crash-after"));
+  if (crash_after > 0 && checkpoint_path.empty())
+    return InvalidArgumentError("--crash-after requires --checkpoint=PATH");
+
+  // The canonical config string fingerprints the checkpoint: resuming with
+  // different flags is refused (CKP002). --jobs is deliberately excluded --
+  // resuming at a different fan-out width is supported and bit-identical.
+  const std::string canonical = point_config_string(
+      kind, vms, util, preload, trials, min_jobs, seed, plan, resilience);
+  const std::uint64_t fingerprint = fnv1a64(canonical);
+
   // Trial t's seed, shared with the batch experiment drivers: depends only
   // on (base seed, sweep point, t), never on jobs or execution order.
   const auto seed_of = [&](std::size_t t) {
@@ -88,6 +130,9 @@ Status run(const CliArgs& args) {
             << fmt_double(preload, 2) << " trials=" << trials
             << " jobs=" << runner.jobs();
   if (!plan.empty()) std::cout << " faults=" << plan.spec_string();
+  if (!checkpoint_path.empty())
+    std::cout << " checkpoint=" << checkpoint_path
+              << (resume ? " (resume)" : "");
   std::cout << "\n\n";
 
   if (args.get_bool("verify")) {
@@ -100,12 +145,36 @@ Status run(const CliArgs& args) {
     vcfg.seed = seed_of(0) * 1000003ULL + 17;  // trial-0 workload seed
     auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
     analysis::verify_resilience(plan, resilience, report);
+    if (resume) {
+      // CKP001-CKP004: the checkpoint pair must be consistent and match
+      // this configuration before we trust a single restored trial.
+      analysis::verify_checkpoint(inspect_checkpoint(checkpoint_path),
+                                  fingerprint, report);
+    }
     if (!report.ok()) {
       report.render_text(std::cerr);
       return FailedPreconditionError("artifact verification failed");
     }
     std::cout << "artifacts verified (" << report.diagnostics().size()
               << " informational finding(s))\n\n";
+  }
+
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!checkpoint_path.empty()) {
+    CheckpointMeta meta;
+    meta.fingerprint = fingerprint;
+    meta.planned_trials = trials;
+    meta.config_echo = canonical;
+    IOGUARD_ASSIGN_OR_RETURN(
+        journal, CheckpointJournal::open(checkpoint_path, meta, resume));
+    journal->set_crash_after(crash_after);
+    if (resume)
+      std::cout << "resuming: " << journal->loaded()
+                << " journaled trial record(s)"
+                << (journal->truncated_tail()
+                        ? " (dropped a truncated tail frame)"
+                        : "")
+                << "\n\n";
   }
 
   // Telemetry sinks (only populated with --telemetry-out): the registry
@@ -149,17 +218,44 @@ Status run(const CliArgs& args) {
                            TrialConfig::validated(make_config(0)));
   (void)preflight;
 
-  BatchTiming timing;
-  const auto results = runner.run_trials(
-      trials, make_config, telemetry_on ? &metrics : nullptr, &timing);
+  // First SIGINT/SIGTERM finishes in-flight trials, flushes the journal
+  // and exits 3; nothing is lost when a checkpoint is attached.
+  InterruptGuard interrupt_guard;
 
-  TextTable table({"trial", "success", "counted", "crit misses", "dropped",
-                   "goodput Mbit/s", "busy", "admitted"});
+  SupervisionPolicy policy;
+  policy.trial_timeout_seconds = trial_timeout;
+  policy.stop = InterruptGuard::flag();
+  policy.journal = journal.get();
+  policy.point_key = checkpoint_point_key(kind, preload, vms, util);
+
+  BatchTiming timing;
+  const BatchResult batch = runner.run_supervised(
+      trials, make_config, policy, telemetry_on ? &metrics : nullptr,
+      &timing);
+  const auto& results = batch.results;
+  IOGUARD_RETURN_IF_ERROR(batch.journal_error);
+
+  std::vector<std::string> columns = {
+      "trial", "success", "counted", "crit misses", "dropped",
+      "goodput Mbit/s", "busy", "admitted"};
+  if (journal) columns.push_back("outcome");
+  TextTable table(columns);
   std::size_t successes = 0;
+  std::size_t aggregated = 0;
   double goodput = 0.0;
   FaultCounters fc;
   for (std::size_t t = 0; t < results.size(); ++t) {
+    const TrialOutcome outcome = batch.outcomes[t];
+    if (outcome == TrialOutcome::kAbandoned ||
+        outcome == TrialOutcome::kSkipped) {
+      if (journal)
+        table.add(t, std::string("-"), std::string("-"), std::string("-"),
+                  std::string("-"), std::string("-"), std::string("-"),
+                  std::string("-"), std::string(to_string(outcome)));
+      continue;
+    }
     const TrialResult& r = results[t];
+    ++aggregated;
     if (r.success()) ++successes;
     goodput += r.goodput_bytes_per_s * 8.0 / 1e6;
     fc.injected_total += r.faults.injected_total;
@@ -167,11 +263,20 @@ Status run(const CliArgs& args) {
     fc.retries += r.faults.retries;
     fc.jobs_shed += r.faults.jobs_shed;
     fc.transit_drops += r.faults.transit_drops;
-    table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
-              r.critical_misses, r.dropped,
-              fmt_double(r.goodput_bytes_per_s * 8.0 / 1e6, 1),
-              fmt_double(r.device_busy_frac, 3),
-              std::string(r.admitted ? "yes" : "no"));
+    if (journal) {
+      table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
+                r.critical_misses, r.dropped,
+                fmt_double(r.goodput_bytes_per_s * 8.0 / 1e6, 1),
+                fmt_double(r.device_busy_frac, 3),
+                std::string(r.admitted ? "yes" : "no"),
+                std::string(to_string(outcome)));
+    } else {
+      table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
+                r.critical_misses, r.dropped,
+                fmt_double(r.goodput_bytes_per_s * 8.0 / 1e6, 1),
+                fmt_double(r.device_busy_frac, 3),
+                std::string(r.admitted ? "yes" : "no"));
+    }
   }
 
   if (!args.get("export-tasks").empty() && trials > 0) {
@@ -179,21 +284,36 @@ Status run(const CliArgs& args) {
     if (kind != SystemKind::kIoGuard) wcfg.preload_fraction = 0.0;
     wcfg.seed = seed_of(0) * 1000003ULL + 17;
     const auto wl = workload::build_case_study(wcfg);
-    std::ofstream out(args.get("export-tasks"));
-    workload::write_taskset_csv(out, wl.tasks);
-    if (!out)
-      return UnavailableError("cannot write " + args.get("export-tasks"));
+    AtomicFileWriter out(args.get("export-tasks"));
+    workload::write_taskset_csv(out.stream(), wl.tasks);
+    IOGUARD_RETURN_IF_ERROR(out.commit());
     std::cout << "task set written to " << args.get("export-tasks") << "\n";
   }
   table.render(std::cout);
+  for (const auto& note : batch.notes) std::cout << "note: " << note << "\n";
   std::cout << "\nsuccess ratio "
-            << fmt_double(static_cast<double>(successes) / trials, 2)
-            << ", mean goodput " << fmt_double(goodput / trials, 1)
+            << fmt_double(aggregated > 0 ? static_cast<double>(successes) /
+                                               static_cast<double>(aggregated)
+                                         : 0.0,
+                          2)
+            << ", mean goodput "
+            << fmt_double(
+                   aggregated > 0 ? goodput / static_cast<double>(aggregated)
+                                  : 0.0,
+                   1)
             << " Mbit/s\n"
             << fmt_double(timing.trials_per_second(), 1)
             << " trials/s on " << timing.jobs << " worker(s), speedup "
             << fmt_double(timing.speedup_estimate(), 2)
             << "x over sequential\n";
+  if (journal) {
+    std::cout << "checkpoint: " << batch.executed() << " executed, "
+              << batch.restored << " restored, " << batch.retried
+              << " retried, " << batch.abandoned << " abandoned, "
+              << batch.skipped << " skipped";
+    if (batch.wedged > 0) std::cout << ", " << batch.wedged << " wedged";
+    std::cout << "\n";
+  }
   if (!plan.empty()) {
     std::cout << "faults injected " << fc.injected_total
               << ", watchdog aborts " << fc.watchdog_aborts << ", retries "
@@ -201,26 +321,39 @@ Status run(const CliArgs& args) {
               << ", transit drops " << fc.transit_drops << "\n";
   }
 
+  if (batch.interrupted) {
+    return CancelledError(
+        "interrupted after " +
+        std::to_string(trials - batch.skipped) + "/" +
+        std::to_string(trials) + " trials" +
+        (journal ? "; finished trials are journaled, re-run with "
+                   "--checkpoint=" +
+                       checkpoint_path + " --resume to continue"
+                 : "; re-run with --checkpoint=PATH to make interrupts "
+                   "resumable"));
+  }
+
   if (telemetry_on) {
     const std::filesystem::path& dir = telemetry_dir;
-    bool write_ok = true;
+    // All three artifacts publish atomically (temp file + rename): a crash
+    // here can leave a stale staging file (CKP003) but never a torn one.
     {
-      std::ofstream out(dir / "trace.perfetto.json");
-      telemetry::write_perfetto_json(out, events);
-      write_ok &= static_cast<bool>(out);
+      AtomicFileWriter out(dir / "trace.perfetto.json");
+      telemetry::write_perfetto_json(out.stream(), events);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
     {
-      std::ofstream out(dir / "metrics.prom");
-      telemetry::write_prometheus(out, metrics);
-      write_ok &= static_cast<bool>(out);
+      AtomicFileWriter out(dir / "metrics.prom");
+      telemetry::write_prometheus(out.stream(), metrics);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
-    if (!results.empty()) {
-      std::ofstream out(dir / "summary.json");
-      write_trial_summary_json(out, make_config(0), results[0]);
-      write_ok &= static_cast<bool>(out);
+    if (!results.empty() &&
+        batch.outcomes[0] != TrialOutcome::kAbandoned &&
+        batch.outcomes[0] != TrialOutcome::kSkipped) {
+      AtomicFileWriter out(dir / "summary.json");
+      write_trial_summary_json(out.stream(), make_config(0), results[0]);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
-    if (!write_ok)
-      return UnavailableError("cannot write telemetry to " + dir.string());
     std::cout << "telemetry written to " << dir.string()
               << "/{trace.perfetto.json, metrics.prom, summary.json}\n";
   }

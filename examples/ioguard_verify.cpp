@@ -3,7 +3,8 @@
 // Builds the automotive case-study workload, derives the per-device
 // scheduling artifacts exactly like the hypervisor does at initialization
 // (offline Time Slot Table + per-VM server synthesis), then runs every
-// SIG/SUP/LVL/CFG check over them:
+// SIG/SUP/LVL/CFG check over them (plus RES checks with --faults and CKP
+// checks with --checkpoint):
 //
 //   $ ./build/examples/ioguard_verify --vms=4 --util=0.4 --preload=0.7
 //   OK: 0 error(s), 0 warning(s), 0 finding(s)
@@ -24,10 +25,13 @@
 
 #include "analysis/artifact_builder.hpp"
 #include "analysis/verifier.hpp"
+#include "analysis/verify_checkpoint.hpp"
 #include "analysis/verify_resilience.hpp"
+#include "common/checksum.hpp"
 #include "common/cli.hpp"
 #include "common/status.hpp"
 #include "sched/slot_table.hpp"
+#include "system/checkpoint.hpp"
 #include "workload/generator.hpp"
 
 using namespace ioguard;
@@ -181,6 +185,12 @@ CliSpec make_spec() {
       .flag_int("seed", 42, "workload seed")
       .flag("faults", "none",
             "also verify this fault plan / resilience policy (RES checks)")
+      .flag("checkpoint", "",
+            "also verify this checkpoint journal/manifest pair (CKP checks)")
+      .flag("system", "",
+            "with --checkpoint: cross-check the journal fingerprint against "
+            "the flags above for this architecture "
+            "(legacy|rtxen|bv|ioguard); omit to skip the CKP002 check")
       .flag_switch("json", "emit the report as JSON")
       .flag("corrupt", "", "inject a named corruption first")
       .flag_switch("list-corruptions", "list corruption names and exit");
@@ -229,6 +239,33 @@ Status run(const CliArgs& args, bool& report_ok) {
   analysis::Report report = analysis::verify_system(
       a.platform, a.experiment, a.all, devices);
   analysis::verify_resilience(plan, faults::ResilienceConfig{}, report);
+
+  if (!args.get("checkpoint").empty()) {
+    // CKP checks: a read-only scan of the journal/manifest pair. With
+    // --system we can reconstruct the exact config string ioguard_cli
+    // fingerprints, enabling the CKP002 cross-check; without it only the
+    // structural checks (CKP001/003/004) run.
+    std::uint64_t expected_fingerprint = 0;
+    const std::string system_name = args.get("system");
+    if (!system_name.empty()) {
+      sys::SystemKind kind;
+      if (system_name == "legacy") kind = sys::SystemKind::kLegacy;
+      else if (system_name == "rtxen") kind = sys::SystemKind::kRtXen;
+      else if (system_name == "bv") kind = sys::SystemKind::kBlueVisor;
+      else if (system_name == "ioguard") kind = sys::SystemKind::kIoGuard;
+      else
+        return InvalidArgumentError("unknown system '" + system_name +
+                                    "' (expected legacy|rtxen|bv|ioguard)");
+      const double preload = kind == sys::SystemKind::kIoGuard
+                                 ? cfg.preload_fraction
+                                 : 0.0;
+      expected_fingerprint = fnv1a64(sys::point_config_string(
+          kind, cfg.num_vms, cfg.target_utilization, preload, trials,
+          min_jobs, cfg.seed, plan, faults::ResilienceConfig{}));
+    }
+    analysis::verify_checkpoint(sys::inspect_checkpoint(args.get("checkpoint")),
+                                expected_fingerprint, report);
+  }
 
   if (corrupt == "sbf-nonmonotone") {
     // Supply-shape corruption cannot be expressed through TimeSlotTable (its

@@ -2,25 +2,32 @@
 // run-time I/O jobs, and watch the two-layer scheduler execute them.
 //
 //   $ ./build/examples/quickstart [--jobs=N] [--telemetry-out=DIR]
+//         [--checkpoint=FILE [--resume]]
 //
 // Walks through the public API end to end:
 //   1. describe I/O tasks (workload::TaskSet / CaseStudyWorkload),
 //   2. let the design layer build the Time Slot Table and periodic servers,
 //   3. run the slot-level hypervisor and collect completions,
 //   4. fan a batch of trials out over worker threads (--jobs=N; results are
-//      identical for any N),
+//      identical for any N) under crash-safe supervision when --checkpoint
+//      is given (SIGINT/SIGTERM drain gracefully; --resume restores
+//      finished trials from the journal),
 //   5. (with --telemetry-out) run one instrumented trial and export the
 //      telemetry artifacts: trace.perfetto.json (open in ui.perfetto.dev),
 //      metrics.prom (Prometheus text exposition) and summary.json.
 #include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/cli.hpp"
+#include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
+#include "system/checkpoint.hpp"
 #include "system/parallel.hpp"
 #include "system/runner.hpp"
 #include "telemetry/perfetto.hpp"
@@ -36,6 +43,10 @@ namespace {
 CliSpec make_spec() {
   CliSpec spec("end-to-end tour of the public API on a small workload");
   spec.flag_int("jobs", 0, "batch worker threads; 0 = auto")
+      .flag("checkpoint", "",
+            "journal each finished batch trial to this file (crash-safe)")
+      .flag_switch("resume",
+                   "restore finished batch trials from --checkpoint")
       .flag("telemetry-out", "",
             "run one instrumented trial and write trace.perfetto.json, "
             "metrics.prom and summary.json to this directory");
@@ -117,13 +128,43 @@ Status run(const CliArgs& args) {
   // 4. Batch evaluation: the same workload, 8 independent trials fanned out
   //    over a thread pool. Per-trial seeds come from mix_seed and the merge
   //    happens in trial-index order, so the aggregate below is bit-identical
-  //    whether --jobs is 1 or 16.
+  //    whether --jobs is 1 or 16 -- and whether the batch ran in one piece
+  //    or was interrupted and resumed from a --checkpoint journal.
   {
     const auto jobs = static_cast<std::size_t>(args.get_int("jobs"));
+    const std::string checkpoint_path = args.get("checkpoint");
+    const bool resume = args.get_bool("resume");
+    if (resume && checkpoint_path.empty())
+      return InvalidArgumentError("--resume requires --checkpoint=PATH");
     sys::ParallelRunner runner(jobs);
     sys::BatchTiming timing;
     const std::size_t batch_trials = 8;
-    const auto results = runner.run_trials(
+
+    std::unique_ptr<sys::CheckpointJournal> journal;
+    if (!checkpoint_path.empty()) {
+      sys::CheckpointMeta meta;
+      meta.config_echo = "quickstart batch vms=" +
+                         std::to_string(wcfg.num_vms) +
+                         " trials=" + std::to_string(batch_trials) +
+                         " seed=" + std::to_string(wcfg.seed);
+      meta.fingerprint = fnv1a64(meta.config_echo);
+      meta.planned_trials = batch_trials;
+      IOGUARD_ASSIGN_OR_RETURN(
+          journal, sys::CheckpointJournal::open(checkpoint_path, meta, resume));
+      if (resume)
+        std::cout << "\nresuming batch: " << journal->loaded()
+                  << " journaled trial record(s)\n";
+    }
+
+    InterruptGuard interrupt_guard;
+    sys::SupervisionPolicy policy;
+    policy.stop = InterruptGuard::flag();
+    policy.journal = journal.get();
+    policy.point_key = sys::checkpoint_point_key(
+        sys::SystemKind::kIoGuard, wcfg.preload_fraction, wcfg.num_vms,
+        wcfg.target_utilization);
+
+    const sys::BatchResult batch = runner.run_supervised(
         batch_trials,
         [&](std::size_t t) {
           sys::TrialConfig tc;
@@ -133,17 +174,29 @@ Status run(const CliArgs& args) {
           tc.trial_seed = mix_seed(wcfg.seed, /*stream=*/0, t);
           return tc;
         },
-        /*metrics=*/nullptr, &timing);
+        policy, /*metrics=*/nullptr, &timing);
+    IOGUARD_RETURN_IF_ERROR(batch.journal_error);
 
     std::size_t batch_successes = 0;
-    for (const auto& r : results)
-      if (r.success()) ++batch_successes;
+    for (std::size_t t = 0; t < batch.results.size(); ++t) {
+      if (batch.outcomes[t] == sys::TrialOutcome::kAbandoned ||
+          batch.outcomes[t] == sys::TrialOutcome::kSkipped)
+        continue;
+      if (batch.results[t].success()) ++batch_successes;
+    }
     std::cout << "\nbatch of " << batch_trials << " trials on "
               << runner.jobs() << " worker(s): " << batch_successes
               << " successes, " << fmt_double(timing.trials_per_second(), 1)
               << " trials/s, speedup "
               << fmt_double(timing.speedup_estimate(), 2)
               << "x over sequential\n";
+    if (journal)
+      std::cout << "checkpoint: " << batch.executed() << " executed, "
+                << batch.restored << " restored\n";
+    if (batch.interrupted)
+      return CancelledError(
+          "batch interrupted" +
+          std::string(journal ? "; re-run with --resume to continue" : ""));
   }
 
   // 5. Telemetry export: run one fully instrumented trial through the system
@@ -169,24 +222,23 @@ Status run(const CliArgs& args) {
     tc.metrics = &metrics;
     auto result = sys::run_trial(tc);
 
-    bool write_ok = true;
+    // Publish atomically (temp file + rename): readers never observe a
+    // torn artifact, even if this process dies mid-write.
     {
-      std::ofstream out(dir / "trace.perfetto.json");
-      telemetry::write_perfetto_json(out, events);
-      write_ok &= static_cast<bool>(out);
+      AtomicFileWriter out(dir / "trace.perfetto.json");
+      telemetry::write_perfetto_json(out.stream(), events);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
     {
-      std::ofstream out(dir / "metrics.prom");
-      telemetry::write_prometheus(out, metrics);
-      write_ok &= static_cast<bool>(out);
+      AtomicFileWriter out(dir / "metrics.prom");
+      telemetry::write_prometheus(out.stream(), metrics);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
     {
-      std::ofstream out(dir / "summary.json");
-      sys::write_trial_summary_json(out, tc, result);
-      write_ok &= static_cast<bool>(out);
+      AtomicFileWriter out(dir / "summary.json");
+      sys::write_trial_summary_json(out.stream(), tc, result);
+      IOGUARD_RETURN_IF_ERROR(out.commit());
     }
-    if (!write_ok)
-      return UnavailableError("cannot write telemetry to " + dir.string());
 
     std::cout << "\ninstrumented trial: " << events.total_recorded()
               << " trace events over " << result.horizon << " slots\n";

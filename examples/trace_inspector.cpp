@@ -4,9 +4,9 @@
 //
 //   $ ./build/examples/trace_inspector [--slots=N] [--csv=FILE]
 //                                      [--perfetto=FILE] [--faults=PLAN]
-#include <fstream>
 #include <iostream>
 
+#include "common/atomic_file.hpp"
 #include "common/cli.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
@@ -95,19 +95,21 @@ Status run(const CliArgs& args) {
     std::cout << '\n';
   }
 
+  // Both dumps publish atomically (temp file + rename) so a crash or a
+  // full disk never leaves a torn artifact under the requested name.
   if (!args.get("csv").empty()) {
     const std::string path = args.get("csv");
-    std::ofstream out(path);
-    trace.dump_csv(out);
-    if (!out) return UnavailableError("cannot write " + path);
+    AtomicFileWriter out(path);
+    trace.dump_csv(out.stream());
+    IOGUARD_RETURN_IF_ERROR(out.commit());
     std::cout << "\nfull trace (" << trace.size() << " events) written to "
               << path << '\n';
   }
   if (!args.get("perfetto").empty()) {
     const std::string path = args.get("perfetto");
-    std::ofstream out(path);
-    telemetry::write_perfetto_json(out, trace);
-    if (!out) return UnavailableError("cannot write " + path);
+    AtomicFileWriter out(path);
+    telemetry::write_perfetto_json(out.stream(), trace);
+    IOGUARD_RETURN_IF_ERROR(out.commit());
     std::cout << "\nPerfetto trace written to " << path
               << " (open in https://ui.perfetto.dev)\n";
   }

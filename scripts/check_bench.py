@@ -77,9 +77,21 @@ def check_batch(name, obj):
 
 def check_report(path, min_speedup):
     try:
-        doc = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path.name}: cannot load JSON: {e}")
+        text = path.read_text()
+    except OSError as e:
+        fail(f"{path.name}: cannot read: {e}")
+        return
+    if not text.strip():
+        fail(f"{path.name}: empty report (bench truncated or never ran?)")
+        return
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path.name}: invalid JSON (truncated write?): {e}")
+        return
+    if not isinstance(doc, dict):
+        fail(f"{path.name}: top-level JSON must be an object, "
+             f"got {type(doc).__name__}")
         return
     name = path.name
 

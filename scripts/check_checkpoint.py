@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Chaos-resume check for crash-safe checkpointing (DESIGN.md §12).
+
+Drives ioguard_cli through crash/interrupt/resume cycles and asserts the
+checkpoint contract, with no third-party dependencies:
+
+  * hard-crash resume -- a run killed mid-sweep by the --crash-after=N
+    chaos hook (simulating SIGKILL at a trial boundary, exit 70) can be
+    resumed at --jobs=1 AND --jobs=4, and the resumed metrics.prom and
+    summary.json are byte-identical to an uninterrupted baseline; checked
+    for the fault-free sweep and under --faults=device-stall;
+  * fully-restored resume -- resuming a second time (every trial already
+    journaled) re-runs nothing and still reproduces the baseline bytes;
+  * graceful drain -- SIGINT makes the run finish in-flight trials, journal
+    them and exit 3; resuming afterwards reproduces the baseline bytes;
+  * config guard -- resuming with different flags is refused with CKP002.
+
+Usage: check_checkpoint.py CLI_BINARY [--workdir=DIR]
+Exit status: 0 all checks pass, 1 any failure (each failure is printed),
+2 usage error.
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+CRASH_EXIT = 70       # CheckpointJournal's chaos-hook exit code
+INTERRUPT_EXIT = 3    # graceful SIGINT/SIGTERM drain
+
+BASE_ARGS = ["--system=ioguard", "--vms=4", "--util=0.8", "--preload=0.7",
+             "--trials=8", "--min-jobs=10", "--seed=7"]
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def read_artifact(path):
+    """Reads one telemetry artifact, reporting a clear failure (not a
+    traceback) when it is missing, unreadable, or empty."""
+    try:
+        data = path.read_bytes()
+    except OSError as e:
+        fail(f"{path}: cannot read artifact: {e}")
+        return None
+    if not data:
+        fail(f"{path}: artifact is empty (truncated write?)")
+        return None
+    return data
+
+
+def run_cli(binary, extra, expect=0):
+    cmd = [str(binary), *BASE_ARGS, *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != expect:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}, expected {expect}: "
+             f"{proc.stderr.strip()}")
+        return None
+    return proc
+
+
+def compare(tag, baseline_dir, resumed_dir):
+    for artifact in ("metrics.prom", "summary.json"):
+        a = read_artifact(baseline_dir / artifact)
+        b = read_artifact(resumed_dir / artifact)
+        if a is None or b is None:
+            continue
+        if a != b:
+            fail(f"{tag}: {artifact} differs from the uninterrupted baseline")
+        else:
+            print(f"ok: {tag}: {artifact} byte-identical ({len(a)} bytes)")
+
+
+def check_crash_resume(binary, workdir, faults):
+    plan = faults or "fault-free"
+    flags = [f"--faults={faults}"] if faults else []
+    base = workdir / f"base-{plan}"
+    if run_cli(binary, [*flags, "--jobs=2",
+                        f"--telemetry-out={base}"]) is None:
+        return
+    ck = workdir / f"ck-{plan}.bin"
+
+    # Hard crash after 3 journaled trials: _Exit(70), no unwinding -- the
+    # closest simulation of SIGKILL that still keeps the exit observable.
+    run_cli(binary, [*flags, "--jobs=2", f"--checkpoint={ck}",
+                     "--crash-after=3",
+                     f"--telemetry-out={workdir / f'crash-{plan}'}"],
+            expect=CRASH_EXIT)
+    if not ck.exists():
+        fail(f"{plan}: crashed run left no journal at {ck}")
+        return
+    print(f"ok: {plan}: chaos hook crashed with exit {CRASH_EXIT}, "
+          f"journal present")
+
+    # First resume finishes the sweep; the second restores everything from
+    # the journal. Both widths and both passes must reproduce the baseline.
+    for i, jobs in enumerate((1, 4)):
+        out = workdir / f"resume-{plan}-j{jobs}"
+        if run_cli(binary, [*flags, f"--jobs={jobs}", f"--checkpoint={ck}",
+                            "--resume", f"--telemetry-out={out}"]) is None:
+            continue
+        tag = (f"{plan} resume --jobs={jobs}"
+               f"{' (fully restored)' if i > 0 else ''}")
+        compare(tag, base, out)
+
+
+def check_sigint_drain(binary, workdir):
+    base = workdir / "base-sigint"
+    trials = ["--trials=24"]
+    if run_cli(binary, [*trials, "--jobs=2",
+                        f"--telemetry-out={base}"]) is None:
+        return
+    ck = workdir / "ck-sigint.bin"
+    out = workdir / "sigint-out"
+    cmd = [str(binary), *BASE_ARGS, *trials, "--jobs=2",
+           f"--checkpoint={ck}", f"--telemetry-out={out}"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    time.sleep(0.3)
+    proc.send_signal(signal.SIGINT)
+    proc.communicate(timeout=120)
+    if proc.returncode == 0:
+        print("note: sweep finished before SIGINT landed; drain exit "
+              "not exercised this round")
+    elif proc.returncode != INTERRUPT_EXIT:
+        fail(f"SIGINT run exited {proc.returncode}, expected "
+             f"{INTERRUPT_EXIT} (graceful drain)")
+        return
+    else:
+        print(f"ok: SIGINT drained gracefully with exit {INTERRUPT_EXIT}")
+    resumed = workdir / "sigint-resumed"
+    if run_cli(binary, [*trials, "--jobs=2", f"--checkpoint={ck}",
+                        "--resume", f"--telemetry-out={resumed}"]) is None:
+        return
+    compare("post-SIGINT resume", base, resumed)
+
+
+def check_config_guard(binary, workdir):
+    ck = workdir / "ck-fault-free.bin"  # written by check_crash_resume
+    if not ck.exists():
+        fail("config-guard check needs the fault-free journal from the "
+             "crash-resume pass")
+        return
+    cmd = [str(binary), *BASE_ARGS, "--util=0.9", f"--checkpoint={ck}",
+           "--resume"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 0:
+        fail("resuming under a different --util was accepted; expected a "
+             "CKP002 refusal")
+    elif "CKP002" not in proc.stderr:
+        fail(f"mismatched resume failed (exit {proc.returncode}) but "
+             f"without a CKP002 diagnostic: {proc.stderr.strip()}")
+    else:
+        print("ok: mismatched config refused with CKP002")
+
+
+def main():
+    args = sys.argv[1:]
+    workdir = None
+    positional = []
+    for a in args:
+        if a.startswith("--workdir="):
+            workdir = Path(a.split("=", 1)[1])
+        else:
+            positional.append(a)
+    if len(positional) != 1:
+        print(__doc__)
+        return 2
+    binary = Path(positional[0])
+    if not binary.is_file():
+        print(f"FAIL: {binary} is not a file")
+        return 1
+
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="chaos-resume-")
+        workdir = Path(tmp.name)
+    else:
+        workdir.mkdir(parents=True, exist_ok=True)
+
+    check_crash_resume(binary, workdir, faults=None)
+    check_crash_resume(binary, workdir, faults="device-stall")
+    check_sigint_drain(binary, workdir)
+    check_config_guard(binary, workdir)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)")
+        return 1
+    print("all chaos-resume checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

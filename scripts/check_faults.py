@@ -48,6 +48,20 @@ def fail(msg):
     print(f"FAIL: {msg}")
 
 
+def read_artifact(path, mode="rb"):
+    """Reads a telemetry artifact, reporting a clear failure (not a
+    traceback) when the run left it missing, unreadable, or empty."""
+    try:
+        data = path.read_bytes() if mode == "rb" else path.read_text()
+    except OSError as e:
+        fail(f"{path}: cannot read artifact: {e}")
+        return None
+    if not data:
+        fail(f"{path}: artifact is empty (truncated or interrupted write?)")
+        return None
+    return data
+
+
 def run_cli(binary, outdir, jobs, faults=None):
     cmd = [str(binary), *CLI_ARGS, f"--jobs={jobs}",
            f"--telemetry-out={outdir}"]
@@ -74,8 +88,10 @@ def check_baseline(binary, workdir, reference):
     none = run_cli(binary, workdir / "none", jobs=2, faults="none")
     if bare is None or none is None:
         return
-    bare_prom = (bare / "metrics.prom").read_bytes()
-    none_prom = (none / "metrics.prom").read_bytes()
+    bare_prom = read_artifact(bare / "metrics.prom")
+    none_prom = read_artifact(none / "metrics.prom")
+    if bare_prom is None or none_prom is None:
+        return
     if bare_prom != none_prom:
         fail("--faults=none metrics.prom differs from a run without the flag")
     else:
@@ -85,7 +101,9 @@ def check_baseline(binary, workdir, reference):
         if family in none_prom:
             fail(f"fault-free metrics.prom mentions {family.decode()}*")
     if reference is not None:
-        ref_bytes = reference.read_bytes()
+        ref_bytes = read_artifact(reference)
+        if ref_bytes is None:
+            return
         if none_prom != ref_bytes:
             fail(f"baseline metrics.prom differs from reference {reference} "
                  "(if the metrics surface changed intentionally, regenerate "
@@ -100,14 +118,18 @@ def check_plan(binary, workdir, plan, expectations):
     if j1 is None or j2 is None:
         return
     for artifact in ("metrics.prom", "summary.json"):
-        a = (j1 / artifact).read_bytes()
-        b = (j2 / artifact).read_bytes()
+        a = read_artifact(j1 / artifact)
+        b = read_artifact(j2 / artifact)
+        if a is None or b is None:
+            continue
         if a != b:
             fail(f"{plan}: {artifact} differs between --jobs=1 and --jobs=2")
         else:
             print(f"ok: {plan}: {artifact} replays byte-identically "
                   f"({len(a)} bytes)")
-    prom = (j2 / "metrics.prom").read_text()
+    prom = read_artifact(j2 / "metrics.prom", mode="rt")
+    if prom is None:
+        return
     for pattern in expectations:
         value = sample_value(prom, pattern)
         if value is None:
@@ -116,8 +138,8 @@ def check_plan(binary, workdir, plan, expectations):
             fail(f"{plan}: {pattern} is {value}, expected > 0")
         else:
             print(f"ok: {plan}: {pattern} = {value:g}")
-    summary = (j2 / "summary.json").read_text()
-    if '"fault_plan"' not in summary:
+    summary = read_artifact(j2 / "summary.json", mode="rt")
+    if summary is not None and '"fault_plan"' not in summary:
         fail(f"{plan}: summary.json carries no fault_plan echo")
 
 

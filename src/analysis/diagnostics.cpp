@@ -50,6 +50,10 @@ const char* code_string(DiagCode code) {
     case DiagCode::kResRetryBudgetExcessive: return "RES004";
     case DiagCode::kResWatchdogIneffective: return "RES005";
     case DiagCode::kResDegradationDisabled: return "RES006";
+    case DiagCode::kCkpStaleManifest: return "CKP001";
+    case DiagCode::kCkpConfigMismatch: return "CKP002";
+    case DiagCode::kCkpOrphanedTempFiles: return "CKP003";
+    case DiagCode::kCkpAbandonedTrials: return "CKP004";
   }
   return "UNK000";
 }
@@ -122,6 +126,14 @@ const char* code_summary(DiagCode code) {
       return "planned stalls end before the watchdog can fire";
     case DiagCode::kResDegradationDisabled:
       return "high-rate fault plan with graceful degradation disabled";
+    case DiagCode::kCkpStaleManifest:
+      return "checkpoint manifest missing, unparsable, or journal-less";
+    case DiagCode::kCkpConfigMismatch:
+      return "checkpoint journal written under a different configuration";
+    case DiagCode::kCkpOrphanedTempFiles:
+      return "stale atomic-write staging files next to the checkpoint";
+    case DiagCode::kCkpAbandonedTrials:
+      return "checkpoint journal carries abandoned (excluded) trials";
   }
   return "unknown diagnostic";
 }
@@ -133,6 +145,8 @@ Severity default_severity(DiagCode code) {
       return Severity::kInfo;
     case DiagCode::kResWatchdogIneffective:
     case DiagCode::kResDegradationDisabled:
+    case DiagCode::kCkpOrphanedTempFiles:
+    case DiagCode::kCkpAbandonedTrials:
       return Severity::kWarning;
     default:
       return Severity::kError;

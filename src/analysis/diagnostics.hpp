@@ -9,6 +9,7 @@
 //   LVLxxx -- L-level (per-VM server) checks           (verify_servers)
 //   CFGxxx -- experiment / platform config sanity      (verify_config)
 //   RESxxx -- fault plan / resilience policy sanity    (verify_resilience)
+//   CKPxxx -- checkpoint / resume artifact sanity      (verify_checkpoint)
 #pragma once
 
 #include <cstdint>
@@ -70,6 +71,12 @@ enum class DiagCode : std::uint16_t {
   kResRetryBudgetExcessive = 504,///< RES004: max_retries above the 16 cap
   kResWatchdogIneffective = 505, ///< RES005: stalls end before the watchdog
   kResDegradationDisabled = 506, ///< RES006: heavy plan, degradation off
+
+  // --- checkpoint / resume artifacts --------------------------------------
+  kCkpStaleManifest = 601,       ///< CKP001: manifest/journal pair inconsistent
+  kCkpConfigMismatch = 602,      ///< CKP002: journal written under other config
+  kCkpOrphanedTempFiles = 603,   ///< CKP003: stale atomic-write staging files
+  kCkpAbandonedTrials = 604,     ///< CKP004: journal carries abandoned trials
 };
 
 /// Stable string form, e.g. kSigJobUnderAllocated -> "SIG003".

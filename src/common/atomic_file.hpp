@@ -1,0 +1,55 @@
+// Atomic (all-or-nothing) file writes: content is staged in a sibling
+// temporary file and renamed over the target only after a successful flush,
+// so a crash mid-write can never leave a torn output file behind. Every
+// exporter that produces a consumable artifact (summary JSON, Prometheus
+// text, Perfetto traces, bench reports, checkpoint manifests) routes
+// through here.
+#pragma once
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ioguard {
+
+/// Suffix marker of staging files ("<target>.<marker><pid>"). Exposed so the
+/// checkpoint verifier can flag orphans left behind by a crashed writer.
+[[nodiscard]] std::string_view atomic_temp_marker();
+
+/// Writes `content` to `path` atomically (temp file + rename). On any
+/// failure the target is left untouched and the temp file is removed.
+[[nodiscard]] Status write_file_atomic(const std::filesystem::path& path,
+                                       std::string_view content);
+
+/// Stream-style atomic writer: build the artifact into `stream()`, then
+/// `commit()` performs the temp-file+rename publish. Destroying the writer
+/// without committing discards the content (nothing touches the target).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::filesystem::path path)
+      : path_(std::move(path)) {}
+
+  [[nodiscard]] std::ostream& stream() { return buffer_; }
+
+  /// Publishes the buffered content; returns Unavailable on I/O failure.
+  /// Calling commit() twice is a programming error (checked).
+  [[nodiscard]] Status commit();
+
+ private:
+  std::filesystem::path path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// Staging files matching `atomic_temp_marker()` in `dir` (non-recursive),
+/// sorted by filename. A non-empty result after a run means a writer
+/// crashed mid-publish (checkpoint diagnostic CKP003). A missing or
+/// unreadable directory yields an empty list.
+[[nodiscard]] std::vector<std::string> find_orphaned_temp_files(
+    const std::filesystem::path& dir);
+
+}  // namespace ioguard

@@ -1,0 +1,40 @@
+#include "common/interrupt.hpp"
+
+#include <csignal>
+
+#include "common/check.hpp"
+
+namespace ioguard {
+
+namespace {
+
+// std::signal (not sigaction) keeps this portable; the handler only touches
+// a lock-free atomic, which is the one thing async-signal-safe C++ allows.
+std::atomic<bool> g_guard_live{false};
+
+extern "C" void ioguard_interrupt_handler(int /*signum*/) {
+  InterruptGuard::request();
+}
+
+}  // namespace
+
+std::atomic<bool>& InterruptGuard::stop_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+InterruptGuard::InterruptGuard() {
+  IOGUARD_CHECK_MSG(!g_guard_live.exchange(true),
+                    "only one InterruptGuard may be live at a time");
+  reset();
+  std::signal(SIGINT, &ioguard_interrupt_handler);
+  std::signal(SIGTERM, &ioguard_interrupt_handler);
+}
+
+InterruptGuard::~InterruptGuard() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_guard_live.store(false);
+}
+
+}  // namespace ioguard

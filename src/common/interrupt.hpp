@@ -1,0 +1,50 @@
+// Cooperative SIGINT/SIGTERM handling for long sweeps: the first signal
+// only sets a lock-free flag that the supervised runner polls between
+// trials, so in-flight trials finish, the checkpoint journal stays
+// consistent, and the driver exits with the distinct "interrupted but
+// resumable" code instead of dying mid-write.
+#pragma once
+
+#include <atomic>
+
+namespace ioguard {
+
+/// Process exit code of a run that was interrupted after a graceful drain
+/// (results up to the interruption are in the checkpoint journal). Distinct
+/// from 0 (verified), 1 (errors) and 2 (usage): maps StatusCode::kCancelled.
+inline constexpr int kInterruptedExitCode = 3;
+
+/// RAII installer of SIGINT/SIGTERM handlers that request a graceful stop.
+/// Construct one near the top of main(); pass `flag()` to the supervised
+/// runner as its stop flag. The previous handlers are restored on
+/// destruction. Only one guard may be live at a time (checked).
+class InterruptGuard {
+ public:
+  InterruptGuard();
+  ~InterruptGuard();
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+  /// True once SIGINT or SIGTERM has been delivered (or request() called).
+  [[nodiscard]] static bool requested() {
+    return stop_flag().load(std::memory_order_relaxed);
+  }
+
+  /// The underlying flag, for wiring into SupervisionPolicy::stop.
+  [[nodiscard]] static const std::atomic<bool>* flag() {
+    return &stop_flag();
+  }
+
+  /// Programmatic stop request (tests; also safe from a signal handler).
+  static void request() {
+    stop_flag().store(true, std::memory_order_relaxed);
+  }
+
+  /// Clears a pending request (tests only).
+  static void reset() { stop_flag().store(false, std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<bool>& stop_flag();
+};
+
+}  // namespace ioguard

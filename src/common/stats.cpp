@@ -32,6 +32,16 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats OnlineStats::from_raw(const Raw& raw) {
+  OnlineStats s;
+  s.n_ = static_cast<std::size_t>(raw.n);
+  s.mean_ = raw.mean;
+  s.m2_ = raw.m2;
+  s.min_ = raw.min;
+  s.max_ = raw.max;
+  return s;
+}
+
 double OnlineStats::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

@@ -12,8 +12,25 @@ namespace ioguard {
 /// Numerically stable running mean / variance / extrema (Welford).
 class OnlineStats {
  public:
+  /// Exact internal state, for bit-faithful checkpoint serialization: an
+  /// accumulator restored via from_raw(raw()) produces byte-identical
+  /// mean/variance/extrema to the original, including the empty-state
+  /// sentinels (min = +inf, max = -inf).
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
   void add(double x);
   void merge(const OnlineStats& other);
+
+  [[nodiscard]] Raw raw() const {
+    return {static_cast<std::uint64_t>(n_), mean_, m2_, min_, max_};
+  }
+  [[nodiscard]] static OnlineStats from_raw(const Raw& raw);
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
@@ -50,6 +67,10 @@ class SampleSet {
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Samples in insertion order (mean() sums in this order, so checkpoint
+  /// serialization must preserve it to stay bit-identical).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
   /// Exact percentile by linear interpolation; p in [0, 100].
   /// The non-const overload sorts in place (cheapest when the caller owns

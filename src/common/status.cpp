@@ -14,6 +14,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "?";
 }
@@ -45,6 +46,8 @@ int exit_code(const Status& status) {
     case StatusCode::kDataLoss:
     case StatusCode::kInternal:
       return 1;
+    case StatusCode::kCancelled:
+      return 3;
   }
   return 1;
 }

@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kDataLoss,            ///< parse target is corrupt (malformed CSV row)
   kUnavailable,         ///< environment failure (cannot write output path)
   kInternal,            ///< bug-shaped failure surfaced as a status
+  kCancelled,           ///< run interrupted after a graceful, resumable drain
 };
 
 [[nodiscard]] const char* to_string(StatusCode code);
@@ -79,12 +80,16 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 [[nodiscard]] inline Status InternalError(std::string message) {
   return {StatusCode::kInternal, std::move(message)};
 }
+[[nodiscard]] inline Status CancelledError(std::string message) {
+  return {StatusCode::kCancelled, std::move(message)};
+}
 
 /// The one place a Status becomes a process exit code (tool mains only):
 /// ok -> 0; usage-shaped errors (invalid argument / not found / out of
-/// range / unavailable sink) -> 2; everything else (verification failed,
-/// data loss, internal) -> 1. Matches the documented tool contract:
-/// "0 verified, 1 errors found, 2 usage error".
+/// range / unavailable sink) -> 2; a graceful interrupt drain (cancelled,
+/// state checkpointed and resumable) -> 3; everything else (verification
+/// failed, data loss, internal) -> 1. Matches the documented tool contract:
+/// "0 verified, 1 errors found, 2 usage error, 3 interrupted".
 [[nodiscard]] int exit_code(const Status& status);
 
 /// A Status or a value of type T; mirrors absl::StatusOr's core API.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "system/checkpoint.hpp"
 
 namespace ioguard::sys {
 
@@ -34,6 +35,12 @@ StatusOr<ExperimentConfig> ExperimentConfig::validated(ExperimentConfig raw) {
   if (raw.trials < 1) return InvalidArgumentError("trials must be >= 1");
   if (raw.min_jobs_per_task < 1)
     return InvalidArgumentError("min_jobs_per_task must be >= 1");
+  if (raw.trial_timeout_seconds < 0.0)
+    return OutOfRangeError("trial_timeout_seconds must be >= 0");
+  if (raw.trial_attempts < 1)
+    return InvalidArgumentError("trial_attempts must be >= 1");
+  if (raw.trial_attempts > 8)
+    return OutOfRangeError("trial_attempts must be <= 8");
   if (raw.resilience.watchdog_timeout_slots == 0)
     return InvalidArgumentError("watchdog_timeout_slots must be > 0");
   if (raw.resilience.retry_backoff_base_slots < 1)
@@ -54,7 +61,15 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
 
   ParallelRunner runner(cfg.jobs);
   BatchTiming batch;
-  const auto results = runner.run_trials(
+  SupervisionPolicy policy;
+  policy.trial_timeout_seconds = cfg.trial_timeout_seconds;
+  policy.max_attempts = cfg.trial_attempts;
+  policy.stop = cfg.stop;
+  policy.journal = cfg.checkpoint;
+  policy.point_key =
+      checkpoint_point_key(system.kind, system.preload_fraction, num_vms,
+                           target_utilization);
+  const BatchResult supervised = runner.run_supervised(
       cfg.trials,
       [&](std::size_t t) {
         TrialConfig tc;
@@ -69,11 +84,17 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
         tc.resilience = cfg.resilience;
         return tc;
       },
-      /*metrics=*/nullptr, timing ? &batch : nullptr);
+      policy, /*metrics=*/nullptr, timing ? &batch : nullptr);
 
   // Deterministic merge: fold trial results in index order, exactly as the
-  // sequential loop used to.
-  for (const TrialResult& r : results) {
+  // sequential loop used to. Abandoned and skipped slots hold placeholders
+  // (a default TrialResult would count as a success) and stay out.
+  for (std::size_t t = 0; t < supervised.results.size(); ++t) {
+    const TrialOutcome outcome = supervised.outcomes[t];
+    if (outcome == TrialOutcome::kAbandoned ||
+        outcome == TrialOutcome::kSkipped)
+      continue;
+    const TrialResult& r = supervised.results[t];
     if (r.success()) ++point.successes;
     point.goodput_mbps.add(r.goodput_bytes_per_s * 8.0 / 1e6);
     point.busy_frac.add(r.device_busy_frac);
@@ -81,6 +102,11 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
       point.critical_miss_rate.add(static_cast<double>(r.critical_misses) /
                                    static_cast<double>(r.jobs_counted));
   }
+  point.restored = supervised.restored;
+  point.retried = supervised.retried;
+  point.abandoned = supervised.abandoned;
+  point.skipped = supervised.skipped;
+  point.interrupted = supervised.interrupted;
   if (timing) timing->accumulate(batch);
   return point;
 }

@@ -1,6 +1,7 @@
 // Multi-trial experiment driver for the case study (Fig. 7) and ablations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +33,13 @@ struct PointResult {
   OnlineStats critical_miss_rate; ///< critical misses / counted jobs
   OnlineStats busy_frac;
 
+  // Supervision bookkeeping (all zero / false on an unsupervised run).
+  std::size_t restored = 0;   ///< trials replayed from the checkpoint journal
+  std::size_t retried = 0;    ///< trials that needed a re-execution
+  std::size_t abandoned = 0;  ///< trials excluded from the aggregates
+  std::size_t skipped = 0;    ///< trials not started (graceful stop)
+  bool interrupted = false;   ///< a stop request cut this point short
+
   [[nodiscard]] double success_ratio() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(successes) /
@@ -51,6 +59,19 @@ struct ExperimentConfig {
   /// seeds still differ per trial, so fault schedules differ per trial too).
   faults::FaultPlan faults;
   faults::ResilienceConfig resilience;
+
+  // --- supervision / crash safety (all optional; see DESIGN.md §12) ------
+  /// Soft per-trial deadline in seconds (0 = off); overruns are flagged as
+  /// wedged in the point result, never killed.
+  double trial_timeout_seconds = 0.0;
+  /// Total executions allowed for a throwing trial (>= 1; retries replay
+  /// the same mix_seed, so a successful retry is bit-identical).
+  std::size_t trial_attempts = 2;
+  /// Crash-safe journal: finished trials land here per trial, and journaled
+  /// trials are restored instead of re-run (not owned; may be null).
+  CheckpointJournal* checkpoint = nullptr;
+  /// Graceful-stop flag polled between trials (not owned; may be null).
+  const std::atomic<bool>* stop = nullptr;
 
   /// Single validated construction path (mirrors TrialConfig::validated).
   [[nodiscard]] static StatusOr<ExperimentConfig> validated(

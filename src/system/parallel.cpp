@@ -1,8 +1,14 @@
 #include "system/parallel.hpp"
 
 #include <chrono>
+#include <exception>
+#include <mutex>
+#include <utility>
 
 #include "common/check.hpp"
+#include "core/event_trace.hpp"
+#include "system/checkpoint.hpp"
+#include "telemetry/metrics_io.hpp"
 
 namespace ioguard::sys {
 
@@ -14,49 +20,212 @@ void BatchTiming::accumulate(const BatchTiming& other) {
   trial_seconds.merge(other.trial_seconds);
 }
 
+const char* to_string(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::kCompleted: return "completed";
+    case TrialOutcome::kRestored: return "restored";
+    case TrialOutcome::kRetried: return "retried";
+    case TrialOutcome::kAbandoned: return "abandoned";
+    case TrialOutcome::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
 std::vector<TrialResult> ParallelRunner::run_trials(
     std::size_t n, const std::function<TrialConfig(std::size_t)>& make_config,
     telemetry::MetricsRegistry* metrics, BatchTiming* timing) {
+  SupervisionPolicy policy;
+  policy.max_attempts = 1;
+  policy.rethrow_on_failure = true;
+  BatchResult batch = run_supervised(n, make_config, policy, metrics, timing);
+  return std::move(batch.results);
+}
+
+BatchResult ParallelRunner::run_supervised(
+    std::size_t n, const std::function<TrialConfig(std::size_t)>& make_config,
+    const SupervisionPolicy& policy, telemetry::MetricsRegistry* metrics,
+    BatchTiming* timing) {
   using clock = std::chrono::steady_clock;
   const auto seconds_since = [](clock::time_point t0) {
     return std::chrono::duration<double>(clock::now() - t0).count();
   };
+  const std::size_t max_attempts =
+      policy.max_attempts > 0 ? policy.max_attempts : 1;
 
-  std::vector<TrialResult> results(n);
+  BatchResult batch;
+  batch.results.resize(n);
+  batch.outcomes.assign(n, TrialOutcome::kCompleted);
   // One registry per trial, merged in index order below: counter/histogram
   // merges are commutative sums, but gauges are last-writer-wins, so the
   // merge order must reproduce the sequential write order exactly.
   std::vector<telemetry::MetricsRegistry> registries(metrics ? n : 0);
   std::vector<double> trial_secs(n, 0.0);
+  std::vector<std::string> errors(n);
+  std::vector<std::size_t> attempts(n, 0);
+  std::mutex journal_error_mutex;
+
+  // Restore pass: trials already journaled under this point key skip
+  // execution entirely; their results (and metrics deltas, when this run
+  // needs them) merge exactly as if they had just run. A record without a
+  // metrics delta cannot satisfy a metrics-collecting run, so that trial is
+  // deterministically re-executed instead (same mix_seed, same result).
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const CheckpointRecord* record =
+        policy.journal ? policy.journal->find(
+                             policy.point_key,
+                             static_cast<std::uint32_t>(t))
+                       : nullptr;
+    if (record == nullptr || (metrics && !record->has_metrics &&
+                              !record->abandoned)) {
+      pending.push_back(t);
+      continue;
+    }
+    if (record->abandoned) {
+      batch.outcomes[t] = TrialOutcome::kAbandoned;
+      errors[t] = record->note.empty() ? "abandoned in a previous run"
+                                       : record->note;
+      continue;
+    }
+    if (metrics) {
+      const Status decoded =
+          telemetry::decode_metrics(record->metrics_blob, registries[t]);
+      if (!decoded.ok()) {
+        // A CRC-valid record with an undecodable blob is a format skew
+        // (e.g. journal from an older build); re-executing is always safe.
+        registries[t] = telemetry::MetricsRegistry{};
+        pending.push_back(t);
+        continue;
+      }
+    }
+    batch.results[t] = record->result;
+    batch.outcomes[t] = TrialOutcome::kRestored;
+    ++batch.restored;
+  }
 
   const auto batch_start = clock::now();
-  pool_.parallel_for(n, [&](std::size_t t) {
+  pool_.parallel_for(pending.size(), [&](std::size_t i) {
+    const std::size_t t = pending[i];
+    if (policy.stop != nullptr &&
+        policy.stop->load(std::memory_order_relaxed)) {
+      batch.outcomes[t] = TrialOutcome::kSkipped;
+      return;
+    }
     TrialConfig tc = make_config(t);
     IOGUARD_CHECK_MSG(tc.metrics == nullptr,
                       "pass the registry to run_trials, not TrialConfig: a "
                       "registry shared across trials is a data race");
     if (metrics) tc.metrics = &registries[t];
+
     const auto trial_start = clock::now();
-    results[t] = run_trial(tc);
+    std::size_t attempt = 0;
+    bool failed = false;
+    for (;;) {
+      try {
+        batch.results[t] = policy.trial_fn ? policy.trial_fn(tc)
+                                           : run_trial(tc);
+        break;
+      } catch (const std::exception& e) {
+        errors[t] = e.what();
+        ++attempt;
+        if (attempt >= max_attempts) {
+          if (policy.rethrow_on_failure) throw;
+          failed = true;
+          break;
+        }
+        // Deterministic re-execution: rebuild the config and wipe every
+        // sink the failed attempt may have half-filled, so a successful
+        // retry is indistinguishable from a first-attempt success.
+        tc = make_config(t);
+        if (tc.trace != nullptr) tc.trace->clear();
+        if (metrics) {
+          registries[t] = telemetry::MetricsRegistry{};
+          tc.metrics = &registries[t];
+        }
+      }
+    }
     trial_secs[t] = seconds_since(trial_start);
+    attempts[t] = attempt;
+
+    if (failed) {
+      batch.results[t] = TrialResult{};  // placeholder; callers skip it
+      batch.outcomes[t] = TrialOutcome::kAbandoned;
+      if (metrics) registries[t] = telemetry::MetricsRegistry{};
+    } else if (attempt > 0) {
+      batch.outcomes[t] = TrialOutcome::kRetried;
+    }
+
+    if (policy.journal != nullptr) {
+      const bool abandoned = batch.outcomes[t] == TrialOutcome::kAbandoned;
+      const Status appended = policy.journal->append(
+          policy.point_key, static_cast<std::uint32_t>(t), abandoned,
+          batch.results[t],
+          metrics && !abandoned ? &registries[t] : nullptr, errors[t]);
+      if (!appended.ok()) {
+        const std::lock_guard<std::mutex> lock(journal_error_mutex);
+        if (batch.journal_error.ok()) batch.journal_error = appended;
+      }
+    }
   });
   const double wall = seconds_since(batch_start);
 
   if (metrics)
     for (const auto& reg : registries) metrics->merge(reg);
 
+  for (std::size_t t = 0; t < n; ++t) {
+    switch (batch.outcomes[t]) {
+      case TrialOutcome::kCompleted: ++batch.completed; break;
+      case TrialOutcome::kRetried: ++batch.retried; break;
+      case TrialOutcome::kSkipped: ++batch.skipped; break;
+      case TrialOutcome::kAbandoned: ++batch.abandoned; break;
+      case TrialOutcome::kRestored: break;  // counted in the restore pass
+    }
+    const bool executed = batch.outcomes[t] == TrialOutcome::kCompleted ||
+                          batch.outcomes[t] == TrialOutcome::kRetried;
+    if (executed && policy.trial_timeout_seconds > 0.0 &&
+        trial_secs[t] > policy.trial_timeout_seconds) {
+      ++batch.wedged;
+      batch.notes.push_back(
+          "trial " + std::to_string(t) + ": wedged (ran " +
+          std::to_string(trial_secs[t]) + " s, soft deadline " +
+          std::to_string(policy.trial_timeout_seconds) + " s)");
+    }
+    if (!errors[t].empty() &&
+        batch.outcomes[t] != TrialOutcome::kRestored) {
+      const std::string prefix = "trial " + std::to_string(t) + ": ";
+      if (attempts[t] == 0) {  // abandonment carried over from the journal
+        batch.notes.push_back(prefix + "abandoned (journaled): " + errors[t]);
+      } else {
+        batch.notes.push_back(
+            prefix +
+            (batch.outcomes[t] == TrialOutcome::kAbandoned ? "abandoned"
+                                                           : "recovered") +
+            " after " + std::to_string(attempts[t]) +
+            " failed attempt(s): " + errors[t]);
+      }
+    }
+  }
+  batch.interrupted =
+      batch.skipped > 0 ||
+      (policy.stop != nullptr &&
+       policy.stop->load(std::memory_order_relaxed));
+
   if (timing) {
-    timing->trials = n;
+    timing->trials = batch.executed();
     timing->jobs = pool_.jobs();
     timing->wall_seconds = wall;
     timing->trial_seconds_sum = 0.0;
     timing->trial_seconds = OnlineStats{};
-    for (double s : trial_secs) {
-      timing->trial_seconds_sum += s;
-      timing->trial_seconds.add(s);
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool executed = batch.outcomes[t] == TrialOutcome::kCompleted ||
+                            batch.outcomes[t] == TrialOutcome::kRetried;
+      if (!executed) continue;
+      timing->trial_seconds_sum += trial_secs[t];
+      timing->trial_seconds.add(trial_secs[t]);
     }
   }
-  return results;
+  return batch;
 }
 
 }  // namespace ioguard::sys

@@ -1,5 +1,6 @@
 // Parallel experiment runner: multi-threaded trial fan-out with a
-// deterministic merge.
+// deterministic merge, plus supervised execution (soft deadlines, bounded
+// deterministic re-execution, checkpoint restore, graceful stop).
 //
 // Every headline figure is an aggregate over independent `run_trial`
 // invocations, each "deterministic in (config)". The runner fans a batch of
@@ -10,24 +11,33 @@
 // contract (see DESIGN.md, "Determinism contract"): for a fixed config and
 // base seed, every aggregate -- TrialResult fields, merged MetricsRegistry,
 // exported Prometheus text -- is bit-identical for any --jobs value.
+// Supervision extends that contract across process crashes: a trial
+// restored from a checkpoint journal, or re-executed after a throw, merges
+// bit-identically to one that ran uninterrupted (same mix_seed).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "system/runner.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ioguard::sys {
 
+class CheckpointJournal;
+
 /// Wall-clock accounting of one fan-out batch. Timing values are the only
 /// non-deterministic output of the runner; everything derived from trial
 /// *results* stays bit-identical across --jobs values.
 struct BatchTiming {
-  std::size_t trials = 0;
+  std::size_t trials = 0;  ///< trials actually executed in this invocation
   std::size_t jobs = 1;
   double wall_seconds = 0.0;
   double trial_seconds_sum = 0.0;  ///< sum of per-trial wall times
@@ -45,6 +55,64 @@ struct BatchTiming {
 
   /// Folds another batch in (multi-point sweeps accumulate one timing).
   void accumulate(const BatchTiming& other);
+};
+
+/// How one trial of a supervised batch reached its result.
+enum class TrialOutcome : std::uint8_t {
+  kCompleted,  ///< executed in this invocation, first attempt succeeded
+  kRestored,   ///< loaded intact from the checkpoint journal
+  kRetried,    ///< succeeded after >= 1 deterministic re-execution
+  kAbandoned,  ///< every attempt threw; result is an empty placeholder
+  kSkipped,    ///< never started: a stop was requested first (resumable)
+};
+
+[[nodiscard]] const char* to_string(TrialOutcome outcome);
+
+/// Supervision knobs for run_supervised. The zero-argument default gives
+/// plain fan-out semantics plus one bounded re-execution of throwing trials.
+struct SupervisionPolicy {
+  /// Soft per-trial deadline in seconds; a trial exceeding it is *flagged*
+  /// as wedged (never killed: trials hold no cancellable I/O). 0 = off.
+  double trial_timeout_seconds = 0.0;
+  /// Total executions allowed per trial (first run + re-executions). A
+  /// re-execution reuses the same mix_seed-derived config, so a successful
+  /// retry is bit-identical to a first-attempt success.
+  std::size_t max_attempts = 2;
+  /// Legacy run_trials semantics: propagate the exception of a trial whose
+  /// attempts are exhausted instead of abandoning it.
+  bool rethrow_on_failure = false;
+  /// Graceful stop: when set, trials not yet started are skipped (in-flight
+  /// trials finish and are journaled). Wire InterruptGuard::flag() here.
+  const std::atomic<bool>* stop = nullptr;
+  /// Crash-safe journal: finished trials are appended per trial, and trials
+  /// already journaled under `point_key` are restored instead of executed.
+  CheckpointJournal* journal = nullptr;
+  std::uint64_t point_key = 0;  ///< journal key of this batch (checkpoint_point_key)
+  /// Test hook: replaces run_trial as the trial body.
+  std::function<TrialResult(const TrialConfig&)> trial_fn;
+};
+
+/// Outcome of one supervised batch. `results` is index-addressed like
+/// run_trials; consult `outcomes` before aggregating -- abandoned and
+/// skipped slots hold empty placeholders that must not be folded in.
+struct BatchResult {
+  std::vector<TrialResult> results;
+  std::vector<TrialOutcome> outcomes;
+  std::size_t completed = 0;
+  std::size_t restored = 0;
+  std::size_t retried = 0;
+  std::size_t abandoned = 0;
+  std::size_t skipped = 0;
+  std::size_t wedged = 0;  ///< executed trials that blew the soft deadline
+  /// True when a stop request cut the batch short; the journal (if any)
+  /// holds every finished trial, so the sweep is resumable.
+  bool interrupted = false;
+  /// First journal-append failure, OK otherwise (results are still valid).
+  Status journal_error;
+  /// Human-readable per-trial incidents ("trial 3: ..."), in index order.
+  std::vector<std::string> notes;
+
+  [[nodiscard]] std::size_t executed() const { return completed + retried; }
 };
 
 /// Fans independent trials out over worker threads and merges their outputs
@@ -67,9 +135,25 @@ class ParallelRunner {
   /// registry would be a data race. TrialConfig::trace is passed through:
   /// the caller must attach a given EventTrace to at most one trial.
   /// make_config itself may be called concurrently from worker threads.
+  ///
+  /// A trial that throws propagates its exception after the batch drains
+  /// (equivalent to run_supervised with max_attempts = 1 + rethrow).
   std::vector<TrialResult> run_trials(
       std::size_t n,
       const std::function<TrialConfig(std::size_t)>& make_config,
+      telemetry::MetricsRegistry* metrics = nullptr,
+      BatchTiming* timing = nullptr);
+
+  /// Supervised fan-out: same deterministic merge as run_trials, plus
+  /// checkpoint restore (policy.journal), bounded deterministic
+  /// re-execution of throwing trials, soft-deadline flagging, and graceful
+  /// stop. Restored trials contribute their journaled results and metrics
+  /// deltas, so the merged aggregates are byte-identical to an
+  /// uninterrupted run at any jobs width.
+  BatchResult run_supervised(
+      std::size_t n,
+      const std::function<TrialConfig(std::size_t)>& make_config,
+      const SupervisionPolicy& policy,
       telemetry::MetricsRegistry* metrics = nullptr,
       BatchTiming* timing = nullptr);
 

@@ -65,6 +65,16 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   sum_ += other.sum_;
 }
 
+void LatencyHistogram::load(const std::vector<std::uint64_t>& counts,
+                            double sum) {
+  IOGUARD_CHECK_MSG(counts.size() == bounds_.size() + 1,
+                    "histogram snapshot bucket count mismatch");
+  counts_ = counts;
+  count_ = 0;
+  for (const std::uint64_t c : counts_) count_ += c;
+  sum_ = sum;
+}
+
 std::uint64_t LatencyHistogram::cumulative(std::size_t i) const {
   IOGUARD_CHECK(i < counts_.size());
   std::uint64_t acc = 0;

@@ -61,6 +61,12 @@ class LatencyHistogram {
   void observe(double x);
   void merge(const LatencyHistogram& other);
 
+  /// Replaces the histogram's state with a checkpointed snapshot: per-bucket
+  /// counts (bounds().size() + 1 entries, checked) and the exact observation
+  /// sum. The total count is recomputed from the buckets, so a restored
+  /// histogram is bit-identical to the one that was encoded.
+  void load(const std::vector<std::uint64_t>& counts, double sum);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   /// Finite buckets only; the +Inf bucket is counts().back().

@@ -1,0 +1,110 @@
+#include "telemetry/metrics_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ioguard::telemetry {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4D455452u;  // "METR"
+
+[[nodiscard]] bool plausible_name(std::string_view name) {
+  if (name.empty()) return false;
+  const char c = name.front();
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+}  // namespace
+
+void encode_metrics(const MetricsRegistry& reg, std::string& out) {
+  ByteWriter w(&out);
+  const auto entries = reg.entries();
+  w.put_u32(kSnapshotMagic);
+  w.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    w.put_string(e.name);
+    w.put_u32(static_cast<std::uint32_t>(e.labels.size()));
+    for (const auto& label : e.labels) {
+      w.put_string(label.key);
+      w.put_string(label.value);
+    }
+    switch (e.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        w.put_u64(e.counter->value());
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        w.put_f64(e.gauge->value());
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const auto& bounds = e.histogram->bounds();
+        w.put_u32(static_cast<std::uint32_t>(bounds.size()));
+        for (const double b : bounds) w.put_f64(b);
+        for (const std::uint64_t c : e.histogram->counts()) w.put_u64(c);
+        w.put_f64(e.histogram->sum());
+        break;
+      }
+    }
+  }
+}
+
+Status decode_metrics(std::string_view in, MetricsRegistry& reg) {
+  ByteReader r(in);
+  const auto bad = [](const char* what) {
+    return DataLossError(std::string("metrics snapshot: ") + what);
+  };
+  if (r.get_u32() != kSnapshotMagic) return bad("bad magic");
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const auto kind = static_cast<MetricsRegistry::Kind>(r.get_u8());
+    const std::string name(r.get_string());
+    if (!plausible_name(name)) return bad("bad instrument name");
+    const std::uint32_t label_count = r.get_u32();
+    if (label_count > 64) return bad("implausible label count");
+    Labels labels;
+    labels.reserve(label_count);
+    for (std::uint32_t k = 0; k < label_count; ++k) {
+      Label label;
+      label.key = std::string(r.get_string());
+      label.value = std::string(r.get_string());
+      labels.push_back(std::move(label));
+    }
+    switch (kind) {
+      case MetricsRegistry::Kind::kCounter:
+        reg.counter(name, labels).inc(r.get_u64());
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        reg.gauge(name, labels).set(r.get_f64());
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const std::uint32_t bound_count = r.get_u32();
+        if (bound_count == 0 || bound_count > 4096)
+          return bad("implausible histogram bucket count");
+        std::vector<double> bounds(bound_count);
+        for (double& b : bounds) b = r.get_f64();
+        std::vector<std::uint64_t> counts(bound_count + 1);
+        for (std::uint64_t& c : counts) c = r.get_u64();
+        const double sum = r.get_f64();
+        if (!r.ok()) return bad("truncated histogram");
+        if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+            !std::isfinite(bounds.back()))
+          return bad("invalid histogram bounds");
+        LatencyHistogram snapshot(bounds);
+        snapshot.load(counts, sum);
+        reg.histogram(name, labels, bounds).merge(snapshot);
+        break;
+      }
+      default:
+        return bad("unknown instrument kind");
+    }
+  }
+  if (!r.ok() || !r.at_end()) return bad("truncated snapshot");
+  return OkStatus();
+}
+
+}  // namespace ioguard::telemetry

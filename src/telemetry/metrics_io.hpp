@@ -1,0 +1,26 @@
+// Binary snapshot codec for a MetricsRegistry, used by the checkpoint
+// journal to persist each trial's private metrics delta. The encoding walks
+// entries() (sorted by name, then serialized labels), stores counters and
+// gauges verbatim and histograms as (bounds, bucket counts, exact sum), so
+// decode(encode(reg)) merged into an aggregate is bit-identical to merging
+// the live registry -- including the Prometheus text rendered from it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ioguard::telemetry {
+
+/// Appends a self-delimiting snapshot of `reg` to `out`.
+void encode_metrics(const MetricsRegistry& reg, std::string& out);
+
+/// Decodes a snapshot produced by encode_metrics into `reg` (instruments are
+/// created on demand; decoding into a non-empty registry merges counter
+/// increments and histogram buckets and overwrites gauges). Returns
+/// DataLoss on a malformed or truncated snapshot.
+[[nodiscard]] Status decode_metrics(std::string_view in, MetricsRegistry& reg);
+
+}  // namespace ioguard::telemetry
