@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Prove the clang thread-safety annotation layer actually bites.
+
+Two compiles under `-Wthread-safety -Werror=thread-safety`:
+  * tests/negative/guarded_by_ok.cpp must SUCCEED (positive control --
+    otherwise a failing violation fixture proves only that the flags or
+    headers are broken, not that the analysis works);
+  * tests/negative/guarded_by_violation.cpp must FAIL, and the diagnostic
+    must mention the guarded member, i.e. the GUARDED_BY annotation -- not
+    some unrelated error -- is what killed the build.
+
+Clang-only: the IOGUARD_* annotation macros expand to nothing elsewhere, so
+running this under GCC would vacuously "pass" the positive control and fail
+the negative one for the wrong reason. Without clang++ on PATH the script
+exits 77 (the ctest SKIP_RETURN_CODE), so local GCC-only checkouts skip
+while CI (which installs clang) enforces.
+
+Usage: check_thread_safety.py [--compiler=clang++] [--repo=DIR]
+Exit status: 0 both checks pass, 1 any failure, 77 no clang available.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+
+
+def compile_one(compiler, repo, source):
+    return subprocess.run(
+        [compiler, *FLAGS, "-I", str(repo / "src"), str(source)],
+        capture_output=True, text=True)
+
+
+def main(argv):
+    compiler = "clang++"
+    repo = Path(__file__).resolve().parent.parent
+    for arg in argv[1:]:
+        if arg.startswith("--compiler="):
+            compiler = arg.split("=", 1)[1]
+        elif arg.startswith("--repo="):
+            repo = Path(arg.split("=", 1)[1])
+        else:
+            print(__doc__)
+            return 1
+
+    if shutil.which(compiler) is None:
+        print(f"skip: {compiler} not found; thread-safety analysis "
+              "needs clang")
+        return 77
+
+    ok = compile_one(compiler, repo, repo / "tests/negative/guarded_by_ok.cpp")
+    if ok.returncode != 0:
+        print("FAIL: positive control guarded_by_ok.cpp did not compile "
+              "under -Wthread-safety:")
+        print(ok.stderr)
+        return 1
+    print("ok: guarded_by_ok.cpp compiles cleanly (positive control)")
+
+    bad = compile_one(compiler, repo,
+                      repo / "tests/negative/guarded_by_violation.cpp")
+    if bad.returncode == 0:
+        print("FAIL: guarded_by_violation.cpp compiled -- the GUARDED_BY "
+              "annotations are not being enforced")
+        return 1
+    if "value_" not in bad.stderr or "thread-safety" not in bad.stderr:
+        print("FAIL: guarded_by_violation.cpp failed for the wrong reason "
+              "(expected a -Wthread-safety diagnostic naming value_):")
+        print(bad.stderr)
+        return 1
+    print("ok: guarded_by_violation.cpp rejected with a thread-safety "
+          "diagnostic (negative control)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

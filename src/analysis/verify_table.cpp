@@ -1,8 +1,8 @@
 #include "analysis/verify_table.hpp"
 
 #include <algorithm>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace ioguard::analysis {
@@ -51,7 +51,10 @@ void verify_slot_table(const sched::TimeSlotTable& table,
   }
 
   // -- per-task parameter and hyper-period divisibility checks. ------------
-  std::unordered_map<std::uint32_t, const workload::IoTaskSpec*> layoutable;
+  // Ordered by task id: the per-task loops below emit diagnostics while
+  // iterating, and the report is an exported artifact -- hash order would
+  // leak the standard library's bucket layout into its bytes (LNT003).
+  std::map<std::uint32_t, const workload::IoTaskSpec*> layoutable;
   bool all_layoutable = true;
   for (const auto& t : predefined.tasks()) {
     if (!check_params(t, report)) {
@@ -70,7 +73,7 @@ void verify_slot_table(const sched::TimeSlotTable& table,
   }
 
   // -- ownership scan: every reserved slot must belong to a known task. ----
-  std::unordered_map<std::uint32_t, Slot> owned;  // task id -> slot count
+  std::map<std::uint32_t, Slot> owned;  // task id -> slot count (ordered)
   for (Slot s = 0; s < h; ++s) {
     const std::uint32_t v = raw[static_cast<std::size_t>(s)];
     if (v == sched::TimeSlotTable::kFree) continue;

@@ -10,6 +10,11 @@ namespace {
 
 // std::signal (not sigaction) keeps this portable; the handler only touches
 // a lock-free atomic, which is the one thing async-signal-safe C++ allows.
+// This component deliberately stays off the annotated Mutex primitives of
+// common/sync.hpp: taking any lock inside a signal handler can deadlock, so
+// the compile-time guarantee here is lock-freedom itself.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handlers require a lock-free stop flag");
 std::atomic<bool> g_guard_live{false};
 
 extern "C" void ioguard_interrupt_handler(int /*signum*/) {

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ioguard {
 
@@ -20,6 +21,8 @@ LogLevel parse_level(const char* s) {
 }
 
 std::atomic<LogLevel>& threshold_storage() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once under the magic-static
+  // init lock, before any worker thread exists; the tree never calls setenv.
   static std::atomic<LogLevel> t{parse_level(std::getenv("IOGUARD_LOG"))};
   return t;
 }
@@ -45,8 +48,10 @@ void set_log_threshold(LogLevel level) {
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  // Serializes whole lines across threads (cerr is race-free per character,
+  // not per message).
+  static Mutex mu;
+  const MutexLock lock(mu);
   std::cerr << '[' << level_name(level) << "] " << msg << '\n';
 }
 

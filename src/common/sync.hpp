@@ -1,0 +1,168 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable carrying Clang thread-safety-analysis attributes,
+// so lock discipline is checked at *compile time* (-Wthread-safety) instead
+// of only at runtime under TSan. Under GCC (or Clang without the capability
+// attributes) every annotation expands to nothing and the wrappers compile
+// to exactly the std primitives they hold.
+//
+// Usage pattern (see DESIGN.md §13, "Static analysis"):
+//
+//   Mutex mutex_;
+//   std::size_t completed_ IOGUARD_GUARDED_BY(mutex_) = 0;
+//
+//   void done() {
+//     const MutexLock lock(mutex_);   // scoped capability
+//     ++completed_;                   // checked: mutex_ must be held
+//   }
+//
+// Every concurrent component of the tree (thread_pool, ParallelRunner,
+// CheckpointJournal, the log sink) declares its shared state GUARDED_BY one
+// of these wrappers; the `thread-safety` CI job builds with clang and
+// -Werror=thread-safety, so an unguarded access is a build break.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+// ---- Attribute macros ------------------------------------------------------
+// Prefixed (IOGUARD_) so they cannot collide with other headers' spellings.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IOGUARD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IOGUARD_THREAD_ANNOTATION
+#define IOGUARD_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define IOGUARD_CAPABILITY(x) IOGUARD_THREAD_ANNOTATION(capability(x))
+#define IOGUARD_SCOPED_CAPABILITY IOGUARD_THREAD_ANNOTATION(scoped_lockable)
+#define IOGUARD_GUARDED_BY(x) IOGUARD_THREAD_ANNOTATION(guarded_by(x))
+#define IOGUARD_PT_GUARDED_BY(x) IOGUARD_THREAD_ANNOTATION(pt_guarded_by(x))
+#define IOGUARD_REQUIRES(...) \
+  IOGUARD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IOGUARD_ACQUIRE(...) \
+  IOGUARD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IOGUARD_TRY_ACQUIRE(...) \
+  IOGUARD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IOGUARD_RELEASE(...) \
+  IOGUARD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IOGUARD_EXCLUDES(...) \
+  IOGUARD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IOGUARD_ASSERT_CAPABILITY(x) \
+  IOGUARD_THREAD_ANNOTATION(assert_capability(x))
+#define IOGUARD_RETURN_CAPABILITY(x) IOGUARD_THREAD_ANNOTATION(lock_returned(x))
+#define IOGUARD_NO_THREAD_SAFETY_ANALYSIS \
+  IOGUARD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ioguard {
+
+class CondVar;
+
+/// std::mutex carrying the `capability` attribute, so members can be
+/// declared IOGUARD_GUARDED_BY(mutex_) and the analysis tracks lock state.
+class IOGUARD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IOGUARD_ACQUIRE() { m_.lock(); }
+  void unlock() IOGUARD_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() IOGUARD_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex (the only way the tree takes a lock; bare
+/// lock()/unlock() pairs are reserved for the wrappers themselves).
+class IOGUARD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) IOGUARD_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() IOGUARD_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex at each wait. The caller holds the
+/// mutex (typically via MutexLock); wait() re-adopts that ownership for the
+/// unlock/relock cycle and hands it back before returning, so the analysis
+/// sees the capability held across the whole scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until pred() is true; `mutex` must be held by the caller.
+  template <class Predicate>
+  void wait(Mutex& mutex, Predicate pred) IOGUARD_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    cv_.wait(relock, pred);
+    relock.release();  // ownership stays with the caller's scope
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Debug single-writer checker for components whose concurrency contract is
+/// "externally synchronized" rather than lock-based (MetricsRegistry,
+/// EventTrace: one trial writes, the runner reads only after the batch
+/// barrier). Binds to the first thread that calls check() and CHECK-fails
+/// (via the return value; callers wrap in IOGUARD_DCHECK) when a different
+/// thread writes without an intervening rebind(). Compiled away in NDEBUG
+/// builds -- the hot path pays nothing in release.
+class ThreadChecker {
+ public:
+  ThreadChecker() = default;
+  // A copied or moved-into object starts unbound: the binding is an identity
+  // of the *object's* writer, not transferable state (and std::atomic would
+  // otherwise delete the host class's defaulted moves).
+  ThreadChecker(const ThreadChecker&) noexcept {}
+  ThreadChecker& operator=(const ThreadChecker&) noexcept {
+    rebind();
+    return *this;
+  }
+
+#ifndef NDEBUG
+  /// True when the calling thread may mutate the guarded object.
+  [[nodiscard]] bool check() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    // First caller binds; the checker itself must not race, hence the CAS.
+    if (bound_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+    return expected == self;
+  }
+  /// Transfers ownership at a synchronization point (e.g. after the fan-out
+  /// barrier, before the merge): the next writer re-binds.
+  void rebind() const { bound_.store(std::thread::id{},
+                                     std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::thread::id> bound_{};
+#else
+  [[nodiscard]] bool check() const { return true; }
+  void rebind() const {}
+#endif
+};
+
+}  // namespace ioguard

@@ -22,10 +22,10 @@ struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t completed = 0;  ///< guarded by mutex
-  std::exception_ptr first_error;
+  Mutex mutex;
+  CondVar done_cv;
+  std::size_t completed IOGUARD_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error IOGUARD_GUARDED_BY(mutex);
 
   /// Claims and runs indices until the counter is exhausted; reports the
   /// per-executor tally so `completed` reaches n exactly once.
@@ -37,13 +37,13 @@ struct ThreadPool::Batch {
       try {
         (*fn)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const MutexLock lock(mutex);
         if (!first_error) first_error = std::current_exception();
       }
       ++ran;
     }
     if (ran > 0) {
-      const std::lock_guard<std::mutex> lock(mutex);
+      const MutexLock lock(mutex);
       completed += ran;
       if (completed == n) done_cv.notify_all();
     }
@@ -59,7 +59,7 @@ ThreadPool::ThreadPool(std::size_t jobs) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -71,8 +71,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return shutdown_ || current_ != seen; });
+      const MutexLock lock(mutex_);
+      work_cv_.wait(mutex_, [&]() IOGUARD_REQUIRES(mutex_) {
+        return shutdown_ || current_ != seen;
+      });
       if (shutdown_) return;
       seen = current_;
       batch = current_;
@@ -94,7 +96,7 @@ void ThreadPool::parallel_for(std::size_t n,
   batch->n = n;
   batch->fn = &fn;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     IOGUARD_CHECK_MSG(current_ == nullptr || current_->next.load() >= current_->n,
                       "ThreadPool::parallel_for is not reentrant");
     current_ = batch;
@@ -106,14 +108,16 @@ void ThreadPool::parallel_for(std::size_t n,
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->done_cv.wait(lock, [&] { return batch->completed == batch->n; });
+    const MutexLock lock(batch->mutex);
+    batch->done_cv.wait(batch->mutex, [&]() IOGUARD_REQUIRES(batch->mutex) {
+      return batch->completed == batch->n;
+    });
     error = batch->first_error;
   }
   {
     // Drop the pool's reference so the Batch (and the caller's fn with it)
     // is not considered live past this call.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (current_ == batch) current_ = nullptr;
   }
   if (error) std::rethrow_exception(error);

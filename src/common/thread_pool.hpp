@@ -10,10 +10,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace ioguard {
 
@@ -51,13 +51,13 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  Mutex mutex_;
+  CondVar work_cv_;  ///< workers wait for a new batch
   // Workers keep the Batch alive via shared_ptr, so a worker waking after
   // the batch drained only ever sees an exhausted index counter -- it can
   // never touch a newer batch's state or a dead caller frame.
-  std::shared_ptr<Batch> current_;
-  bool shutdown_ = false;
+  std::shared_ptr<Batch> current_ IOGUARD_GUARDED_BY(mutex_);
+  bool shutdown_ IOGUARD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ioguard

@@ -46,6 +46,9 @@ EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
 }
 
 void EventTrace::record(const TraceEvent& event) {
+  IOGUARD_DCHECK_MSG(writer_checker_.check(),
+                     "EventTrace is single-writer: attach a trace to at most "
+                     "one trial (clear() re-binds the writing thread)");
   ++total_;
   ++counts_[static_cast<std::size_t>(event.kind)];
   if (events_.size() < capacity_) {
@@ -84,6 +87,9 @@ void EventTrace::clear() {
   total_ = 0;
   overwritten_ = 0;
   for (auto& c : counts_) c = 0;
+  // A cleared trace is a fresh sink: whoever records next owns it (the
+  // deterministic-retry path clears before re-attaching to the new attempt).
+  writer_checker_.rebind();
 }
 
 }  // namespace ioguard::core

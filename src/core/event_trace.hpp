@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace ioguard::core {
@@ -99,6 +100,7 @@ class EventTrace {
   std::uint64_t total_ = 0;
   std::uint64_t overwritten_ = 0;
   std::uint64_t counts_[kTraceEventKindCount] = {};
+  ThreadChecker writer_checker_;  ///< single-writer contract (debug builds)
 };
 
 }  // namespace ioguard::core

@@ -18,9 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/event_trace.hpp"
@@ -158,7 +158,9 @@ class VirtManager {
   EntryHandle active_handle_ = kInvalidHandle;
   JobId active_job_;
   std::vector<PendingRetry> retry_queue_;
-  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;  // by job id
+  // Ordered map: the container feeds TrialResult bytes (retry accounting),
+  // so even latent iteration must be hash-order-free (ioguard_lint LNT003).
+  std::map<std::uint64_t, std::uint32_t> attempts_;  // by job id
   std::vector<std::uint64_t> vm_fault_counts_;
   std::vector<std::uint8_t> vm_degraded_;
   std::uint64_t watchdog_aborts_ = 0;

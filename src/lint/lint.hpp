@@ -1,0 +1,115 @@
+// ioguard_lint: the determinism linter (DESIGN.md §13).
+//
+// The repo's headline contract -- bit-identical TrialResults at any --jobs,
+// resume byte-equal to an uninterrupted run -- dies by a thousand innocent
+// cuts: a rand() here, an unordered_map iteration there, a raw ofstream that
+// tears on a crash. This linter scans C++ sources for the result-affecting
+// nondeterminism patterns that code review keeps missing and reports each
+// with a stable LNTxxx code (house style: the SIG/RES/CKP families of
+// analysis/diagnostics.hpp), a JSON report, and inline suppressions:
+//
+//   // IOGUARD_LINT_ALLOW(LNT005: append-only journal; rename cannot append)
+//
+// A suppression covers its own line and the line below, must name a known
+// code and carry a non-empty reason (else LNT006), and must actually hit
+// something (else LNT007: stale suppressions rot into false confidence).
+//
+// The scan is token-level on comment- and string-stripped lines -- fast,
+// dependency-free, and deliberately conservative: module-scoped rules fire
+// only in the modules whose bytes reach TrialResult or exported artifacts
+// (deterministic_module()), and anything cleverer than that belongs in the
+// clang -Wthread-safety layer, not here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ioguard::lint {
+
+/// Stable lint codes. Never renumber an existing entry; append only.
+enum class LintCode : std::uint16_t {
+  kNondeterministicRandom = 1,  ///< LNT001: RNG outside common/rng.hpp
+  kWallClock = 2,               ///< LNT002: wall-clock time source
+  kUnorderedContainer = 3,      ///< LNT003: hash container in result module
+  kPointerOrderDependence = 4,  ///< LNT004: pointer-value ordering
+  kRawArtifactWrite = 5,        ///< LNT005: ofstream bypassing atomic writes
+  kMalformedSuppression = 6,    ///< LNT006: bad IOGUARD_LINT_ALLOW marker
+  kStaleSuppression = 7,        ///< LNT007: suppression with no finding
+  kEnvDependentResult = 8,      ///< LNT008: env read in result module
+};
+
+inline constexpr std::size_t kLintCodeCount = 8;
+
+/// Stable string form, e.g. kUnorderedContainer -> "LNT003".
+[[nodiscard]] const char* code_string(LintCode code);
+
+/// One-line summary of what the code means (static text, no values).
+[[nodiscard]] const char* code_summary(LintCode code);
+
+/// Parses "LNT003" -> kUnorderedContainer; false for unknown spellings.
+[[nodiscard]] bool parse_code(std::string_view text, LintCode* out);
+
+/// True for files whose bytes can reach TrialResult or an exported artifact:
+/// any path component names one of the deterministic modules (core, sim,
+/// sched, noc, iodev, workload, faults, system, analysis, telemetry).
+/// Module-scoped rules (LNT003/LNT004/LNT008) fire only there.
+[[nodiscard]] bool deterministic_module(std::string_view path);
+
+/// One finding: code + location + message, plus its suppression state.
+/// Suppressed findings stay in the report (audits read them); only active
+/// (unsuppressed) findings fail a run.
+struct LintFinding {
+  LintCode code = LintCode::kNondeterministicRandom;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;   ///< human text naming the offending token
+  std::string excerpt;   ///< trimmed source line
+  bool suppressed = false;
+  std::string suppress_reason;  ///< the ALLOW reason when suppressed
+};
+
+/// Scans sources and accumulates findings across files.
+class Linter {
+ public:
+  Linter() = default;
+
+  /// Scans one already-loaded source; `file` is the reported location label.
+  void scan_source(std::string_view file, std::string_view content);
+
+  /// Loads and scans one file from disk; unreadable files yield a finding-
+  /// free scan and a false return (the CLI reports them as usage errors).
+  [[nodiscard]] bool scan_file(const std::string& path);
+
+  [[nodiscard]] const std::vector<LintFinding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+  /// Findings that are not suppressed; a nonzero count fails the run.
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::size_t suppressed_count() const {
+    return findings_.size() - active_count();
+  }
+
+  /// Human-readable listing, one finding per line (compiler-style).
+  void render_text(std::ostream& os) const;
+
+  /// Machine-readable JSON object (stable schema, see DESIGN.md §13).
+  void render_json(std::ostream& os) const;
+
+ private:
+  std::vector<LintFinding> findings_;
+  std::size_t files_scanned_ = 0;
+};
+
+/// Strips // and /* */ comments and the contents of string/char literals
+/// (ordinary and raw) from one translation unit, preserving line structure,
+/// so token rules never fire on prose or on the linter's own pattern
+/// tables. Exposed for tests.
+[[nodiscard]] std::vector<std::string> strip_to_code_lines(
+    std::string_view content);
+
+}  // namespace ioguard::lint

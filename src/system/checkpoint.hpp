@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "system/config.hpp"
 #include "system/runner.hpp"
 #include "telemetry/metrics.hpp"
@@ -98,7 +98,10 @@ class CheckpointJournal {
   /// the n-th successful append of this process (0 = disabled). Exercised
   /// by the chaos-resume CI job to SIGKILL-interrupt a sweep at a
   /// deterministic trial boundary.
-  void set_crash_after(std::size_t n) { crash_after_ = n; }
+  void set_crash_after(std::size_t n) {
+    const MutexLock lock(mutex_);
+    crash_after_ = n;
+  }
 
   CheckpointJournal(const CheckpointJournal&) = delete;
   CheckpointJournal& operator=(const CheckpointJournal&) = delete;
@@ -108,14 +111,16 @@ class CheckpointJournal {
   CheckpointJournal() = default;
 
   std::string path_;
+  // Written only inside open() (single-threaded setup), read-only afterwards
+  // (find() during the restore pass); appends never touch the in-memory map.
   std::map<std::pair<std::uint64_t, std::uint32_t>, CheckpointRecord>
       records_;
   bool truncated_tail_ = false;
-  std::size_t crash_after_ = 0;
-  std::size_t appended_ = 0;
-  std::mutex mutex_;            ///< serializes appends
-  struct Sink;                  ///< append-mode file handle
-  std::unique_ptr<Sink> sink_;
+  Mutex mutex_;  ///< serializes appends
+  std::size_t crash_after_ IOGUARD_GUARDED_BY(mutex_) = 0;
+  std::size_t appended_ IOGUARD_GUARDED_BY(mutex_) = 0;
+  struct Sink;  ///< append-mode file handle
+  std::unique_ptr<Sink> sink_ IOGUARD_PT_GUARDED_BY(mutex_);
 };
 
 /// Read-only inspection of a checkpoint pair (never creates or truncates

@@ -2,10 +2,10 @@
 
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 #include "core/event_trace.hpp"
 #include "system/checkpoint.hpp"
 #include "telemetry/metrics_io.hpp"
@@ -62,7 +62,12 @@ BatchResult ParallelRunner::run_supervised(
   std::vector<double> trial_secs(n, 0.0);
   std::vector<std::string> errors(n);
   std::vector<std::size_t> attempts(n, 0);
-  std::mutex journal_error_mutex;
+  // Only cross-trial shared mutable of the fan-out (everything else above is
+  // per-index-disjoint); first journal failure wins, under an annotated lock.
+  struct JournalErrorSlot {
+    Mutex mutex;
+    Status first IOGUARD_GUARDED_BY(mutex);
+  } journal_error;
 
   // Restore pass: trials already journaled under this point key skip
   // execution entirely; their results (and metrics deltas, when this run
@@ -163,15 +168,28 @@ BatchResult ParallelRunner::run_supervised(
           batch.results[t],
           metrics && !abandoned ? &registries[t] : nullptr, errors[t]);
       if (!appended.ok()) {
-        const std::lock_guard<std::mutex> lock(journal_error_mutex);
-        if (batch.journal_error.ok()) batch.journal_error = appended;
+        const MutexLock lock(journal_error.mutex);
+        if (journal_error.first.ok()) journal_error.first = appended;
       }
     }
   });
   const double wall = seconds_since(batch_start);
+  {
+    // The pool has drained: workers are quiescent, so this read is the
+    // happens-after edge of every failed append.
+    const MutexLock lock(journal_error.mutex);
+    batch.journal_error = journal_error.first;
+  }
 
-  if (metrics)
-    for (const auto& reg : registries) metrics->merge(reg);
+  if (metrics) {
+    for (const auto& reg : registries) {
+      // The barrier above transferred ownership of each per-trial registry
+      // from its worker to this thread; re-bind the single-writer checker
+      // so the debug build accepts the merge.
+      reg.rebind_writer();
+      metrics->merge(reg);
+    }
+  }
 
   for (std::size_t t = 0; t < n; ++t) {
     switch (batch.outcomes[t]) {

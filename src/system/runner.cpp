@@ -6,7 +6,6 @@
 #include <ostream>
 #include <queue>
 #include <string>
-#include <unordered_map>
 
 #include "common/check.hpp"
 #include "faults/injector.hpp"

@@ -118,6 +118,9 @@ std::vector<double> default_cycle_buckets() {
 
 MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
                                                  Kind kind) {
+  IOGUARD_DCHECK_MSG(writer_checker_.check(),
+                     "MetricsRegistry is single-writer: mutate from one "
+                     "thread, or rebind_writer() at a synchronization point");
   IOGUARD_CHECK_MSG(valid_metric_name(name), "invalid metric name");
   auto it = families_.find(name);
   if (it == families_.end()) {

@@ -5,7 +5,11 @@
 // deterministic slot-level simulation driven from one thread, so instruments
 // are plain (lock-free) fields; per-thread registries from parallel trials
 // are combined with merge(), mirroring how per-core hardware counters are
-// read out and aggregated.
+// read out and aggregated. That contract is machine-checked two ways: a
+// debug-build ThreadChecker (common/sync.hpp) binds each registry to its
+// writing thread and rebind_writer() marks the barrier handoff (the
+// ParallelRunner merge), and the fan-out sites themselves build under
+// -Wthread-safety (DESIGN.md §13).
 //
 // Naming follows Prometheus conventions: snake_case metric names
 // ([a-zA-Z_][a-zA-Z0-9_]*), `_total` suffix on counters, unit suffix on
@@ -19,6 +23,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace ioguard::telemetry {
 
@@ -132,6 +138,12 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Transfers single-writer ownership to the calling thread at an external
+  /// synchronization point (the post-fan-out barrier in ParallelRunner).
+  /// Debug builds CHECK-fail on a mutation from any other thread without
+  /// this; release builds compile it away.
+  void rebind_writer() const { writer_checker_.rebind(); }
+
  private:
   struct Instrument;
   struct Family;
@@ -142,6 +154,7 @@ class MetricsRegistry {
 
   // map keeps families sorted by name for deterministic exposition.
   std::map<std::string, Family, std::less<>> families_;
+  ThreadChecker writer_checker_;  ///< single-writer contract (debug builds)
 };
 
 /// Serializes labels canonically: {a="x",b="y"} (keys in insertion order).

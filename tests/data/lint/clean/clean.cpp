@@ -1,0 +1,12 @@
+// Lint fixture: a clean file. Every trigger token below hides in a comment,
+// a string, or a raw string -- the stripper must remove them all, so the
+// golden expectation for this file is zero findings.
+//
+//   rand() srand() std::unordered_map std::ofstream getenv("X")
+#include <string>
+
+const char* kDoc = "std::random_device and system_clock::now() as prose";
+const char* kRaw = R"lint(rand(); std::unordered_map<int,int> m; /* " */)lint";
+/* block comment: time(nullptr) gettimeofday clock_gettime */
+
+int operand_count(int operands) { return operands; }  // 'rand' inside a word

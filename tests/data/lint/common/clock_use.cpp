@@ -1,0 +1,16 @@
+// Lint fixture: LNT002 fires tree-wide, but the module-scoped rules must
+// NOT fire here -- "common" is not a deterministic module, so the hash map
+// and getenv below are legal (infrastructure code orders its own output).
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+std::unordered_map<int, int> cache;  // no finding: not a result module
+
+long stamp() {
+  auto wall = std::chrono::system_clock::now();  // line 11: LNT002
+  auto mono = std::chrono::steady_clock::now();  // sanctioned: no finding
+  const char* home = std::getenv("HOME");        // no finding here
+  (void)home;
+  return wall.time_since_epoch().count() + mono.time_since_epoch().count();
+}

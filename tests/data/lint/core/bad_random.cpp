@@ -1,0 +1,15 @@
+// Lint fixture: LNT001 (nondeterministic randomness). NOT compiled; scanned
+// by test_lint.cpp, which pins the exact (code, line) set found here.
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::mt19937 gen{std::random_device{}()};  // line 7: two LNT001 hits
+  int x = rand();                            // line 8: LNT001
+  srand(42);                                 // line 9: LNT001
+  int ok = mix_seed(7);       // sanctioned path: no finding
+  int myrand_value = myrand();  // identifier boundary: not rand()
+  // rand() in a comment must not fire; nor "rand()" here:
+  const char* s = "call rand() for chaos";
+  return x + ok + myrand_value + (s != nullptr);
+}

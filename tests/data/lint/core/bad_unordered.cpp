@@ -1,0 +1,18 @@
+// Lint fixture: module-scoped rules LNT003/LNT004/LNT008 -- this file sits
+// under a "core" path component, so it counts as a deterministic module.
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+std::unordered_map<int, int> table;  // line 7: LNT003
+
+bool before(const std::unique_ptr<int>& a, const std::unique_ptr<int>& b) {
+  return a.get() < b.get();  // line 10: LNT004
+}
+
+std::map<std::unique_ptr<int>, int, std::less<int*>> by_addr;  // line 13: LNT004
+
+int config() {
+  const char* env = std::getenv("IOGUARD_FIXTURE");  // line 16: LNT008
+  return env != nullptr;
+}

@@ -1,0 +1,16 @@
+// Lint fixture: suppression semantics. One good marker covering the next
+// line, one covering its own line, one malformed (LNT006), one stale
+// (LNT007).
+#include <fstream>
+#include <unordered_map>
+
+// IOGUARD_LINT_ALLOW(LNT003: fixture -- lookup table, never iterated)
+std::unordered_map<int, int> covered_next_line;  // line 8: suppressed
+
+std::ofstream raw_log;  // IOGUARD_LINT_ALLOW(LNT005: fixture -- append log)
+
+// IOGUARD_LINT_ALLOW(LNT001 missing colon and reason)
+int no_rng_here = 0;  // line 13: the marker above is LNT006
+
+// IOGUARD_LINT_ALLOW(LNT002: nothing on this or the next line reads a clock)
+int no_clock_here = 0;  // line 16: the marker above is LNT007

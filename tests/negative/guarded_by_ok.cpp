@@ -1,0 +1,34 @@
+// POSITIVE control for scripts/check_thread_safety.py: the same shape as
+// guarded_by_violation.cpp with correct locking. Must compile cleanly under
+// clang -Wthread-safety -Werror=thread-safety; if it does not, the failure
+// of the violation fixture proves nothing (the flags may simply be broken).
+#include "common/sync.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const ioguard::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] std::uint64_t read() const {
+    const ioguard::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable ioguard::Mutex mutex_;
+  std::uint64_t value_ IOGUARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return static_cast<int>(c.read());
+}

@@ -1,0 +1,35 @@
+// NEGATIVE-COMPILE fixture: this file must FAIL to compile under clang with
+// -Wthread-safety -Werror=thread-safety (scripts/check_thread_safety.py
+// asserts exactly that). It is NOT part of any CMake target.
+//
+// The violation: reading and writing a IOGUARD_GUARDED_BY member without
+// holding its mutex. If the toolchain ever stops diagnosing this, the whole
+// annotation layer is decorative -- the check exists to notice that.
+#include "common/sync.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    ++value_;  // BAD: writing value_ without holding mutex_
+  }
+
+  [[nodiscard]] std::uint64_t read() const {
+    return value_;  // BAD: reading value_ without holding mutex_
+  }
+
+ private:
+  mutable ioguard::Mutex mutex_;
+  std::uint64_t value_ IOGUARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return static_cast<int>(c.read());
+}

@@ -1,0 +1,233 @@
+// Tests for the determinism linter (lint/lint.hpp): code table, module
+// classification, the comment/string stripper, suppression semantics, the
+// golden fixture corpus under tests/data/lint/, and report rendering.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ioguard::lint {
+namespace {
+
+// Injected by tests/CMakeLists.txt; points at tests/data/lint in the source
+// tree.
+const std::string kFixtures = IOGUARD_LINT_FIXTURE_DIR;
+
+// The suppression marker, assembled so the linter cannot mistake this test
+// for carrying real suppressions when pointed at the tests/ tree.
+const std::string kAllow = std::string("IOGUARD_LINT_") + "ALLOW";
+
+/// (code, line, suppressed) triples of a scan, sorted, for golden compares.
+std::vector<std::tuple<std::string, std::size_t, bool>> triples(
+    const Linter& linter) {
+  std::vector<std::tuple<std::string, std::size_t, bool>> out;
+  for (const LintFinding& f : linter.findings())
+    out.emplace_back(code_string(f.code), f.line, f.suppressed);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<1>(a) != std::get<1>(b)
+                         ? std::get<1>(a) < std::get<1>(b)
+                         : std::get<0>(a) < std::get<0>(b);
+            });
+  return out;
+}
+
+TEST(LintCodes, StableStringsRoundTrip) {
+  for (std::size_t v = 1; v <= kLintCodeCount; ++v) {
+    const auto code = static_cast<LintCode>(v);
+    LintCode parsed{};
+    ASSERT_TRUE(parse_code(code_string(code), &parsed)) << code_string(code);
+    EXPECT_EQ(parsed, code);
+    EXPECT_STRNE(code_summary(code), "?");
+  }
+}
+
+TEST(LintCodes, ParseRejectsUnknownSpellings) {
+  LintCode code{};
+  EXPECT_FALSE(parse_code("LNT000", &code));
+  EXPECT_FALSE(parse_code("LNT009", &code));
+  EXPECT_FALSE(parse_code("LNT1", &code));
+  EXPECT_FALSE(parse_code("SIG101", &code));
+  EXPECT_FALSE(parse_code("LNT00a", &code));
+  EXPECT_FALSE(parse_code("", &code));
+}
+
+TEST(LintModules, ClassifiesByPathComponent) {
+  EXPECT_TRUE(deterministic_module("src/core/vmanager.hpp"));
+  EXPECT_TRUE(deterministic_module("src/system/runner.cpp"));
+  EXPECT_TRUE(deterministic_module("tests/data/lint/core/x.cpp"));
+  EXPECT_FALSE(deterministic_module("src/common/log.cpp"));
+  EXPECT_FALSE(deterministic_module("tools/ioguard_lint.cpp"));
+  // The component must match exactly: "coreutils" is not "core".
+  EXPECT_FALSE(deterministic_module("src/coreutils/x.cpp"));
+}
+
+TEST(LintStripper, RemovesCommentsAndLiteralsKeepingLines) {
+  const auto lines = strip_to_code_lines(
+      "int a; // rand()\n"
+      "const char* s = \"rand() \\\" still string\";\n"
+      "/* time(nullptr)\n"
+      "   spans lines */ int b;\n"
+      "auto r = R\"x(getenv(\"HOME\"))x\";\n");
+  ASSERT_EQ(lines.size(), 6u);  // trailing newline yields one empty tail
+  EXPECT_EQ(lines[0], "int a; ");
+  EXPECT_EQ(lines[1], "const char* s = \"\";");
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(lines[3], " int b;");
+  EXPECT_EQ(lines[4], "auto r = ;");
+}
+
+TEST(LintStripper, CharLiteralsAndDivisionSurvive) {
+  const auto lines = strip_to_code_lines("int c = x / y; char q = '\\'';");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "int c = x / y; char q = '';");
+}
+
+TEST(LintScan, FixtureBadRandom) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/core/bad_random.cpp"));
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT001", 7, false},  // std::mt19937
+      {"LNT001", 7, false},  // std::random_device
+      {"LNT001", 8, false},  // rand()
+      {"LNT001", 9, false},  // srand()
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintScan, FixtureBadUnordered) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/core/bad_unordered.cpp"));
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT003", 7, false},   // unordered_map member
+      {"LNT004", 10, false},  // .get() < .get()
+      {"LNT004", 13, false},  // std::less<int*>
+      {"LNT008", 16, false},  // std::getenv
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintScan, FixtureClockUseScopesModuleRules) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/common/clock_use.cpp"));
+  // Only the wall clock fires: "common" is not a deterministic module, so
+  // the unordered_map and getenv in the same file are legal there.
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT002", 11, false},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintScan, FixtureSuppressedCoversBothLinesAndHygiene) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/core/suppressed.cpp"));
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT003", 8, true},    // marker on line 7 covers the next line
+      {"LNT005", 10, true},   // marker on its own line
+      {"LNT006", 12, false},  // malformed marker (no colon)
+      {"LNT007", 15, false},  // well-formed marker with nothing to cover
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(linter.active_count(), 2u);
+  EXPECT_EQ(linter.suppressed_count(), 2u);
+  for (const LintFinding& f : linter.findings()) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.suppress_reason.empty());
+    }
+  }
+}
+
+TEST(LintScan, FixtureCleanHasNoFindings) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/clean/clean.cpp"));
+  EXPECT_TRUE(linter.findings().empty());
+  EXPECT_EQ(linter.files_scanned(), 1u);
+}
+
+TEST(LintScan, MissingFileReturnsFalse) {
+  Linter linter;
+  EXPECT_FALSE(linter.scan_file(kFixtures + "/no_such_file.cpp"));
+}
+
+TEST(LintScan, TokenBoundariesAndWhitelists) {
+  Linter linter;
+  linter.scan_source("src/core/x.cpp",
+                     "auto a = steady_clock::now();\n"
+                     "int b = operand_count(2);\n"
+                     "int c = myrand();\n");
+  EXPECT_TRUE(linter.findings().empty());
+
+  Linter rng;
+  rng.scan_source("src/common/rng.hpp", "auto d = std::mt19937{};\n");
+  EXPECT_TRUE(rng.findings().empty()) << "rng.hpp is the sanctioned RNG";
+
+  Linter hit;
+  hit.scan_source("src/common/other.hpp", "auto d = std::mt19937{};\n");
+  EXPECT_EQ(hit.active_count(), 1u);
+}
+
+TEST(LintScan, SuppressionReasonIsRequired) {
+  Linter linter;
+  linter.scan_source("src/core/x.cpp",
+                     "int a = rand();  // " + kAllow + "(LNT001:   )\n");
+  // The empty reason is LNT006 and the rand() finding stays active.
+  ASSERT_EQ(linter.findings().size(), 2u);
+  EXPECT_EQ(linter.active_count(), 2u);
+}
+
+TEST(LintScan, WrongCodeSuppressionGoesStale) {
+  Linter linter;
+  linter.scan_source("src/core/x.cpp",
+                     "// " + kAllow + "(LNT002: wrong code for the line)\n" +
+                         "int a = rand();\n");
+  // The LNT001 finding stays active and the LNT002 marker is stale.
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT007", 1, false},
+      {"LNT001", 2, false},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintReport, JsonCarriesSchemaAndEscapes) {
+  Linter linter;
+  linter.scan_source("src/core/quo\"te.cpp", "int a = rand();\n");
+  std::ostringstream os;
+  linter.render_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\": \"ioguard_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"LNT001\""), std::string::npos);
+  EXPECT_NE(json.find("quo\\\"te.cpp"), std::string::npos)
+      << "quotes in paths must be escaped";
+}
+
+TEST(LintReport, TextRendersSummaryLine) {
+  Linter linter;
+  linter.scan_source("src/core/x.cpp", "int a = rand();\n");
+  std::ostringstream os;
+  linter.render_text(os);
+  EXPECT_NE(os.str().find("1 active finding(s)"), std::string::npos);
+  EXPECT_NE(os.str().find("src/core/x.cpp:1: LNT001"), std::string::npos);
+}
+
+TEST(LintSelfScan, LinterSourcesAreExemptPatternTables) {
+  Linter linter;
+  // The real lint.cpp contains every pattern as a string literal; pointing
+  // the linter at itself must not report the rule table as violations.
+  linter.scan_source("src/lint/lint.cpp", "int a = rand();\n");
+  EXPECT_TRUE(linter.findings().empty());
+}
+
+}  // namespace
+}  // namespace ioguard::lint

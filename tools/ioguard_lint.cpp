@@ -1,0 +1,136 @@
+// ioguard_lint: CLI front-end of the determinism linter (DESIGN.md §13).
+//
+//   ioguard_lint [--json=report.json] [--quiet] <path>...
+//
+// Paths may be files or directories; directories are walked recursively and
+// C++ sources (.hpp/.h/.cpp/.cc) are scanned in sorted path order, so the
+// report -- text and JSON alike -- is byte-stable across runs and machines.
+//
+// Exit codes follow the verifier tools: 0 = clean (suppressed findings are
+// still clean), 1 = at least one active finding, 2 = usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/cli.hpp"
+#include "common/status.hpp"
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using ioguard::lint::LintCode;
+
+namespace {
+
+// Assembled at runtime so the linter never mistakes this string for a real
+// suppression marker when scanning its own CLI.
+const std::string kAllowMarker = std::string("IOGUARD_LINT_") + "ALLOW";
+
+[[nodiscard]] bool is_cpp_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Expands files/directories into a sorted, deduplicated list of sources.
+[[nodiscard]] ioguard::StatusOr<std::vector<std::string>> collect_sources(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(p, ec);
+    if (ec || st.type() == fs::file_type::not_found)
+      return ioguard::InvalidArgumentError("no such file or directory: " + p);
+    if (fs::is_directory(st)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && is_cpp_source(it->path()))
+          out.push_back(it->path().generic_string());
+      }
+      if (ec)
+        return ioguard::UnavailableError("cannot walk directory " + p + ": " +
+                                         ec.message());
+    } else {
+      out.push_back(fs::path(p).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void print_code_table(std::ostream& os) {
+  os << "ioguard_lint codes (stable; suppress inline with\n"
+     << "  // " << kAllowMarker << "(LNTxxx: reason)\n"
+     << "covering the marker's line and the next):\n\n";
+  for (std::size_t v = 1; v <= ioguard::lint::kLintCodeCount; ++v) {
+    const auto code = static_cast<LintCode>(v);
+    os << "  " << ioguard::lint::code_string(code) << "  "
+       << ioguard::lint::code_summary(code) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ioguard::CliSpec spec(
+      "scan C++ sources for determinism and artifact-safety violations");
+  spec.flag("json", "", "also write a machine-readable report to this path")
+      .flag_switch("list-codes", "print the LNTxxx code table and exit")
+      .flag_switch("quiet", "print only the summary line, not each finding")
+      .positional("path", "file or directory to scan (directories recurse)");
+
+  const auto args = spec.parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "ioguard_lint: " << args.status() << "\n";
+    return 2;
+  }
+  if (args->help_requested()) {
+    std::cout << spec.help_text(args->program());
+    return 0;
+  }
+  if (args->get_bool("list-codes")) {
+    print_code_table(std::cout);
+    return 0;
+  }
+  if (args->positional().empty()) {
+    std::cerr << "ioguard_lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  const auto sources = collect_sources(args->positional());
+  if (!sources.ok()) {
+    std::cerr << "ioguard_lint: " << sources.status() << "\n";
+    return 2;
+  }
+
+  ioguard::lint::Linter linter;
+  for (const std::string& file : *sources) {
+    if (!linter.scan_file(file)) {
+      std::cerr << "ioguard_lint: cannot read " << file << "\n";
+      return 2;
+    }
+  }
+
+  if (args->get_bool("quiet")) {
+    std::cout << linter.files_scanned() << " file(s) scanned, "
+              << linter.active_count() << " active finding(s), "
+              << linter.suppressed_count() << " suppressed\n";
+  } else {
+    linter.render_text(std::cout);
+  }
+
+  const std::string json_path = args->get("json");
+  if (!json_path.empty()) {
+    ioguard::AtomicFileWriter writer{fs::path(json_path)};
+    linter.render_json(writer.stream());
+    if (const ioguard::Status st = writer.commit(); !st.ok()) {
+      std::cerr << "ioguard_lint: cannot write " << json_path << ": " << st
+                << "\n";
+      return 2;
+    }
+  }
+
+  return linter.active_count() == 0 ? 0 : 1;
+}
