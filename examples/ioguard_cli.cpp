@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "analysis/artifact_builder.hpp"
 #include "analysis/verify_checkpoint.hpp"
@@ -78,6 +79,14 @@ CliSpec make_spec() {
       .flag("telemetry-out", "",
             "write trace.perfetto.json (trial 0), metrics.prom (all trials) "
             "and summary.json to this directory")
+      .flag("flight-recorder", "",
+            "on every deadline miss / fault recovery, dump the last trace "
+            "events + scheduler state to per-trial files in this directory "
+            "(ioguard only; bounded per trial)")
+      .flag_switch("profile",
+                   "attribute every slot of every component to "
+                   "busy/stall/quiescent (printed for trial 0; exported "
+                   "with --telemetry-out)")
       .flag_switch("verify",
                    "statically verify the scheduling artifacts (and any "
                    "fault plan / checkpoint) first; refuse to run on errors");
@@ -194,6 +203,22 @@ Status run(const CliArgs& args) {
   core::EventTrace events(1 << 20);
   telemetry::MetricsRegistry metrics;
 
+  // Flight recorder: preflight the dump directory the same way, so an
+  // unwritable path is a usage error (exit 2) before any trial runs.
+  const bool profile_on = args.get_bool("profile");
+  const std::string flight_dir = args.get("flight-recorder");
+  if (!flight_dir.empty()) {
+    if (kind != SystemKind::kIoGuard)
+      return InvalidArgumentError(
+          "--flight-recorder requires --system=ioguard (the recorder hangs "
+          "off the hypervisor's trace ring)");
+    std::error_code ec;
+    std::filesystem::create_directories(flight_dir, ec);
+    if (ec)
+      return UnavailableError("--flight-recorder=" + flight_dir + ": " +
+                              ec.message());
+  }
+
   // Fan the trials out. The event trace and the per-trial summary cover
   // trial 0 only (one trace buffer, one attached trial); the registry is
   // merged across all trials in index order.
@@ -211,6 +236,15 @@ Status run(const CliArgs& args) {
       tc.trace = &events;
       tc.collect_response_times = true;
       tc.collect_stage_latencies = true;
+    }
+    // Jitter rides with telemetry on every trial: the registry merges the
+    // per-trial histograms in index order, so the exported series are
+    // byte-identical for any --jobs value.
+    tc.collect_jitter = telemetry_on;
+    tc.collect_profile = profile_on;
+    if (!flight_dir.empty()) {
+      tc.flight_dir = flight_dir;
+      tc.flight_stem = "trial" + std::to_string(t);
     }
     return tc;
   };
@@ -243,6 +277,7 @@ Status run(const CliArgs& args) {
   std::size_t successes = 0;
   std::size_t aggregated = 0;
   double goodput = 0.0;
+  std::uint64_t flight_total = 0;
   FaultCounters fc;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const TrialOutcome outcome = batch.outcomes[t];
@@ -263,6 +298,7 @@ Status run(const CliArgs& args) {
     fc.retries += r.faults.retries;
     fc.jobs_shed += r.faults.jobs_shed;
     fc.transit_drops += r.faults.transit_drops;
+    flight_total += r.flight_dumps;
     if (journal) {
       table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
                 r.critical_misses, r.dropped,
@@ -320,6 +356,19 @@ Status run(const CliArgs& args) {
               << fc.retries << ", jobs shed " << fc.jobs_shed
               << ", transit drops " << fc.transit_drops << "\n";
   }
+  if (!flight_dir.empty())
+    std::cout << "flight recorder: " << flight_total << " dump(s) in "
+              << flight_dir << "\n";
+  if (profile_on && !results.empty() && !results[0].profile.empty()) {
+    std::cout << "\ncycle attribution, trial 0 (slots; every component sums "
+                 "to the horizon):\n";
+    TextTable profile_table(
+        {"component", "busy", "stall", "quiescent", "total"});
+    for (const ComponentProfile& c : results[0].profile)
+      profile_table.add(c.name, c.busy_slots, c.stall_slots,
+                        c.quiescent_slots, c.total_slots());
+    profile_table.render(std::cout);
+  }
 
   if (batch.interrupted) {
     return CancelledError(
@@ -338,8 +387,15 @@ Status run(const CliArgs& args) {
     // All three artifacts publish atomically (temp file + rename): a crash
     // here can leave a stale staging file (CKP003) but never a torn one.
     {
+      // Trial 0's cycle attribution rides along as Perfetto counter tracks.
+      std::vector<telemetry::ProfileCounterTrack> counters;
+      if (!results.empty()) {
+        for (const ComponentProfile& c : results[0].profile)
+          counters.push_back({c.name, c.busy_slots, c.stall_slots,
+                              c.quiescent_slots});
+      }
       AtomicFileWriter out(dir / "trace.perfetto.json");
-      telemetry::write_perfetto_json(out.stream(), events);
+      telemetry::write_perfetto_json(out.stream(), events, {}, counters);
       IOGUARD_RETURN_IF_ERROR(out.commit());
     }
     {

@@ -18,6 +18,8 @@
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/atomic_file.hpp"
 #include "common/checksum.hpp"
@@ -49,7 +51,13 @@ CliSpec make_spec() {
                    "restore finished batch trials from --checkpoint")
       .flag("telemetry-out", "",
             "run one instrumented trial and write trace.perfetto.json, "
-            "metrics.prom and summary.json to this directory");
+            "metrics.prom and summary.json to this directory")
+      .flag("flight-recorder", "",
+            "on the instrumented trial, dump trace + scheduler state to this "
+            "directory whenever a deadline miss or fault recovery fires")
+      .flag_switch("profile",
+                   "collect busy/stall/quiescent cycle attribution on the "
+                   "instrumented trial");
   return spec;
 }
 
@@ -210,6 +218,14 @@ Status run(const CliArgs& args) {
       return UnavailableError("--telemetry-out=" + dir.string() + ": " +
                               ec.message());
 
+    const std::string flight_dir = args.get("flight-recorder");
+    if (!flight_dir.empty()) {
+      std::filesystem::create_directories(flight_dir, ec);
+      if (ec)
+        return UnavailableError("--flight-recorder=" + flight_dir + ": " +
+                                ec.message());
+    }
+
     core::EventTrace events(1 << 20);
     telemetry::MetricsRegistry metrics;
     sys::TrialConfig tc;
@@ -218,6 +234,9 @@ Status run(const CliArgs& args) {
     tc.min_jobs_per_task = 10;
     tc.collect_response_times = true;
     tc.collect_stage_latencies = true;
+    tc.collect_jitter = true;
+    tc.collect_profile = args.get_bool("profile");
+    tc.flight_dir = flight_dir;
     tc.trace = &events;
     tc.metrics = &metrics;
     auto result = sys::run_trial(tc);
@@ -225,8 +244,12 @@ Status run(const CliArgs& args) {
     // Publish atomically (temp file + rename): readers never observe a
     // torn artifact, even if this process dies mid-write.
     {
+      std::vector<telemetry::ProfileCounterTrack> counters;
+      for (const sys::ComponentProfile& c : result.profile)
+        counters.push_back({c.name, c.busy_slots, c.stall_slots,
+                            c.quiescent_slots});
       AtomicFileWriter out(dir / "trace.perfetto.json");
-      telemetry::write_perfetto_json(out.stream(), events);
+      telemetry::write_perfetto_json(out.stream(), events, {}, counters);
       IOGUARD_RETURN_IF_ERROR(out.commit());
     }
     {
@@ -242,6 +265,17 @@ Status run(const CliArgs& args) {
 
     std::cout << "\ninstrumented trial: " << events.total_recorded()
               << " trace events over " << result.horizon << " slots\n";
+    if (!flight_dir.empty())
+      std::cout << "flight recorder: " << result.flight_dumps
+                << " dump(s) in " << flight_dir << "\n";
+    if (tc.collect_profile) {
+      TextTable profile_table(
+          {"component", "busy", "stall", "quiescent", "total"});
+      for (const sys::ComponentProfile& c : result.profile)
+        profile_table.add(c.name, c.busy_slots, c.stall_slots,
+                          c.quiescent_slots, c.total_slots());
+      profile_table.render(std::cout);
+    }
     auto breakdown = telemetry::fold_stages(telemetry::collect_spans(events));
     telemetry::print_stage_breakdown(std::cout, breakdown);
     std::cout << "telemetry written to " << dir.string()

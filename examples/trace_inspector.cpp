@@ -4,7 +4,13 @@
 //
 //   $ ./build/examples/trace_inspector [--slots=N] [--csv=FILE]
 //                                      [--perfetto=FILE] [--faults=PLAN]
+//                                      [--profile]
+//
+// Offline inspection modes (no simulation; exit 2 on malformed files):
+//   $ ./build/examples/trace_inspector --flight=trial0.flight1.txt
+//   $ ./build/examples/trace_inspector --check-csv=trace.csv
 #include <iostream>
+#include <vector>
 
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
@@ -12,6 +18,7 @@
 #include "common/table.hpp"
 #include "core/hypervisor.hpp"
 #include "faults/injector.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/perfetto.hpp"
 #include "telemetry/spans.hpp"
 #include "workload/arrivals.hpp"
@@ -27,11 +34,59 @@ CliSpec make_spec() {
   spec.flag_int("slots", 2000, "simulated slots")
       .flag("faults", "none", "fault plan (canned name or spec string)")
       .flag("csv", "", "dump the full trace CSV to this file")
-      .flag("perfetto", "", "write a Perfetto JSON trace to this file");
+      .flag("perfetto", "", "write a Perfetto JSON trace to this file")
+      .flag_switch("profile",
+                   "print the per-device busy/stall/quiescent attribution")
+      .flag("flight", "",
+            "inspect a flight-recorder dump instead of simulating (exit 2 "
+            "on a truncated or malformed file)")
+      .flag("check-csv", "",
+            "validate a dumped trace CSV instead of simulating (exit 2 on "
+            "a truncated or malformed file)");
   return spec;
 }
 
+/// --flight=FILE: parse and pretty-print one flight-recorder dump.
+Status inspect_flight(const std::string& path) {
+  IOGUARD_ASSIGN_OR_RETURN(const telemetry::FlightDump dump,
+                           telemetry::read_flight_dump(path));
+  std::cout << "flight dump " << path << "\ntrigger " << dump.trigger
+            << " at slot " << dump.slot << " (dump " << dump.seq
+            << " of stem " << dump.stem << ", " << dump.events.size()
+            << " ring events)\n\n";
+  TextTable events({"slot", "kind", "device", "vm", "task", "job", "aux"});
+  for (const auto& e : dump.events)
+    events.add(e.slot, std::string(core::to_string(e.kind)), e.device.value,
+               e.vm.value, e.task.value, e.job.value, e.aux);
+  events.render(std::cout);
+  if (!dump.state_lines.empty()) {
+    std::cout << "\nscheduler state at dump time:\n";
+    for (const auto& s : dump.state_lines) std::cout << "  " << s << '\n';
+  }
+  return OkStatus();
+}
+
+/// --check-csv=FILE: validate a trace CSV and summarize it per event kind.
+Status check_csv(const std::string& path) {
+  IOGUARD_ASSIGN_OR_RETURN(const std::vector<core::TraceEvent> events,
+                           telemetry::read_trace_csv(path));
+  std::vector<std::uint64_t> counts(core::kTraceEventKindCount, 0);
+  for (const auto& e : events) ++counts[static_cast<std::size_t>(e.kind)];
+  std::cout << path << ": valid trace CSV, " << events.size()
+            << " events\n\n";
+  TextTable summary({"event", "count"});
+  for (auto kind : core::all_trace_event_kinds()) {
+    const std::uint64_t n = counts[static_cast<std::size_t>(kind)];
+    if (n > 0) summary.add(std::string(core::to_string(kind)), n);
+  }
+  summary.render(std::cout);
+  return OkStatus();
+}
+
 Status run(const CliArgs& args) {
+  if (!args.get("flight").empty()) return inspect_flight(args.get("flight"));
+  if (!args.get("check-csv").empty()) return check_csv(args.get("check-csv"));
+
   const Slot slots = static_cast<Slot>(args.get_int("slots"));
   IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
                            faults::FaultPlan::parse(args.get("faults")));
@@ -77,6 +132,20 @@ Status run(const CliArgs& args) {
   if (trace.overwritten() > 0)
     std::cout << "(ring saturated: " << trace.overwritten()
               << " oldest events overwritten)\n";
+
+  if (args.get_bool("profile")) {
+    // Cycle attribution: every tick of a device manager is exactly one of
+    // busy/stall/quiescent, so each row sums to the simulated slot count.
+    std::cout << "\ncycle attribution (slots; each device sums to " << slots
+              << "):\n";
+    TextTable attribution({"component", "busy", "stall", "quiescent"});
+    for (std::size_t d = 0; d < hyp.device_count(); ++d) {
+      const auto& m = hyp.manager(DeviceId{static_cast<std::uint32_t>(d)});
+      attribution.add("device" + std::to_string(d), m.busy_slots(),
+                      m.profile_stall_slots(), m.profile_quiescent_slots());
+    }
+    attribution.render(std::cout);
+  }
 
   // Per-stage latency decomposition of the R-channel job lifecycles.
   std::cout << "\nstage breakdown (R-channel jobs):\n";

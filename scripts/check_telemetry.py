@@ -7,9 +7,19 @@ Checks, with no third-party dependencies:
   * metrics.prom is valid Prometheus text exposition 0.0.4: every sample
     line matches the grammar, histogram buckets are cumulative/monotone and
     _count equals the +Inf bucket;
-  * summary.json parses and carries the required keys.
+  * summary.json parses and carries the required keys;
+  * when present, the timing-accuracy series (DESIGN.md §14) are
+    well-formed: ioguard_timing_jitter_cycles channels are labelled
+    P/R/fifo/translator, and the summary's jitter_cycles/profile_slots
+    blocks are internally consistent (profile rows sum to the horizon).
 
-Usage: check_telemetry.py DIR
+Usage: check_telemetry.py DIR [--expect-observability] [--flight-dir=DIR]
+  --expect-observability  fail unless the jitter histograms and profiler
+                          counters are actually present (CI smoke runs
+                          export them unconditionally)
+  --flight-dir=DIR        every *.txt under DIR must be a complete
+                          "ioguard-flight v1" dump (header, declared event
+                          count, trailing "end" marker)
 Exit status: 0 all checks pass, 1 any failure (each failure is printed).
 """
 
@@ -41,9 +51,18 @@ def check_perfetto(path):
     for i, e in enumerate(events):
         ph = e.get("ph")
         phases[ph] = phases.get(ph, 0) + 1
-        if ph not in ("M", "X", "i", "B", "E"):
+        if ph not in ("M", "X", "i", "B", "E", "C"):
             fail(f"{path.name}: event {i} has unknown ph {ph!r}")
             return
+        if ph == "C":
+            # Profiler counter track: one sample carrying the attribution.
+            for key in ("name", "pid", "ts", "args"):
+                if key not in e:
+                    fail(f"{path.name}: C event {i} missing {key!r}")
+                    return
+            if not isinstance(e["args"], dict) or not e["args"]:
+                fail(f"{path.name}: C event {i} has empty args")
+                return
         if ph == "X":
             for key in ("name", "pid", "tid", "ts", "dur"):
                 if key not in e:
@@ -97,7 +116,55 @@ def parse_sample(line):
     return name, labels, float(line[close + 1:].strip())
 
 
-def check_prometheus(path):
+def check_observability_series(path, types, samples, expect_obs):
+    """Timing-accuracy series (DESIGN.md §14), when present or demanded."""
+    jitter = "ioguard_timing_jitter_cycles"
+    profile = "ioguard_profile_cycles_total"
+    if expect_obs:
+        if jitter not in types:
+            fail(f"{path.name}: --expect-observability: {jitter} missing")
+        if profile not in types:
+            fail(f"{path.name}: --expect-observability: {profile} missing")
+    if jitter in types:
+        if types[jitter] != "histogram":
+            fail(f"{path.name}: {jitter} must be a histogram")
+        channels = {
+            labels.get("channel")
+            for name, labels, _ in samples
+            if name.startswith(jitter)
+        }
+        bad = channels - {"P", "R", "fifo", "translator"}
+        if bad:
+            fail(f"{path.name}: {jitter} has unknown channel labels {bad}")
+        if "R" not in channels:
+            fail(f"{path.name}: {jitter} missing the R channel series")
+    if profile in types:
+        if types[profile] != "counter":
+            fail(f"{path.name}: {profile} must be a counter")
+        by_component = {}
+        for name, labels, value in samples:
+            if name == profile:
+                state = labels.get("state")
+                if state not in ("busy", "stall", "quiescent"):
+                    fail(f"{path.name}: {profile} bad state {state!r}")
+                    return
+                by_component.setdefault(labels.get("component"), {})[
+                    state] = value
+        totals = set()
+        for component, states in by_component.items():
+            if set(states) != {"busy", "stall", "quiescent"}:
+                fail(f"{path.name}: {profile} component {component!r} "
+                     f"missing states {set(states)}")
+                return
+            totals.add(sum(states.values()))
+        # Every component is classified every cycle, so the partition
+        # totals agree across components (trials x horizon x clock).
+        if len(totals) > 1:
+            fail(f"{path.name}: {profile} partition totals differ "
+                 f"across components: {sorted(totals)}")
+
+
+def check_prometheus(path, expect_obs=False):
     try:
         text = path.read_text()
     except OSError as e:
@@ -152,11 +219,12 @@ def check_prometheus(path):
             elif key in counts and counts[key] != buckets[-1][1]:
                 fail(f"{path.name}: {hist}{dict(key)} _count "
                      f"{counts[key]} != +Inf bucket {buckets[-1][1]}")
+    check_observability_series(path, types, samples, expect_obs)
     print(f"ok: {path.name}: {len(samples)} samples, "
           f"{len(types)} families ({len(hist_names)} histograms)")
 
 
-def check_summary(path):
+def check_summary(path, expect_obs=False):
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as e:
@@ -173,21 +241,95 @@ def check_summary(path):
             fail(f"{path.name}: missing key {key!r}")
     if doc.get("jobs_counted", 0) < doc.get("jobs_on_time", 0):
         fail(f"{path.name}: jobs_on_time exceeds jobs_counted")
+
+    if expect_obs and "jitter_cycles" not in doc:
+        fail(f"{path.name}: --expect-observability: jitter_cycles missing")
+    jitter = doc.get("jitter_cycles")
+    if jitter is not None:
+        for channel in ("P", "R", "fifo", "translator"):
+            if channel not in jitter:
+                fail(f"{path.name}: jitter_cycles missing {channel!r}")
+                continue
+            block = jitter[channel]
+            if block is None:
+                continue  # channel recorded no samples this run
+            for key in ("count", "p50", "p99", "p999", "p9999", "max"):
+                if key not in block:
+                    fail(f"{path.name}: jitter_cycles.{channel} "
+                         f"missing {key!r}")
+            quantiles = [block.get(q, 0)
+                         for q in ("p50", "p99", "p999", "p9999")]
+            if quantiles != sorted(quantiles):
+                fail(f"{path.name}: jitter_cycles.{channel} quantiles "
+                     f"not monotone: {quantiles}")
+    profile = doc.get("profile_slots")
+    if profile is not None:
+        horizon = doc.get("horizon_slots", 0)
+        for component, states in profile.items():
+            total = sum(states.get(s, 0)
+                        for s in ("busy", "stall", "quiescent"))
+            if total != horizon:
+                fail(f"{path.name}: profile_slots[{component!r}] sums to "
+                     f"{total}, horizon is {horizon}")
     print(f"ok: {path.name}: {len(doc)} keys, system={doc.get('system')!r}")
 
 
+FLIGHT_MAGIC = "ioguard-flight v1"
+
+
+def check_flight_dir(directory):
+    dumps = sorted(directory.glob("*.txt"))
+    if not dumps:
+        fail(f"{directory}: no flight dumps found")
+        return
+    before = len(FAILURES)
+    for path in dumps:
+        lines = path.read_text().splitlines()
+        if not lines or lines[0] != FLIGHT_MAGIC:
+            fail(f"{path.name}: missing {FLIGHT_MAGIC!r} header")
+            continue
+        if lines[-1] != "end":
+            fail(f"{path.name}: missing 'end' marker (truncated write?)")
+            continue
+        headers = dict(
+            line.split("=", 1) for line in lines[1:6] if "=" in line)
+        for key in ("trigger", "slot", "seq", "stem", "events"):
+            if key not in headers:
+                fail(f"{path.name}: missing {key}= header")
+        declared = int(headers.get("events", -1))
+        columns = "slot,kind,device,vm,task,job,aux"
+        if len(lines) < 7 or lines[6] != columns:
+            fail(f"{path.name}: missing column header {columns!r}")
+            continue
+        rows = lines[7:7 + declared]
+        if len(rows) != declared or any(
+                len(r.split(",")) != 7 for r in rows):
+            fail(f"{path.name}: declared {declared} event rows, body "
+                 f"disagrees")
+    if len(FAILURES) == before:
+        print(f"ok: {directory}: {len(dumps)} flight dump(s) complete")
+
+
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    expect_obs = "--expect-observability" in args
+    args = [a for a in args if a != "--expect-observability"]
+    flight_dir = None
+    for a in list(args):
+        if a.startswith("--flight-dir="):
+            flight_dir = Path(a.split("=", 1)[1])
+            args.remove(a)
+    if len(args) != 1:
         print(__doc__)
         return 2
-    directory = Path(sys.argv[1])
+    directory = Path(args[0])
     if not directory.is_dir():
         print(f"FAIL: {directory} is not a directory")
         return 1
     expected = {
-        "trace.perfetto.json": check_perfetto,
-        "metrics.prom": check_prometheus,
-        "summary.json": check_summary,
+        "trace.perfetto.json": lambda p: check_perfetto(p),
+        "metrics.prom": lambda p: check_prometheus(p, expect_obs),
+        "summary.json": lambda p: check_summary(p, expect_obs),
     }
     for name, checker in expected.items():
         path = directory / name
@@ -195,6 +337,11 @@ def main():
             fail(f"{name}: missing from {directory}")
             continue
         checker(path)
+    if flight_dir is not None:
+        if flight_dir.is_dir():
+            check_flight_dir(flight_dir)
+        else:
+            fail(f"{flight_dir} is not a directory")
     if FAILURES:
         print(f"{len(FAILURES)} failure(s)")
         return 1

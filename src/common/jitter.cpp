@@ -1,0 +1,60 @@
+#include "common/jitter.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ioguard {
+
+const char* to_string(JitterChannel channel) {
+  switch (channel) {
+    case JitterChannel::kPChannel: return "P";
+    case JitterChannel::kRChannel: return "R";
+    case JitterChannel::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+JitterRecorder::JitterRecorder(std::size_t num_vms)
+    : num_vms_(num_vms), by_channel_vm_(kJitterChannelCount * num_vms) {
+  IOGUARD_CHECK(num_vms >= 1);
+}
+
+void JitterRecorder::record(JitterChannel channel, VmId vm, TaskId task,
+                            Slot intended, Slot actual) {
+  IOGUARD_DCHECK(actual >= intended);
+  const Slot deviation = actual >= intended ? actual - intended : 0;
+  const std::size_t vm_index = vm.valid() ? vm.value : 0;
+  IOGUARD_CHECK(vm_index < num_vms_);
+  by_channel_vm_[static_cast<std::size_t>(channel) * num_vms_ + vm_index].add(
+      static_cast<double>(deviation));
+  if (task.valid()) {
+    if (task.value >= by_task_.size()) by_task_.resize(task.value + 1);
+    TaskJitter& t = by_task_[task.value];
+    t.task = task.value;
+    ++t.ops;
+    t.worst_slots = std::max<std::uint64_t>(t.worst_slots, deviation);
+  }
+}
+
+void JitterRecorder::record_translator(DeviceId device, Cycle jitter_cycles) {
+  const std::size_t index = device.valid() ? device.value : 0;
+  if (index >= translator_.size()) translator_.resize(index + 1);
+  translator_[index].add(static_cast<double>(jitter_cycles));
+}
+
+const SampleSet& JitterRecorder::samples(JitterChannel channel,
+                                         std::size_t vm_index) const {
+  IOGUARD_CHECK(vm_index < num_vms_);
+  return by_channel_vm_[static_cast<std::size_t>(channel) * num_vms_ +
+                        vm_index];
+}
+
+std::vector<JitterRecorder::TaskJitter> JitterRecorder::by_task() const {
+  std::vector<TaskJitter> out;
+  for (const TaskJitter& t : by_task_)
+    if (t.ops > 0) out.push_back(t);
+  return out;
+}
+
+}  // namespace ioguard

@@ -1,0 +1,82 @@
+// Per-operation timing-jitter recorder (DESIGN.md §14, ROTA-I/O semantics).
+//
+// Jitter is the deviation of an operation's *actual* delivery slot from its
+// *intended* trigger slot:
+//   * P-channel: the intended completion slot is prescribed by the sigma*
+//     Time Slot Table itself (PChannel precomputes the per-hyperperiod
+//     completion schedule), so an unloaded, table-following P-channel has
+//     identically zero jitter -- deviation appears only when release lag
+//     wastes reserved slots.
+//   * R-channel: intended = release + unloaded service demand (wcet +
+//     dispatch overhead); jitter folds in queueing, scheduling and
+//     retry/recovery delay.
+//   * FIFO baselines: same definition as the R-channel, against the shared
+//     FIFO queue.
+//   * Translator: actual translation cycles minus the configured best case
+//     (sub-slot, recorded in cycles, keyed per device).
+//
+// The recorder lives in common/ so core::VirtManager/PChannel and
+// iodev::FifoController (below core in the link order) can both feed it.
+// Single-writer per trial; samples are kept in insertion order so exports
+// stay byte-identical across --jobs=1 vs N.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ioguard {
+
+enum class JitterChannel : std::uint8_t {
+  kPChannel = 0,   ///< pre-defined tasks on sigma* slots
+  kRChannel = 1,   ///< run-time jobs through pools/G-Sched
+  kFifo = 2,       ///< baseline systems' shared FIFO path
+};
+inline constexpr std::size_t kJitterChannelCount = 3;
+
+/// Prometheus label value for a channel ("P", "R", "fifo").
+[[nodiscard]] const char* to_string(JitterChannel channel);
+
+class JitterRecorder {
+ public:
+  explicit JitterRecorder(std::size_t num_vms);
+
+  /// Records one delivered operation. `actual` earlier than `intended`
+  /// cannot happen for any channel (intended is the unloaded best case);
+  /// recorded deviation is actual - intended in slots.
+  void record(JitterChannel channel, VmId vm, TaskId task, Slot intended,
+              Slot actual);
+
+  /// Records one response-translation deviation in cycles (actual cost
+  /// minus the configured best case) for `device`.
+  void record_translator(DeviceId device, Cycle jitter_cycles);
+
+  [[nodiscard]] std::size_t num_vms() const { return num_vms_; }
+  /// Per-(channel, VM) deviation samples in slots, insertion order.
+  [[nodiscard]] const SampleSet& samples(JitterChannel channel,
+                                         std::size_t vm_index) const;
+  /// Per-device translator deviation samples in cycles (indexed by
+  /// device id; grows on first record for a device).
+  [[nodiscard]] const std::vector<SampleSet>& translator_by_device() const {
+    return translator_;
+  }
+
+  struct TaskJitter {
+    std::uint32_t task = 0;
+    std::uint64_t ops = 0;         ///< delivered operations observed
+    std::uint64_t worst_slots = 0; ///< largest deviation seen
+  };
+  /// Compact per-task worst-case view, ascending by task id.
+  [[nodiscard]] std::vector<TaskJitter> by_task() const;
+
+ private:
+  std::size_t num_vms_;
+  std::vector<SampleSet> by_channel_vm_;  // channel-major, then VM
+  std::vector<SampleSet> translator_;
+  std::vector<TaskJitter> by_task_;  // dense by task id; ops==0 -> unseen
+};
+
+}  // namespace ioguard

@@ -63,34 +63,28 @@ void SampleSet::ensure_sorted() {
   }
 }
 
-double SampleSet::percentile(double p) {
-  IOGUARD_CHECK(!samples_.empty());
+double SampleSet::percentile_sorted(const std::vector<double>& sorted,
+                                    double p) {
+  IOGUARD_CHECK(!sorted.empty());
   IOGUARD_CHECK(p >= 0.0 && p <= 100.0);
-  ensure_sorted();
-  if (samples_.size() == 1) return samples_.front();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double SampleSet::percentile(double p) {
+  ensure_sorted();
+  return percentile_sorted(samples_, p);
 }
 
 double SampleSet::percentile(double p) const {
-  IOGUARD_CHECK(!samples_.empty());
-  IOGUARD_CHECK(p >= 0.0 && p <= 100.0);
-  if (samples_.size() == 1) return samples_.front();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
+  if (sorted_) return percentile_sorted(samples_, p);
   std::vector<double> scratch = samples_;
-  const auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
-  std::nth_element(scratch.begin(), nth, scratch.end());
-  const double at_lo = *nth;
-  if (lo + 1 >= scratch.size() || frac == 0.0) return at_lo;
-  // The (lo+1)-th order statistic is the minimum of the tail after
-  // nth_element partitioned around lo.
-  const double at_hi = *std::min_element(nth + 1, scratch.end());
-  return at_lo * (1.0 - frac) + at_hi * frac;
+  std::sort(scratch.begin(), scratch.end());
+  return percentile_sorted(scratch, p);
 }
 
 double SampleSet::mean() const {

@@ -73,9 +73,10 @@ class SampleSet {
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
   /// Exact percentile by linear interpolation; p in [0, 100].
-  /// The non-const overload sorts in place (cheapest when the caller owns
-  /// the set); the const overload leaves the set untouched, extracting the
-  /// neighbouring order statistics via nth_element on a scratch copy.
+  /// Both overloads share one implementation over a sorted view: the
+  /// non-const overload sorts in place (cheapest when the caller owns the
+  /// set); the const overload sorts a scratch copy, leaving the set
+  /// untouched.
   [[nodiscard]] double percentile(double p);
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() { return percentile(50.0); }
@@ -87,6 +88,10 @@ class SampleSet {
 
  private:
   void ensure_sorted();
+  /// The single percentile implementation: linear interpolation between
+  /// neighbouring order statistics of an ascending-sorted sample vector.
+  [[nodiscard]] static double percentile_sorted(
+      const std::vector<double>& sorted, double p);
   std::vector<double> samples_;
   bool sorted_ = false;
 };

@@ -40,6 +40,16 @@ const char* to_string(TraceEventKind k) {
   return "?";
 }
 
+bool trace_event_kind_from_string(std::string_view name, TraceEventKind& out) {
+  for (TraceEventKind k : all_trace_event_kinds()) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
   IOGUARD_CHECK(capacity > 0);
   events_.reserve(capacity);
@@ -53,11 +63,12 @@ void EventTrace::record(const TraceEvent& event) {
   ++counts_[static_cast<std::size_t>(event.kind)];
   if (events_.size() < capacity_) {
     events_.push_back(event);
-    return;
+  } else {
+    events_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++overwritten_;
   }
-  events_[head_] = event;
-  head_ = (head_ + 1) % capacity_;
-  ++overwritten_;
+  if (observer_ != nullptr) observer_->on_record(*this, event);
 }
 
 const TraceEvent& EventTrace::ordered(std::size_t i) const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/sync.hpp"
@@ -57,6 +58,10 @@ inline constexpr std::size_t kTraceEventKindCount = 14;
 all_trace_event_kinds();
 
 [[nodiscard]] const char* to_string(TraceEventKind k);
+/// Inverse of to_string: returns true and sets `out` on success, false for
+/// an unknown name (used by artifact parsers to reject malformed files).
+[[nodiscard]] bool trace_event_kind_from_string(std::string_view name,
+                                                TraceEventKind& out);
 
 struct TraceEvent {
   Slot slot = 0;
@@ -70,6 +75,19 @@ struct TraceEvent {
   std::uint32_t aux = 0;
 };
 
+class EventTrace;
+
+/// Observes every recorded event after it has entered the ring. The flight
+/// recorder (telemetry) hangs off this hook to snapshot the ring on
+/// deadline-miss / recovery events without core depending on telemetry.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  /// Called after `event` has been recorded into `trace`; reading the ring
+  /// (ordered()/size()) from inside the callback is safe.
+  virtual void on_record(const EventTrace& trace, const TraceEvent& event) = 0;
+};
+
 /// Bounded ring buffer of events; recording drops the oldest entries when
 /// full (like a real trace buffer) and counts per-kind totals regardless.
 class EventTrace {
@@ -77,6 +95,10 @@ class EventTrace {
   explicit EventTrace(std::size_t capacity = 65536);
 
   void record(const TraceEvent& event);
+
+  /// Attaches an observer (not owned; nullptr detaches). Called on the
+  /// recording thread, so the single-writer contract covers it too.
+  void set_observer(TraceObserver* observer) { observer_ = observer; }
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
@@ -100,6 +122,7 @@ class EventTrace {
   std::uint64_t total_ = 0;
   std::uint64_t overwritten_ = 0;
   std::uint64_t counts_[kTraceEventKindCount] = {};
+  TraceObserver* observer_ = nullptr;
   ThreadChecker writer_checker_;  ///< single-writer contract (debug builds)
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "common/check.hpp"
 #include "workload/automotive.hpp"
@@ -185,6 +186,24 @@ void Hypervisor::set_tracer(EventTrace* tracer) {
   for (const auto& d : demotions_)
     tracer->record(TraceEvent{0, TraceEventKind::kDemote, d.device, d.vm,
                               d.task, JobId{}, 0});
+}
+
+void Hypervisor::set_jitter_recorder(JitterRecorder* recorder) {
+  for (auto& m : managers_) m->set_jitter_recorder(recorder);
+}
+
+void Hypervisor::dump_scheduler_state(std::ostream& os) const {
+  for (std::size_t d = 0; d < managers_.size(); ++d) {
+    const VirtManager& m = *managers_[d];
+    for (std::size_t v = 0; v < m.num_vms(); ++v)
+      os << "state,device=" << d << ",vm=" << v
+         << ",backlog=" << m.pool(v).backlog()
+         << ",granted=" << m.gsched().granted(v)
+         << ",degraded=" << (m.vm_degraded(v) ? 1 : 0) << '\n';
+    os << "state,device=" << d << ",retries_pending=" << m.pending_retries()
+       << ",busy_slots=" << m.busy_slots()
+       << ",stall_slots=" << m.profile_stall_slots() << '\n';
+  }
 }
 
 std::uint64_t Hypervisor::dropped_jobs() const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +94,16 @@ class Hypervisor {
   /// decisions taken at init (P-channel -> R-channel demotions) are replayed
   /// into the buffer as kDemote events so the trace tells the whole story.
   void set_tracer(EventTrace* tracer);
+
+  /// Attaches one jitter recorder to every device manager (not owned;
+  /// nullptr detaches).
+  void set_jitter_recorder(JitterRecorder* recorder);
+
+  /// Writes the scheduler state as flight-recorder `state,...` lines
+  /// (DESIGN.md §14): per (device, VM) pool backlog / degradation / grant
+  /// counts plus per-device retry-queue depth, in device-then-VM order so
+  /// dumps are deterministic.
+  void dump_scheduler_state(std::ostream& os) const;
 
   /// Pre-defined tasks demoted to the R-channel because their Time Slot
   /// Table placement failed (in demotion order).

@@ -18,6 +18,39 @@ PChannel::PChannel(workload::TaskSet predefined, sched::TimeSlotTable table)
   }
 }
 
+void PChannel::set_jitter_recorder(JitterRecorder* recorder) {
+  jitter_ = recorder;
+  if (recorder == nullptr || !intended_.empty() || runs_.empty()) return;
+
+  // Reconstruct the table's per-job placement: each task's reserved slots,
+  // ascending, split at the task's offset -- slots before the offset are the
+  // wrap tail of the previous generation's last job, so in job order they
+  // come *after* the within-generation slots, one hyperperiod later.
+  const Slot hp = table_.hyperperiod();
+  std::vector<std::vector<Slot>> ordered(runs_.size());
+  for (std::size_t idx = 0; idx < runs_.size(); ++idx)
+    ordered[idx].reserve(runs_[idx].spec.wcet);
+  std::vector<std::vector<Slot>> wrap_tail(runs_.size());
+  for (Slot s = 0; s < hp; ++s) {
+    const auto occupant = table_.occupant(s);
+    if (!occupant) continue;
+    const std::uint32_t idx = run_of_task_[occupant->value];
+    if (s < runs_[idx].spec.offset)
+      wrap_tail[idx].push_back(s + hp);
+    else
+      ordered[idx].push_back(s);
+  }
+  intended_.resize(runs_.size());
+  for (std::size_t idx = 0; idx < runs_.size(); ++idx) {
+    std::vector<Slot>& slots = ordered[idx];
+    slots.insert(slots.end(), wrap_tail[idx].begin(), wrap_tail[idx].end());
+    const Slot wcet = runs_[idx].spec.wcet;
+    // Job k of a generation completes after its (k+1)*wcet-th reserved slot.
+    for (std::size_t end = wcet; end <= slots.size(); end += wcet)
+      intended_[idx].push_back(slots[end - 1] + 1);
+  }
+}
+
 std::optional<iodev::Completion> PChannel::execute_slot(Slot now,
                                                         bool& slot_used) {
   slot_used = false;
@@ -62,6 +95,15 @@ std::optional<iodev::Completion> PChannel::execute_slot(Slot now,
     done.job = job;
     done.enqueued_at = run.current_release;
     done.completed_at = now + 1;
+    if (jitter_ != nullptr && idx < intended_.size() &&
+        !intended_[idx].empty()) {
+      const auto& sched = intended_[idx];
+      const std::uint64_t n = run.jobs_started - 1;  // job completing now
+      const Slot intended = (n / sched.size()) * table_.hyperperiod() +
+                            sched[n % sched.size()];
+      jitter_->record(JitterChannel::kPChannel, job.vm, job.task, intended,
+                      done.completed_at);
+    }
     return done;
   }
   return std::nullopt;

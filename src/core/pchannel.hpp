@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/jitter.hpp"
 #include "iodev/fifo_controller.hpp"  // for iodev::Completion
 #include "sched/slot_table.hpp"
 #include "workload/task.hpp"
@@ -43,6 +44,13 @@ class PChannel {
   /// transient of hyper-period-wrapping jobs); they execute nothing.
   [[nodiscard]] std::uint64_t wasted_slots() const { return wasted_slots_; }
 
+  /// Attaches a jitter recorder (not owned; nullptr detaches). On first
+  /// attach the channel derives each task's *intended* per-hyperperiod
+  /// completion schedule from the sigma* table itself (DESIGN.md §14), so
+  /// the recorded deviation is a genuine measurement against the table's
+  /// prescription, not against the executor's own behaviour.
+  void set_jitter_recorder(JitterRecorder* recorder);
+
  private:
   struct TaskRun {
     workload::IoTaskSpec spec;
@@ -64,6 +72,12 @@ class PChannel {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t wasted_slots_ = 0;
   std::uint64_t next_job_seq_ = 0;
+  JitterRecorder* jitter_ = nullptr;
+  /// Per run: intended completion slot (exclusive, i.e. slot index + 1) of
+  /// job k within one hyperperiod; job n's intended completion is
+  /// intended_[run][n % J] + (n / J) * hyperperiod. Built lazily on first
+  /// set_jitter_recorder.
+  std::vector<std::vector<Slot>> intended_;
 };
 
 }  // namespace ioguard::core

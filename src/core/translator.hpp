@@ -43,6 +43,7 @@ class RtTranslator {
   }
 
   [[nodiscard]] Cycle wcet() const { return config_.wcet_cycles; }
+  [[nodiscard]] Cycle best_case() const { return config_.best_case_cycles; }
   [[nodiscard]] std::uint64_t translations() const { return count_; }
   [[nodiscard]] Cycle worst_observed() const { return worst_observed_; }
   /// Translations that overran the WCET bound (injected faults only).

@@ -192,7 +192,36 @@ void VirtManager::note_vm_fault(VmId vm, Slot now) {
         clamp_aux(jobs_shed_));
 }
 
+void VirtManager::set_jitter_recorder(JitterRecorder* recorder) {
+  jitter_ = recorder;
+  pchannel_->set_jitter_recorder(recorder);
+}
+
+bool VirtManager::rchannel_work_pending() const {
+  if (active_valid_ || !retry_queue_.empty()) return true;
+  for (const auto& pool : pools_)
+    if (pool->has_pending()) return true;
+  return false;
+}
+
 void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
+  // The impl classifies what the slot was spent on; busy slots count
+  // themselves at the point of use (busy_slots_), so the three counters
+  // always partition the ticks exactly.
+  switch (tick_slot_impl(now, out)) {
+    case SlotUse::kBusy:
+      break;
+    case SlotUse::kStall:
+      ++profile_stall_slots_;
+      break;
+    case SlotUse::kQuiescent:
+      ++profile_quiescent_slots_;
+      break;
+  }
+}
+
+VirtManager::SlotUse VirtManager::tick_slot_impl(
+    Slot now, std::vector<iodev::Completion>& out) {
   if (injector_ != nullptr) begin_tick_faults(now);
 
   // 1. P-channel has absolute priority on its reserved slots. Fault gating
@@ -209,25 +238,27 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
             done->job.id,
             clamp_aux(done->completed_at - done->job.absolute_deadline));
     out.push_back(*done);
-    return;
+    return SlotUse::kBusy;
   }
   if (used) {
     ++busy_slots_;
     if (tracer_)
       trace(now, TraceEventKind::kPchannelSlot, VmId{}, TaskId{}, JobId{});
-    return;  // reserved slot consumed mid-job
+    return SlotUse::kBusy;  // reserved slot consumed mid-job
   }
-  if (!pchannel_->slot_is_free(now)) return;  // reserved but idle (transient)
+  if (!pchannel_->slot_is_free(now))
+    return SlotUse::kStall;  // reserved but idle (transient)
 
   if (injector_ != nullptr) {
-    if (stalled_now_) return;  // device not draining: the free slot is lost
+    if (stalled_now_)
+      return SlotUse::kStall;  // device not draining: the free slot is lost
     if (injector_->spurious_interrupt(fault_site_)) {
       // A phantom IRQ makes the hypervisor service a completion that never
       // happened; the free slot is burned on the spurious handler.
       ++spurious_irqs_;
       trace(now, TraceEventKind::kFaultInject, VmId{}, TaskId{}, JobId{},
             fault_aux(faults::FaultKind::kSpuriousInterrupt));
-      return;
+      return SlotUse::kStall;
     }
   }
 
@@ -247,7 +278,8 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
 
   // 3. ...and the G-Sched picks the slot's owner.
   const auto winner = gsched_->pick(now, shadow_snapshot_);
-  if (!winner) return;
+  if (!winner)
+    return rchannel_work_pending() ? SlotUse::kStall : SlotUse::kQuiescent;
 
   ++busy_slots_;
   const ShadowRegister& granted = shadow_snapshot_[*winner];
@@ -279,11 +311,23 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
               finished->job, fault_aux(frame_fault));
         note_vm_fault(finished->vm, now);
         schedule_retry(*finished, now);
-        return;  // no completion: the frame never reached its VM intact
+        // No completion: the frame never reached its VM intact.
+        return SlotUse::kBusy;
       }
     }
     // Pass-through response channel: bounded response translation.
     const Cycle response_cycles = response_translator_.translate();
+    if (jitter_ != nullptr) {
+      // R-channel timing accuracy (DESIGN.md §14): intended delivery is the
+      // release plus the unloaded service demand (wcet + dispatch overhead
+      // = ParamSlot::total); the deviation folds in queueing, scheduling
+      // and retry delay. Translator deviation is sub-slot, in cycles.
+      jitter_->record(JitterChannel::kRChannel, finished->vm, finished->task,
+                      finished->release + finished->total, now + 1);
+      jitter_->record_translator(
+          DeviceId{static_cast<std::uint32_t>(fault_site_)},
+          response_cycles - response_translator_.best_case());
+    }
     ++runtime_jobs_completed_;
     iodev::Completion done;
     done.job.id = finished->job;
@@ -313,6 +357,7 @@ void VirtManager::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
     active_handle_ = granted.handle;
     active_job_ = granted.job;
   }
+  return SlotUse::kBusy;
 }
 
 std::uint64_t VirtManager::dropped_jobs() const {

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/jitter.hpp"
 #include "core/event_trace.hpp"
 #include "core/gsched.hpp"
 #include "core/io_pool.hpp"
@@ -100,6 +101,26 @@ class VirtManager {
     return spurious_irqs_;
   }
   [[nodiscard]] std::size_t degraded_vms() const;
+  [[nodiscard]] bool vm_degraded(std::size_t vm_index) const {
+    return vm_degraded_.at(vm_index) != 0;
+  }
+  [[nodiscard]] std::size_t pending_retries() const {
+    return retry_queue_.size();
+  }
+
+  // ---- Cycle attribution (DESIGN.md §14). Every tick is exactly one of
+  // busy (busy_slots()), stall or quiescent, so the three always sum to the
+  // number of ticks this manager has run. --------------------------------
+  /// Slots lost while work existed: reserved-but-idle transients, device
+  /// stalls, spurious-IRQ burns, and free slots no VM could use while jobs
+  /// were pending or retrying.
+  [[nodiscard]] std::uint64_t profile_stall_slots() const {
+    return profile_stall_slots_;
+  }
+  /// Free slots with genuinely nothing to do (quiescent-period crawl).
+  [[nodiscard]] std::uint64_t profile_quiescent_slots() const {
+    return profile_quiescent_slots_;
+  }
 
   /// Cycle cost of the virtualization-driver path for the last completion
   /// (request + response translation); sub-slot, reported for calibration.
@@ -116,7 +137,19 @@ class VirtManager {
     trace_device_ = device;
   }
 
+  /// Attaches a jitter recorder (not owned; nullptr detaches) fed at the
+  /// P-/R-channel completion points and the response-translation site.
+  void set_jitter_recorder(JitterRecorder* recorder);
+
  private:
+  /// What slot `now` was spent on, for the cycle-attribution profiler.
+  enum class SlotUse : std::uint8_t { kBusy, kStall, kQuiescent };
+
+  SlotUse tick_slot_impl(Slot now, std::vector<iodev::Completion>& out);
+  /// Any R-channel work in the system (pending pool entries, backoff
+  /// retries, or a partially-executed op): distinguishes stall from
+  /// quiescent when a slot goes unused.
+  [[nodiscard]] bool rchannel_work_pending() const;
   /// A faulted job waiting out its backoff before re-entering the driver.
   struct PendingRetry {
     Slot due = 0;
@@ -142,8 +175,11 @@ class VirtManager {
   std::vector<JobId> last_exposed_;  ///< per pool, for kShadowExpose edges
   Slot busy_slots_ = 0;
   std::uint64_t runtime_jobs_completed_ = 0;
+  std::uint64_t profile_stall_slots_ = 0;
+  std::uint64_t profile_quiescent_slots_ = 0;
   EventTrace* tracer_ = nullptr;
   DeviceId trace_device_;
+  JitterRecorder* jitter_ = nullptr;
 
   // ---- Fault state (inert without an injector). -------------------------
   faults::FaultInjector* injector_ = nullptr;

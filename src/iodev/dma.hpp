@@ -62,6 +62,9 @@ class DmaEngine : public sim::Tickable {
 
   void tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "dma"; }
+  [[nodiscard]] sim::Activity activity() const override {
+    return idle() ? sim::Activity::kQuiescent : sim::Activity::kBusy;
+  }
 
   [[nodiscard]] std::size_t backlog(std::uint32_t channel) const;
   [[nodiscard]] bool idle() const;

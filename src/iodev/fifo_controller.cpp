@@ -29,6 +29,7 @@ std::optional<Completion> FifoController::tick_slot(Slot now) {
       // out the whole stall.
       --stall_remaining_;
       ++stalled_slots_;
+      ++profile_stall_slots_;
       return std::nullopt;
     }
   }
@@ -37,7 +38,10 @@ std::optional<Completion> FifoController::tick_slot(Slot now) {
     queue_.pop_front();
     current_ = Active{r, r.job.wcet + dispatch_overhead_};
   }
-  if (!current_) return std::nullopt;
+  if (!current_) {
+    ++profile_quiescent_slots_;
+    return std::nullopt;
+  }
 
   ++busy_slots_;
   if (--current_->remaining == 0) {
@@ -53,6 +57,10 @@ std::optional<Completion> FifoController::tick_slot(Slot now) {
     done.job = current_->request.job;
     done.enqueued_at = current_->request.enqueued_at;
     done.completed_at = now + 1;
+    if (jitter_ != nullptr)
+      jitter_->record(JitterChannel::kFifo, done.job.vm, done.job.task,
+                      done.job.release + done.job.wcet + dispatch_overhead_,
+                      done.completed_at);
     ++jobs_completed_;
     bytes_completed_ += done.job.payload_bytes;
     current_.reset();

@@ -11,6 +11,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/jitter.hpp"
 #include "common/types.hpp"
 #include "faults/injector.hpp"
 #include "workload/task.hpp"
@@ -73,6 +74,22 @@ class FifoController {
   [[nodiscard]] std::uint64_t stalled_slots() const { return stalled_slots_; }
   [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
 
+  /// Attaches a jitter recorder (not owned; nullptr detaches). Completions
+  /// record their deviation from release + wcet + dispatch overhead (the
+  /// unloaded service demand) on the "fifo" channel.
+  void set_jitter_recorder(JitterRecorder* recorder) { jitter_ = recorder; }
+
+  // ---- Cycle attribution (DESIGN.md §14): busy (busy_slots()) + stall +
+  // quiescent partition the ticks exactly. -------------------------------
+  /// Slots lost to an injected device stall while wedged or blocked.
+  [[nodiscard]] std::uint64_t profile_stall_slots() const {
+    return profile_stall_slots_;
+  }
+  /// Slots with an empty FIFO and no job in service.
+  [[nodiscard]] std::uint64_t profile_quiescent_slots() const {
+    return profile_quiescent_slots_;
+  }
+
  private:
   struct Active {
     Request request;
@@ -92,6 +109,9 @@ class FifoController {
   Slot stall_remaining_ = 0;
   std::uint64_t stalled_slots_ = 0;
   std::uint64_t frames_lost_ = 0;
+  JitterRecorder* jitter_ = nullptr;
+  std::uint64_t profile_stall_slots_ = 0;
+  std::uint64_t profile_quiescent_slots_ = 0;
 };
 
 }  // namespace ioguard::iodev

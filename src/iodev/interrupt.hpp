@@ -49,6 +49,10 @@ class InterruptController : public sim::Tickable {
 
   void tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "intc"; }
+  [[nodiscard]] sim::Activity activity() const override {
+    return pending() || in_flight_ ? sim::Activity::kBusy
+                                   : sim::Activity::kQuiescent;
+  }
 
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] bool pending() const;

@@ -92,6 +92,9 @@ class Mesh : public sim::Tickable {
 
   void tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "mesh"; }
+  [[nodiscard]] sim::Activity activity() const override {
+    return idle() ? sim::Activity::kQuiescent : sim::Activity::kBusy;
+  }
 
   /// Minimal (uncontended) packet latency in cycles from src to dst:
   /// hops * (router + link) + serialization.

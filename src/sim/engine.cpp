@@ -7,6 +7,21 @@ namespace ioguard::sim {
 void Engine::add(Tickable* component) {
   IOGUARD_CHECK(component != nullptr);
   components_.push_back(component);
+  activity_counts_.push_back({0, 0, 0});
+}
+
+std::vector<ComponentProfile> Engine::profile() const {
+  std::vector<ComponentProfile> out;
+  out.reserve(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    ComponentProfile p;
+    p.name = components_[i]->name();
+    p.busy_cycles = activity_counts_[i][0];
+    p.stall_cycles = activity_counts_[i][1];
+    p.quiescent_cycles = activity_counts_[i][2];
+    out.push_back(std::move(p));
+  }
+  return out;
 }
 
 void Engine::at(Cycle when, std::function<void(Cycle)> fn) {
@@ -48,7 +63,15 @@ void Engine::run_until(Cycle end) {
       events_.pop();
       fn(now_);
     }
-    for (Tickable* c : components_) c->tick(now_);
+    if (profiling_) {
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        components_[i]->tick(now_);
+        ++activity_counts_[i][static_cast<std::size_t>(
+            components_[i]->activity())];
+      }
+    } else {
+      for (Tickable* c : components_) c->tick(now_);
+    }
     ++now_;
   }
 }

@@ -7,6 +7,7 @@
 // events (job releases) so idle components cost nothing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -18,6 +19,14 @@
 
 namespace ioguard::sim {
 
+/// What a component spent its most recent cycle on, for the engine's
+/// cycle-attribution profiler (DESIGN.md §14).
+enum class Activity : std::uint8_t {
+  kBusy,       ///< did useful work this cycle
+  kStall,      ///< had work but could not progress (backpressure, faults)
+  kQuiescent,  ///< nothing to do
+};
+
 /// Interface for components clocked every cycle.
 class Tickable {
  public:
@@ -28,6 +37,23 @@ class Tickable {
 
   /// Human-readable instance name (for traces and error messages).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Classification of the cycle most recently ticked. Components that do
+  /// not track idleness default to kBusy (conservative: the profiler then
+  /// attributes their cycles to work, never hiding cost).
+  [[nodiscard]] virtual Activity activity() const { return Activity::kBusy; }
+};
+
+/// Per-component cycle attribution gathered by Engine profiling. The three
+/// counters partition the profiled cycles exactly.
+struct ComponentProfile {
+  std::string name;
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t quiescent_cycles = 0;
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    return busy_cycles + stall_cycles + quiescent_cycles;
+  }
 };
 
 /// Single-clock cycle-driven engine with a supplementary timed event queue.
@@ -55,6 +81,16 @@ class Engine {
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] std::size_t component_count() const { return components_.size(); }
 
+  /// Enables the cycle-attribution profiler: every subsequent tick asks
+  /// each component for its Activity and counts it. Off by default -- the
+  /// query is one virtual call per component per cycle.
+  void enable_profiling(bool on = true) { profiling_ = on; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
+  /// Per-component attribution in registration order (empty counters for
+  /// cycles run before enable_profiling()).
+  [[nodiscard]] std::vector<ComponentProfile> profile() const;
+
  private:
   struct Event {
     Cycle when;
@@ -72,6 +108,9 @@ class Engine {
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   bool stop_requested_ = false;
+  bool profiling_ = false;
+  /// Parallel to components_: [busy, stall, quiescent] cycle counts.
+  std::vector<std::array<std::uint64_t, 3>> activity_counts_;
 };
 
 }  // namespace ioguard::sim

@@ -49,6 +49,35 @@ void put_online_stats(ByteWriter& w, const OnlineStats& stats) {
   return OnlineStats::from_raw(raw);
 }
 
+// SampleSets serialize in insertion order for the same reason response_slots
+// does below: mean() sums sequentially, so order is part of the value.
+void put_sample_set(ByteWriter& w, const SampleSet& set) {
+  const auto& samples = set.samples();
+  w.put_u32(static_cast<std::uint32_t>(samples.size()));
+  for (const double s : samples) w.put_f64(s);
+}
+
+[[nodiscard]] SampleSet get_sample_set(ByteReader& r) {
+  SampleSet set;
+  const std::uint32_t n = r.get_u32();
+  if (r.ok()) set.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) set.add(r.get_f64());
+  return set;
+}
+
+void put_sample_sets(ByteWriter& w, const std::vector<SampleSet>& sets) {
+  w.put_u32(static_cast<std::uint32_t>(sets.size()));
+  for (const auto& s : sets) put_sample_set(w, s);
+}
+
+[[nodiscard]] std::vector<SampleSet> get_sample_sets(ByteReader& r) {
+  std::vector<SampleSet> sets;
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    sets.push_back(get_sample_set(r));
+  return sets;
+}
+
 void encode_trial_result(ByteWriter& w, const TrialResult& result) {
   w.put_u64(result.horizon);
   w.put_u64(result.jobs_counted);
@@ -87,6 +116,28 @@ void encode_trial_result(ByteWriter& w, const TrialResult& result) {
   w.put_u64(fc.transit_drops);
   w.put_u64(fc.fifo_frames_lost);
   w.put_u64(fc.fifo_stalled_slots);
+  // Observability harvest (appended last so the field order above matches
+  // older journals byte-for-byte up to this point).
+  const JitterSummary& js = result.jitter;
+  w.put_u8(js.collected ? 1 : 0);
+  put_sample_sets(w, js.p_by_vm);
+  put_sample_sets(w, js.r_by_vm);
+  put_sample_sets(w, js.fifo_by_vm);
+  put_sample_sets(w, js.translator_by_device);
+  w.put_u32(static_cast<std::uint32_t>(js.by_task.size()));
+  for (const auto& t : js.by_task) {
+    w.put_u32(t.task);
+    w.put_u64(t.ops);
+    w.put_u64(t.worst_slots);
+  }
+  w.put_u32(static_cast<std::uint32_t>(result.profile.size()));
+  for (const auto& c : result.profile) {
+    w.put_string(c.name);
+    w.put_u64(c.busy_slots);
+    w.put_u64(c.stall_slots);
+    w.put_u64(c.quiescent_slots);
+  }
+  w.put_u64(result.flight_dumps);
 }
 
 [[nodiscard]] TrialResult decode_trial_result(ByteReader& r) {
@@ -128,6 +179,30 @@ void encode_trial_result(ByteWriter& w, const TrialResult& result) {
   fc.transit_drops = r.get_u64();
   fc.fifo_frames_lost = r.get_u64();
   fc.fifo_stalled_slots = r.get_u64();
+  JitterSummary& js = result.jitter;
+  js.collected = r.get_u8() != 0;
+  js.p_by_vm = get_sample_sets(r);
+  js.r_by_vm = get_sample_sets(r);
+  js.fifo_by_vm = get_sample_sets(r);
+  js.translator_by_device = get_sample_sets(r);
+  const std::uint32_t task_count = r.get_u32();
+  for (std::uint32_t i = 0; i < task_count && r.ok(); ++i) {
+    JitterRecorder::TaskJitter t;
+    t.task = r.get_u32();
+    t.ops = r.get_u64();
+    t.worst_slots = r.get_u64();
+    js.by_task.push_back(t);
+  }
+  const std::uint32_t profile_count = r.get_u32();
+  for (std::uint32_t i = 0; i < profile_count && r.ok(); ++i) {
+    ComponentProfile c;
+    c.name = std::string(r.get_string());
+    c.busy_slots = r.get_u64();
+    c.stall_slots = r.get_u64();
+    c.quiescent_slots = r.get_u64();
+    result.profile.push_back(std::move(c));
+  }
+  result.flight_dumps = r.get_u64();
   return result;
 }
 

@@ -11,6 +11,8 @@
 #include "faults/injector.hpp"
 #include "iodev/fifo_controller.hpp"
 #include "system/stages.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/hdr_histogram.hpp"
 #include "telemetry/spans.hpp"
 
 namespace ioguard::sys {
@@ -134,6 +136,50 @@ void fill_metrics(telemetry::MetricsRegistry& reg, const TrialConfig& config,
   }
 }
 
+/// Jitter/profile export (DESIGN.md §14). Jitter bucket bounds come from the
+/// HDR histogram layout, so the Prometheus LatencyHistogram lands every
+/// integer sample in the bucket an HdrHistogram would -- one encoding, two
+/// export paths. Emits nothing when the trial collected nothing, keeping
+/// observability-off runs byte-identical to older builds.
+void fill_observability_metrics(telemetry::MetricsRegistry& reg,
+                                const TrialConfig& config,
+                                const TrialResult& result) {
+  using telemetry::Labels;
+  if (result.jitter.collected) {
+    const std::vector<double> bounds = telemetry::HdrHistogram{}.bounds();
+    const double cycles_per_slot =
+        static_cast<double>(config.cal.cycles_per_slot);
+    auto observe = [&](const char* channel, const char* key, std::size_t i,
+                       const SampleSet& samples, double scale) {
+      auto& h = reg.histogram(
+          "ioguard_timing_jitter_cycles",
+          {{"channel", channel}, {key, std::to_string(i)}}, bounds);
+      for (double v : samples.samples()) h.observe(v * scale);
+    };
+    const JitterSummary& j = result.jitter;
+    for (std::size_t v = 0; v < j.p_by_vm.size(); ++v)
+      observe("P", "vm", v, j.p_by_vm[v], cycles_per_slot);
+    for (std::size_t v = 0; v < j.r_by_vm.size(); ++v)
+      observe("R", "vm", v, j.r_by_vm[v], cycles_per_slot);
+    for (std::size_t v = 0; v < j.fifo_by_vm.size(); ++v)
+      observe("fifo", "vm", v, j.fifo_by_vm[v], cycles_per_slot);
+    for (std::size_t d = 0; d < j.translator_by_device.size(); ++d)
+      observe("translator", "device", d, j.translator_by_device[d], 1.0);
+  }
+  for (const auto& c : result.profile) {
+    auto state = [&](const char* s, std::uint64_t slots) {
+      reg.counter("ioguard_profile_cycles_total",
+                  {{"component", c.name}, {"state", s}})
+          .inc(slots * config.cal.cycles_per_slot);
+    };
+    state("busy", c.busy_slots);
+    state("stall", c.stall_slots);
+    state("quiescent", c.quiescent_slots);
+  }
+  if (!config.flight_dir.empty())
+    reg.counter("ioguard_flight_dumps_total", {}).inc(result.flight_dumps);
+}
+
 }  // namespace
 
 StatusOr<TrialConfig> TrialConfig::validated(TrialConfig raw) {
@@ -241,6 +287,49 @@ TrialResult run_trial(const TrialConfig& config) {
     }
   }
 
+  // ---- 2b. Observability taps (DESIGN.md §14). ---------------------------
+  std::unique_ptr<JitterRecorder> jitter;
+  if (config.collect_jitter) {
+    jitter = std::make_unique<JitterRecorder>(num_vms);
+    if (hyp) hyp->set_jitter_recorder(jitter.get());
+    for (auto& f : fifos) f.set_jitter_recorder(jitter.get());
+  }
+
+  // Flight recorder (I/O-GUARD back-end only): observes the trace ring; a
+  // trial without an attached trace gets a private ring just for it.
+  std::unique_ptr<core::EventTrace> flight_ring_storage;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  core::EventTrace* flight_ring = nullptr;
+  if (hyp && !config.flight_dir.empty()) {
+    flight_ring = config.trace;
+    if (flight_ring == nullptr) {
+      flight_ring_storage = std::make_unique<core::EventTrace>(4096);
+      hyp->set_tracer(flight_ring_storage.get());
+      flight_ring = flight_ring_storage.get();
+    }
+    telemetry::FlightRecorderConfig fr;
+    fr.dir = config.flight_dir;
+    fr.stem = config.flight_stem;
+    fr.last_n = config.flight_last_n;
+    fr.max_dumps = config.flight_max_dumps;
+    flight = std::make_unique<telemetry::FlightRecorder>(std::move(fr));
+    core::Hypervisor* h = hyp.get();
+    flight->set_state_writer(
+        [h](std::ostream& os) { h->dump_scheduler_state(os); });
+    flight_ring->set_observer(flight.get());
+  }
+
+  // Slot attribution of the runner-owned software stages. A stage is busy
+  // in a slot when it holds work at the start of that slot (it spends
+  // issue/VMM cycles there), quiescent otherwise; the transit link is busy
+  // while any transfer is in flight. These single-server stages never
+  // stall, so their stall count stays 0; the device back-ends attribute
+  // their own slots internally.
+  std::vector<std::uint64_t> issue_busy;
+  std::uint64_t vmm_busy = 0;
+  std::uint64_t transit_busy = 0;
+  if (config.collect_profile) issue_busy.assign(num_vms, 0);
+
   // ---- 3. Miss accounting setup. ------------------------------------------
   std::vector<Outcome> outcomes(trace.size());
   // Dense per-task miss counters (task ids are dense); compacted into
@@ -333,6 +422,12 @@ TrialResult run_trial(const TrialConfig& config) {
       if (!pchannel_job) issue[j.vm.value].push(j);
     }
 
+    if (config.collect_profile) {
+      for (std::size_t v = 0; v < num_vms; ++v)
+        if (!issue[v].idle()) ++issue_busy[v];
+      if (vmm && !vmm->idle()) ++vmm_busy;
+    }
+
     // (b) issue stages emit; requests enter the VMM (RT-XEN) or transit.
     issued.clear();
     for (auto& stage : issue) stage.tick_slot(issued);
@@ -352,6 +447,8 @@ TrialResult run_trial(const TrialConfig& config) {
         transit_q.push(InFlight{now + request_transit.sample(), j});
       }
     }
+
+    if (config.collect_profile && !transit_q.empty()) ++transit_busy;
 
     // (c) arrivals reach the device back-end.
     while (!transit_q.empty() && transit_q.top().arrival <= now) {
@@ -473,8 +570,51 @@ TrialResult run_trial(const TrialConfig& config) {
     }
   }
 
+  // ---- 6. Observability harvest (DESIGN.md §14). -------------------------
+  if (jitter) {
+    result.jitter.collected = true;
+    auto harvest = [&](JitterChannel ch, std::vector<SampleSet>& out) {
+      out.reserve(num_vms);
+      for (std::size_t v = 0; v < num_vms; ++v)
+        out.push_back(jitter->samples(ch, v));
+    };
+    harvest(JitterChannel::kPChannel, result.jitter.p_by_vm);
+    harvest(JitterChannel::kRChannel, result.jitter.r_by_vm);
+    harvest(JitterChannel::kFifo, result.jitter.fifo_by_vm);
+    result.jitter.translator_by_device = jitter->translator_by_device();
+    result.jitter.by_task = jitter->by_task();
+  }
+  if (config.collect_profile) {
+    auto add = [&](std::string name, std::uint64_t busy_n,
+                   std::uint64_t stall_n, std::uint64_t quiescent_n) {
+      result.profile.push_back(
+          ComponentProfile{std::move(name), busy_n, stall_n, quiescent_n});
+    };
+    for (std::size_t v = 0; v < num_vms; ++v)
+      add("issue_vm" + std::to_string(v), issue_busy[v], 0,
+          horizon - issue_busy[v]);
+    if (vmm) add("vmm", vmm_busy, 0, horizon - vmm_busy);
+    add("transit", transit_busy, 0, horizon - transit_busy);
+    if (hyp) {
+      for (std::size_t d = 0; d < n_dev; ++d) {
+        const auto& vm = hyp->manager(DeviceId{static_cast<std::uint32_t>(d)});
+        add("device" + std::to_string(d), vm.busy_slots(),
+            vm.profile_stall_slots(), vm.profile_quiescent_slots());
+      }
+    } else {
+      for (std::size_t d = 0; d < fifos.size(); ++d)
+        add("fifo" + std::to_string(d), fifos[d].busy_slots(),
+            fifos[d].profile_stall_slots(), fifos[d].profile_quiescent_slots());
+    }
+  }
+  if (flight_ring != nullptr) {
+    flight_ring->set_observer(nullptr);
+    result.flight_dumps = flight->dumps_written();
+  }
+
   if (config.metrics) {
     fill_metrics(*config.metrics, config, result, hyp.get(), fifos);
+    fill_observability_metrics(*config.metrics, config, result);
     if (injector)
       fill_fault_metrics(*config.metrics, config, result, *injector);
     if (config.trace)
@@ -516,6 +656,25 @@ void json_stats(std::ostream& os, const char* key, const OnlineStats& s,
   os << "\n";
 }
 
+/// One HDR quantile record inside the "jitter_cycles" block (two-space
+/// extra indent: these keys nest one level deeper than the top level).
+void json_hdr(std::ostream& os, const char* key,
+              const telemetry::HdrHistogram& h, bool comma = true) {
+  os << "    \"" << key << "\": ";
+  if (h.count() == 0) {
+    os << "null";
+  } else {
+    os << "{\"count\": " << h.count()
+       << ", \"p50\": " << h.value_at_percentile(50.0)
+       << ", \"p99\": " << h.value_at_percentile(99.0)
+       << ", \"p999\": " << h.value_at_percentile(99.9)
+       << ", \"p9999\": " << h.value_at_percentile(99.99)
+       << ", \"max\": " << h.max() << "}";
+  }
+  if (comma) os << ",";
+  os << "\n";
+}
+
 }  // namespace
 
 void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
@@ -546,7 +705,8 @@ void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
     os << "{\"count\": " << r.count() << ", \"mean\": " << r.mean()
        << ", \"p50\": " << r.percentile(50.0)
        << ", \"p95\": " << r.percentile(95.0)
-       << ", \"p99\": " << r.percentile(99.0) << ", \"max\": " << r.max()
+       << ", \"p99\": " << r.percentile(99.0)
+       << ", \"p999\": " << r.percentile(99.9) << ", \"max\": " << r.max()
        << "}";
   }
   os << ",\n";
@@ -575,6 +735,49 @@ void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
        << ", \"fifo_frames_lost\": " << fc.fifo_frames_lost
        << ", \"fifo_stalled_slots\": " << fc.fifo_stalled_slots << "},\n";
   }
+
+  // Observability blocks appear only when collected, so plain trials keep
+  // byte-identical summaries. Channel jitter is converted slots -> cycles
+  // here; translator samples are already cycles.
+  if (result.jitter.collected) {
+    const double cps = static_cast<double>(config.cal.cycles_per_slot);
+    auto hdr_of = [](const std::vector<SampleSet>& sets, double scale) {
+      telemetry::HdrHistogram h;
+      for (const auto& s : sets)
+        for (double v : s.samples())
+          h.record(static_cast<std::uint64_t>(v * scale));
+      return h;
+    };
+    os << "  \"jitter_cycles\": {\n";
+    json_hdr(os, "P", hdr_of(result.jitter.p_by_vm, cps));
+    json_hdr(os, "R", hdr_of(result.jitter.r_by_vm, cps));
+    json_hdr(os, "fifo", hdr_of(result.jitter.fifo_by_vm, cps));
+    json_hdr(os, "translator", hdr_of(result.jitter.translator_by_device, 1.0),
+             false);
+    os << "  },\n";
+    os << "  \"jitter_by_task\": {";
+    bool jt_first = true;
+    for (const auto& t : result.jitter.by_task) {
+      if (!jt_first) os << ", ";
+      jt_first = false;
+      os << "\"" << t.task << "\": {\"ops\": " << t.ops
+         << ", \"worst_slots\": " << t.worst_slots << "}";
+    }
+    os << "},\n";
+  }
+  if (!result.profile.empty()) {
+    os << "  \"profile_slots\": {\n";
+    for (std::size_t i = 0; i < result.profile.size(); ++i) {
+      const ComponentProfile& c = result.profile[i];
+      os << "    \"" << c.name << "\": {\"busy\": " << c.busy_slots
+         << ", \"stall\": " << c.stall_slots
+         << ", \"quiescent\": " << c.quiescent_slots << "}"
+         << (i + 1 < result.profile.size() ? ",\n" : "\n");
+    }
+    os << "  },\n";
+  }
+  if (!config.flight_dir.empty())
+    json_kv(os, "flight_dumps", result.flight_dumps);
 
   os << "  \"misses_by_task\": {";
   bool first = true;

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/jitter.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "core/event_trace.hpp"
@@ -51,6 +53,25 @@ struct TrialConfig {
   /// Filled with run counters/gauges/histograms at the end of the trial
   /// (not owned; pass the same registry across trials to aggregate).
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  // --- timing-accuracy observability (DESIGN.md §14) ----------------------
+  /// Record per-operation jitter (intended vs actual delivery slot) at the
+  /// P-/R-channel, FIFO and translator completion points into
+  /// TrialResult::jitter (and `ioguard_timing_jitter_cycles` when a metrics
+  /// registry is attached).
+  bool collect_jitter = false;
+  /// Fill TrialResult::profile with per-component busy/stall/quiescent slot
+  /// attribution (cycle-attribution profiler).
+  bool collect_profile = false;
+  /// Flight recorder: when non-empty, deadline misses and fault recoveries
+  /// dump the last flight_last_n trace events + scheduler state into
+  /// bounded per-trial files under this directory (I/O-GUARD only; the
+  /// directory must exist). A trial without an attached trace gets a
+  /// private ring just for the recorder.
+  std::string flight_dir;
+  std::string flight_stem = "trial0";  ///< per-trial filename stem
+  std::size_t flight_last_n = 64;
+  std::size_t flight_max_dumps = 4;
 };
 
 /// Fault/resilience outcome of one trial; every field is 0 when the plan is
@@ -69,6 +90,31 @@ struct FaultCounters {
   std::uint64_t transit_drops = 0;       ///< requests eaten on the interconnect
   std::uint64_t fifo_frames_lost = 0;    ///< baseline FIFOs: unrecovered loss
   std::uint64_t fifo_stalled_slots = 0;  ///< baseline FIFOs: stall slots
+};
+
+/// Per-trial jitter harvest (TrialConfig::collect_jitter). Channel samples
+/// are in slots; translator samples are sub-slot, in cycles. Vectors are
+/// indexed by VM / device; SampleSets keep insertion order so checkpointed
+/// and merged results stay bit-identical.
+struct JitterSummary {
+  bool collected = false;
+  std::vector<SampleSet> p_by_vm;
+  std::vector<SampleSet> r_by_vm;
+  std::vector<SampleSet> fifo_by_vm;
+  std::vector<SampleSet> translator_by_device;  ///< cycles
+  std::vector<JitterRecorder::TaskJitter> by_task;
+};
+
+/// One component's slot attribution (TrialConfig::collect_profile); the
+/// three counters sum to the trial horizon for every component.
+struct ComponentProfile {
+  std::string name;
+  std::uint64_t busy_slots = 0;
+  std::uint64_t stall_slots = 0;
+  std::uint64_t quiescent_slots = 0;
+  [[nodiscard]] std::uint64_t total_slots() const {
+    return busy_slots + stall_slots + quiescent_slots;
+  }
 };
 
 struct TrialResult {
@@ -98,6 +144,11 @@ struct TrialResult {
   OnlineStats stage_backend;  ///< arrival -> completion at the device
 
   FaultCounters faults;  ///< all-zero unless the trial ran a fault plan
+
+  // --- timing-accuracy observability (empty unless collected) -------------
+  JitterSummary jitter;
+  std::vector<ComponentProfile> profile;
+  std::uint64_t flight_dumps = 0;  ///< flight-recorder files written
 
   /// Paper's per-trial success criterion.
   [[nodiscard]] bool success() const { return critical_misses == 0; }

@@ -1,0 +1,238 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/atomic_file.hpp"
+
+namespace ioguard::telemetry {
+
+namespace {
+
+constexpr std::string_view kMagic = "ioguard-flight v1";
+constexpr std::string_view kColumns = "slot,kind,device,vm,task,job,aux";
+
+void write_event_row(std::ostream& os, const core::TraceEvent& e) {
+  os << e.slot << ',' << core::to_string(e.kind) << ',' << e.device.value
+     << ',' << e.vm.value << ',' << e.task.value << ',' << e.job.value << ','
+     << e.aux << '\n';
+}
+
+/// Strict decimal parse of a full field; false on empty/overflow/garbage.
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(text, wide) || wide > 0xffffffffu) return false;
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+Status malformed(const std::string& path, std::size_t line_no,
+                 const std::string& what) {
+  return InvalidArgumentError(path + ":" + std::to_string(line_no) +
+                              ": malformed flight dump: " + what);
+}
+
+/// Splits `line` at commas into exactly `n` fields; false otherwise.
+bool split_fields(std::string_view line, std::size_t n,
+                  std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out.size() == n;
+}
+
+/// Parses one event row (the shared flight-dump / trace-CSV column set).
+bool parse_event_row(std::string_view row,
+                     std::vector<std::string_view>& fields,
+                     core::TraceEvent& e) {
+  if (!split_fields(row, 7, fields)) return false;
+  std::uint32_t device = 0;
+  std::uint32_t vm = 0;
+  std::uint32_t task = 0;
+  std::uint32_t job = 0;
+  if (!parse_u64(fields[0], e.slot) ||
+      !core::trace_event_kind_from_string(fields[1], e.kind) ||
+      !parse_u32(fields[2], device) || !parse_u32(fields[3], vm) ||
+      !parse_u32(fields[4], task) || !parse_u32(fields[5], job) ||
+      !parse_u32(fields[6], e.aux))
+    return false;
+  e.device = DeviceId{device};
+  e.vm = VmId{vm};
+  e.task = TaskId{task};
+  e.job = JobId{job};
+  return true;
+}
+
+}  // namespace
+
+bool flight_trigger(core::TraceEventKind kind) {
+  return kind == core::TraceEventKind::kDeadlineMiss ||
+         kind == core::TraceEventKind::kWatchdogAbort ||
+         kind == core::TraceEventKind::kShed;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)) {}
+
+void FlightRecorder::on_record(const core::EventTrace& trace,
+                               const core::TraceEvent& event) {
+  if (!flight_trigger(event.kind)) return;
+  ++triggers_seen_;
+  if (dumps_written_ >= config_.max_dumps) return;
+
+  const std::size_t take = std::min(config_.last_n, trace.size());
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "trigger=" << core::to_string(event.kind) << '\n';
+  out << "slot=" << event.slot << '\n';
+  out << "seq=" << (dumps_written_ + 1) << '\n';
+  out << "stem=" << config_.stem << '\n';
+  out << "events=" << take << '\n';
+  out << kColumns << '\n';
+  for (std::size_t i = trace.size() - take; i < trace.size(); ++i)
+    write_event_row(out, trace.ordered(i));
+  if (state_writer_) state_writer_(out);
+  out << "end\n";
+
+  const std::filesystem::path path =
+      std::filesystem::path(config_.dir) /
+      (config_.stem + ".flight" + std::to_string(dumps_written_ + 1) +
+       ".txt");
+  const Status written = write_file_atomic(path, out.str());
+  if (written.ok()) {
+    ++dumps_written_;
+  } else if (status_.ok()) {
+    status_ = written;  // keep the first failure; later triggers still count
+  }
+}
+
+StatusOr<FlightDump> read_flight_dump(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return NotFoundError("cannot open flight dump: " + path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  if (in.bad())
+    return UnavailableError("read error on flight dump: " + path);
+
+  std::size_t at = 0;
+  auto next = [&]() -> const std::string* {
+    return at < lines.size() ? &lines[at++] : nullptr;
+  };
+  auto header_value = [&](const char* key,
+                          std::string& out) -> Status {
+    const std::string* line = next();
+    const std::string prefix = std::string(key) + "=";
+    if (line == nullptr || line->rfind(prefix, 0) != 0)
+      return malformed(path, at, std::string("expected ") + prefix + "...");
+    out = line->substr(prefix.size());
+    return OkStatus();
+  };
+
+  const std::string* magic = next();
+  if (magic == nullptr || *magic != kMagic)
+    return malformed(path, 1, "missing 'ioguard-flight v1' header");
+
+  FlightDump dump;
+  std::string slot_text;
+  std::string seq_text;
+  std::string events_text;
+  IOGUARD_RETURN_IF_ERROR(header_value("trigger", dump.trigger));
+  core::TraceEventKind trigger_kind{};
+  if (!core::trace_event_kind_from_string(dump.trigger, trigger_kind))
+    return malformed(path, at, "unknown trigger kind '" + dump.trigger + "'");
+  IOGUARD_RETURN_IF_ERROR(header_value("slot", slot_text));
+  if (!parse_u64(slot_text, dump.slot))
+    return malformed(path, at, "bad slot '" + slot_text + "'");
+  IOGUARD_RETURN_IF_ERROR(header_value("seq", seq_text));
+  if (!parse_u64(seq_text, dump.seq))
+    return malformed(path, at, "bad seq '" + seq_text + "'");
+  IOGUARD_RETURN_IF_ERROR(header_value("stem", dump.stem));
+  IOGUARD_RETURN_IF_ERROR(header_value("events", events_text));
+  std::uint64_t n_events = 0;
+  if (!parse_u64(events_text, n_events))
+    return malformed(path, at, "bad events count '" + events_text + "'");
+
+  const std::string* columns = next();
+  if (columns == nullptr || *columns != kColumns)
+    return malformed(path, at,
+                     std::string("expected column header '") +
+                         std::string(kColumns) + "'");
+
+  std::vector<std::string_view> fields;
+  dump.events.reserve(static_cast<std::size_t>(n_events));
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    const std::string* row = next();
+    if (row == nullptr)
+      return malformed(path, at,
+                       "truncated: expected " + std::to_string(n_events) +
+                           " event rows, got " + std::to_string(i));
+    core::TraceEvent e;
+    if (!parse_event_row(*row, fields, e))
+      return malformed(path, at, "bad event row '" + *row + "'");
+    dump.events.push_back(e);
+  }
+
+  // Zero or more state lines, then the mandatory end marker.
+  while (true) {
+    const std::string* line = next();
+    if (line == nullptr)
+      return malformed(path, at,
+                       "truncated: missing 'end' marker (interrupted write?)");
+    if (*line == "end") break;
+    if (line->rfind("state,", 0) != 0)
+      return malformed(path, at, "unexpected line '" + *line + "'");
+    dump.state_lines.push_back(*line);
+  }
+  return dump;
+}
+
+StatusOr<std::vector<core::TraceEvent>> read_trace_csv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open trace CSV: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kColumns)
+    return InvalidArgumentError(path + ":1: not a trace CSV (expected '" +
+                                std::string(kColumns) + "' header)");
+  std::vector<core::TraceEvent> events;
+  std::vector<std::string_view> fields;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    core::TraceEvent e;
+    if (!parse_event_row(line, fields, e))
+      return malformed(path, line_no,
+                       "bad event row '" + line + "' (truncated write?)");
+    events.push_back(e);
+  }
+  if (in.bad()) return UnavailableError("read error on trace CSV: " + path);
+  return events;
+}
+
+}  // namespace ioguard::telemetry

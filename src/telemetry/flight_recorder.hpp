@@ -1,0 +1,92 @@
+// Deadline-miss flight recorder (DESIGN.md §14).
+//
+// Hangs off the EventTrace observer hook: on every trigger event
+// (kDeadlineMiss, kWatchdogAbort, kShed -- a missed delivery or a fault
+// recovery) it snapshots the last-N ring entries plus the scheduler state
+// into a bounded per-trial dump, written atomically through
+// common/atomic_file. The dump is the "what led up to this" evidence a
+// post-mortem needs when the miss itself is long gone from the ring.
+//
+// Dump format ("ioguard-flight v1", line-oriented text):
+//   ioguard-flight v1
+//   trigger=<event kind>
+//   slot=<trigger slot>
+//   seq=<1-based dump number within the trial>
+//   stem=<per-trial filename stem>
+//   events=<N>
+//   slot,kind,device,vm,task,job,aux     <- same columns as EventTrace CSV
+//   <N event rows, oldest first>
+//   state,...                            <- scheduler state lines (optional)
+//   end                                  <- absence means a truncated file
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/event_trace.hpp"
+
+namespace ioguard::telemetry {
+
+struct FlightRecorderConfig {
+  std::string dir;            ///< output directory (must already exist)
+  std::string stem = "trial0";///< per-trial filename stem (carries the trial
+                              ///< index so parallel trials never collide)
+  std::size_t last_n = 64;    ///< ring entries snapshotted per dump
+  std::size_t max_dumps = 4;  ///< hard per-trial bound on dumps written
+};
+
+/// True for the event kinds that trigger a dump.
+[[nodiscard]] bool flight_trigger(core::TraceEventKind kind);
+
+class FlightRecorder : public core::TraceObserver {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  /// Optional scheduler-state snapshotter, invoked at dump time to append
+  /// `state,...` lines (e.g. Hypervisor::dump_scheduler_state).
+  using StateWriter = std::function<void(std::ostream&)>;
+  void set_state_writer(StateWriter writer) { state_writer_ = std::move(writer); }
+
+  void on_record(const core::EventTrace& trace,
+                 const core::TraceEvent& event) override;
+
+  [[nodiscard]] std::uint64_t dumps_written() const { return dumps_written_; }
+  /// Trigger events seen, including those beyond the max_dumps bound.
+  [[nodiscard]] std::uint64_t triggers_seen() const { return triggers_seen_; }
+  /// First write failure, if any (recording never throws mid-trial).
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  FlightRecorderConfig config_;
+  StateWriter state_writer_;
+  std::uint64_t dumps_written_ = 0;
+  std::uint64_t triggers_seen_ = 0;
+  Status status_;
+};
+
+/// A parsed flight dump (trace_inspector --flight).
+struct FlightDump {
+  std::string trigger;
+  Slot slot = 0;
+  std::uint64_t seq = 0;
+  std::string stem;
+  std::vector<core::TraceEvent> events;
+  std::vector<std::string> state_lines;  ///< raw "state,..." lines
+};
+
+/// Parses a v1 flight dump; kInvalidArgument (exit 2) with a line-level
+/// diagnostic on a truncated or malformed file, kNotFound when unreadable.
+[[nodiscard]] StatusOr<FlightDump> read_flight_dump(const std::string& path);
+
+/// Parses an EventTrace::dump_csv file back into events (same columns the
+/// flight dump uses); kInvalidArgument (exit 2) with a path:line diagnostic
+/// on a bad header or malformed row, kNotFound when unreadable.
+[[nodiscard]] StatusOr<std::vector<core::TraceEvent>> read_trace_csv(
+    const std::string& path);
+
+}  // namespace ioguard::telemetry

@@ -1,0 +1,106 @@
+#include "telemetry/hdr_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ioguard::telemetry {
+
+HdrHistogram::HdrHistogram(HdrConfig config) : config_(config) {
+  IOGUARD_CHECK(config_.sub_bucket_bits >= 1 &&
+                config_.sub_bucket_bits <= 16);
+  IOGUARD_CHECK(config_.max_value >= 1);
+  sub_bucket_count_ = 1u << config_.sub_bucket_bits;
+  sub_bucket_half_count_ = sub_bucket_count_ / 2;
+  sub_bucket_mask_ = sub_bucket_count_ - 1;
+  // Highest power-of-two bucket needed so max_value is trackable; bucket b
+  // covers values with bit_width in [bits + b, bits + b] (b >= 1) while
+  // bucket 0 covers everything below 2^bits exactly.
+  const auto top_bucket = static_cast<std::uint32_t>(
+      std::bit_width(config_.max_value | sub_bucket_mask_) -
+      config_.sub_bucket_bits);
+  counts_.assign((static_cast<std::size_t>(top_bucket) + 2) *
+                     sub_bucket_half_count_,
+                 0);
+  max_trackable_ =
+      (static_cast<std::uint64_t>(sub_bucket_count_) << top_bucket) - 1;
+}
+
+std::size_t HdrHistogram::index_of(std::uint64_t value) const {
+  const auto bucket = static_cast<std::uint32_t>(
+      std::bit_width(value | sub_bucket_mask_) - config_.sub_bucket_bits);
+  const std::uint64_t sub = value >> bucket;
+  // Bucket 0 owns indices [0, 2*half); every later bucket only uses its
+  // upper half [half, 2*half) of sub-indices, packed contiguously.
+  return static_cast<std::size_t>(bucket) * sub_bucket_half_count_ +
+         static_cast<std::size_t>(sub);
+}
+
+void HdrHistogram::record(std::uint64_t value) {
+  if (value > config_.max_value) {
+    ++saturated_;
+    if (value > max_trackable_) value = max_trackable_;
+  }
+  ++counts_[index_of(value)];
+  min_ = count_ ? std::min(min_, value) : value;
+  max_ = count_ ? std::max(max_, value) : value;
+  ++count_;
+  sum_ += value;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  IOGUARD_CHECK(config_ == other.config_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  min_ = count_ ? std::min(min_, other.min_) : other.min_;
+  max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  saturated_ += other.saturated_;
+}
+
+std::uint64_t HdrHistogram::bucket_lower(std::size_t index) const {
+  const std::size_t half = sub_bucket_half_count_;
+  std::uint32_t bucket = 0;
+  std::uint64_t sub = index;
+  if (index >= 2 * half) {
+    bucket = static_cast<std::uint32_t>(index / half) - 1;
+    sub = (index % half) + half;
+  }
+  return sub << bucket;
+}
+
+std::uint64_t HdrHistogram::bucket_upper(std::size_t index) const {
+  const std::size_t half = sub_bucket_half_count_;
+  const std::uint32_t bucket =
+      index >= 2 * half ? static_cast<std::uint32_t>(index / half) - 1 : 0;
+  return bucket_lower(index) + ((std::uint64_t{1} << bucket) - 1);
+}
+
+std::uint64_t HdrHistogram::value_at_percentile(double p) const {
+  IOGUARD_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0;
+  auto required =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                           static_cast<double>(count_)));
+  required = std::clamp<std::uint64_t>(required, 1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= required) return bucket_upper(i);
+  }
+  return max_trackable_;  // unreachable: cumulative reaches count_
+}
+
+std::vector<double> HdrHistogram::bounds() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out.push_back(static_cast<double>(bucket_upper(i)));
+  return out;
+}
+
+}  // namespace ioguard::telemetry

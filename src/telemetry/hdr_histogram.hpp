@@ -1,0 +1,84 @@
+// HDR-style log-linear integer histogram (DESIGN.md §14).
+//
+// Values in [0, max_value] are bucketed with a bounded relative error: each
+// power-of-two "bucket" is split into 2^sub_bucket_bits linear sub-buckets,
+// so the recorded-to-reported error is at most 1/2^sub_bucket_bits of the
+// value. Values below 2^sub_bucket_bits are exact. This is the canonical
+// HdrHistogram layout (Gil Tene) restricted to unit_magnitude 0 and integer
+// counts, which keeps record() branch-free except for the saturation clamp
+// and makes merge() an element-wise integer add -- deterministic regardless
+// of merge order, which is what lets jitter/latency series stay
+// byte-identical across --jobs=1 vs N.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ioguard::telemetry {
+
+struct HdrConfig {
+  /// Linear sub-bucket resolution: 2^bits sub-buckets per power-of-two
+  /// bucket, i.e. relative quantization error <= 2^-bits.
+  std::uint32_t sub_bucket_bits = 4;
+  /// Largest distinguishable value; larger samples saturate into the top
+  /// bucket (and are counted by saturated()).
+  std::uint64_t max_value = std::uint64_t{1} << 24;
+
+  friend bool operator==(const HdrConfig&, const HdrConfig&) = default;
+};
+
+class HdrHistogram {
+ public:
+  explicit HdrHistogram(HdrConfig config = {});
+
+  /// Records one sample. Values above max_value count as saturated and are
+  /// clamped into the top bucket (the clamp is what sum()/max() see, so two
+  /// histograms fed the same samples agree bit-for-bit however merged).
+  void record(std::uint64_t value);
+
+  /// Element-wise add; both histograms must share the same HdrConfig.
+  void merge(const HdrHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// 0 when empty (a jitter series with no samples has no deviation).
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] std::uint64_t saturated() const { return saturated_; }
+  [[nodiscard]] const HdrConfig& config() const { return config_; }
+
+  /// Highest value equivalent to the bucket holding the p-th percentile
+  /// (p in [0, 100]); 0 when empty. p=100 returns the top non-empty
+  /// bucket's upper bound.
+  [[nodiscard]] std::uint64_t value_at_percentile(double p) const;
+
+  // ---- bucket introspection (tests, Prometheus bridge) ------------------
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_at(std::size_t index) const {
+    return counts_[index];
+  }
+  [[nodiscard]] std::uint64_t bucket_lower(std::size_t index) const;
+  [[nodiscard]] std::uint64_t bucket_upper(std::size_t index) const;
+  [[nodiscard]] std::size_t index_of(std::uint64_t value) const;
+
+  /// Upper bounds of every bucket as doubles, ascending -- the exact bound
+  /// vector to hand MetricsRegistry::histogram() so a LatencyHistogram fed
+  /// the same integer samples lands them in the same buckets.
+  [[nodiscard]] std::vector<double> bounds() const;
+
+ private:
+  HdrConfig config_;
+  std::uint32_t sub_bucket_count_ = 0;       // 2^bits
+  std::uint32_t sub_bucket_half_count_ = 0;  // 2^(bits-1)
+  std::uint64_t sub_bucket_mask_ = 0;        // sub_bucket_count - 1
+  std::uint64_t max_trackable_ = 0;          // top bucket's upper bound
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t saturated_ = 0;
+};
+
+}  // namespace ioguard::telemetry

@@ -106,7 +106,8 @@ void write_process_name(EventWriter& w, int pid, const std::string& name) {
 }  // namespace
 
 void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
-                         const PerfettoOptions& options) {
+                         const PerfettoOptions& options,
+                         const std::vector<ProfileCounterTrack>& profile) {
   const auto saved_precision = os.precision(15);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   EventWriter w(os);
@@ -196,6 +197,20 @@ void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
       default:
         break;
     }
+  }
+
+  // ---- Cycle-attribution counters (one "C" sample per component). --------
+  for (const ProfileCounterTrack& c : profile) {
+    w.begin();
+    w.kv("ph", std::string("C"));
+    w.kv("name", "profile " + c.name);
+    w.kv("pid", kDevicePid);
+    w.kv("tid", std::uint64_t{0});
+    w.kv("ts", 0.0);
+    w.raw("args", "{\"busy\":" + std::to_string(c.busy) +
+                      ",\"stall\":" + std::to_string(c.stall) +
+                      ",\"quiescent\":" + std::to_string(c.quiescent) + "}");
+    w.end();
   }
 
   os << "\n]}\n";

@@ -8,8 +8,10 @@
 // (slot * us_per_slot), matching the platform's 10 us slot width.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/event_trace.hpp"
 
@@ -21,7 +23,18 @@ struct PerfettoOptions {
   std::string process_devices = "Devices";      ///< pid 2 display name
 };
 
+/// One component's cycle attribution riding along in the trace file as a
+/// Perfetto counter ("C") sample (DESIGN.md §14). Callers convert from
+/// whatever profile struct they hold; telemetry stays independent of sys.
+struct ProfileCounterTrack {
+  std::string name;
+  std::uint64_t busy = 0;
+  std::uint64_t stall = 0;
+  std::uint64_t quiescent = 0;
+};
+
 void write_perfetto_json(std::ostream& os, const core::EventTrace& trace,
-                         const PerfettoOptions& options = {});
+                         const PerfettoOptions& options = {},
+                         const std::vector<ProfileCounterTrack>& profile = {});
 
 }  // namespace ioguard::telemetry

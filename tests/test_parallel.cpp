@@ -89,6 +89,56 @@ TEST(ParallelRunner, MergedPrometheusTextIdenticalAcrossJobCounts) {
   EXPECT_EQ(seq, par);
 }
 
+TEST(ParallelRunner, ObservabilitySeriesIdenticalAcrossJobCounts) {
+  // The new timing-accuracy series (jitter histograms, profiler counters)
+  // ride the same merge contract: exported bytes identical for any jobs
+  // width, per-trial jitter/profile fields identical trial by trial.
+  const auto run = [](std::size_t jobs, std::string& prom) {
+    ParallelRunner runner(jobs);
+    telemetry::MetricsRegistry metrics;
+    auto results = runner.run_trials(
+        5,
+        [](std::size_t t) {
+          auto tc = small_trial(t, SystemKind::kIoGuard);
+          tc.collect_jitter = true;
+          tc.collect_profile = true;
+          return tc;
+        },
+        &metrics);
+    std::ostringstream os;
+    telemetry::write_prometheus(os, metrics);
+    prom = os.str();
+    return results;
+  };
+  std::string seq_prom, par_prom;
+  const auto seq = run(1, seq_prom);
+  const auto par = run(4, par_prom);
+  EXPECT_NE(seq_prom.find("ioguard_timing_jitter_cycles"), std::string::npos);
+  EXPECT_NE(seq_prom.find("ioguard_profile_cycles_total"), std::string::npos);
+  EXPECT_EQ(seq_prom, par_prom);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    ASSERT_TRUE(seq[t].jitter.collected);
+    ASSERT_EQ(seq[t].jitter.r_by_vm.size(), par[t].jitter.r_by_vm.size());
+    for (std::size_t v = 0; v < seq[t].jitter.r_by_vm.size(); ++v) {
+      EXPECT_EQ(seq[t].jitter.p_by_vm[v].samples(),
+                par[t].jitter.p_by_vm[v].samples());
+      EXPECT_EQ(seq[t].jitter.r_by_vm[v].samples(),
+                par[t].jitter.r_by_vm[v].samples());
+    }
+    ASSERT_EQ(seq[t].profile.size(), par[t].profile.size());
+    for (std::size_t i = 0; i < seq[t].profile.size(); ++i) {
+      EXPECT_EQ(seq[t].profile[i].name, par[t].profile[i].name);
+      EXPECT_EQ(seq[t].profile[i].busy_slots, par[t].profile[i].busy_slots);
+      EXPECT_EQ(seq[t].profile[i].stall_slots, par[t].profile[i].stall_slots);
+      EXPECT_EQ(seq[t].profile[i].quiescent_slots,
+                par[t].profile[i].quiescent_slots);
+    }
+  }
+}
+
 TEST(ParallelRunner, RunPointAggregatesIdenticalAcrossJobCounts) {
   ExperimentConfig cfg;
   cfg.trials = 6;
