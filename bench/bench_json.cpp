@@ -100,6 +100,10 @@ void BenchReport::add_stage_seconds(const std::string& stage,
   stages_.push_back(std::move(s));
 }
 
+void BenchReport::add_metric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
 std::string BenchReport::write() const {
   const std::string dir = env_string("IOGUARD_BENCH_OUT", ".");
   const std::string path = dir + "/BENCH_" + name_ + ".json";
@@ -141,6 +145,13 @@ std::string BenchReport::write() const {
     os << "}" << (i + 1 < stages_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  if (!metrics_.empty()) {
+    os << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+      os << (i ? ", " : "") << "\"" << metrics_[i].first
+         << "\": " << metrics_[i].second;
+    os << "},\n";
+  }
   os << "  \"totals\": {";
   if (any_batch) {
     os << "\"trials\": " << total.trials

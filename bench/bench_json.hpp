@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -66,6 +67,11 @@ class BenchReport {
   /// Records an analytic/serial stage where only wall time is meaningful.
   void add_stage_seconds(const std::string& stage, double wall_seconds);
 
+  /// Records a named scalar (e.g. a measured event-vs-stepped speedup) into
+  /// the report's top-level "metrics" object. check_bench.py validates the
+  /// values and can gate on them via --min-metric=name:THRESHOLD.
+  void add_metric(const std::string& name, double value);
+
   /// Writes BENCH_<name>.json into $IOGUARD_BENCH_OUT (default ".").
   /// Returns the path written, or an empty string on I/O failure (benches
   /// must not fail the run because a results directory is read-only).
@@ -82,6 +88,7 @@ class BenchReport {
   std::string name_;
   std::size_t jobs_ = 1;
   std::vector<Stage> stages_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 }  // namespace ioguard::bench

@@ -22,6 +22,7 @@
 #include "common/atomic_file.hpp"
 #include "common/checksum.hpp"
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/interrupt.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -89,7 +90,11 @@ CliSpec make_spec() {
                    "with --telemetry-out)")
       .flag_switch("verify",
                    "statically verify the scheduling artifacts (and any "
-                   "fault plan / checkpoint) first; refuse to run on errors");
+                   "fault plan / checkpoint) first; refuse to run on errors")
+      .flag_switch("stepped",
+                   "run the slot-stepped reference loop instead of the "
+                   "event-driven advance (bit-identical results; also "
+                   "IOGUARD_STEPPED=1)");
   return spec;
 }
 
@@ -104,6 +109,11 @@ Status run(const CliArgs& args) {
   const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const auto jobs = static_cast<std::size_t>(args.get_int("jobs"));
+  // Execution mode is NOT part of the checkpoint fingerprint: both loops are
+  // bit-identical, so a stepped-written journal resumes cleanly event-driven
+  // (and vice versa) -- CI exercises exactly that.
+  const bool stepped =
+      args.get_bool("stepped") || env_int("IOGUARD_STEPPED", 0) != 0;
   IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
                            faults::FaultPlan::parse(args.get("faults")));
   const faults::ResilienceConfig resilience;
@@ -232,6 +242,7 @@ Status run(const CliArgs& args) {
     tc.trial_seed = seed_of(t);
     tc.faults = plan;
     tc.resilience = resilience;
+    tc.stepped = stepped;
     if (telemetry_on && t == 0) {
       tc.trace = &events;
       tc.collect_response_times = true;

@@ -10,10 +10,14 @@ Checks, with no third-party dependencies:
     self-consistent (trials_per_second ~= trials / wall_seconds, speedup
     ~= trial_seconds_sum / wall_seconds);
   * totals equal the sum over fan-out stages;
+  * the optional top-level "metrics" object holds finite named scalars
+    (e.g. bench_engine's measured event-vs-stepped speedups);
   * optionally, --min-speedup S asserts the total speedup estimate
-    (CI runs a --jobs=2 smoke and expects parallelism to materialize).
+    (CI runs a --jobs=2 smoke and expects parallelism to materialize);
+  * optionally, --min-metric NAME:S (repeatable) asserts a named metric
+    (CI gates bench_engine's metrics.event_speedup_low_util this way).
 
-Usage: check_bench.py FILE.json [FILE.json ...] [--min-speedup=S]
+Usage: check_bench.py FILE.json [...] [--min-speedup=S] [--min-metric=NAME:S]
 Exit status: 0 all checks pass, 1 any failure (each failure is printed).
 """
 
@@ -75,7 +79,26 @@ def check_batch(name, obj):
             )
 
 
-def check_report(path, min_speedup):
+def check_metrics(name, doc, min_metrics):
+    metrics = doc.get("metrics", {})
+    if not isinstance(metrics, dict):
+        fail(f"{name}: 'metrics' must be an object, got "
+             f"{type(metrics).__name__}")
+        metrics = {}
+    for key, value in metrics.items():
+        if not is_num(value) or not math.isfinite(value):
+            fail(f"{name}: metrics.{key} must be a finite number, "
+                 f"got {value!r}")
+    for key, threshold in min_metrics:
+        value = metrics.get(key)
+        if not is_num(value) or value < threshold:
+            fail(
+                f"{name}: metrics.{key} {value!r} below required minimum "
+                f"{threshold}"
+            )
+
+
+def check_report(path, min_speedup, min_metrics):
     try:
         text = path.read_text()
     except OSError as e:
@@ -120,6 +143,8 @@ def check_report(path, min_speedup):
         else:
             check_nonneg(sname, stage, "wall_seconds")
 
+    check_metrics(name, doc, min_metrics)
+
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         fail(f"{name}: 'totals' missing")
@@ -141,10 +166,18 @@ def check_report(path, min_speedup):
 
 def main(argv):
     min_speedup = None
+    min_metrics = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--min-speedup="):
             min_speedup = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-metric="):
+            spec = arg.split("=", 1)[1]
+            if ":" not in spec:
+                print(f"FAIL: --min-metric wants NAME:THRESHOLD, got {spec!r}")
+                return 1
+            metric, threshold = spec.rsplit(":", 1)
+            min_metrics.append((metric, float(threshold)))
         else:
             paths.append(Path(arg))
     if not paths:
@@ -154,7 +187,7 @@ def main(argv):
         if not path.is_file():
             fail(f"{path}: no such file")
         else:
-            check_report(path, min_speedup)
+            check_report(path, min_speedup, min_metrics)
     if FAILURES:
         print(f"{len(FAILURES)} failure(s)")
         return 1

@@ -21,11 +21,13 @@ std::vector<Slot> sample_points(Slot horizon) {
   constexpr Slot kStrided = 1024;
   std::vector<Slot> pts;
   if (horizon <= kDense + kStrided) {
+    // IOGUARD_LINT_ALLOW(LNT009: tiny-horizon sampler -- every point is checked)
     for (Slot t = 0; t <= horizon; ++t) pts.push_back(t);
     return pts;
   }
   for (Slot t = 0; t <= kDense; ++t) pts.push_back(t);
   const Slot stride = (horizon - kDense) / kStrided + 1;
+  // IOGUARD_LINT_ALLOW(LNT009: strided sampler, bounded point count)
   for (Slot t = kDense + stride; t < horizon; t += stride) pts.push_back(t);
   pts.push_back(horizon);
   return pts;

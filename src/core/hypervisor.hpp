@@ -67,6 +67,23 @@ class Hypervisor {
   /// appended to `out`.
   void tick_slot(Slot now, std::vector<iodev::Completion>& out);
 
+  /// Earliest slot >= `from` at which any device manager has work (min over
+  /// managers' wake hints); kNeverSlot when every channel is idle forever.
+  [[nodiscard]] Slot next_busy_slot(Slot from) const;
+
+  /// Batch-attributes `n` skipped slots as quiescent on every manager
+  /// (event-driven runner; see VirtManager::note_skipped_slots).
+  void note_skipped_slots(std::uint64_t n);
+
+  /// Event-driven mode (DESIGN.md §15): managers whose wake hint lies in the
+  /// future are skipped inside tick_slot (their slot batch-attributed as
+  /// quiescent) instead of paying a full dense tick. Off by default so the
+  /// stepped reference and existing direct users keep the dense path; the
+  /// runner switches it on per trial. Results are bit-identical either way:
+  /// a manager is only skipped when its tick would have been a pure
+  /// ++quiescent no-op.
+  void set_slot_skipping(bool on);
+
   [[nodiscard]] const std::vector<DeviceDesign>& designs() const {
     return designs_;
   }
@@ -130,6 +147,10 @@ class Hypervisor {
  private:
   std::vector<std::unique_ptr<VirtManager>> managers_;  // index = DeviceId
   std::vector<DeviceDesign> designs_;
+  /// Per-manager wake calendar for set_slot_skipping: earliest slot the
+  /// manager must next be ticked (valid only while skip_idle_).
+  std::vector<Slot> wake_;
+  bool skip_idle_ = false;
   std::vector<std::uint8_t> pchannel_tasks_;  ///< bitmap over TaskId.value
   std::vector<Demotion> demotions_;
 };

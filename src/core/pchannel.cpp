@@ -1,5 +1,7 @@
 #include "core/pchannel.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ioguard::core {
@@ -16,6 +18,21 @@ PChannel::PChannel(workload::TaskSet predefined, sched::TimeSlotTable table)
     run_of_task_[t.id.value] = static_cast<std::uint32_t>(runs_.size());
     runs_.push_back(run);
   }
+  const auto& raw = table_.raw();
+  reserved_in_period_.reserve(raw.size() - table_.free_slots());
+  for (Slot s = 0; s < static_cast<Slot>(raw.size()); ++s)
+    if (raw[s] != sched::TimeSlotTable::kFree) reserved_in_period_.push_back(s);
+}
+
+Slot PChannel::next_reserved_slot(Slot from) const {
+  if (reserved_in_period_.empty()) return kNeverSlot;
+  const Slot hp = table_.hyperperiod();
+  const Slot phase = from % hp;
+  const auto it = std::lower_bound(reserved_in_period_.begin(),
+                                   reserved_in_period_.end(), phase);
+  if (it != reserved_in_period_.end()) return from + (*it - phase);
+  // Wrap: the next reservation is the first one of the following period.
+  return from + (hp - phase) + reserved_in_period_.front();
 }
 
 void PChannel::set_jitter_recorder(JitterRecorder* recorder) {

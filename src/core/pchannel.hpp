@@ -36,6 +36,14 @@ class PChannel {
     return table_.is_free_abs(now);
   }
 
+  /// Earliest absolute slot >= `from` that sigma* reserves (kNeverSlot when
+  /// the table is all-free). Wake hint for the event-driven runner: between
+  /// reserved slots an otherwise-idle channel executes nothing, so those
+  /// slots can be skipped and batch-attributed. A binary search over the
+  /// sorted within-hyperperiod reservation list keeps this O(log H) without
+  /// materializing a per-slot array (hyperperiods reach 2^24 slots).
+  [[nodiscard]] Slot next_reserved_slot(Slot from) const;
+
   [[nodiscard]] const sched::TimeSlotTable& table() const { return table_; }
   [[nodiscard]] const workload::TaskSet& tasks() const { return tasks_; }
   [[nodiscard]] Slot busy_slots() const { return busy_slots_; }
@@ -62,6 +70,9 @@ class PChannel {
 
   workload::TaskSet tasks_;
   sched::TimeSlotTable table_;
+  /// Reserved slot indices within one hyperperiod, ascending (built once at
+  /// construction; the table is immutable afterwards).
+  std::vector<Slot> reserved_in_period_;
   // Run state, indexed through run_of_task_ (TaskId.value -> runs_ index,
   // kNoRun when the id is not pre-loaded here). The executor hits this once
   // per reserved slot, so the lookup is a plain array read, not a hash probe.

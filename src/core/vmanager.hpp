@@ -122,6 +122,24 @@ class VirtManager {
     return profile_quiescent_slots_;
   }
 
+  // ---- Event-driven runner support (DESIGN.md §15). ----------------------
+  /// Earliest slot >= `from` at which ticking this manager could execute or
+  /// mutate anything: with R-channel work pending (pool entries, retries,
+  /// or a partially-executed op) every slot matters; otherwise only sigma*
+  /// reservations do. With a fault injector attached every slot draws fault
+  /// RNG, so the hint degenerates to `from` and faulted runs never skip --
+  /// keeping them trivially bit-identical to the stepped reference.
+  [[nodiscard]] Slot next_busy_slot(Slot from) const {
+    if (injector_ != nullptr) return from;
+    if (rchannel_work_pending()) return from;
+    return pchannel_->next_reserved_slot(from);
+  }
+
+  /// Batch attribution for slots the runner proved quiescent and skipped;
+  /// preserves the busy+stall+quiescent == ticks partition bit-identically
+  /// to having ticked each skipped slot.
+  void note_skipped_slots(std::uint64_t n) { profile_quiescent_slots_ += n; }
+
   /// Cycle cost of the virtualization-driver path for the last completion
   /// (request + response translation); sub-slot, reported for calibration.
   [[nodiscard]] const RtTranslator& request_translator() const {

@@ -62,12 +62,12 @@ std::optional<std::uint32_t> DmaEngine::arbitrate() {
   return std::nullopt;
 }
 
-void DmaEngine::tick(Cycle now) {
+sim::Activity DmaEngine::tick(Cycle now) {
   // Arbitration happens at burst boundaries: once a burst starts, the memory
   // port belongs to that channel until the burst's cycles elapse.
   if (!bus_owner_) {
     const auto winner = arbitrate();
-    if (!winner) return;
+    if (!winner) return activity();
     bus_owner_ = winner;
     Channel& ch = channels_[*winner];
     if (!ch.active) {
@@ -94,7 +94,7 @@ void DmaEngine::tick(Cycle now) {
   if (!a.setup_done) {
     if (--a.setup_cycles_left == 0) a.setup_done = true;
     if (a.setup_done) a.burst_cycles_left = config_.cycles_per_burst;
-    return;
+    return activity();
   }
 
   IOGUARD_CHECK(a.burst_cycles_left > 0);
@@ -113,6 +113,7 @@ void DmaEngine::tick(Cycle now) {
     }
     bus_owner_.reset();  // re-arbitrate at the next burst boundary
   }
+  return activity();
 }
 
 }  // namespace ioguard::iodev

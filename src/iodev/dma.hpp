@@ -60,7 +60,7 @@ class DmaEngine : public sim::Tickable {
     on_complete_ = std::move(handler);
   }
 
-  void tick(Cycle now) override;
+  sim::Activity tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "dma"; }
   [[nodiscard]] sim::Activity activity() const override {
     return idle() ? sim::Activity::kQuiescent : sim::Activity::kBusy;

@@ -90,6 +90,19 @@ class FifoController {
     return profile_quiescent_slots_;
   }
 
+  // ---- Event-driven runner support (DESIGN.md §15). ----------------------
+  /// Earliest slot >= `from` at which ticking could do anything: `from`
+  /// while work is queued or in service, kNeverSlot when idle. With a fault
+  /// injector attached every slot draws stall RNG, so the hint degenerates
+  /// to `from` (faulted runs never skip).
+  [[nodiscard]] Slot next_busy_slot(Slot from) const {
+    if (injector_ != nullptr) return from;
+    return idle() ? kNeverSlot : from;
+  }
+
+  /// Batch attribution for slots the runner proved quiescent and skipped.
+  void note_skipped_slots(std::uint64_t n) { profile_quiescent_slots_ += n; }
+
  private:
   struct Active {
     Request request;

@@ -38,9 +38,9 @@ bool InterruptController::pending() const {
   return false;
 }
 
-void InterruptController::tick(Cycle now) {
+sim::Activity InterruptController::tick(Cycle now) {
   if (in_flight_) {
-    if (now < dispatch_done_at_) return;
+    if (now < dispatch_done_at_) return activity();
     Line& l = lines_[*in_flight_];
     InterruptEvent e;
     e.line = *in_flight_;
@@ -52,7 +52,7 @@ void InterruptController::tick(Cycle now) {
     in_flight_.reset();
     ++delivered_;
     if (handler_) handler_(e);
-    return;
+    return activity();
   }
 
   // Highest priority = lowest line index among raised & unmasked lines whose
@@ -65,8 +65,9 @@ void InterruptController::tick(Cycle now) {
       continue;
     in_flight_ = i;
     dispatch_done_at_ = now + config_.dispatch_cycles;
-    return;
+    return activity();
   }
+  return activity();
 }
 
 }  // namespace ioguard::iodev

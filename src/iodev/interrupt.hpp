@@ -47,7 +47,7 @@ class InterruptController : public sim::Tickable {
   using Handler = std::function<void(const InterruptEvent&)>;
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
-  void tick(Cycle now) override;
+  sim::Activity tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "intc"; }
   [[nodiscard]] sim::Activity activity() const override {
     return pending() || in_flight_ ? sim::Activity::kBusy

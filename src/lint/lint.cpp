@@ -165,6 +165,7 @@ const char* code_string(LintCode code) {
     case LintCode::kMalformedSuppression: return "LNT006";
     case LintCode::kStaleSuppression: return "LNT007";
     case LintCode::kEnvDependentResult: return "LNT008";
+    case LintCode::kFullHorizonLoop: return "LNT009";
   }
   return "LNT???";
 }
@@ -195,6 +196,11 @@ const char* code_summary(LintCode code) {
     case LintCode::kEnvDependentResult:
       return "environment read in a module that feeds TrialResult; config "
              "must flow through TrialConfig, not process state";
+    case LintCode::kFullHorizonLoop:
+      return "dense per-slot loop over the full horizon; the event-driven "
+             "runner (DESIGN.md §15) skips quiescent slots -- iterate "
+             "releases/wake hints instead, or suppress with the reason "
+             "(the stepped reference loop is the one sanctioned user)";
   }
   return "?";
 }
@@ -419,6 +425,21 @@ void Linter::scan_source(std::string_view file, std::string_view content) {
               "order by a stable id instead");
           break;
         }
+      }
+      // LNT009: dense full-horizon stepping. A `for (Slot ...)` / `for
+      // (Cycle ...)` loop bounded by a horizon re-introduces O(horizon)
+      // work that the event-driven advance exists to skip; new code should
+      // iterate releases or wake hints. Token-level on purpose: a loop
+      // whose bound is spelled `horizon` (any identifier containing it,
+      // e.g. `horizon_slots`) is exactly the pattern being retired.
+      for (const char* head : {"for (Slot ", "for (Cycle "}) {
+        if (contains(line, head) && contains(line, "horizon"))
+          add(LintCode::kFullHorizonLoop, no,
+              std::string(head) +
+                  "...; ... < horizon ...) steps every slot densely; the "
+                  "event-driven core (DESIGN.md §15) jumps quiescent "
+                  "stretches -- iterate releases/wake hints, or suppress "
+                  "naming why dense stepping is required");
       }
       // LNT008: process environment reaching result bytes.
       if (has_token_call(line, "getenv") || contains(line, "std::getenv") ||

@@ -40,9 +40,10 @@ enum class LintCode : std::uint16_t {
   kMalformedSuppression = 6,    ///< LNT006: bad IOGUARD_LINT_ALLOW marker
   kStaleSuppression = 7,        ///< LNT007: suppression with no finding
   kEnvDependentResult = 8,      ///< LNT008: env read in result module
+  kFullHorizonLoop = 9,         ///< LNT009: dense per-slot loop over horizon
 };
 
-inline constexpr std::size_t kLintCodeCount = 8;
+inline constexpr std::size_t kLintCodeCount = 9;
 
 /// Stable string form, e.g. kUnorderedContainer -> "LNT003".
 [[nodiscard]] const char* code_string(LintCode code);

@@ -163,9 +163,10 @@ void Mesh::set_delivery_handler(NodeId node, Nic::DeliveryHandler handler) {
       });
 }
 
-void Mesh::tick(Cycle now) {
+sim::Activity Mesh::tick(Cycle now) {
   for (auto& r : routers_) r->tick(now);
   for (auto& nic : nics_) nic->tick(now);
+  return activity();
 }
 
 Cycle Mesh::zero_load_latency(NodeId src, NodeId dst,

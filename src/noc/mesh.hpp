@@ -90,7 +90,7 @@ class Mesh : public sim::Tickable {
   /// Delivery callback for packets arriving at `node`.
   void set_delivery_handler(NodeId node, Nic::DeliveryHandler handler);
 
-  void tick(Cycle now) override;
+  sim::Activity tick(Cycle now) override;
   [[nodiscard]] std::string name() const override { return "mesh"; }
   [[nodiscard]] sim::Activity activity() const override {
     return idle() ? sim::Activity::kQuiescent : sim::Activity::kBusy;

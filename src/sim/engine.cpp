@@ -1,6 +1,6 @@
 #include "sim/engine.hpp"
 
-#include <memory>
+#include <algorithm>
 
 namespace ioguard::sim {
 
@@ -8,6 +8,29 @@ void Engine::add(Tickable* component) {
   IOGUARD_CHECK(component != nullptr);
   components_.push_back(component);
   activity_counts_.push_back({0, 0, 0});
+  hinted_.push_back(component->provides_wake_hints() ? 1 : 0);
+  parked_.push_back(0);
+  parked_since_.push_back(0);
+  ++active_count_;
+}
+
+void Engine::enable_profiling(bool on) {
+  // Parked stretches must not straddle a profiling boundary: flush what was
+  // accrued under the old setting and restart the parked clocks, so counts
+  // cover exactly the cycles run while profiling was enabled.
+  sync_parked_attribution();
+  profiling_ = on;
+}
+
+void Engine::sync_parked_attribution() {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (!parked_[i]) continue;
+    if (profiling_) {
+      activity_counts_[i][static_cast<std::size_t>(Activity::kQuiescent)] +=
+          now_ - parked_since_[i];
+    }
+    parked_since_[i] = now_;
+  }
 }
 
 std::vector<ComponentProfile> Engine::profile() const {
@@ -19,6 +42,9 @@ std::vector<ComponentProfile> Engine::profile() const {
     p.busy_cycles = activity_counts_[i][0];
     p.stall_cycles = activity_counts_[i][1];
     p.quiescent_cycles = activity_counts_[i][2];
+    // A still-parked component's quiescent time accrues lazily; fold the
+    // open stretch in so the partition covers every profiled cycle.
+    if (profiling_ && parked_[i]) p.quiescent_cycles += now_ - parked_since_[i];
     out.push_back(std::move(p));
   }
   return out;
@@ -29,32 +55,72 @@ void Engine::at(Cycle when, std::function<void(Cycle)> fn) {
   events_.push(Event{when, seq_++, std::move(fn)});
 }
 
-namespace {
-
-// Self-rescheduling wrapper for Engine::every. Each firing copies itself
-// into the next event, so ownership stays with the event queue -- no
-// shared_ptr self-capture cycle.
-struct Repeater {
-  Engine* engine;
-  Cycle period;
-  std::function<void(Cycle)> fn;
-
-  void operator()(Cycle t) const {
-    fn(t);
-    engine->at(t + period, *this);
-  }
-};
-
-}  // namespace
-
 void Engine::every(Cycle start, Cycle period, std::function<void(Cycle)> fn) {
   IOGUARD_CHECK(period > 0);
-  at(start, Repeater{this, period, std::move(fn)});
+  const std::size_t index = repeaters_.size();
+  repeaters_.push_back(Repeater{period, std::move(fn)});
+  schedule_repeater(index, start);
+}
+
+void Engine::schedule_repeater(std::size_t index, Cycle when) {
+  // The handler stays in its stable repeaters_ slot; each firing re-arms
+  // this two-word thunk (fits std::function's small-buffer storage), so a
+  // periodic event costs no per-period handler copy or heap allocation.
+  at(when, [this, index](Cycle t) {
+    repeaters_[index].fn(t);
+    schedule_repeater(index, t + repeaters_[index].period);
+  });
+}
+
+void Engine::park(std::size_t index, Cycle until) {
+  parked_[index] = 1;
+  parked_since_[index] = now_ + 1;  // first cycle it will not be ticked
+  --active_count_;
+  calendar_.arm(until, static_cast<std::uint32_t>(index));
+}
+
+void Engine::unpark(std::size_t index) {
+  if (!parked_[index]) return;  // stale calendar entry after an early wake
+  parked_[index] = 0;
+  ++active_count_;
+  if (profiling_) {
+    // Cycles parked_since_..now_-1 passed without a tick; the component had
+    // hinted them away, so they are quiescent by contract.
+    activity_counts_[index][static_cast<std::size_t>(Activity::kQuiescent)] +=
+        now_ - parked_since_[index];
+  }
+}
+
+void Engine::wake(Tickable* component) {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] == component) {
+      unpark(i);
+      return;
+    }
+  }
 }
 
 void Engine::run_until(Cycle end) {
   stop_requested_ = false;
   while (now_ <= end && !stop_requested_) {
+    if (active_count_ == 0) {
+      // Everything is parked: nothing observable can happen before the next
+      // timed event or calendar wake, so jump straight there (or past the
+      // end of the run, which terminates the loop with now_ == end + 1,
+      // exactly where dense stepping would have left it).
+      Cycle target = end + 1;
+      if (!events_.empty()) target = std::min(target, events_.top().when);
+      if (!calendar_.empty()) target = std::min(target, calendar_.next_wake());
+      now_ = std::max(now_, target);
+      if (now_ > end) break;
+    }
+    if (!calendar_.empty() && calendar_.next_wake() <= now_) {
+      // Due wakes re-enter the dense set before events fire and components
+      // tick, so a woken component ticks this cycle in registration order.
+      due_scratch_.clear();
+      calendar_.pop_due_through(now_, due_scratch_);
+      for (const std::uint32_t id : due_scratch_) unpark(id);
+    }
     while (!events_.empty() && events_.top().when == now_) {
       // Detach before pop: fn may schedule new events. Moving the handler
       // out of the (const) top element is safe -- the heap is ordered by
@@ -63,14 +129,14 @@ void Engine::run_until(Cycle end) {
       events_.pop();
       fn(now_);
     }
-    if (profiling_) {
-      for (std::size_t i = 0; i < components_.size(); ++i) {
-        components_[i]->tick(now_);
-        ++activity_counts_[i][static_cast<std::size_t>(
-            components_[i]->activity())];
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (parked_[i]) continue;
+      const Activity act = components_[i]->tick(now_);
+      if (profiling_) ++activity_counts_[i][static_cast<std::size_t>(act)];
+      if (hinted_[i]) {
+        const Cycle wake_at = components_[i]->next_event(now_);
+        if (wake_at > now_ + 1) park(i, wake_at);
       }
-    } else {
-      for (Tickable* c : components_) c->tick(now_);
     }
     ++now_;
   }

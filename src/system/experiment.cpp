@@ -82,6 +82,7 @@ PointResult run_point(const EvaluatedSystem& system, std::size_t num_vms,
         tc.cal = cfg.cal;
         tc.faults = cfg.faults;
         tc.resilience = cfg.resilience;
+        tc.stepped = cfg.stepped;
         return tc;
       },
       policy, /*metrics=*/nullptr, timing ? &batch : nullptr);

@@ -60,6 +60,11 @@ struct ExperimentConfig {
   faults::FaultPlan faults;
   faults::ResilienceConfig resilience;
 
+  /// Run every trial on the slot-stepped reference loop instead of the
+  /// event-driven advance (TrialConfig::stepped). Results are bit-identical
+  /// either way; this is the CI equivalence oracle / escape hatch.
+  bool stepped = false;
+
   // --- supervision / crash safety (all optional; see DESIGN.md §12) ------
   /// Soft per-trial deadline in seconds (0 = off); overruns are flagged as
   /// wedged in the point result, never killed.

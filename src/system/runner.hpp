@@ -72,6 +72,14 @@ struct TrialConfig {
   std::string flight_stem = "trial0";  ///< per-trial filename stem
   std::size_t flight_last_n = 64;
   std::size_t flight_max_dumps = 4;
+
+  // --- execution mode (DESIGN.md §15) -------------------------------------
+  /// Force the retained slot-stepped reference loop instead of the
+  /// event-driven next-slot advance. Both modes are bit-identical by
+  /// contract (results, telemetry, checkpoints, flight dumps); the stepped
+  /// loop exists as the trusted oracle CI diffs the calendar path against,
+  /// and as an escape hatch (`ioguard_cli --stepped` / IOGUARD_STEPPED=1).
+  bool stepped = false;
 };
 
 /// Fault/resilience outcome of one trial; every field is 0 when the plan is

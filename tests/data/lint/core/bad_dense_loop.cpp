@@ -1,0 +1,29 @@
+// Lint fixture: LNT009 -- dense full-horizon stepping in a deterministic
+// module. Slot/Cycle loops bounded by a horizon fire; loops over other
+// bounds, or with a written suppression, do not.
+#include <cstdint>
+
+using Slot = std::uint64_t;
+using Cycle = std::uint64_t;
+
+void dense(Slot horizon) {
+  for (Slot now = 0; now < horizon; ++now) {  // line 10: LNT009
+  }
+}
+
+void dense_cycles(Cycle horizon_cycles) {
+  for (Cycle now = 0; now < horizon_cycles; ++now) {  // line 15: LNT009
+  }
+}
+
+void sanctioned(Slot horizon) {
+  // IOGUARD_LINT_ALLOW(LNT009: fixture -- reference simulator is dense)
+  for (Slot now = 0; now < horizon; ++now) {  // line 21: suppressed
+  }
+}
+
+void fine(Slot releases) {
+  // Bounded by the release count, not the horizon: no finding.
+  for (Slot i = 0; i < releases; ++i) {
+  }
+}

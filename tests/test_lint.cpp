@@ -51,7 +51,7 @@ TEST(LintCodes, StableStringsRoundTrip) {
 TEST(LintCodes, ParseRejectsUnknownSpellings) {
   LintCode code{};
   EXPECT_FALSE(parse_code("LNT000", &code));
-  EXPECT_FALSE(parse_code("LNT009", &code));
+  EXPECT_FALSE(parse_code("LNT010", &code));
   EXPECT_FALSE(parse_code("LNT1", &code));
   EXPECT_FALSE(parse_code("SIG101", &code));
   EXPECT_FALSE(parse_code("LNT00a", &code));
@@ -113,6 +113,30 @@ TEST(LintScan, FixtureBadUnordered) {
       {"LNT008", 16, false},  // std::getenv
   };
   EXPECT_EQ(got, want);
+}
+
+TEST(LintScan, FixtureBadDenseLoop) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/core/bad_dense_loop.cpp"));
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT009", 10, false},  // for (Slot ... < horizon)
+      {"LNT009", 15, false},  // for (Cycle ... < horizon_cycles)
+      {"LNT009", 21, true},   // sanctioned reference loop, marker above
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(linter.active_count(), 2u);
+}
+
+TEST(LintScan, DenseLoopRuleIsModuleScoped) {
+  // The same loop outside a deterministic module is legal: analysis
+  // utilities and tools may step densely without a marker.
+  Linter linter;
+  linter.scan_source("tools/sweep_tool.cpp",
+                     "void f(Slot horizon) {\n"
+                     "  for (Slot t = 0; t < horizon; ++t) {}\n"
+                     "}\n");
+  EXPECT_TRUE(linter.findings().empty());
 }
 
 TEST(LintScan, FixtureClockUseScopesModuleRules) {

@@ -493,10 +493,11 @@ TEST_F(FlightTest, CheckpointRoundTripsObservabilityFields) {
 class ToggleComponent : public sim::Tickable {
  public:
   explicit ToggleComponent(std::string name) : name_(std::move(name)) {}
-  void tick(Cycle now) override {
+  sim::Activity tick(Cycle now) override {
     activity_ = now % 3 == 0   ? sim::Activity::kBusy
                 : now % 3 == 1 ? sim::Activity::kStall
                                : sim::Activity::kQuiescent;
+    return activity_;
   }
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] sim::Activity activity() const override { return activity_; }

@@ -13,7 +13,10 @@ namespace {
 /// Records the cycles at which it was ticked.
 class Recorder : public Tickable {
  public:
-  void tick(Cycle now) override { ticks.push_back(now); }
+  Activity tick(Cycle now) override {
+    ticks.push_back(now);
+    return Activity::kBusy;
+  }
   [[nodiscard]] std::string name() const override { return "recorder"; }
   std::vector<Cycle> ticks;
 };
@@ -112,6 +115,160 @@ TEST(Engine, ComponentCount) {
   engine.add(&b);
   EXPECT_EQ(engine.component_count(), 2u);
   EXPECT_THROW(engine.add(nullptr), CheckFailure);
+}
+
+/// Busy on the first `busy` cycles of every `period`, quiescent otherwise.
+/// With `hinted` set it reports the next burst start so the engine can park
+/// it between bursts; without, it is the identical dense component.
+class Pulser : public Tickable {
+ public:
+  Pulser(Cycle busy, Cycle period, bool hinted)
+      : busy_(busy), period_(period), hinted_(hinted) {}
+
+  Activity tick(Cycle now) override {
+    ticks.push_back(now);
+    if (now % period_ < busy_) {
+      ++work;
+      return Activity::kBusy;
+    }
+    return Activity::kQuiescent;
+  }
+  [[nodiscard]] std::string name() const override { return "pulser"; }
+  [[nodiscard]] bool provides_wake_hints() const override { return hinted_; }
+  [[nodiscard]] Cycle next_event(Cycle now) const override {
+    const Cycle pos = now % period_;
+    return pos < busy_ ? now + 1 : now + (period_ - pos);
+  }
+
+  std::vector<Cycle> ticks;
+  std::uint64_t work = 0;
+
+ private:
+  Cycle busy_;
+  Cycle period_;
+  bool hinted_;
+};
+
+TEST(EngineCalendar, HintedComponentDoesSameWorkWithFewerTicks) {
+  Engine dense_engine, cal_engine;
+  Pulser dense(3, 10, false), cal(3, 10, true);
+  dense_engine.add(&dense);
+  cal_engine.add(&cal);
+  dense_engine.run_until(99);
+  cal_engine.run_until(99);
+  EXPECT_EQ(dense_engine.now(), cal_engine.now());
+  EXPECT_EQ(dense.work, cal.work);          // identical useful work...
+  EXPECT_EQ(dense.ticks.size(), 100u);
+  EXPECT_LT(cal.ticks.size(), 50u);         // ...with the gaps jumped
+  // Every busy cycle was actually ticked: parking never skips work.
+  std::size_t i = 0;
+  for (Cycle c = 0; c < 100; ++c) {
+    if (c % 10 < 3) {
+      while (i < cal.ticks.size() && cal.ticks[i] < c) ++i;
+      ASSERT_LT(i, cal.ticks.size());  // extra edge ticks are allowed,
+      EXPECT_EQ(cal.ticks[i], c);      // missing busy cycles are not
+    }
+  }
+}
+
+TEST(EngineCalendar, ParkedCountAndMidRunState) {
+  Engine engine;
+  Pulser p(1, 100, true);
+  engine.add(&p);
+  engine.run_until(10);  // busy at 0, parked until 100
+  EXPECT_EQ(engine.parked_count(), 1u);
+  EXPECT_EQ(engine.component_count(), 1u);
+  engine.run_until(100);
+  EXPECT_EQ(p.work, 2u);  // cycles 0 and 100
+}
+
+TEST(EngineCalendar, AtDuringJumpFiresAtExactCycle) {
+  Engine engine;
+  Pulser p(1, 1000, true);
+  engine.add(&p);
+  std::vector<Cycle> fired;
+  engine.at(500, [&](Cycle now) { fired.push_back(now); });
+  engine.run_until(999);
+  // The event interrupted the 1..999 quiescent jump at exactly cycle 500.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 500u);
+}
+
+TEST(EngineCalendar, SameCycleEventsKeepFifoOrderAcrossJump) {
+  Engine engine;
+  Pulser p(1, 1000, true);  // parked across the event cycle
+  engine.add(&p);
+  std::vector<int> order;
+  engine.at(700, [&](Cycle) { order.push_back(1); });
+  engine.at(700, [&](Cycle) { order.push_back(2); });
+  engine.at(300, [&](Cycle) { order.push_back(0); });
+  engine.run_until(999);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(EngineCalendar, StopMidJumpHaltsAtTheEventCycle) {
+  Engine engine;
+  Pulser p(1, 1000, true);
+  engine.add(&p);
+  engine.at(400, [&](Cycle) { engine.stop(); });
+  engine.run_until(999);
+  EXPECT_EQ(engine.now(), 401u);  // stopped right after the jumped-to cycle
+  engine.run_until(999);          // and resumes cleanly
+  EXPECT_EQ(engine.now(), 1000u);
+}
+
+TEST(EngineCalendar, EveryFiresIdenticallyHintedAndDense) {
+  Engine dense_engine, cal_engine;
+  Pulser dense(2, 50, false), cal(2, 50, true);
+  dense_engine.add(&dense);
+  cal_engine.add(&cal);
+  std::vector<Cycle> dense_fired, cal_fired;
+  dense_engine.every(3, 7, [&](Cycle now) { dense_fired.push_back(now); });
+  cal_engine.every(3, 7, [&](Cycle now) { cal_fired.push_back(now); });
+  dense_engine.run_until(499);
+  cal_engine.run_until(499);
+  EXPECT_EQ(dense_fired, cal_fired);  // periodic events ignore parking
+  EXPECT_EQ(dense.work, cal.work);
+}
+
+TEST(EngineCalendar, ParkedCyclesAttributedQuiescent) {
+  Engine dense_engine, cal_engine;
+  Pulser dense(5, 40, false), cal(5, 40, true);
+  dense_engine.add(&dense);
+  cal_engine.add(&cal);
+  dense_engine.enable_profiling();
+  cal_engine.enable_profiling();
+  dense_engine.run_until(399);
+  cal_engine.run_until(399);
+  const auto dp = dense_engine.profile();
+  const auto cp = cal_engine.profile();
+  ASSERT_EQ(dp.size(), 1u);
+  ASSERT_EQ(cp.size(), 1u);
+  // Bit-identical attribution: parked stretches count as quiescent, so the
+  // three counters partition the 400 profiled cycles in both engines.
+  EXPECT_EQ(dp[0].busy_cycles, cp[0].busy_cycles);
+  EXPECT_EQ(dp[0].stall_cycles, cp[0].stall_cycles);
+  EXPECT_EQ(dp[0].quiescent_cycles, cp[0].quiescent_cycles);
+  EXPECT_EQ(cp[0].total_cycles(), 400u);
+}
+
+TEST(EngineCalendar, WakeReArmsParkedComponent) {
+  Engine engine;
+  Pulser p(1, 1000, true);
+  engine.add(&p);
+  engine.run_until(10);
+  ASSERT_EQ(engine.parked_count(), 1u);
+  engine.wake(&p);  // external stimulus before the hinted cycle
+  EXPECT_EQ(engine.parked_count(), 0u);
+  const std::size_t before = p.ticks.size();
+  engine.run_until(11);
+  // Ticking early is safe by the next_event contract; the component just
+  // reports quiescent and re-parks.
+  EXPECT_GT(p.ticks.size(), before);
+  EXPECT_EQ(engine.parked_count(), 1u);
 }
 
 TEST(Log, ThresholdFiltering) {

@@ -2,6 +2,9 @@
 // on all four architectures, and the software footprint model (Fig. 6).
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "system/config.hpp"
 #include "system/experiment.hpp"
 #include "system/runner.hpp"
@@ -181,6 +184,54 @@ TEST(Runner, DeviceBusyFractionTracksUtilization) {
 TEST(Runner, IoGuardAdmissionReportedAtLowLoad) {
   const auto r = run_trial(base_trial(SystemKind::kIoGuard, 0.45, 0.4));
   EXPECT_TRUE(r.admitted);
+}
+
+/// Full trial summary (config echo + every result figure) as bytes, the
+/// same serialization CI artifacts use — so equality here is equality of
+/// everything a consumer can observe from a trial.
+std::string summary_bytes(const TrialConfig& tc) {
+  std::ostringstream os;
+  write_trial_summary_json(os, tc, run_trial(tc));
+  return os.str();
+}
+
+TEST(Runner, EventDrivenMatchesSteppedReferenceAllSystems) {
+  for (const SystemKind kind :
+       {SystemKind::kLegacy, SystemKind::kBlueVisor, SystemKind::kRtXen,
+        SystemKind::kIoGuard}) {
+    auto tc = base_trial(kind, 0.5, 0.4);
+    tc.stepped = false;
+    const std::string event = summary_bytes(tc);
+    tc.stepped = true;
+    const std::string stepped = summary_bytes(tc);
+    EXPECT_EQ(event, stepped) << "system kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Runner, EventDrivenMatchesSteppedReferenceUnderFaults) {
+  auto tc = base_trial(SystemKind::kIoGuard, 0.6, 0.5);
+  auto plan = faults::FaultPlan::parse("mixed");
+  ASSERT_TRUE(plan.ok());
+  tc.faults = *plan;
+  tc.stepped = false;
+  const std::string event = summary_bytes(tc);
+  tc.stepped = true;
+  EXPECT_EQ(event, summary_bytes(tc));
+}
+
+TEST(Runner, EventDrivenMatchesSteppedReferenceWithObservability) {
+  // Profiling exercises the skipped-slot attribution: quiescent stretches
+  // the event loop jumps must land in the same per-component counters the
+  // dense loop fills one slot at a time.
+  for (const double util : {0.05, 0.9}) {
+    auto tc = base_trial(SystemKind::kIoGuard, util, 0.3);
+    tc.collect_profile = true;
+    tc.collect_jitter = true;
+    tc.stepped = false;
+    const std::string event = summary_bytes(tc);
+    tc.stepped = true;
+    EXPECT_EQ(event, summary_bytes(tc)) << "util " << util;
+  }
 }
 
 TEST(Runner, HorizonOverrideRespected) {
