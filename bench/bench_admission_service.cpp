@@ -1,0 +1,232 @@
+// EXP-SVC -- admission-service throughput (ISSUE-9): replays a tenant-churn
+// request stream through two service::AdmissionEngines -- one memoizing, one
+// doing full re-analysis -- byte-compares every decision (the incremental
+// engine must be an optimization, never a semantic change), and reports
+// admissions/sec plus the incremental-vs-full speedup into
+// BENCH_admission_service.json (CI gates on incremental_speedup >= 5).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sched/slot_table.hpp"
+#include "service/admission_engine.hpp"
+#include "workload/generator.hpp"
+#include "workload/task.hpp"
+
+namespace {
+
+using namespace ioguard;
+using service::AdmissionEngine;
+using service::AdmissionEngineConfig;
+using service::AdmissionRequest;
+using service::RequestOp;
+
+constexpr std::size_t kVms = 48;
+constexpr std::size_t kChurn = 600;
+constexpr std::size_t kReps = 3;  ///< timing repetitions; minimum is reported
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The serving table: 1000 slots, ~30% reserved for the P-channel.
+sched::TimeSlotTable serving_table() {
+  Rng rng(7);
+  sched::TimeSlotTable t(1000);
+  for (Slot s = 0; s < t.hyperperiod(); ++s)
+    if (rng.bernoulli(0.3)) t.reserve(s, TaskId{0});
+  return t;
+}
+
+workload::TaskSet vm_profile(Rng& rng, std::size_t vm, double util) {
+  workload::TaskSet ts;
+  const std::size_t n = 4 + vm % 3;
+  const auto shares = workload::uunifast(rng, n, util);
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::IoTaskSpec s;
+    s.id = TaskId{static_cast<std::uint32_t>(vm * 16 + i)};
+    s.vm = VmId{static_cast<std::uint32_t>(vm)};
+    s.device = DeviceId{0};
+    s.name = "svc" + std::to_string(vm) + "_" + std::to_string(i);
+    s.period = static_cast<Slot>(rng.log_uniform(200, 2000));
+    s.deadline = s.period - rng.uniform_int(0, s.period / 10);
+    s.wcet = std::max<Slot>(
+        1, static_cast<Slot>(shares[i] * static_cast<double>(s.period)));
+    if (s.wcet > s.deadline) s.wcet = s.deadline;
+    s.payload_bytes = 16;
+    ts.add(s);
+  }
+  return ts;
+}
+
+/// Warm-up admissions for every VM, then `kChurn` seed-driven evict /
+/// re-admit / update events over the same profiles (profile re-use is what
+/// a memoizing engine monetizes: production tenants churn the same images).
+struct Script {
+  std::vector<AdmissionRequest> requests;
+  std::size_t warmup = 0;
+};
+
+Script build_script() {
+  Script script;
+  Rng rng(2026);
+  std::vector<workload::TaskSet> profiles;
+  profiles.reserve(kVms);
+  // Keep the whole fleet inside ~half the free bandwidth so admissions
+  // mostly succeed and the churn exercises commits, not rejections.
+  for (std::size_t v = 0; v < kVms; ++v)
+    profiles.push_back(vm_profile(rng, v, 0.35 / static_cast<double>(kVms)));
+
+  const auto tenant_of = [](std::size_t i) {
+    return "tenant" + std::to_string(i % 4);
+  };
+  const auto vm_of = [](std::size_t i) { return "vm" + std::to_string(i); };
+
+  std::vector<bool> admitted(kVms, false);
+  for (std::size_t i = 0; i < kVms; ++i) {
+    AdmissionRequest r;
+    r.op = RequestOp::kAdmit;
+    r.tenant = tenant_of(i);
+    r.vm = vm_of(i);
+    r.tasks = profiles[i];
+    script.requests.push_back(std::move(r));
+    admitted[i] = true;
+  }
+  script.warmup = script.requests.size();
+
+  std::uint64_t state = 99;
+  for (std::size_t e = 0; e < kChurn; ++e) {
+    state += 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t r = splitmix64_step(state);
+    const auto i = static_cast<std::size_t>(r % kVms);
+    AdmissionRequest req;
+    req.tenant = tenant_of(i);
+    req.vm = vm_of(i);
+    if (!admitted[i]) {
+      req.op = RequestOp::kAdmit;
+      req.tasks = profiles[i];
+      admitted[i] = true;
+    } else if (((r >> 32) & 1) != 0) {
+      req.op = RequestOp::kUpdate;
+      req.tasks = profiles[i];
+    } else {
+      req.op = RequestOp::kEvict;
+      admitted[i] = false;
+    }
+    script.requests.push_back(std::move(req));
+  }
+  return script;
+}
+
+/// Replays the script on a fresh engine; returns the wall time of the churn
+/// portion (warm-up excluded) and appends every decision's canonical string
+/// to `decisions` (errors would be a bench bug: the script is well-formed).
+double replay(const sched::TimeSlotTable& table, bool memoize,
+              const Script& script, std::vector<std::string>& decisions) {
+  AdmissionEngineConfig config;
+  config.memoize = memoize;
+  AdmissionEngine engine(table, config);
+  for (std::size_t i = 0; i < script.warmup; ++i) {
+    const auto d = engine.handle(script.requests[i]);
+    decisions.push_back(d.ok() ? d->canonical_string()
+                               : "error|" + d.status().to_string());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = script.warmup; i < script.requests.size(); ++i) {
+    const auto d = engine.handle(script.requests[i]);
+    decisions.push_back(d.ok() ? d->canonical_string()
+                               : "error|" + d.status().to_string());
+  }
+  return seconds_since(t0);
+}
+
+void service_sweep(bench::BenchReport& report) {
+  const auto table = serving_table();
+  const Script script = build_script();
+
+  double memo_best = 0.0, full_best = 0.0;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    std::vector<std::string> memo_decisions, full_decisions;
+    const double memo_s = replay(table, true, script, memo_decisions);
+    const double full_s = replay(table, false, script, full_decisions);
+    if (memo_decisions != full_decisions) {
+      std::cerr << "UNSOUND: memoized and full-re-analysis decisions "
+                   "diverge; timing is meaningless\n";
+      std::exit(1);
+    }
+    memo_best = rep == 0 ? memo_s : std::min(memo_best, memo_s);
+    full_best = rep == 0 ? full_s : std::min(full_best, full_s);
+  }
+
+  const double churn = static_cast<double>(kChurn);
+  const double admissions_per_second = churn / memo_best;
+  const double speedup = full_best / memo_best;
+
+  std::cout << "=== Admission service: " << kVms << " VMs, " << kChurn
+            << " churn events (best of " << kReps << ") ===\n";
+  TextTable t({"mode", "churn wall (s)", "admissions/sec"});
+  t.add("memoized", fmt_double(memo_best, 6),
+        fmt_double(admissions_per_second, 1));
+  t.add("full re-analysis", fmt_double(full_best, 6),
+        fmt_double(churn / full_best, 1));
+  t.render(std::cout);
+  std::cout << "incremental speedup: " << fmt_double(speedup, 2)
+            << "x (decisions byte-identical)\n\n";
+
+  report.add_stage_seconds("churn_memoized", memo_best);
+  report.add_stage_seconds("churn_full_reanalysis", full_best);
+  report.add_metric("admissions_per_second", admissions_per_second);
+  report.add_metric("incremental_speedup", speedup);
+}
+
+void BM_HandleMemoized(benchmark::State& state) {
+  const auto table = serving_table();
+  const Script script = build_script();
+  AdmissionEngine engine(table, AdmissionEngineConfig{});
+  for (std::size_t i = 0; i < script.warmup; ++i)
+    (void)engine.handle(script.requests[i]);
+  AdmissionRequest update = script.requests[0];
+  update.op = RequestOp::kUpdate;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.handle(update)->admitted);
+}
+BENCHMARK(BM_HandleMemoized)->Unit(benchmark::kMicrosecond);
+
+void BM_HandleFull(benchmark::State& state) {
+  const auto table = serving_table();
+  const Script script = build_script();
+  AdmissionEngineConfig config;
+  config.memoize = false;
+  AdmissionEngine engine(table, config);
+  for (std::size_t i = 0; i < script.warmup; ++i)
+    (void)engine.handle(script.requests[i]);
+  AdmissionRequest update = script.requests[0];
+  update.op = RequestOp::kUpdate;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.handle(update)->admitted);
+}
+BENCHMARK(BM_HandleFull)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::parse_bench_flags(&argc, argv);
+
+  bench::BenchReport report("admission_service");
+  service_sweep(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

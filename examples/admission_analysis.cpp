@@ -1,7 +1,9 @@
 // Walkthrough of the Sec. IV analysis on a concrete device: builds the Time
-// Slot Table for the pre-defined tasks, synthesizes per-VM servers, runs
-// Theorems 1-4, and cross-checks the admission verdict against a reference
-// P-EDF simulation on the table's free slots.
+// Slot Table for the pre-defined tasks, admits each VM through the
+// service::AdmissionEngine façade (which synthesizes per-VM servers and runs
+// Theorems 2 + 4), re-runs the exhaustive theorems for agreement, and
+// cross-checks the verdict against a reference P-EDF simulation on the
+// table's free slots.
 //
 //   $ ./build/examples/admission_analysis
 #include <iostream>
@@ -11,8 +13,8 @@
 #include "common/table.hpp"
 #include "sched/admission.hpp"
 #include "sched/edf_ref.hpp"
-#include "sched/server_design.hpp"
 #include "sched/slot_table.hpp"
+#include "service/admission_engine.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
@@ -53,32 +55,46 @@ Status run() {
     std::cout << "sbf(" << t << ")=" << supply.sbf(t) << "  ";
   std::cout << "\n\n";
 
-  // 2. G-Sched servers per VM (Theorem 4 synthesis + Theorem 2 check).
-  std::vector<workload::TaskSet> vm_tasks;
-  for (std::uint32_t v = 0; v < wcfg.num_vms; ++v)
-    vm_tasks.push_back(runtime.filter_vm(VmId{v}));
-  const auto design = design_system(supply, vm_tasks);
+  // 2. Admit each VM through the service façade: the engine synthesizes a
+  //    G-Sched server (Theorem 4) and re-checks the fleet (Theorem 2) on
+  //    every request, exactly as the long-lived daemon would.
+  service::AdmissionEngine engine(build.table,
+                                  service::AdmissionEngineConfig{});
+  bool all_applied = true;
+  for (std::uint32_t v = 0; v < wcfg.num_vms; ++v) {
+    const auto vm_set = runtime.filter_vm(VmId{v});
+    if (vm_set.empty()) continue;
+    service::AdmissionRequest req;
+    req.op = service::RequestOp::kAdmit;
+    req.tenant = "can";
+    req.vm = "vm" + std::to_string(v);
+    req.tasks = vm_set;
+    IOGUARD_ASSIGN_OR_RETURN(const auto decision, engine.handle(req));
+    if (!decision.applied) all_applied = false;
+  }
+
+  service::AdmissionRequest query;
+  query.op = service::RequestOp::kQuery;
+  IOGUARD_ASSIGN_OR_RETURN(const auto fleet, engine.handle(query));
 
   TextTable servers({"VM", "tasks", "util", "Pi", "Theta", "bandwidth",
                      "Theorem 4"});
-  for (std::size_t v = 0; v < vm_tasks.size(); ++v) {
-    const auto& s = design.servers[v];
-    servers.add(v, vm_tasks[v].size(), fmt_double(vm_tasks[v].utilization(), 3),
-                s.pi, s.theta, fmt_double(s.bandwidth(), 3),
-                std::string(s.theta == 0 || theorem4_check(s, vm_tasks[v])
-                                ? "pass"
-                                : "fail"));
-  }
+  for (const auto& v : fleet.per_vm)
+    servers.add(v.vm, v.task_count, fmt_double(v.utilization, 3), v.server.pi,
+                v.server.theta, fmt_double(v.server.bandwidth(), 3),
+                std::string(v.local.schedulable ? "pass" : "fail"));
   servers.render(std::cout);
-  std::cout << "system admission: "
-            << (design.feasible ? "SCHEDULABLE" : "REJECTED (" +
-                                                      design.reason + ")")
-            << "\n\n";
+  const bool feasible = all_applied && fleet.admitted;
+  std::cout << "system admission (service facade): "
+            << (feasible ? "SCHEDULABLE"
+                         : "REJECTED (" + fleet.reason + ")")
+            << "  [fleet fingerprint 0x" << std::hex << fleet.fleet_fingerprint
+            << std::dec << "]\n\n";
 
   // 3. Exhaustive vs pseudo-polynomial agreement on the global layer.
   std::vector<ServerParams> active;
-  for (const auto& s : design.servers)
-    if (s.theta > 0) active.push_back(s);
+  for (const auto& v : fleet.per_vm)
+    if (v.server.theta > 0) active.push_back(v.server);
   const auto t1 = theorem1_exhaustive(supply, active);
   const auto t2 = theorem2_check(supply, active);
   std::cout << "Theorem 1 (exhaustive, checked to t<" << t1.checked_until
@@ -96,7 +112,7 @@ Status run() {
       trace, [&](Slot s) { return build.table.is_free_abs(s); }, acfg.horizon);
   std::cout << "reference P-EDF on free slots: " << trace.size() << " jobs, "
             << sim.misses << " misses over " << acfg.horizon << " slots\n";
-  if (design.feasible && sim.misses == 0)
+  if (feasible && sim.misses == 0)
     std::cout << "analysis and execution agree: admitted and no misses.\n";
   return OkStatus();
 }

@@ -27,6 +27,7 @@
 #include "analysis/verifier.hpp"
 #include "analysis/verify_checkpoint.hpp"
 #include "analysis/verify_resilience.hpp"
+#include "analysis/verify_service.hpp"
 #include "common/checksum.hpp"
 #include "common/cli.hpp"
 #include "common/status.hpp"
@@ -64,6 +65,7 @@ constexpr Corruption kCorruptions[] = {
     {"bad-util", "CFG005", "set target utilization above 1"},
     {"zero-trials", "CFG006", "configure an experiment with zero trials"},
     {"sbf-nonmonotone", "SUP001", "verify a supply function that decreases"},
+    {"stale-cache", "ADM002", "poison the admission engine's verdict cache"},
 };
 
 /// First device with at least one reserved slot (preload > 0 guarantees one).
@@ -168,8 +170,9 @@ bool apply_corruption(ExperimentArtifacts& a, const std::string& name) {
     a.experiment.target_utilization = 1.7;
   } else if (name == "zero-trials") {
     a.experiment.trials = 0;
-  } else if (name != "sbf-nonmonotone") {
-    return false;  // sbf-nonmonotone is handled at verification time
+  } else if (name != "sbf-nonmonotone" && name != "stale-cache") {
+    // sbf-nonmonotone and stale-cache are handled at verification time.
+    return false;
   }
   return true;
 }
@@ -265,6 +268,18 @@ Status run(const CliArgs& args, bool& report_ok) {
     }
     analysis::verify_checkpoint(sys::inspect_checkpoint(args.get("checkpoint")),
                                 expected_fingerprint, report);
+  }
+
+  // ADM checks: churn-replay every device's VM task sets through the
+  // admission service engines. --corrupt=stale-cache poisons the memoizing
+  // engine's Theorem 4 cache on every device (not just the busiest: at high
+  // --preload the busiest device can have all its load in the predefined
+  // table and no runtime VMs to churn), which ADM002 must catch.
+  for (std::size_t d = 0; d < a.tables.size(); ++d) {
+    analysis::ServiceCheckOptions service_options;
+    service_options.poison_cache_for_testing = corrupt == "stale-cache";
+    analysis::verify_service(a.tables[d], a.vm_tasks[d], service_options,
+                             report);
   }
 
   if (corrupt == "sbf-nonmonotone") {

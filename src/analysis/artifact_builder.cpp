@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/verify_service.hpp"
 #include "sched/server_design.hpp"
 
 namespace ioguard::analysis {
@@ -89,7 +90,13 @@ ExperimentArtifacts build_experiment_artifacts(
 Report verify_case_study(const workload::CaseStudyConfig& cfg,
                          std::size_t trials, std::size_t min_jobs) {
   const auto a = build_experiment_artifacts(cfg, trials, min_jobs);
-  return verify_system(a.platform, a.experiment, a.all, a.device_views());
+  Report report =
+      verify_system(a.platform, a.experiment, a.all, a.device_views());
+  // Admission-service coherence (ADMxxx) on every device's VM task sets:
+  // the same artifacts, churned through the incremental engine.
+  for (std::size_t d = 0; d < a.tables.size(); ++d)
+    verify_service(a.tables[d], a.vm_tasks[d], ServiceCheckOptions{}, report);
+  return report;
 }
 
 }  // namespace ioguard::analysis

@@ -54,6 +54,11 @@ const char* code_string(DiagCode code) {
     case DiagCode::kCkpConfigMismatch: return "CKP002";
     case DiagCode::kCkpOrphanedTempFiles: return "CKP003";
     case DiagCode::kCkpAbandonedTrials: return "CKP004";
+    case DiagCode::kAdmDecisionMismatch: return "ADM001";
+    case DiagCode::kAdmCacheIncoherent: return "ADM002";
+    case DiagCode::kAdmFingerprintUnstable: return "ADM003";
+    case DiagCode::kAdmBandwidthOverflow: return "ADM004";
+    case DiagCode::kAdmCountersInconsistent: return "ADM005";
   }
   return "UNK000";
 }
@@ -134,6 +139,16 @@ const char* code_summary(DiagCode code) {
       return "stale atomic-write staging files next to the checkpoint";
     case DiagCode::kCkpAbandonedTrials:
       return "checkpoint journal carries abandoned (excluded) trials";
+    case DiagCode::kAdmDecisionMismatch:
+      return "engine admission verdict disagrees with the direct theorems";
+    case DiagCode::kAdmCacheIncoherent:
+      return "memoized and full re-analysis decisions differ byte-wise";
+    case DiagCode::kAdmFingerprintUnstable:
+      return "fleet fingerprint differs between identical request replays";
+    case DiagCode::kAdmBandwidthOverflow:
+      return "admitted server bandwidth exceeds the table's supply F/H";
+    case DiagCode::kAdmCountersInconsistent:
+      return "engine cache/requests counters violate their invariants";
   }
   return "unknown diagnostic";
 }

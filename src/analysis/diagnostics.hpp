@@ -10,6 +10,7 @@
 //   CFGxxx -- experiment / platform config sanity      (verify_config)
 //   RESxxx -- fault plan / resilience policy sanity    (verify_resilience)
 //   CKPxxx -- checkpoint / resume artifact sanity      (verify_checkpoint)
+//   ADMxxx -- admission service engine coherence       (verify_service)
 #pragma once
 
 #include <cstdint>
@@ -77,6 +78,13 @@ enum class DiagCode : std::uint16_t {
   kCkpConfigMismatch = 602,      ///< CKP002: journal written under other config
   kCkpOrphanedTempFiles = 603,   ///< CKP003: stale atomic-write staging files
   kCkpAbandonedTrials = 604,     ///< CKP004: journal carries abandoned trials
+
+  // --- admission service (verify_service) ---------------------------------
+  kAdmDecisionMismatch = 701,    ///< ADM001: engine vs direct theorem disagree
+  kAdmCacheIncoherent = 702,     ///< ADM002: memoized vs full decisions differ
+  kAdmFingerprintUnstable = 703, ///< ADM003: fleet fingerprint varies on replay
+  kAdmBandwidthOverflow = 704,   ///< ADM004: admitted bandwidth exceeds supply
+  kAdmCountersInconsistent = 705,///< ADM005: engine counters self-inconsistent
 };
 
 /// Stable string form, e.g. kSigJobUnderAllocated -> "SIG003".

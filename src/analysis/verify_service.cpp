@@ -1,0 +1,264 @@
+#include "analysis/verify_service.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sched/sbf.hpp"
+#include "service/admission_engine.hpp"
+
+namespace ioguard::analysis {
+
+namespace {
+
+using service::AdmissionEngine;
+using service::AdmissionEngineConfig;
+using service::AdmissionRequest;
+using service::EngineCounters;
+using service::RequestOp;
+
+struct Script {
+  std::vector<AdmissionRequest> requests;
+  std::size_t warmup = 0;  ///< count of initial admissions before churn
+};
+
+/// Deterministic churn: admit every non-empty VM task set, then `churn`
+/// seed-driven evict / re-admit / update / query events over the same
+/// profiles (re-using profiles is what gives the memoizing engine its cache
+/// hits, mirroring production tenant churn).
+Script build_script(const std::vector<workload::TaskSet>& vm_tasks,
+                    const ServiceCheckOptions& options) {
+  Script script;
+  std::vector<workload::TaskSet> profiles;
+  for (const auto& ts : vm_tasks)
+    if (!ts.empty()) profiles.push_back(ts);
+  if (profiles.empty()) return script;
+
+  const auto name_of = [](std::size_t i) { return "vm" + std::to_string(i); };
+  const auto tenant_of = [](std::size_t i) {
+    return "tenant" + std::to_string(i % 3);
+  };
+
+  std::vector<bool> admitted(profiles.size(), false);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    AdmissionRequest r;
+    r.op = RequestOp::kAdmit;
+    r.tenant = tenant_of(i);
+    r.vm = name_of(i);
+    r.tasks = profiles[i];
+    script.requests.push_back(std::move(r));
+    admitted[i] = true;
+  }
+  script.warmup = script.requests.size();
+
+  std::uint64_t state = options.seed;
+  const auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ULL;
+    return splitmix64_step(state);
+  };
+  for (std::size_t e = 0; e < options.churn_events; ++e) {
+    const std::uint64_t r = next();
+    const auto i = static_cast<std::size_t>(r % profiles.size());
+    AdmissionRequest req;
+    req.tenant = tenant_of(i);
+    req.vm = name_of(i);
+    if (e % 5 == 4) {
+      req.op = RequestOp::kQuery;
+      req.tenant.clear();
+      req.vm.clear();
+    } else if (!admitted[i]) {
+      req.op = RequestOp::kAdmit;
+      req.tasks = profiles[i];
+      admitted[i] = true;
+    } else if (((r >> 32) & 1) != 0) {
+      req.op = RequestOp::kUpdate;
+      req.tasks = profiles[i];
+    } else {
+      req.op = RequestOp::kEvict;
+      admitted[i] = false;
+    }
+    script.requests.push_back(std::move(req));
+  }
+  return script;
+}
+
+[[nodiscard]] bool same_result(const sched::AdmissionResult& a,
+                               const sched::AdmissionResult& b) {
+  return a.schedulable == b.schedulable && a.checked_until == b.checked_until &&
+         a.violation_t == b.violation_t;
+}
+
+/// Replays the whole script on a fresh memoizing engine; returns the final
+/// fleet fingerprint (errors on well-formed requests are impossible here and
+/// simply skipped -- the fingerprint check still catches divergence).
+std::uint64_t replay_fingerprint(const sched::TimeSlotTable& table,
+                                 const Script& script) {
+  AdmissionEngine engine(table, AdmissionEngineConfig{});
+  for (const auto& req : script.requests) {
+    const auto decision = engine.handle(req);
+    (void)decision;
+  }
+  return engine.fleet_fingerprint();
+}
+
+}  // namespace
+
+void verify_service(const sched::TimeSlotTable& table,
+                    const std::vector<workload::TaskSet>& vm_tasks,
+                    const ServiceCheckOptions& options, Report& report) {
+  const Script script = build_script(vm_tasks, options);
+  if (script.requests.empty()) return;
+
+  AdmissionEngineConfig memo_cfg;
+  memo_cfg.memoize = true;
+  AdmissionEngineConfig full_cfg;
+  full_cfg.memoize = false;
+  AdmissionEngine memo(table, memo_cfg);
+  AdmissionEngine full(table, full_cfg);
+  const sched::TableSupply supply(table);
+
+  // The verifier's own fleet model: (tenant, vm) -> task set, committed in
+  // lock-step with the engines' applied decisions. It is what makes the
+  // ADM001 direct-theorem re-check independent of the engine's bookkeeping.
+  std::map<std::pair<std::string, std::string>, workload::TaskSet> shadow;
+
+  bool adm1 = false, adm2 = false, adm4 = false;
+  std::uint64_t memo_per_vm = 0, memo_decisions = 0;
+  std::uint64_t full_per_vm = 0, full_decisions = 0;
+
+  for (std::size_t step = 0; step < script.requests.size(); ++step) {
+    if (options.poison_cache_for_testing && step == script.warmup)
+      memo.poison_local_cache_for_testing();
+
+    const AdmissionRequest& req = script.requests[step];
+    const auto md = memo.handle(req);
+    const auto fd = full.handle(req);
+
+    const std::string ms =
+        md.ok() ? md->canonical_string() : "error|" + md.status().to_string();
+    const std::string fs =
+        fd.ok() ? fd->canonical_string() : "error|" + fd.status().to_string();
+    if (ms != fs) {
+      if (!adm2) {
+        report.add(DiagCode::kAdmCacheIncoherent,
+                   "memoized and full decisions differ at step " +
+                       std::to_string(step),
+                   std::string("op ") + service::to_string(req.op));
+        adm2 = true;
+      }
+      break;  // fleets diverged; later steps would only repeat the finding
+    }
+
+    if (md.ok()) {
+      ++memo_decisions;
+      memo_per_vm += md->per_vm.size();
+    }
+    if (fd.ok()) {
+      ++full_decisions;
+      full_per_vm += fd->per_vm.size();
+    }
+    if (!md.ok()) continue;
+
+    // ADM001: re-run Theorems 2/4 directly on the decision's fleet snapshot.
+    auto eval_shadow = shadow;
+    if (req.op == RequestOp::kAdmit || req.op == RequestOp::kUpdate)
+      eval_shadow[{req.tenant, req.vm}] = req.tasks;
+
+    std::vector<sched::ServerParams> active;
+    bool all_local = true;
+    for (const auto& v : md->per_vm) {
+      const auto it = eval_shadow.find({v.tenant, v.vm});
+      if (it == eval_shadow.end()) {
+        if (!adm1) {
+          report.add(DiagCode::kAdmDecisionMismatch,
+                     "decision lists a VM the request stream never admitted",
+                     v.tenant + "/" + v.vm);
+          adm1 = true;
+        }
+        continue;
+      }
+      if (!same_result(sched::theorem4_check(v.server, it->second), v.local) &&
+          !adm1) {
+        report.add(DiagCode::kAdmDecisionMismatch,
+                   "engine L-level verdict disagrees with theorem4_check at "
+                   "step " + std::to_string(step),
+                   v.tenant + "/" + v.vm);
+        adm1 = true;
+      }
+      if (!v.local.schedulable) all_local = false;
+      if (v.server.theta > 0) active.push_back(v.server);
+    }
+    if (!same_result(sched::theorem2_check(supply, active), md->global) &&
+        !adm1) {
+      report.add(DiagCode::kAdmDecisionMismatch,
+                 "engine G-level verdict disagrees with theorem2_check at "
+                 "step " + std::to_string(step),
+                 std::string("op ") + service::to_string(req.op));
+      adm1 = true;
+    }
+    if (md->admitted != (md->global.schedulable && all_local) && !adm1) {
+      report.add(DiagCode::kAdmDecisionMismatch,
+                 "admitted flag inconsistent with the layer verdicts at step " +
+                     std::to_string(step),
+                 std::string("op ") + service::to_string(req.op));
+      adm1 = true;
+    }
+
+    // ADM004: an admitted fleet may never out-allocate the supply.
+    if (md->admitted &&
+        md->allocated_bandwidth > md->supply_bandwidth + 1e-9 && !adm4) {
+      report.add(DiagCode::kAdmBandwidthOverflow,
+                 "admitted fleet allocates bandwidth beyond F/H at step " +
+                     std::to_string(step),
+                 std::string("op ") + service::to_string(req.op));
+      adm4 = true;
+    }
+
+    if (md->applied) {
+      switch (req.op) {
+        case RequestOp::kAdmit:
+        case RequestOp::kUpdate:
+          shadow[{req.tenant, req.vm}] = req.tasks;
+          break;
+        case RequestOp::kEvict:
+          shadow.erase({req.tenant, req.vm});
+          break;
+        case RequestOp::kEvictTenant:
+          for (auto it = shadow.begin(); it != shadow.end();)
+            it = it->first.first == req.tenant ? shadow.erase(it)
+                                               : std::next(it);
+          break;
+        case RequestOp::kQuery:
+          break;
+      }
+    }
+  }
+
+  // ADM003: identical replays must land on the identical fleet fingerprint.
+  const std::uint64_t replay_a = replay_fingerprint(table, script);
+  const std::uint64_t replay_b = replay_fingerprint(table, script);
+  if (replay_a != replay_b)
+    report.add(DiagCode::kAdmFingerprintUnstable,
+               "two replays of the same request stream produced different "
+               "fleet fingerprints");
+
+  // ADM005: counter accounting invariants of both engines.
+  const auto check_counters = [&report](const char* which,
+                                        const EngineCounters& c,
+                                        std::uint64_t per_vm_total,
+                                        std::uint64_t decisions) {
+    const bool ok = c.local_hits + c.local_misses == per_vm_total &&
+                    c.global_hits + c.global_misses == decisions &&
+                    c.applied + c.rejected <= c.requests;
+    if (!ok)
+      report.add(DiagCode::kAdmCountersInconsistent,
+                 std::string(which) + " engine counters violate accounting "
+                 "invariants");
+  };
+  check_counters("memoized", memo.counters(), memo_per_vm, memo_decisions);
+  check_counters("full-reanalysis", full.counters(), full_per_vm,
+                 full_decisions);
+}
+
+}  // namespace ioguard::analysis

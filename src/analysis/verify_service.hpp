@@ -1,0 +1,43 @@
+// Admission-service coherence checks (ADMxxx): replays a deterministic
+// tenant-churn sequence through two AdmissionEngines -- one memoizing, one
+// doing full re-analysis -- and cross-checks the redesigned admission API's
+// core contracts:
+//   ADM001  every engine verdict agrees with the Theorem 2/4 analysis run
+//           directly on the decision's own fleet snapshot
+//   ADM002  memoized and full decisions are byte-identical (the incremental
+//           re-analysis invariant)
+//   ADM003  replaying the identical sequence reproduces the identical fleet
+//           fingerprint (decision determinism)
+//   ADM004  no admitted fleet allocates more server bandwidth than the
+//           table supplies (F/H)
+//   ADM005  the engine's cache counters satisfy their accounting invariants
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "sched/slot_table.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::analysis {
+
+struct ServiceCheckOptions {
+  /// Number of churn operations replayed after the initial admissions.
+  std::size_t churn_events = 24;
+  /// Seed of the deterministic churn sequence.
+  std::uint64_t seed = 42;
+  /// Fault injection (ioguard_verify --corrupt=stale-cache): poisons the
+  /// memoizing engine's Theorem 4 cache after warm-up, simulating a cache
+  /// that survived an invalidation. A correct verifier must then raise
+  /// ADM002 (and usually ADM001).
+  bool poison_cache_for_testing = false;
+};
+
+/// Churn-replays `vm_tasks` (the VM task sets of one device; empty sets are
+/// skipped) against `table` and appends ADMxxx findings to `report`.
+void verify_service(const sched::TimeSlotTable& table,
+                    const std::vector<workload::TaskSet>& vm_tasks,
+                    const ServiceCheckOptions& options, Report& report);
+
+}  // namespace ioguard::analysis

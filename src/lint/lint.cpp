@@ -14,8 +14,8 @@ namespace {
 constexpr const char* kAllowMarker = "IOGUARD_LINT_" "ALLOW";
 
 constexpr const char* kDeterministicModules[] = {
-    "core", "sim",    "sched",    "noc",      "iodev",
-    "workload", "faults", "system", "analysis", "telemetry",
+    "core", "sim",    "sched",    "noc",      "iodev",  "workload",
+    "faults", "system", "analysis", "telemetry", "service",
 };
 
 [[nodiscard]] bool is_ident_char(char c) {

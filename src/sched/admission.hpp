@@ -46,8 +46,15 @@ AdmissionResult theorem3_exhaustive(const ServerParams& server,
 AdmissionResult theorem4_check(const ServerParams& server,
                                const workload::TaskSet& vm_tasks);
 
-/// Full two-layer admission: Theorem 2 at the global layer plus Theorem 4
-/// for every VM. `servers[i]` supports `vms[i]`.
+// DEPRECATED(ISSUE-9): SystemAdmission / admit_system are the legacy batch
+// entry points, superseded by the request--response admission service
+// (service/admission_engine.hpp: AdmissionEngine::handle answers the same
+// two-layer question incrementally, with memoized verdicts and a canonical
+// decision encoding). They are kept for exactly one PR as a migration shim
+// for out-of-tree callers; no in-tree caller remains (CI greps for uses
+// outside this header/impl pair).
+
+/// DEPRECATED(ISSUE-9): use service::AdmissionDecision instead.
 struct SystemAdmission {
   bool schedulable = false;
   AdmissionResult global;
@@ -55,6 +62,7 @@ struct SystemAdmission {
   std::string reason;
 };
 
+/// DEPRECATED(ISSUE-9): use service::AdmissionEngine::handle instead.
 SystemAdmission admit_system(const TableSupply& supply,
                              const std::vector<ServerParams>& servers,
                              const std::vector<workload::TaskSet>& vm_tasks);

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "common/check.hpp"
-
 namespace ioguard::sched {
 
 namespace {
@@ -24,13 +22,15 @@ workload::TaskSet scale_wcets(const workload::TaskSet& tasks, double alpha) {
 
 }  // namespace
 
-double breakdown_factor(const ServerParams& server,
-                        const workload::TaskSet& vm_tasks, double alpha_max,
-                        double tolerance) {
-  IOGUARD_CHECK(alpha_max >= 1.0);
-  IOGUARD_CHECK(tolerance > 0.0);
+StatusOr<double> breakdown_factor(const ServerParams& server,
+                                  const workload::TaskSet& vm_tasks,
+                                  double alpha_max, double tolerance) {
+  if (alpha_max < 1.0) return InvalidArgumentError("alpha_max must be >= 1");
+  if (tolerance <= 0.0) return InvalidArgumentError("tolerance must be > 0");
   if (vm_tasks.empty()) return alpha_max;
-  if (!theorem4_check(server, vm_tasks)) return 0.0;
+  if (!theorem4_check(server, vm_tasks))
+    return FailedPreconditionError(
+        "task set is not schedulable even unscaled (alpha = 1)");
 
   double lo = 1.0, hi = alpha_max;
   if (theorem4_check(server, scale_wcets(vm_tasks, alpha_max))) return alpha_max;
@@ -45,9 +45,10 @@ double breakdown_factor(const ServerParams& server,
   return lo;
 }
 
-std::optional<SlotDelta> min_slack(const ServerParams& server,
-                                   const workload::TaskSet& vm_tasks) {
-  if (vm_tasks.empty()) return std::nullopt;
+StatusOr<SlotDelta> min_slack(const ServerParams& server,
+                              const workload::TaskSet& vm_tasks) {
+  if (vm_tasks.empty())
+    return FailedPreconditionError("empty task set has no slack to measure");
 
   // Check window mirrors theorem4_check.
   const double cprime = server.bandwidth() - vm_tasks.utilization();
@@ -76,14 +77,17 @@ std::optional<SlotDelta> min_slack(const ServerParams& server,
       worst = std::min(worst, supply - demand);
     }
   }
-  if (worst == std::numeric_limits<SlotDelta>::max()) return std::nullopt;
+  if (worst == std::numeric_limits<SlotDelta>::max())
+    return FailedPreconditionError("no demand step point inside the window");
   return worst;
 }
 
-std::optional<Slot> min_required_theta(const ServerParams& server,
-                                       const workload::TaskSet& vm_tasks) {
+StatusOr<Slot> min_required_theta(const ServerParams& server,
+                                  const workload::TaskSet& vm_tasks) {
   if (vm_tasks.empty()) return Slot{0};
-  if (!theorem4_check(server, vm_tasks)) return std::nullopt;
+  if (!theorem4_check(server, vm_tasks))
+    return FailedPreconditionError(
+        "Theorem 4 fails at the given Theta; no smaller budget can pass");
   Slot lo = 1, hi = server.theta;
   while (lo < hi) {
     const Slot mid = lo + (hi - lo) / 2;
@@ -96,9 +100,10 @@ std::optional<Slot> min_required_theta(const ServerParams& server,
   return hi;
 }
 
-std::optional<SlotDelta> global_min_slack(
-    const TableSupply& supply, const std::vector<ServerParams>& servers) {
-  if (servers.empty()) return std::nullopt;
+StatusOr<SlotDelta> global_min_slack(const TableSupply& supply,
+                                     const std::vector<ServerParams>& servers) {
+  if (servers.empty())
+    return FailedPreconditionError("no servers: global slack is undefined");
 
   double bw = 0.0;
   for (const auto& g : servers) bw += g.bandwidth();
@@ -125,7 +130,8 @@ std::optional<SlotDelta> global_min_slack(
                        static_cast<SlotDelta>(supply.sbf(t)) - demand);
     }
   }
-  if (worst == std::numeric_limits<SlotDelta>::max()) return std::nullopt;
+  if (worst == std::numeric_limits<SlotDelta>::max())
+    return FailedPreconditionError("no demand step point inside the window");
   return worst;
 }
 

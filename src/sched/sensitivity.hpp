@@ -8,10 +8,14 @@
 //    many spare slots the tightest instant has.
 //  * server_margin: how much budget Theta could shrink before Theorem 4
 //    fails (design head-room of the G-Sched allocation).
+//
+// Error contract (PR 4 / ISSUE-9): these return StatusOr instead of
+// sentinel values -- kInvalidArgument for unusable parameters,
+// kFailedPrecondition when the configuration has no margin to measure
+// (unschedulable as given, or an empty input with no tightest instant).
 #pragma once
 
-#include <optional>
-
+#include "common/status.hpp"
 #include "sched/admission.hpp"
 #include "sched/sbf.hpp"
 #include "workload/task.hpp"
@@ -19,27 +23,29 @@
 namespace ioguard::sched {
 
 /// Largest alpha (WCET scale) keeping `vm_tasks` schedulable on `server`
-/// per Theorem 4, found by binary search to `tolerance`. Returns 0 when the
-/// set is not schedulable even unscaled; alpha is capped at `alpha_max`.
-[[nodiscard]] double breakdown_factor(const ServerParams& server,
-                                      const workload::TaskSet& vm_tasks,
-                                      double alpha_max = 8.0,
-                                      double tolerance = 1e-3);
+/// per Theorem 4, found by binary search to `tolerance`; alpha is capped at
+/// `alpha_max`. kFailedPrecondition when the set is not schedulable even
+/// unscaled, kInvalidArgument for alpha_max < 1 or tolerance <= 0.
+[[nodiscard]] StatusOr<double> breakdown_factor(
+    const ServerParams& server, const workload::TaskSet& vm_tasks,
+    double alpha_max = 8.0, double tolerance = 1e-3);
 
 /// Minimum supply-minus-demand slack (in slots) of the VM-level test over
 /// all demand step points up to the Theorem 4 bound. Negative values report
-/// the worst violation. nullopt when the task set is empty.
-[[nodiscard]] std::optional<SlotDelta> min_slack(
-    const ServerParams& server, const workload::TaskSet& vm_tasks);
+/// the worst violation. kFailedPrecondition when the task set is empty
+/// (no instant to measure).
+[[nodiscard]] StatusOr<SlotDelta> min_slack(const ServerParams& server,
+                                            const workload::TaskSet& vm_tasks);
 
 /// Smallest Theta' <= Theta for which Theorem 4 still passes (how much
-/// budget the VM really needs); nullopt when even Theta fails.
-[[nodiscard]] std::optional<Slot> min_required_theta(
+/// budget the VM really needs); kFailedPrecondition when even Theta fails.
+[[nodiscard]] StatusOr<Slot> min_required_theta(
     const ServerParams& server, const workload::TaskSet& vm_tasks);
 
 /// Global-layer slack: minimum of sbf(sigma, t) - sum dbf(Gamma_i, t) over
 /// the Theorem 2 window. Negative values report the worst violation.
-[[nodiscard]] std::optional<SlotDelta> global_min_slack(
+/// kFailedPrecondition when `servers` is empty.
+[[nodiscard]] StatusOr<SlotDelta> global_min_slack(
     const TableSupply& supply, const std::vector<ServerParams>& servers);
 
 }  // namespace ioguard::sched

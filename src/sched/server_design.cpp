@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/check.hpp"
-
 namespace ioguard::sched {
 
-std::optional<ServerParams> min_theta_for_pi(
-    Slot pi, const workload::TaskSet& vm_tasks) {
-  IOGUARD_CHECK(pi > 0);
+StatusOr<ServerParams> min_theta_for_pi(Slot pi,
+                                        const workload::TaskSet& vm_tasks) {
+  if (pi == 0) return InvalidArgumentError("server period Pi must be > 0");
   if (vm_tasks.empty()) return ServerParams{pi, 0};
 
   // Theta must at least cover the utilization; search upward is monotone
@@ -18,12 +16,16 @@ std::optional<ServerParams> min_theta_for_pi(
   auto lo = static_cast<Slot>(
       std::max<double>(1.0, std::ceil(u * static_cast<double>(pi))));
   Slot hi = pi;
-  if (lo > hi) return std::nullopt;
+  const auto infeasible = [&] {
+    return FailedPreconditionError("no Theta <= Pi=" + std::to_string(pi) +
+                                   " passes Theorem 4 for this task set");
+  };
+  if (lo > hi) return infeasible();
 
   auto passes = [&](Slot theta) {
     return static_cast<bool>(theorem4_check(ServerParams{pi, theta}, vm_tasks));
   };
-  if (!passes(hi)) return std::nullopt;
+  if (!passes(hi)) return infeasible();
   while (lo < hi) {
     const Slot mid = lo + (hi - lo) / 2;
     if (passes(mid)) {
@@ -35,12 +37,18 @@ std::optional<ServerParams> min_theta_for_pi(
   return ServerParams{pi, hi};
 }
 
-std::optional<ServerParams> synthesize_server(
-    const workload::TaskSet& vm_tasks, const ServerDesignConfig& config) {
+StatusOr<ServerParams> synthesize_server(const workload::TaskSet& vm_tasks,
+                                         const ServerDesignConfig& config) {
+  if (config.pi_menu.empty())
+    return InvalidArgumentError("server design Pi menu is empty");
   std::optional<ServerParams> best;
   for (Slot pi : config.pi_menu) {
     auto candidate = min_theta_for_pi(pi, vm_tasks);
-    if (!candidate) continue;
+    if (!candidate.ok()) {
+      if (candidate.status().code() == StatusCode::kInvalidArgument)
+        return candidate.status();
+      continue;  // this Pi is infeasible; try the next menu entry
+    }
     if (config.bandwidth_margin > 0.0) {
       const auto boosted = static_cast<Slot>(std::min<double>(
           static_cast<double>(pi),
@@ -48,9 +56,12 @@ std::optional<ServerParams> synthesize_server(
                     config.bandwidth_margin * static_cast<double>(pi))));
       candidate->theta = boosted;
     }
-    if (!best || candidate->bandwidth() < best->bandwidth()) best = candidate;
+    if (!best || candidate->bandwidth() < best->bandwidth()) best = *candidate;
   }
-  return best;
+  if (!best)
+    return FailedPreconditionError(
+        "no server over the Pi menu passes Theorem 4 for this task set");
+  return *best;
 }
 
 SystemDesign design_system(const TableSupply& supply,
@@ -65,25 +76,35 @@ SystemDesign design_system(const TableSupply& supply,
       continue;
     }
     auto server = synthesize_server(vm_tasks[i], config);
-    if (!server) {
-      out.reason = "no feasible server for VM " + std::to_string(i);
+    if (!server.ok()) {
+      out.reason = "no feasible server for VM " + std::to_string(i) + ": " +
+                   server.status().message();
       return out;
     }
     out.servers.push_back(*server);
   }
 
-  // Global check over the servers that actually consume bandwidth.
+  // Global check over the servers that actually consume bandwidth, then the
+  // L-level re-verification per VM (Theorem 4 holds by construction for
+  // synthesized servers; re-checking keeps the verdict self-contained).
   std::vector<ServerParams> active;
-  std::vector<workload::TaskSet> active_tasks;
-  for (std::size_t i = 0; i < out.servers.size(); ++i) {
-    if (out.servers[i].theta > 0) {
-      active.push_back(out.servers[i]);
-      active_tasks.push_back(vm_tasks[i]);
+  for (const auto& s : out.servers)
+    if (s.theta > 0) active.push_back(s);
+  out.global = theorem2_check(supply, active);
+
+  bool all_local = true;
+  out.per_vm.reserve(vm_tasks.size());
+  for (std::size_t i = 0; i < vm_tasks.size(); ++i) {
+    out.per_vm.push_back(theorem4_check(out.servers[i], vm_tasks[i]));
+    if (!out.per_vm.back()) {
+      all_local = false;
+      if (out.reason.empty())
+        out.reason = "VM " + std::to_string(i) + " (Theorem 4) rejected";
     }
   }
-  out.admission = admit_system(supply, active, active_tasks);
-  out.feasible = out.admission.schedulable;
-  if (!out.feasible && out.reason.empty()) out.reason = out.admission.reason;
+  out.feasible = out.global.schedulable && all_local;
+  if (!out.feasible && out.reason.empty())
+    out.reason = "global layer (Theorem 2) rejected";
   return out;
 }
 

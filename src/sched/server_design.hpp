@@ -2,11 +2,17 @@
 // two-layer admission (Theorems 2 and 4) holds, minimizing allocated
 // bandwidth. This is the design-time companion of the G-Sched: the paper
 // assumes servers are given; a deployable system must derive them.
+//
+// Error contract (PR 4 / ISSUE-9): synthesis returns StatusOr instead of
+// optionals -- kInvalidArgument for unusable inputs (Pi = 0, empty Pi menu),
+// kFailedPrecondition when no server within the search space passes
+// Theorem 4. Callers map through the usual exit_code() rules.
 #pragma once
 
-#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "sched/admission.hpp"
 #include "sched/sbf.hpp"
 #include "workload/task.hpp"
@@ -22,20 +28,23 @@ struct ServerDesignConfig {
 };
 
 /// Smallest Theta (for the given Pi) passing Theorem 4 for `vm_tasks`;
-/// nullopt when even Theta = Pi fails.
-[[nodiscard]] std::optional<ServerParams> min_theta_for_pi(
+/// kInvalidArgument when Pi = 0, kFailedPrecondition when even Theta = Pi
+/// fails.
+[[nodiscard]] StatusOr<ServerParams> min_theta_for_pi(
     Slot pi, const workload::TaskSet& vm_tasks);
 
-/// Minimum-bandwidth server over the Pi menu passing Theorem 4; nullopt when
-/// no candidate works.
-[[nodiscard]] std::optional<ServerParams> synthesize_server(
+/// Minimum-bandwidth server over the Pi menu passing Theorem 4;
+/// kInvalidArgument when the menu is empty, kFailedPrecondition when no
+/// candidate works.
+[[nodiscard]] StatusOr<ServerParams> synthesize_server(
     const workload::TaskSet& vm_tasks, const ServerDesignConfig& config = {});
 
 /// Result of whole-system server design for one device's R-channel.
 struct SystemDesign {
   bool feasible = false;
   std::vector<ServerParams> servers;  ///< one per entry of vm_tasks
-  SystemAdmission admission;          ///< final two-layer admission outcome
+  AdmissionResult global;             ///< Theorem 2 over the active servers
+  std::vector<AdmissionResult> per_vm;  ///< Theorem 4, one per entry
   std::string reason;
 };
 

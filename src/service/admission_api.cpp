@@ -1,0 +1,62 @@
+#include "service/admission_api.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace ioguard::service {
+
+namespace {
+
+void append_result(std::ostringstream& os, const sched::AdmissionResult& r) {
+  os << "schedulable=" << (r.schedulable ? 1 : 0)
+     << "|checked_until=" << r.checked_until << "|violation=";
+  if (r.violation_t) {
+    os << *r.violation_t;
+  } else {
+    os << '-';
+  }
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return "0x" + os.str();
+}
+
+}  // namespace
+
+const char* to_string(RequestOp op) {
+  switch (op) {
+    case RequestOp::kAdmit: return "admit";
+    case RequestOp::kUpdate: return "update";
+    case RequestOp::kEvict: return "evict";
+    case RequestOp::kEvictTenant: return "evict_tenant";
+    case RequestOp::kQuery: return "query";
+  }
+  return "?";
+}
+
+std::string AdmissionDecision::canonical_string() const {
+  std::ostringstream os;
+  os << "decision|op=" << to_string(op) << "|tenant=" << tenant
+     << "|vm=" << vm << "|applied=" << (applied ? 1 : 0)
+     << "|admitted=" << (admitted ? 1 : 0) << "|reason=" << reason << '\n';
+  os << "global|";
+  append_result(os, global);
+  os << '\n';
+  for (const auto& v : per_vm) {
+    os << "vm|" << v.tenant << '/' << v.vm << "|pi=" << v.server.pi
+       << "|theta=" << v.server.theta << "|tasks=" << v.task_count
+       << "|util=" << fmt_double(v.utilization, 6) << '|';
+    append_result(os, v.local);
+    os << '\n';
+  }
+  os << "fleet|vms=" << fleet_vms
+     << "|allocated_bw=" << fmt_double(allocated_bandwidth, 6)
+     << "|supply_bw=" << fmt_double(supply_bandwidth, 6)
+     << "|fingerprint=" << hex64(fleet_fingerprint) << '\n';
+  return os.str();
+}
+
+}  // namespace ioguard::service

@@ -1,0 +1,101 @@
+// Public admission-control API (ISSUE-9 redesign).
+//
+// The Theorem 1-4 analysis used to be wired up ad-hoc by every caller as
+// loose free functions; this header is the single request--response surface
+// that replaces that "bool soup". A caller describes one fleet change as an
+// AdmissionRequest, the AdmissionEngine answers with an AdmissionDecision
+// that carries the full two-layer verdict (Theorem 2 global layer + a
+// Theorem 4 verdict per VM), the post-request fleet fingerprint, and a
+// canonical byte-comparable serialization. Requests a caller can get wrong
+// (unknown VM, malformed task set) surface as Status errors; analytic
+// rejections ("this VM does not fit") are ordinary decisions with
+// admitted == false.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/admission.hpp"
+#include "sched/sbf.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::service {
+
+/// Fleet-change operations the engine answers.
+enum class RequestOp : std::uint8_t {
+  kAdmit,        ///< add a new (tenant, vm) with its task set
+  kUpdate,       ///< replace an existing VM's task set / server
+  kEvict,        ///< remove one VM
+  kEvictTenant,  ///< remove every VM of one tenant
+  kQuery,        ///< no mutation: re-state the current fleet verdict
+};
+
+[[nodiscard]] const char* to_string(RequestOp op);
+
+/// One admission query. `tasks`/`server` are only read for kAdmit/kUpdate;
+/// `vm` is ignored for kEvictTenant and kQuery, `tenant` for kQuery.
+struct AdmissionRequest {
+  RequestOp op = RequestOp::kQuery;
+  std::string tenant;
+  std::string vm;
+  workload::TaskSet tasks;
+  /// Explicit server Gamma = (Pi, Theta); when absent the engine synthesizes
+  /// the minimum-bandwidth server passing Theorem 4 (sched::synthesize_server).
+  std::optional<sched::ServerParams> server;
+};
+
+/// Per-VM slice of a decision: the server backing the VM plus its L-level
+/// (Theorem 4) verdict. Ordered by (tenant, vm) in every decision.
+struct VmVerdict {
+  std::string tenant;
+  std::string vm;
+  sched::ServerParams server;
+  std::size_t task_count = 0;
+  double utilization = 0.0;
+  sched::AdmissionResult local;  ///< Theorem 4 for this VM
+};
+
+/// Outcome of one AdmissionRequest. Deliberately value-only: decisions from
+/// the memoizing engine and from full re-analysis must serialize to
+/// identical bytes (canonical_string()), so nothing cache-provenance-shaped
+/// lives here -- cache behaviour is observable via EngineCounters only.
+struct AdmissionDecision {
+  RequestOp op = RequestOp::kQuery;
+  std::string tenant;
+  std::string vm;
+  bool applied = false;   ///< the fleet was mutated by this request
+  bool admitted = false;  ///< two-layer analysis verdict for the evaluated fleet
+  std::string reason;     ///< non-empty iff !admitted
+  sched::AdmissionResult global;  ///< Theorem 2 over the active servers
+  std::vector<VmVerdict> per_vm;  ///< evaluated fleet, ordered by (tenant, vm)
+  std::size_t fleet_vms = 0;      ///< committed (post-request) fleet size
+  double allocated_bandwidth = 0.0;  ///< sum Theta/Pi over the evaluated fleet
+  double supply_bandwidth = 0.0;     ///< F/H of the engine's slot table
+  std::uint64_t fleet_fingerprint = 0;  ///< fnv1a64 of the committed fleet
+
+  /// Canonical one-decision serialization: the byte-identity surface the
+  /// incremental-vs-full contract is enforced on (tests, verify_service).
+  [[nodiscard]] std::string canonical_string() const;
+};
+
+/// Admission-side counters, exported to telemetry as
+/// ioguard_admission_* series. Hits/misses split per cache family; in full
+/// re-analysis mode (memoize == false) every lookup is a miss by definition.
+struct EngineCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t applied = 0;   ///< requests that mutated the fleet
+  std::uint64_t rejected = 0;  ///< admit/update requests turned down
+  std::uint64_t local_hits = 0;    ///< per-VM Theorem 4 verdicts reused
+  std::uint64_t local_misses = 0;  ///< per-VM Theorem 4 verdicts computed
+  std::uint64_t global_hits = 0;   ///< Theorem 2 verdicts reused
+  std::uint64_t global_misses = 0; ///< Theorem 2 verdicts computed
+  std::uint64_t synth_hits = 0;    ///< server syntheses reused
+  std::uint64_t synth_misses = 0;  ///< server syntheses computed
+  /// Re-analysis scope: VMs whose L-level test actually re-ran. Equals
+  /// local_misses by construction (verify_service checks ADM005 on this).
+  [[nodiscard]] std::uint64_t vms_reanalyzed() const { return local_misses; }
+};
+
+}  // namespace ioguard::service

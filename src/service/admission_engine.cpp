@@ -1,0 +1,296 @@
+#include "service/admission_engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/checksum.hpp"
+#include "sched/admission.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ioguard::service {
+
+namespace {
+
+std::string server_canon(const sched::ServerParams& s) {
+  return "pi=" + std::to_string(s.pi) + ",theta=" + std::to_string(s.theta);
+}
+
+}  // namespace
+
+std::string task_set_canonical_string(const workload::TaskSet& tasks) {
+  std::ostringstream os;
+  for (const auto& t : tasks.tasks())
+    os << t.id.value << ':' << t.period << ':' << t.wcet << ':' << t.deadline
+       << ';';
+  return os.str();
+}
+
+AdmissionEngine::AdmissionEngine(sched::TimeSlotTable table,
+                                 AdmissionEngineConfig config)
+    : table_(std::move(table)), supply_(table_), config_(std::move(config)) {
+  IOGUARD_CHECK_MSG(!config_.server_design.pi_menu.empty(),
+                    "AdmissionEngine needs a non-empty Pi menu");
+}
+
+Status AdmissionEngine::validate(const AdmissionRequest& request) const {
+  const bool needs_tenant = request.op != RequestOp::kQuery;
+  const bool needs_vm = request.op == RequestOp::kAdmit ||
+                        request.op == RequestOp::kUpdate ||
+                        request.op == RequestOp::kEvict;
+  if (needs_tenant && request.tenant.empty())
+    return InvalidArgumentError("request needs a non-empty tenant");
+  if (needs_vm && request.vm.empty())
+    return InvalidArgumentError("request needs a non-empty vm");
+
+  if (request.op == RequestOp::kAdmit || request.op == RequestOp::kUpdate) {
+    if (request.tasks.empty())
+      return InvalidArgumentError("admit/update needs a non-empty task set");
+    for (const auto& t : request.tasks.tasks()) {
+      const std::string tag = "task " + std::to_string(t.id.value) + ": ";
+      if (t.period == 0) return InvalidArgumentError(tag + "period must be > 0");
+      if (t.wcet == 0) return InvalidArgumentError(tag + "wcet must be > 0");
+      if (t.deadline == 0 || t.deadline > t.period)
+        return InvalidArgumentError(tag +
+                                    "deadline must be in (0, period] (slots)");
+      if (t.wcet > t.deadline)
+        return InvalidArgumentError(tag + "wcet must be <= deadline");
+    }
+    if (request.server) {
+      if (request.server->pi == 0)
+        return InvalidArgumentError("server period Pi must be > 0");
+      if (request.server->theta > request.server->pi)
+        return InvalidArgumentError("server budget Theta must be <= Pi");
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<AdmissionDecision> AdmissionEngine::handle(
+    const AdmissionRequest& request) {
+  ++counters_.requests;
+  IOGUARD_RETURN_IF_ERROR(validate(request));
+
+  const FleetKey key{request.tenant, request.vm};
+  AdmissionDecision decision;
+
+  switch (request.op) {
+    case RequestOp::kAdmit:
+    case RequestOp::kUpdate: {
+      const bool exists = fleet_.find(key) != fleet_.end();
+      if (request.op == RequestOp::kAdmit && exists)
+        return FailedPreconditionError("vm already admitted: " +
+                                       request.tenant + "/" + request.vm);
+      if (request.op == RequestOp::kUpdate && !exists)
+        return NotFoundError("vm not in fleet: " + request.tenant + "/" +
+                             request.vm);
+
+      VmEntry entry;
+      entry.tasks = request.tasks;
+      entry.task_canon = task_set_canonical_string(request.tasks);
+      if (request.server) {
+        entry.server = *request.server;
+      } else {
+        const auto designed =
+            synthesized_server(entry.tasks, entry.task_canon);
+        if (!designed) {
+          // Analytic dead end, not a caller error: no server in the search
+          // space carries this task set. Report the unchanged fleet.
+          decision = evaluate(request, fleet_);
+          decision.admitted = false;
+          decision.applied = false;
+          decision.reason = "no server over the Pi menu passes Theorem 4 for " +
+                            request.tenant + "/" + request.vm;
+          ++counters_.rejected;
+          break;
+        }
+        entry.server = *designed;
+      }
+
+      Fleet tentative = fleet_;
+      tentative[key] = std::move(entry);
+      decision = evaluate(request, tentative);
+      decision.applied = decision.admitted;
+      if (decision.applied) {
+        fleet_ = std::move(tentative);
+        ++counters_.applied;
+      } else {
+        ++counters_.rejected;
+      }
+      break;
+    }
+    case RequestOp::kEvict: {
+      const auto it = fleet_.find(key);
+      if (it == fleet_.end())
+        return NotFoundError("vm not in fleet: " + request.tenant + "/" +
+                             request.vm);
+      fleet_.erase(it);
+      decision = evaluate(request, fleet_);
+      decision.applied = true;
+      ++counters_.applied;
+      break;
+    }
+    case RequestOp::kEvictTenant: {
+      bool any = false;
+      for (auto it = fleet_.begin(); it != fleet_.end();) {
+        if (it->first.first == request.tenant) {
+          it = fleet_.erase(it);
+          any = true;
+        } else {
+          ++it;
+        }
+      }
+      if (!any)
+        return NotFoundError("tenant has no admitted vms: " + request.tenant);
+      decision = evaluate(request, fleet_);
+      decision.applied = true;
+      ++counters_.applied;
+      break;
+    }
+    case RequestOp::kQuery: {
+      decision = evaluate(request, fleet_);
+      decision.applied = false;
+      break;
+    }
+  }
+
+  decision.fleet_vms = fleet_.size();
+  decision.fleet_fingerprint = fleet_fingerprint();
+  return decision;
+}
+
+AdmissionDecision AdmissionEngine::evaluate(const AdmissionRequest& request,
+                                            const Fleet& fleet) {
+  AdmissionDecision d;
+  d.op = request.op;
+  d.tenant = request.tenant;
+  d.vm = request.vm;
+  d.supply_bandwidth = supply_.bandwidth();
+
+  std::vector<sched::ServerParams> active;
+  active.reserve(fleet.size());
+  bool all_local = true;
+  std::string local_reason;
+  for (const auto& [fk, entry] : fleet) {
+    VmVerdict v;
+    v.tenant = fk.first;
+    v.vm = fk.second;
+    v.server = entry.server;
+    v.task_count = entry.tasks.size();
+    v.utilization = entry.tasks.utilization();
+    v.local = local_verdict(entry);
+    if (!v.local.schedulable && all_local) {
+      all_local = false;
+      local_reason =
+          "L-level (Theorem 4) rejected for " + fk.first + "/" + fk.second;
+    }
+    if (entry.server.theta > 0) {
+      active.push_back(entry.server);
+      d.allocated_bandwidth += entry.server.bandwidth();
+    }
+    d.per_vm.push_back(std::move(v));
+  }
+  d.global = global_verdict(active);
+  d.admitted = d.global.schedulable && all_local;
+  if (!d.admitted)
+    d.reason = all_local ? "G-level (Theorem 2) rejected" : local_reason;
+  return d;
+}
+
+sched::AdmissionResult AdmissionEngine::local_verdict(const VmEntry& entry) {
+  if (!config_.memoize) {
+    ++counters_.local_misses;
+    return theorem4_check(entry.server, entry.tasks);
+  }
+  const auto key = fnv1a64(server_canon(entry.server) + "|" + entry.task_canon);
+  if (const auto it = local_cache_.find(key); it != local_cache_.end()) {
+    ++counters_.local_hits;
+    return it->second;
+  }
+  ++counters_.local_misses;
+  const auto verdict = theorem4_check(entry.server, entry.tasks);
+  local_cache_.emplace(key, verdict);
+  return verdict;
+}
+
+sched::AdmissionResult AdmissionEngine::global_verdict(
+    const std::vector<sched::ServerParams>& active) {
+  if (!config_.memoize) {
+    ++counters_.global_misses;
+    return theorem2_check(supply_, active);
+  }
+  std::string canon;
+  for (const auto& s : active) canon += server_canon(s) + ";";
+  const auto key = fnv1a64(canon);
+  if (const auto it = global_cache_.find(key); it != global_cache_.end()) {
+    ++counters_.global_hits;
+    return it->second;
+  }
+  ++counters_.global_misses;
+  const auto verdict = theorem2_check(supply_, active);
+  global_cache_.emplace(key, verdict);
+  return verdict;
+}
+
+std::optional<sched::ServerParams> AdmissionEngine::synthesized_server(
+    const workload::TaskSet& tasks, const std::string& task_canon) {
+  const auto compute = [&]() -> std::optional<sched::ServerParams> {
+    const auto designed = sched::synthesize_server(tasks, config_.server_design);
+    if (!designed.ok()) return std::nullopt;
+    return *designed;
+  };
+  if (!config_.memoize) {
+    ++counters_.synth_misses;
+    return compute();
+  }
+  const auto key = fnv1a64(task_canon);
+  if (const auto it = synth_cache_.find(key); it != synth_cache_.end()) {
+    ++counters_.synth_hits;
+    return it->second;
+  }
+  ++counters_.synth_misses;
+  const auto designed = compute();
+  synth_cache_.emplace(key, designed);
+  return designed;
+}
+
+std::string AdmissionEngine::fleet_canonical_string(const Fleet& fleet) {
+  std::string canon;
+  for (const auto& [fk, entry] : fleet) {
+    canon += fk.first + "/" + fk.second + "|" + server_canon(entry.server) +
+             "|" + entry.task_canon + "\n";
+  }
+  return canon;
+}
+
+std::uint64_t AdmissionEngine::fleet_fingerprint() const {
+  return fnv1a64(fleet_canonical_string(fleet_));
+}
+
+void AdmissionEngine::export_metrics(
+    telemetry::MetricsRegistry& registry) const {
+  registry.counter("ioguard_admission_requests_total").inc(counters_.requests);
+  registry.counter("ioguard_admission_applied_total").inc(counters_.applied);
+  registry.counter("ioguard_admission_rejected_total").inc(counters_.rejected);
+  const auto cache = [&](const char* name, std::uint64_t hits,
+                         std::uint64_t misses) {
+    registry.counter("ioguard_admission_cache_hits_total", {{"cache", name}})
+        .inc(hits);
+    registry.counter("ioguard_admission_cache_misses_total", {{"cache", name}})
+        .inc(misses);
+  };
+  cache("local", counters_.local_hits, counters_.local_misses);
+  cache("global", counters_.global_hits, counters_.global_misses);
+  cache("synthesis", counters_.synth_hits, counters_.synth_misses);
+  registry.counter("ioguard_admission_vms_reanalyzed_total")
+      .inc(counters_.vms_reanalyzed());
+  registry.gauge("ioguard_admission_fleet_vms")
+      .set(static_cast<double>(fleet_.size()));
+}
+
+void AdmissionEngine::poison_local_cache_for_testing() {
+  for (auto& [key, verdict] : local_cache_)
+    verdict.schedulable = !verdict.schedulable;
+}
+
+}  // namespace ioguard::service

@@ -1,0 +1,85 @@
+// JSON-lines wire format of the admission service (ISSUE-9).
+//
+// ioguard_admitd speaks one JSON object per line on stdin/stdout, so the
+// daemon is scriptable and CI-testable without sockets. The codec here is a
+// deliberately small, dependency-free JSON subset (objects, arrays, strings,
+// numbers, booleans, null; no unicode escapes beyond \uXXXX pass-through):
+// requests a shell script can type, responses a test can byte-compare.
+//
+// Request schema (fields beyond the op's needs are rejected-by-ignoring):
+//   {"op":"admit","tenant":"t0","vm":"vm1",
+//    "server":{"pi":20,"theta":5},            // optional: synthesized if absent
+//    "tasks":[{"id":1,"period":100,"wcet":5,"deadline":80}]}
+//   {"op":"update", ... same shape ... }
+//   {"op":"evict","tenant":"t0","vm":"vm1"}
+//   {"op":"evict_tenant","tenant":"t0"}
+//   {"op":"query"}
+//   {"op":"stats"}                            // daemon-level counter dump
+//
+// Responses are canonical (fixed key order, fixed float precision), so the
+// same decision always encodes to the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "service/admission_api.hpp"
+
+namespace ioguard::service {
+
+/// Parsed JSON value. Object members keep their source order (std::map
+/// would be fine too, but order preservation makes error messages and tests
+/// read like the input).
+struct Json {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;                            // kArray
+  std::vector<std::pair<std::string, Json>> members;  // kObject
+
+  /// First member named `key`, or nullptr (valid on any type; non-objects
+  /// have no members).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error
+/// (kDataLoss, per the malformed-input contract).
+[[nodiscard]] StatusOr<Json> parse_json(std::string_view text);
+
+/// One decoded request line: either an engine request or the daemon-level
+/// "stats" op.
+struct WireRequest {
+  bool stats = false;
+  AdmissionRequest request;
+};
+
+/// Decodes a request line (parse + schema checks). Schema violations are
+/// kInvalidArgument; JSON syntax errors are kDataLoss.
+[[nodiscard]] StatusOr<WireRequest> decode_request(std::string_view line);
+
+/// Canonical JSON encoding of a decision (single line, no trailing \n).
+[[nodiscard]] std::string encode_decision(const AdmissionDecision& decision);
+
+/// Error line: {"ok":false,"code":"invalid_argument","error":"..."}.
+[[nodiscard]] std::string encode_error(const Status& status);
+
+/// Stats line for the "stats" op.
+[[nodiscard]] std::string encode_counters(const EngineCounters& counters,
+                                          std::size_t fleet_vms,
+                                          std::uint64_t fleet_fingerprint);
+
+}  // namespace ioguard::service

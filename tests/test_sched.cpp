@@ -255,7 +255,7 @@ TEST(ServerDesign, MinThetaIsMinimal) {
   ts.add(runtime_task(0, 100, 10, 100));
   ts.add(runtime_task(1, 200, 30, 200));  // U = 0.25
   const auto server = min_theta_for_pi(20, ts);
-  ASSERT_TRUE(server.has_value());
+  ASSERT_TRUE(server.ok());
   EXPECT_TRUE(theorem4_check(*server, ts));
   if (server->theta > 1) {
     EXPECT_FALSE(theorem4_check({server->pi, server->theta - 1}, ts))
@@ -268,8 +268,12 @@ TEST(ServerDesign, InfeasibleWhenUtilizationExceedsOne) {
   TaskSet ts;
   ts.add(runtime_task(0, 10, 9, 10));
   ts.add(runtime_task(1, 10, 5, 10));
-  EXPECT_FALSE(min_theta_for_pi(10, ts).has_value());
-  EXPECT_FALSE(synthesize_server(ts).has_value());
+  const auto per_pi = min_theta_for_pi(10, ts);
+  ASSERT_FALSE(per_pi.ok());
+  EXPECT_EQ(per_pi.status().code(), StatusCode::kFailedPrecondition);
+  const auto synthesized = synthesize_server(ts);
+  ASSERT_FALSE(synthesized.ok());
+  EXPECT_EQ(synthesized.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ServerDesign, SystemDesignAdmitsLightLoad) {

@@ -22,17 +22,29 @@ workload::IoTaskSpec task(std::uint32_t id, Slot t, Slot c, Slot d) {
   return s;
 }
 
-TEST(Breakdown, UnschedulableIsZero) {
+TEST(Breakdown, UnschedulableIsFailedPrecondition) {
   workload::TaskSet ts;
   ts.add(task(0, 10, 9, 10));
-  EXPECT_DOUBLE_EQ(breakdown_factor({10, 5}, ts), 0.0);
+  const auto alpha = breakdown_factor({10, 5}, ts);
+  ASSERT_FALSE(alpha.ok());
+  EXPECT_EQ(alpha.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Breakdown, BadParametersAreInvalidArgument) {
+  workload::TaskSet ts;
+  ts.add(task(0, 1000, 10, 1000));
+  EXPECT_EQ(breakdown_factor({10, 8}, ts, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(breakdown_factor({10, 8}, ts, 8.0, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(Breakdown, LightLoadHasLargeMargin) {
   workload::TaskSet ts;
   ts.add(task(0, 1000, 10, 1000));
-  const double alpha = breakdown_factor({10, 8}, ts);
-  EXPECT_GT(alpha, 2.0);
+  const auto alpha = breakdown_factor({10, 8}, ts);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_GT(*alpha, 2.0);
 }
 
 TEST(Breakdown, ScaledSetStillSchedulableAtAlpha) {
@@ -41,7 +53,9 @@ TEST(Breakdown, ScaledSetStillSchedulableAtAlpha) {
   ts.add(task(1, 200, 30, 150));
   const ServerParams g{20, 12};
   if (!theorem4_check(g, ts)) GTEST_SKIP();
-  const double alpha = breakdown_factor(g, ts);
+  const auto alpha_or = breakdown_factor(g, ts);
+  ASSERT_TRUE(alpha_or.ok());
+  const double alpha = *alpha_or;
   ASSERT_GE(alpha, 1.0);
   // Scaling by slightly less than alpha must stay schedulable.
   workload::TaskSet scaled;
@@ -68,7 +82,7 @@ TEST(MinSlack, PositiveIffSchedulable) {
 
     if (g.bandwidth() <= ts.utilization()) continue;  // covered below
     const auto slack = min_slack(g, ts);
-    ASSERT_TRUE(slack.has_value());
+    ASSERT_TRUE(slack.ok());
     const bool sched = static_cast<bool>(theorem4_check(g, ts));
     EXPECT_EQ(*slack >= 0, sched)
         << "Pi=" << g.pi << " Theta=" << g.theta << " T=" << period
@@ -80,12 +94,14 @@ TEST(MinSlack, OverUtilizedServerIsNegative) {
   workload::TaskSet ts;
   ts.add(task(0, 10, 6, 10));  // util 0.6
   const auto slack = min_slack({10, 3}, ts);  // bandwidth 0.3
-  ASSERT_TRUE(slack.has_value());
+  ASSERT_TRUE(slack.ok());
   EXPECT_LT(*slack, 0);
 }
 
-TEST(MinSlack, EmptySetHasNoSlackValue) {
-  EXPECT_FALSE(min_slack({10, 5}, workload::TaskSet{}).has_value());
+TEST(MinSlack, EmptySetIsFailedPrecondition) {
+  const auto slack = min_slack({10, 5}, workload::TaskSet{});
+  ASSERT_FALSE(slack.ok());
+  EXPECT_EQ(slack.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(MinTheta, MatchesDirectSearch) {
@@ -94,14 +110,14 @@ TEST(MinTheta, MatchesDirectSearch) {
   ts.add(task(1, 400, 40, 300));
   const ServerParams g{20, 20};
   const auto needed = min_required_theta(g, ts);
-  ASSERT_TRUE(needed.has_value());
+  ASSERT_TRUE(needed.ok());
   EXPECT_TRUE(theorem4_check({20, *needed}, ts));
   if (*needed > 1) {
     EXPECT_FALSE(theorem4_check({20, *needed - 1}, ts));
   }
   // Consistent with the designer's minimal budget for the same Pi.
   const auto designed = min_theta_for_pi(20, ts);
-  ASSERT_TRUE(designed.has_value());
+  ASSERT_TRUE(designed.ok());
   EXPECT_EQ(designed->theta, *needed);
 }
 
@@ -111,11 +127,11 @@ TEST(GlobalSlack, DetectsViolationMagnitude) {
   TableSupply supply(t);  // bandwidth 0.5
   // Demand 0.6: negative slack.
   const auto bad = global_min_slack(supply, {{10, 6}});
-  ASSERT_TRUE(bad.has_value());
+  ASSERT_TRUE(bad.ok());
   EXPECT_LT(*bad, 0);
   // Demand 0.3: non-negative slack.
   const auto good = global_min_slack(supply, {{10, 3}});
-  ASSERT_TRUE(good.has_value());
+  ASSERT_TRUE(good.ok());
   EXPECT_GE(*good, 0);
 }
 
@@ -133,7 +149,7 @@ TEST(GlobalSlack, AgreesWithTheorem1) {
       servers.push_back({pi, 1 + rng.uniform_int(0, pi - 1)});
     }
     const auto slack = global_min_slack(supply, servers);
-    ASSERT_TRUE(slack.has_value());
+    ASSERT_TRUE(slack.ok());
     EXPECT_EQ(*slack >= 0,
               static_cast<bool>(theorem1_exhaustive(supply, servers)));
   }
