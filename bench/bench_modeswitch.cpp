@@ -1,0 +1,139 @@
+// EXP-MCS -- mixed-criticality mode-switch gate (ISSUE-10): drives the
+// deliberate-overload scenario (LO utilization 1.2, translator WCET-overrun
+// injection, block propagation on first evidence, sticky hysteresis) through
+// the full-system simulator and asserts the Vestal contract: every admitted
+// HI task meets its deadline while LO work is shed. Reports the switch
+// telemetry plus first-evidence->switch latency percentiles into
+// BENCH_modeswitch.json; CI gates it via scripts/check_modeswitch.py
+// (hi_deadline_misses == 0, switches_to_hi >= 1, lo_shed_total >= 1).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/table.hpp"
+#include "faults/fault_plan.hpp"
+#include "system/experiment.hpp"
+#include "system/parallel.hpp"
+#include "system/runner.hpp"
+
+namespace {
+
+using namespace ioguard;
+
+constexpr std::size_t kTrials = 8;
+constexpr std::size_t kVms = 4;
+constexpr double kUtil = 1.2;  ///< LO-mode demand deliberately > 1.0
+constexpr std::uint64_t kSeed = 2026;
+
+/// The gate scenario. preload_fraction stays 0: the offline P-channel slot
+/// table is infeasible above utilization 1.0 and mode switches by design
+/// never touch sigma* (DESIGN.md §17), so preloaded safety tasks would miss
+/// for reasons no runtime mode protocol can fix. propagation_threshold 1
+/// closes the detection-latency window (first overrun anywhere escalates the
+/// block); the huge hysteresis keeps VMs in HI for the rest of the horizon
+/// so recovery thrash cannot re-open the overload.
+sys::TrialConfig overload_trial(std::size_t t) {
+  sys::TrialConfig tc;
+  tc.kind = sys::SystemKind::kIoGuard;
+  tc.workload.num_vms = kVms;
+  tc.workload.target_utilization = kUtil;
+  tc.workload.preload_fraction = 0.0;
+  tc.workload.mixed_criticality = true;
+  tc.trial_seed = mix_seed(kSeed, sys::sweep_point_key(kVms, kUtil), t);
+  tc.faults = faults::FaultPlan::parse("overrun:rate=0.05,param=40").value();
+  tc.mode_switch.enabled = true;
+  tc.mode_switch.overrun_threshold = 1;
+  tc.mode_switch.recovery_hysteresis_slots = 1000000;
+  tc.mode_switch.hi_budget_factor = 2.0;
+  tc.mode_switch.propagation_threshold = 1;
+  return tc;
+}
+
+void modeswitch_gate(bench::BenchReport& report, std::size_t jobs) {
+  sys::ParallelRunner runner(jobs);
+  report.set_jobs(runner.jobs());
+
+  sys::BatchTiming timing;
+  const auto results = runner.run_trials(
+      kTrials, [](std::size_t t) { return overload_trial(t); },
+      /*metrics=*/nullptr, &timing);
+
+  sys::ModeSwitchCounters total;
+  std::uint64_t lo_misses = 0;
+  for (const auto& r : results) {
+    total.switches_to_hi += r.mcs.switches_to_hi;
+    total.recoveries += r.mcs.recoveries;
+    total.propagated += r.mcs.propagated;
+    total.overruns_observed += r.mcs.overruns_observed;
+    total.lo_jobs_shed += r.mcs.lo_jobs_shed;
+    total.lo_rejected += r.mcs.lo_rejected;
+    total.hi_vms_at_end += r.mcs.hi_vms_at_end;
+    total.hi_misses += r.mcs.hi_misses;
+    total.switch_latency_slots.merge(r.mcs.switch_latency_slots);
+    lo_misses += r.misses - r.mcs.hi_misses;
+  }
+
+  auto& lat = total.switch_latency_slots;
+  const double p50 = lat.empty() ? 0.0 : lat.percentile(50.0);
+  const double p99 = lat.empty() ? 0.0 : lat.percentile(99.0);
+  const double worst = lat.empty() ? 0.0 : lat.max();
+
+  std::cout << "=== Mode-switch gate: " << kTrials << " trials, " << kVms
+            << " VMs, LO utilization " << fmt_double(kUtil, 2)
+            << " (overload) ===\n";
+  TextTable t({"counter", "total over trials"});
+  t.add("LO->HI switches", std::to_string(total.switches_to_hi));
+  t.add("  via block propagation", std::to_string(total.propagated));
+  t.add("overruns observed", std::to_string(total.overruns_observed));
+  t.add("LO jobs shed at switch", std::to_string(total.lo_jobs_shed));
+  t.add("LO submissions rejected", std::to_string(total.lo_rejected));
+  t.add("HI->LO recoveries", std::to_string(total.recoveries));
+  t.add("HI VMs at horizon", std::to_string(total.hi_vms_at_end));
+  t.add("LO deadline misses (expected)", std::to_string(lo_misses));
+  t.add("HI deadline misses (gate: 0)", std::to_string(total.hi_misses));
+  t.render(std::cout);
+  std::cout << "switch latency (slots): p50=" << fmt_double(p50, 1)
+            << " p99=" << fmt_double(p99, 1) << " max=" << fmt_double(worst, 1)
+            << " over " << lat.count() << " switches\n\n";
+
+  report.add_stage("overload_sweep", timing);
+  report.add_metric("hi_deadline_misses", static_cast<double>(total.hi_misses));
+  report.add_metric("lo_deadline_misses", static_cast<double>(lo_misses));
+  report.add_metric("switches_to_hi",
+                    static_cast<double>(total.switches_to_hi));
+  report.add_metric("switches_propagated",
+                    static_cast<double>(total.propagated));
+  report.add_metric("lo_shed_total", static_cast<double>(total.lo_jobs_shed +
+                                                         total.lo_rejected));
+  report.add_metric("switch_latency_p50_slots", p50);
+  report.add_metric("switch_latency_p99_slots", p99);
+  report.add_metric("switch_latency_max_slots", worst);
+}
+
+void BM_OverloadTrial(benchmark::State& state) {
+  for (auto _ : state) {
+    const sys::TrialResult r = sys::run_trial(overload_trial(0));
+    benchmark::DoNotOptimize(r.mcs.switches_to_hi);
+  }
+}
+BENCHMARK(BM_OverloadTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = ioguard::bench;
+  const bench::BenchFlags flags = bench::parse_bench_flags(&argc, argv);
+
+  bench::BenchReport report("modeswitch");
+  modeswitch_gate(report, flags.jobs);
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

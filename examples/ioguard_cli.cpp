@@ -10,6 +10,7 @@
 //
 // Exit codes: 0 success, 1 errors, 2 usage, 3 interrupted after a graceful
 // drain (re-run with --checkpoint=... --resume to continue).
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "core/mode_controller.hpp"
 #include "system/checkpoint.hpp"
 #include "system/experiment.hpp"
 #include "telemetry/perfetto.hpp"
@@ -47,6 +49,55 @@ StatusOr<SystemKind> parse_system(const std::string& name) {
                               "' (expected legacy|rtxen|bv|ioguard)");
 }
 
+/// --mode-switch spec: "off" | "on" | "on:THRESHOLD:HYSTERESIS:FACTOR
+/// [:PROPAGATION]". "on" alone takes every ModeSwitchConfig default;
+/// numeric range checks stay in TrialConfig::validated (the single
+/// validated construction path), this only rejects malformed syntax.
+StatusOr<core::ModeSwitchConfig> parse_mode_switch(const std::string& spec) {
+  core::ModeSwitchConfig cfg;
+  if (spec == "off") return cfg;
+
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const Status bad = InvalidArgumentError(
+      "--mode-switch expects off, on, or "
+      "on:THRESHOLD:HYSTERESIS:FACTOR[:PROPAGATION], got '" + spec + "'");
+  if (parts[0] != "on") return bad;
+  cfg.enabled = true;
+  if (parts.size() == 1) return cfg;
+  if (parts.size() != 4 && parts.size() != 5) return bad;
+
+  const auto as_u64 = [&](const std::string& s,
+                          std::uint64_t& out) -> bool {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  };
+  std::uint64_t threshold = 0;
+  std::uint64_t hysteresis = 0;
+  if (!as_u64(parts[1], threshold) || !as_u64(parts[2], hysteresis))
+    return bad;
+  char* end = nullptr;
+  const double factor = std::strtod(parts[3].c_str(), &end);
+  if (parts[3].empty() || end == nullptr || *end != '\0') return bad;
+  cfg.overrun_threshold = static_cast<std::uint32_t>(threshold);
+  cfg.recovery_hysteresis_slots = static_cast<Slot>(hysteresis);
+  cfg.hi_budget_factor = factor;
+  if (parts.size() == 5) {
+    std::uint64_t propagation = 0;
+    if (!as_u64(parts[4], propagation)) return bad;
+    cfg.propagation_threshold = static_cast<std::size_t>(propagation);
+  }
+  return cfg;
+}
+
 CliSpec make_spec() {
   CliSpec spec("run case-study trials of one architecture");
   spec.flag("system", "ioguard", "architecture: legacy|rtxen|bv|ioguard")
@@ -63,6 +114,15 @@ CliSpec make_spec() {
             "fault plan: a canned name (none|device-stall|lossy-frames|"
             "noc-flaky|translator-jitter|mixed) or a spec like "
             "\"stall:rate=0.002,param=12;flit:rate=0.001\"")
+      .flag_switch("criticality",
+                   "mixed-criticality workload: safety tasks carry HI "
+                   "budgets (C_hi >= C_lo); everything else is LO and "
+                   "sheddable under HI mode")
+      .flag("mode-switch", "off",
+            "LO->HI mode switching (ioguard only, needs --criticality): "
+            "off | on | on:THRESHOLD:HYSTERESIS:FACTOR[:PROPAGATION], e.g. "
+            "on:1:500:1.5 -- pair with --faults=translator-jitter to "
+            "produce the overrun evidence that triggers switches")
       .flag("checkpoint", "",
             "journal every finished trial to this file (crash-safe; see "
             "--resume); SIGINT/SIGTERM drain gracefully and exit 3")
@@ -117,6 +177,18 @@ Status run(const CliArgs& args) {
   IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
                            faults::FaultPlan::parse(args.get("faults")));
   const faults::ResilienceConfig resilience;
+  const bool criticality = args.get_bool("criticality");
+  IOGUARD_ASSIGN_OR_RETURN(const core::ModeSwitchConfig mode_cfg,
+                           parse_mode_switch(args.get("mode-switch")));
+  if (mode_cfg.enabled && kind != SystemKind::kIoGuard)
+    return InvalidArgumentError(
+        "--mode-switch requires --system=ioguard (the controller hangs off "
+        "the hypervisor's G-Sched and translator overrun sites)");
+  if (mode_cfg.enabled && !criticality)
+    return InvalidArgumentError(
+        "--mode-switch requires --criticality: with a single-criticality "
+        "workload every task is LO, so a switch would shed the safety tasks "
+        "it is meant to protect");
 
   const std::string checkpoint_path = args.get("checkpoint");
   const bool resume = args.get_bool("resume");
@@ -133,8 +205,9 @@ Status run(const CliArgs& args) {
   // The canonical config string fingerprints the checkpoint: resuming with
   // different flags is refused (CKP002). --jobs is deliberately excluded --
   // resuming at a different fan-out width is supported and bit-identical.
-  const std::string canonical = point_config_string(
-      kind, vms, util, preload, trials, min_jobs, seed, plan, resilience);
+  const std::string canonical =
+      point_config_string(kind, vms, util, preload, trials, min_jobs, seed,
+                          plan, resilience, criticality, mode_cfg);
   const std::uint64_t fingerprint = fnv1a64(canonical);
 
   // Trial t's seed, shared with the batch experiment drivers: depends only
@@ -149,6 +222,12 @@ Status run(const CliArgs& args) {
             << fmt_double(preload, 2) << " trials=" << trials
             << " jobs=" << runner.jobs();
   if (!plan.empty()) std::cout << " faults=" << plan.spec_string();
+  if (criticality) std::cout << " criticality=1";
+  if (mode_cfg.enabled)
+    std::cout << " mode-switch=on:" << mode_cfg.overrun_threshold << ":"
+              << mode_cfg.recovery_hysteresis_slots << ":"
+              << fmt_double(mode_cfg.hi_budget_factor, 2) << ":"
+              << mode_cfg.propagation_threshold;
   if (!checkpoint_path.empty())
     std::cout << " checkpoint=" << checkpoint_path
               << (resume ? " (resume)" : "");
@@ -161,6 +240,7 @@ Status run(const CliArgs& args) {
     vcfg.num_vms = vms;
     vcfg.target_utilization = util;
     vcfg.preload_fraction = preload;
+    vcfg.mixed_criticality = criticality;
     vcfg.seed = seed_of(0) * 1000003ULL + 17;  // trial-0 workload seed
     auto report = analysis::verify_case_study(vcfg, trials, min_jobs);
     analysis::verify_resilience(plan, resilience, report);
@@ -238,10 +318,12 @@ Status run(const CliArgs& args) {
     tc.workload.num_vms = vms;
     tc.workload.target_utilization = util;
     tc.workload.preload_fraction = preload;
+    tc.workload.mixed_criticality = criticality;
     tc.min_jobs_per_task = min_jobs;
     tc.trial_seed = seed_of(t);
     tc.faults = plan;
     tc.resilience = resilience;
+    tc.mode_switch = mode_cfg;
     tc.stepped = stepped;
     if (telemetry_on && t == 0) {
       tc.trace = &events;
@@ -290,6 +372,7 @@ Status run(const CliArgs& args) {
   double goodput = 0.0;
   std::uint64_t flight_total = 0;
   FaultCounters fc;
+  ModeSwitchCounters mcs;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const TrialOutcome outcome = batch.outcomes[t];
     if (outcome == TrialOutcome::kAbandoned ||
@@ -309,6 +392,14 @@ Status run(const CliArgs& args) {
     fc.retries += r.faults.retries;
     fc.jobs_shed += r.faults.jobs_shed;
     fc.transit_drops += r.faults.transit_drops;
+    mcs.switches_to_hi += r.mcs.switches_to_hi;
+    mcs.recoveries += r.mcs.recoveries;
+    mcs.propagated += r.mcs.propagated;
+    mcs.overruns_observed += r.mcs.overruns_observed;
+    mcs.lo_jobs_shed += r.mcs.lo_jobs_shed;
+    mcs.lo_rejected += r.mcs.lo_rejected;
+    mcs.hi_vms_at_end += r.mcs.hi_vms_at_end;
+    mcs.hi_misses += r.mcs.hi_misses;
     flight_total += r.flight_dumps;
     if (journal) {
       table.add(t, std::string(r.success() ? "yes" : "NO"), r.jobs_counted,
@@ -366,6 +457,16 @@ Status run(const CliArgs& args) {
               << ", watchdog aborts " << fc.watchdog_aborts << ", retries "
               << fc.retries << ", jobs shed " << fc.jobs_shed
               << ", transit drops " << fc.transit_drops << "\n";
+  }
+  if (mode_cfg.enabled) {
+    std::cout << "mode switching: " << mcs.switches_to_hi << " LO->HI ("
+              << mcs.propagated << " propagated), " << mcs.recoveries
+              << " recoveries, " << mcs.overruns_observed
+              << " overruns observed, " << mcs.lo_jobs_shed
+              << " LO jobs shed, " << mcs.lo_rejected
+              << " LO submissions rejected, " << mcs.hi_vms_at_end
+              << " HI VM(s) at horizon, " << mcs.hi_misses
+              << " HI deadline miss(es)\n";
   }
   if (!flight_dir.empty())
     std::cout << "flight recorder: " << flight_total << " dump(s) in "

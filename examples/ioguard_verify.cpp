@@ -19,6 +19,7 @@
 //
 // Exit status: 0 artifacts verified, 1 diagnostics at error severity,
 // 2 usage error (e.g. unknown corruption name).
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,8 +28,10 @@
 #include "analysis/verifier.hpp"
 #include "analysis/verify_checkpoint.hpp"
 #include "analysis/verify_resilience.hpp"
+#include "analysis/verify_modeswitch.hpp"
 #include "analysis/verify_service.hpp"
 #include "common/checksum.hpp"
+#include "core/mode_controller.hpp"
 #include "common/cli.hpp"
 #include "common/status.hpp"
 #include "sched/slot_table.hpp"
@@ -66,6 +69,9 @@ constexpr Corruption kCorruptions[] = {
     {"zero-trials", "CFG006", "configure an experiment with zero trials"},
     {"sbf-nonmonotone", "SUP001", "verify a supply function that decreases"},
     {"stale-cache", "ADM002", "poison the admission engine's verdict cache"},
+    {"hi-budget-underrun", "MCS001", "shrink a task's HI budget below C_lo"},
+    {"forged-mode-switch", "MCS005",
+     "record a LO->HI switch that kept LO backlog"},
 };
 
 /// First device with at least one reserved slot (preload > 0 guarantees one).
@@ -170,8 +176,19 @@ bool apply_corruption(ExperimentArtifacts& a, const std::string& name) {
     a.experiment.target_utilization = 1.7;
   } else if (name == "zero-trials") {
     a.experiment.trials = 0;
-  } else if (name != "sbf-nonmonotone" && name != "stale-cache") {
-    // sbf-nonmonotone and stale-cache are handled at verification time.
+  } else if (name == "hi-budget-underrun") {
+    const auto [dd, v] = busiest_vm(a);
+    auto tasks = a.vm_tasks[dd][v].tasks();
+    auto it = std::find_if(tasks.begin(), tasks.end(),
+                           [](const auto& t) { return t.wcet >= 2; });
+    if (it == tasks.end()) return false;
+    it->criticality = workload::Criticality::kHi;
+    it->wcet_hi = it->wcet - 1;  // inverts the C_lo <= C_hi order
+    a.vm_tasks[dd][v] = workload::TaskSet(std::move(tasks));
+  } else if (name != "sbf-nonmonotone" && name != "stale-cache" &&
+             name != "forged-mode-switch") {
+    // sbf-nonmonotone, stale-cache and forged-mode-switch are handled at
+    // verification time.
     return false;
   }
   return true;
@@ -194,6 +211,9 @@ CliSpec make_spec() {
             "with --checkpoint: cross-check the journal fingerprint against "
             "the flags above for this architecture "
             "(legacy|rtxen|bv|ioguard); omit to skip the CKP002 check")
+      .flag_switch("criticality",
+                   "generate a mixed-criticality workload (safety tasks get "
+                   "HI budgets), making the MCS admission checks non-vacuous")
       .flag_switch("json", "emit the report as JSON")
       .flag("corrupt", "", "inject a named corruption first")
       .flag_switch("list-corruptions", "list corruption names and exit");
@@ -216,6 +236,7 @@ Status run(const CliArgs& args, bool& report_ok) {
   cfg.target_utilization = args.get_double("util");
   cfg.preload_fraction = args.get_double("preload");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  cfg.mixed_criticality = args.get_bool("criticality");
   const auto trials = static_cast<std::size_t>(args.get_int("trials"));
   const auto min_jobs = static_cast<std::size_t>(args.get_int("min-jobs"));
   IOGUARD_ASSIGN_OR_RETURN(const faults::FaultPlan plan,
@@ -280,6 +301,35 @@ Status run(const CliArgs& args, bool& report_ok) {
     service_options.poison_cache_for_testing = corrupt == "stale-cache";
     analysis::verify_service(a.tables[d], a.vm_tasks[d], service_options,
                              report);
+  }
+
+  // MCS checks: the dual-criticality admission regimes per device (vacuous
+  // on the default single-criticality workload; --criticality makes them
+  // real) plus a protocol audit of a canned ModeController episode, which
+  // --corrupt=forged-mode-switch tampers with (MCS005 must catch it).
+  core::ModeSwitchConfig mode_cfg;
+  mode_cfg.enabled = true;
+  mode_cfg.recovery_hysteresis_slots = 50;
+  for (std::size_t d = 0; d < a.tables.size(); ++d)
+    analysis::verify_mcs_admission(a.servers[d], a.vm_tasks[d],
+                                   mode_cfg.hi_budget_factor, report);
+  {
+    core::ModeController ctl(cfg.num_vms, mode_cfg);
+    std::vector<std::size_t> to_hi;
+    std::vector<std::size_t> to_lo;
+    ctl.note_budget_overrun(VmId{0}, 10);
+    for (Slot s = 10; s <= Slot{10} + mode_cfg.recovery_hysteresis_slots;
+         ++s) {
+      to_hi.clear();
+      to_lo.clear();
+      ctl.advance(s, to_hi, to_lo);
+      for (const std::size_t vm : to_hi)
+        ctl.finalize_switch(vm, /*lo_pending=*/3, /*jobs_shed=*/3);
+    }
+    std::vector<core::ModeTransitionRecord> transitions = ctl.transitions();
+    if (corrupt == "forged-mode-switch" && !transitions.empty())
+      transitions.front().jobs_shed = 0;  // switch "kept" its LO backlog
+    analysis::verify_mode_transitions(transitions, mode_cfg, report);
   }
 
   if (corrupt == "sbf-nonmonotone") {

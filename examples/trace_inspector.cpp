@@ -123,9 +123,9 @@ Status run(const CliArgs& args) {
   std::cout << "\n\n";
   TextTable summary({"event", "count"});
   for (auto kind : core::all_trace_event_kinds()) {
-    // Fault-kind rows appear only when something actually fired, mirroring
-    // the exporters' byte-identity rule for fault-free runs.
-    if (core::is_fault_kind(kind) && trace.count(kind) == 0) continue;
+    // Fault-kind and mode-transition rows appear only when something
+    // actually fired, mirroring the exporters' byte-identity rule.
+    if (core::is_conditional_kind(kind) && trace.count(kind) == 0) continue;
     summary.add(std::string(core::to_string(kind)), trace.count(kind));
   }
   summary.render(std::cout);

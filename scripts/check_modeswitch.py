@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Mixed-criticality mode-switch gate (ISSUE-10, DESIGN.md §17).
+
+Drives ioguard_cli / ioguard_verify through the mode-switch scenarios and
+asserts the Vestal contract, with no third-party dependencies:
+
+  * overload gate -- a deliberate-overload run (LO utilization 1.2,
+    translator WCET-overrun injection, block propagation, sticky
+    hysteresis) must report ZERO HI deadline misses while LO->HI switches
+    fire and LO work is shed;
+  * both-ways transitions -- a moderate run with a short hysteresis must
+    show LO->HI switches AND HI->LO recoveries, and its metrics.prom must
+    carry every ioguard_mode_* series (the always-export contract);
+  * byte-identity -- the moderate faulted run produces byte-identical
+    metrics.prom and summary.json at --jobs=1, --jobs=2, and
+    --jobs=2 --stepped (event-driven vs stepped oracle);
+  * forged-switch detection -- ioguard_verify --criticality
+    --corrupt=forged-mode-switch must exit non-zero citing MCS005, while
+    the uncorrupted criticality analysis passes;
+  * bench gate (--bench) -- BENCH_modeswitch.json must carry
+    hi_deadline_misses == 0, switches_to_hi >= 1, lo_shed_total >= 1 and
+    ordered finite switch-latency percentiles (p50 <= p99 <= max).
+
+Usage: check_modeswitch.py CLI_BINARY --verify=VERIFY_BINARY
+       [--bench=FILE.json] [--workdir=DIR]
+Exit status: 0 all checks pass, 1 any failure (each failure is printed),
+2 usage error.
+"""
+
+import json
+import math
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+OVERLOAD_ARGS = [
+    "--criticality", "--mode-switch=on:1:1000000:2.0:1",
+    "--faults=overrun:rate=0.05,param=40",
+    "--util=1.2", "--preload=0", "--vms=8",
+    "--trials=4", "--min-jobs=10", "--seed=7",
+]
+
+MODERATE_ARGS = [
+    "--criticality", "--mode-switch=on:1:200:1.5",
+    "--faults=overrun:rate=0.05,param=40",
+    "--util=0.8", "--preload=0.5", "--vms=4",
+    "--trials=4", "--min-jobs=10", "--seed=7",
+]
+
+MODE_SERIES = [
+    "ioguard_mode_switches_total",
+    "ioguard_mode_switches_propagated_total",
+    "ioguard_mode_overruns_observed_total",
+    "ioguard_mode_lo_jobs_shed_total",
+    "ioguard_mode_lo_rejected_total",
+    "ioguard_mode_hi_misses_total",
+    "ioguard_mode_hi_vms",
+    "ioguard_mode_switch_latency_slots",
+]
+
+SUMMARY_RE = re.compile(
+    r"mode switching: (?P<switches>\d+) LO->HI \((?P<propagated>\d+) "
+    r"propagated\), (?P<recoveries>\d+) recoveries, (?P<overruns>\d+) "
+    r"overruns observed, (?P<shed>\d+) LO jobs shed, (?P<rejected>\d+) "
+    r"LO submissions rejected, (?P<hi_vms>\d+) HI VM\(s\) at horizon, "
+    r"(?P<hi_misses>\d+) HI deadline miss\(es\)")
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def run_cli(binary, args, label):
+    cmd = [str(binary), *args]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{label}: {' '.join(cmd)} exited {proc.returncode}: "
+             f"{proc.stderr.strip()}")
+        return None
+    return proc.stdout
+
+
+def parse_mode_line(stdout, label):
+    m = SUMMARY_RE.search(stdout or "")
+    if not m:
+        fail(f"{label}: no 'mode switching:' summary line in CLI output")
+        return None
+    return {k: int(v) for k, v in m.groupdict().items()}
+
+
+def check_overload_gate(cli):
+    """Zero admitted-HI misses while the system is overloaded and shedding."""
+    counters = parse_mode_line(run_cli(cli, OVERLOAD_ARGS, "overload"),
+                               "overload")
+    if counters is None:
+        return
+    if counters["hi_misses"] != 0:
+        fail(f"overload: {counters['hi_misses']} HI deadline miss(es); "
+             "the admitted-HI guarantee must survive overload")
+    if counters["switches"] == 0:
+        fail("overload: no LO->HI switches fired; the scenario is not "
+             "exercising the mode protocol")
+    if counters["shed"] + counters["rejected"] == 0:
+        fail("overload: no LO work shed or rejected; criticality-aware "
+             "shedding is not engaging")
+    if counters["hi_vms"] == 0:
+        fail("overload: no VM still in HI mode at the horizon despite "
+             "sticky hysteresis")
+
+
+def check_transitions_and_metrics(cli, workdir):
+    """LO->HI AND HI->LO in one run; ioguard_mode_* series always present."""
+    outdir = workdir / "moderate"
+    outdir.mkdir(parents=True, exist_ok=True)
+    stdout = run_cli(cli, [*MODERATE_ARGS, "--jobs=1",
+                           f"--telemetry-out={outdir}"], "moderate")
+    counters = parse_mode_line(stdout, "moderate")
+    if counters is None:
+        return
+    if counters["switches"] == 0:
+        fail("moderate: no LO->HI switches fired")
+    if counters["recoveries"] == 0:
+        fail("moderate: no HI->LO recoveries; hysteresis recovery is not "
+             "engaging (transitions must show both ways)")
+    prom = outdir / "metrics.prom"
+    try:
+        text = prom.read_text()
+    except OSError as e:
+        fail(f"moderate: cannot read {prom}: {e}")
+        return
+    for series in MODE_SERIES:
+        if series not in text:
+            fail(f"moderate: metrics.prom is missing {series} (mode series "
+                 "must always be exported once the feature flag is on)")
+
+
+def check_byte_identity(cli, workdir):
+    """metrics.prom + summary.json identical across jobs and engine modes."""
+    artifacts = {}
+    variants = [
+        ("jobs1", ["--jobs=1"]),
+        ("jobs2", ["--jobs=2"]),
+        ("stepped", ["--jobs=2", "--stepped"]),
+    ]
+    for name, extra in variants:
+        outdir = workdir / f"ident-{name}"
+        outdir.mkdir(parents=True, exist_ok=True)
+        if run_cli(cli, [*MODERATE_ARGS, *extra,
+                         f"--telemetry-out={outdir}"], name) is None:
+            return
+        blobs = {}
+        for artifact in ("metrics.prom", "summary.json"):
+            try:
+                blobs[artifact] = (outdir / artifact).read_bytes()
+            except OSError as e:
+                fail(f"{name}: cannot read {artifact}: {e}")
+                return
+        artifacts[name] = blobs
+    for name in ("jobs2", "stepped"):
+        for artifact in ("metrics.prom", "summary.json"):
+            if artifacts[name][artifact] != artifacts["jobs1"][artifact]:
+                fail(f"{artifact} differs between --jobs=1 and {name}; "
+                     "mode switching broke deterministic replay")
+    summary = json.loads(artifacts["jobs1"]["summary.json"])
+    if "mcs" not in summary:
+        fail("summary.json has no 'mcs' block despite mode switching on")
+
+
+def check_forged_switch(verify):
+    """The corrupted transition ledger must trip MCS005; clean must pass."""
+    base = [str(verify), "--criticality"]
+    clean = subprocess.run(base, capture_output=True, text=True)
+    if clean.returncode != 0:
+        fail(f"verify --criticality exited {clean.returncode} on a clean "
+             f"configuration: {clean.stdout.strip()}")
+    forged = subprocess.run([*base, "--corrupt=forged-mode-switch"],
+                            capture_output=True, text=True)
+    if forged.returncode == 0:
+        fail("verify --corrupt=forged-mode-switch exited 0; the forged "
+             "LO->HI record went undetected")
+    elif "MCS005" not in forged.stdout + forged.stderr:
+        fail("forged-mode-switch was rejected but not via MCS005: "
+             f"{(forged.stdout + forged.stderr).strip()}")
+
+
+def metric(metrics, name):
+    v = metrics.get(name)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) \
+            or not math.isfinite(v):
+        fail(f"bench: metrics.{name} must be a finite number, got {v!r}")
+        return None
+    return v
+
+
+def check_bench_report(path):
+    """Gate on BENCH_modeswitch.json (shape checks live in check_bench.py)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as e:
+        fail(f"bench: cannot load {path}: {e}")
+        return
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"bench: {path} has no metrics object")
+        return
+    hi = metric(metrics, "hi_deadline_misses")
+    if hi is not None and hi != 0:
+        fail(f"bench: hi_deadline_misses = {hi}; the overload gate is 0")
+    switches = metric(metrics, "switches_to_hi")
+    if switches is not None and switches < 1:
+        fail("bench: switches_to_hi < 1; the gate scenario did not switch")
+    shed = metric(metrics, "lo_shed_total")
+    if shed is not None and shed < 1:
+        fail("bench: lo_shed_total < 1; no LO work was shed at overload")
+    p50 = metric(metrics, "switch_latency_p50_slots")
+    p99 = metric(metrics, "switch_latency_p99_slots")
+    worst = metric(metrics, "switch_latency_max_slots")
+    if None not in (p50, p99, worst) and not 0 <= p50 <= p99 <= worst:
+        fail(f"bench: switch-latency percentiles are not ordered: "
+             f"p50={p50} p99={p99} max={worst}")
+
+
+def main(argv):
+    cli = None
+    verify = None
+    bench = None
+    workdir = None
+    for arg in argv[1:]:
+        if arg.startswith("--verify="):
+            verify = Path(arg.split("=", 1)[1])
+        elif arg.startswith("--bench="):
+            bench = arg.split("=", 1)[1]
+        elif arg.startswith("--workdir="):
+            workdir = Path(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        elif cli is None:
+            cli = Path(arg)
+        else:
+            print(f"unexpected argument {arg}", file=sys.stderr)
+            return 2
+    if cli is None and bench is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    if cli is not None:
+        if workdir is None:
+            workdir = Path(tempfile.mkdtemp(prefix="modeswitch-"))
+        workdir.mkdir(parents=True, exist_ok=True)
+        check_overload_gate(cli)
+        check_transitions_and_metrics(cli, workdir)
+        check_byte_identity(cli, workdir)
+    if verify is not None:
+        check_forged_switch(verify)
+    if bench is not None:
+        check_bench_report(bench)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} mode-switch check(s) failed")
+        return 1
+    print("mode-switch checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -59,6 +59,12 @@ const char* code_string(DiagCode code) {
     case DiagCode::kAdmFingerprintUnstable: return "ADM003";
     case DiagCode::kAdmBandwidthOverflow: return "ADM004";
     case DiagCode::kAdmCountersInconsistent: return "ADM005";
+    case DiagCode::kMcsBudgetOrder: return "MCS001";
+    case DiagCode::kMcsLoModeUnschedulable: return "MCS002";
+    case DiagCode::kMcsHiModeUnschedulable: return "MCS003";
+    case DiagCode::kMcsTransitionUnschedulable: return "MCS004";
+    case DiagCode::kMcsForgedModeSwitch: return "MCS005";
+    case DiagCode::kMcsHysteresisThrash: return "MCS006";
   }
   return "UNK000";
 }
@@ -149,6 +155,18 @@ const char* code_summary(DiagCode code) {
       return "admitted server bandwidth exceeds the table's supply F/H";
     case DiagCode::kAdmCountersInconsistent:
       return "engine cache/requests counters violate their invariants";
+    case DiagCode::kMcsBudgetOrder:
+      return "a task's HI budget C_hi is below its LO budget C_lo";
+    case DiagCode::kMcsLoModeUnschedulable:
+      return "LO mode fails Theorem 4 (full task set at C_lo)";
+    case DiagCode::kMcsHiModeUnschedulable:
+      return "HI mode fails Theorem 4 (HI tasks at C_hi, inflated server)";
+    case DiagCode::kMcsTransitionUnschedulable:
+      return "mode-switch carry-over demand exceeds the HI server supply";
+    case DiagCode::kMcsForgedModeSwitch:
+      return "a LO->HI record kept LO backlog (lo_pending > jobs_shed)";
+    case DiagCode::kMcsHysteresisThrash:
+      return "LO<->HI transitions cycle faster than the hysteresis window";
   }
   return "unknown diagnostic";
 }
@@ -162,6 +180,7 @@ Severity default_severity(DiagCode code) {
     case DiagCode::kResDegradationDisabled:
     case DiagCode::kCkpOrphanedTempFiles:
     case DiagCode::kCkpAbandonedTrials:
+    case DiagCode::kMcsHysteresisThrash:
       return Severity::kWarning;
     default:
       return Severity::kError;

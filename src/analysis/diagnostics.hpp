@@ -85,6 +85,14 @@ enum class DiagCode : std::uint16_t {
   kAdmFingerprintUnstable = 703, ///< ADM003: fleet fingerprint varies on replay
   kAdmBandwidthOverflow = 704,   ///< ADM004: admitted bandwidth exceeds supply
   kAdmCountersInconsistent = 705,///< ADM005: engine counters self-inconsistent
+
+  // --- mixed-criticality mode switching (verify_modeswitch) ---------------
+  kMcsBudgetOrder = 801,         ///< MCS001: a task has C_hi < C_lo
+  kMcsLoModeUnschedulable = 802, ///< MCS002: LO regime fails Theorem 4
+  kMcsHiModeUnschedulable = 803, ///< MCS003: HI regime fails at C_hi
+  kMcsTransitionUnschedulable = 804, ///< MCS004: carry-over demand overflows
+  kMcsForgedModeSwitch = 805,    ///< MCS005: switch record kept LO backlog
+  kMcsHysteresisThrash = 806,    ///< MCS006: LO<->HI cycling faster than window
 };
 
 /// Stable string form, e.g. kSigJobUnderAllocated -> "SIG003".

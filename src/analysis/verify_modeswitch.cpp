@@ -1,0 +1,123 @@
+#include "analysis/verify_modeswitch.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sched/mcs_admission.hpp"
+
+namespace ioguard::analysis {
+
+namespace {
+
+std::string vm_ctx(std::size_t vm) { return "vm " + std::to_string(vm); }
+
+/// MCS001: the dual-budget order C_lo <= C_hi. TaskSet::add() enforces it,
+/// but the bulk constructor (deserialization, corruption tooling) does not,
+/// so the verifier re-checks the data as presented.
+bool budgets_ordered(const workload::TaskSet& tasks, std::size_t vm,
+                     Report& report) {
+  bool ok = true;
+  for (const auto& t : tasks.tasks()) {
+    if (t.wcet_hi != 0 && t.wcet_hi < t.wcet) {
+      report.add(DiagCode::kMcsBudgetOrder,
+                 "task " + std::to_string(t.id.value) + " (" + t.name +
+                     ") has C_hi=" + std::to_string(t.wcet_hi) +
+                     " < C_lo=" + std::to_string(t.wcet),
+                 vm_ctx(vm));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+std::string regime_detail(const char* regime,
+                          const sched::AdmissionResult& result) {
+  std::string detail = std::string(regime) + " regime unschedulable";
+  if (result.violation_t)
+    detail += "; first dbf > sbf violation at t=" +
+              std::to_string(*result.violation_t);
+  return detail;
+}
+
+}  // namespace
+
+void verify_mcs_admission(const std::vector<sched::ServerParams>& servers,
+                          const std::vector<workload::TaskSet>& vm_tasks,
+                          double hi_budget_factor, Report& report) {
+  const std::size_t n = std::min(servers.size(), vm_tasks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& tasks = vm_tasks[i];
+    if (!budgets_ordered(tasks, i, report)) continue;  // regimes would lie
+    if (!tasks.mixed_criticality()) continue;  // vacuous: pre-MCS semantics
+
+    const auto mcs =
+        sched::mcs_admission_check(servers[i], tasks, hi_budget_factor);
+    if (mcs.schedulable) continue;
+    if (!mcs.lo.schedulable)
+      report.add(DiagCode::kMcsLoModeUnschedulable,
+                 regime_detail("LO (full set at C_lo)", mcs.lo), vm_ctx(i));
+    if (!mcs.hi.schedulable)
+      report.add(DiagCode::kMcsHiModeUnschedulable,
+                 regime_detail("HI (HI set at C_hi vs inflated server)",
+                               mcs.hi),
+                 vm_ctx(i));
+    if (!mcs.transition.schedulable)
+      report.add(DiagCode::kMcsTransitionUnschedulable,
+                 regime_detail("transition (HI demand + carry-over)",
+                               mcs.transition),
+                 vm_ctx(i));
+  }
+}
+
+void verify_mode_transitions(
+    const std::vector<core::ModeTransitionRecord>& transitions,
+    const core::ModeSwitchConfig& config, Report& report) {
+  // Last LO->HI switch slot per VM, to measure the HI residency a recovery
+  // implies. std::map for deterministic iteration order (LNT003), though
+  // findings are emitted in record order anyway.
+  std::map<std::uint64_t, Slot> last_switch;
+
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    const auto& rec = transitions[i];
+    const std::string ctx =
+        "record " + std::to_string(i) + " slot " + std::to_string(rec.slot) +
+        " vm " + std::to_string(rec.vm.value);
+
+    if (rec.to_hi) {
+      // MCS005: the protocol sheds the *entire* LO backlog atomically in
+      // the switch slot; surviving LO backlog means the record (or the
+      // switch it claims to describe) is forged.
+      if (rec.lo_pending > rec.jobs_shed) {
+        report.add(DiagCode::kMcsForgedModeSwitch,
+                   "LO->HI switch kept LO backlog: lo_pending=" +
+                       std::to_string(rec.lo_pending) + " > jobs_shed=" +
+                       std::to_string(rec.jobs_shed),
+                   ctx);
+      }
+      last_switch[rec.vm.value] = rec.slot;
+      continue;
+    }
+
+    // Recovery record. Hysteresis guarantees a HI VM stays HI until
+    // `recovery_hysteresis_slots` pass with no overrun evidence, and the
+    // evidence that armed the switch is never later than the switch slot --
+    // so a recovery closer to its switch than the window is thrashing.
+    const auto it = last_switch.find(rec.vm.value);
+    if (it == last_switch.end()) continue;  // resumed trial: switch predates
+    const Slot residency = rec.slot - it->second;
+    if (residency < config.recovery_hysteresis_slots) {
+      report.add(DiagCode::kMcsHysteresisThrash,
+                 "HI residency of " + std::to_string(residency) +
+                     " slot(s) is shorter than the recovery hysteresis "
+                     "window of " +
+                     std::to_string(config.recovery_hysteresis_slots),
+                 ctx);
+    }
+    last_switch.erase(it);
+  }
+}
+
+}  // namespace ioguard::analysis

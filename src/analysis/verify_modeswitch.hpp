@@ -1,0 +1,43 @@
+// Mixed-criticality checks (MCSxxx): dual-criticality admission regimes and
+// the run-time mode-switch protocol (DESIGN.md §17).
+//
+// The static half re-runs sched::mcs_admission_check per VM and maps each
+// failing regime to a stable code (MCS002 LO, MCS003 HI, MCS004 transition)
+// after validating the budget order C_lo <= C_hi (MCS001). The dynamic half
+// audits the ModeTransitionRecord stream a trial emitted: a LO->HI record
+// that kept LO backlog (lo_pending > jobs_shed) is a forged switch --
+// the protocol sheds the whole LO backlog atomically -- and MCS005 fires;
+// a VM cycling HI->LO->... faster than the recovery hysteresis window
+// indicates thrashing the hysteresis was configured to prevent (MCS006,
+// warning: the records may be legitimate under a pathological fault storm,
+// but the configuration is not doing its job).
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/mode_controller.hpp"
+#include "sched/sbf.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard::analysis {
+
+/// Static side: MCS001 budget order per task, then the three dual-
+/// criticality regimes per VM (MCS002/MCS003/MCS004) via
+/// sched::mcs_admission_check. Single-criticality VMs pass vacuously, so
+/// calling this on a pre-MCS experiment is silent. `servers` and `vm_tasks`
+/// are parallel (index = VM); a size mismatch is the caller's bug and is
+/// reported through the existing LVL005 path, not here.
+void verify_mcs_admission(const std::vector<sched::ServerParams>& servers,
+                          const std::vector<workload::TaskSet>& vm_tasks,
+                          double hi_budget_factor, Report& report);
+
+/// Dynamic side: audits a trial's mode-transition records against the
+/// protocol invariants (MCS005 forged switch, MCS006 hysteresis thrash).
+/// `transitions` must be in emission (slot) order, as ModeController
+/// records them.
+void verify_mode_transitions(
+    const std::vector<core::ModeTransitionRecord>& transitions,
+    const core::ModeSwitchConfig& config, Report& report);
+
+}  // namespace ioguard::analysis

@@ -250,6 +250,7 @@ void verify_service(const sched::TimeSlotTable& table,
                                         std::uint64_t decisions) {
     const bool ok = c.local_hits + c.local_misses == per_vm_total &&
                     c.global_hits + c.global_misses == decisions &&
+                    c.hi_global_hits + c.hi_global_misses <= decisions &&
                     c.applied + c.rejected <= c.requests;
     if (!ok)
       report.add(DiagCode::kAdmCountersInconsistent,

@@ -16,6 +16,7 @@ all_trace_event_kinds() {
       TraceEventKind::kDeadlineMiss,  TraceEventKind::kDemote,
       TraceEventKind::kFaultInject,   TraceEventKind::kRetry,
       TraceEventKind::kWatchdogAbort, TraceEventKind::kShed,
+      TraceEventKind::kModeSwitch,    TraceEventKind::kModeRecover,
   };
   return kinds;
 }
@@ -36,6 +37,8 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kRetry: return "retry";
     case TraceEventKind::kWatchdogAbort: return "watchdog_abort";
     case TraceEventKind::kShed: return "shed";
+    case TraceEventKind::kModeSwitch: return "mode_switch";
+    case TraceEventKind::kModeRecover: return "mode_recover";
   }
   return "?";
 }

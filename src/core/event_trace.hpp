@@ -41,9 +41,12 @@ enum class TraceEventKind : std::uint8_t {
                    ///< aux = slots the op was watched before the abort
   kShed,           ///< graceful degradation shed a VM's R-channel queue;
                    ///< aux = jobs shed
+  kModeSwitch,     ///< mixed-criticality LO->HI switch of a VM;
+                   ///< aux = LO jobs shed by the switch
+  kModeRecover,    ///< hysteresis expired: VM recovered to LO mode
 };
 
-inline constexpr std::size_t kTraceEventKindCount = 14;
+inline constexpr std::size_t kTraceEventKindCount = 16;
 
 /// True for the fault/resilience kinds introduced with the fault-injection
 /// subsystem; exporters emit these only when they actually occurred so a
@@ -51,6 +54,14 @@ inline constexpr std::size_t kTraceEventKindCount = 14;
 [[nodiscard]] constexpr bool is_fault_kind(TraceEventKind k) {
   return k == TraceEventKind::kFaultInject || k == TraceEventKind::kRetry ||
          k == TraceEventKind::kWatchdogAbort || k == TraceEventKind::kShed;
+}
+
+/// Kinds whose exporter rows appear only when they actually occurred: the
+/// fault kinds plus the mixed-criticality mode transitions. Runs that never
+/// engage those features keep byte-identical output to older builds.
+[[nodiscard]] constexpr bool is_conditional_kind(TraceEventKind k) {
+  return is_fault_kind(k) || k == TraceEventKind::kModeSwitch ||
+         k == TraceEventKind::kModeRecover;
 }
 
 /// All kinds in declaration order (iteration aid for summaries/exporters).

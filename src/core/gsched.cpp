@@ -1,5 +1,6 @@
 #include "core/gsched.hpp"
 
+#include <algorithm>
 #include <tuple>
 
 #include "common/check.hpp"
@@ -14,6 +15,19 @@ GSched::GSched(std::vector<sched::ServerParams> servers, GschedPolicy policy)
     state_[i].budget = servers_[i].theta;
     state_[i].next_replenish = servers_[i].pi;
   }
+}
+
+void GSched::set_server(std::size_t i, const sched::ServerParams& params) {
+  IOGUARD_CHECK(i < servers_.size());
+  IOGUARD_CHECK(params.pi == servers_[i].pi);  // period is fixed by admission
+  IOGUARD_CHECK(params.theta <= params.pi);
+  const Slot old_theta = servers_[i].theta;
+  if (params.theta > old_theta) {
+    state_[i].budget += params.theta - old_theta;
+  } else {
+    state_[i].budget = std::min(state_[i].budget, params.theta);
+  }
+  servers_[i] = params;
 }
 
 void GSched::replenish(Slot now) {

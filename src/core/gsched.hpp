@@ -49,6 +49,13 @@ class GSched {
   }
   [[nodiscard]] GschedPolicy policy() const { return policy_; }
 
+  /// Mixed-criticality mode switch: replaces server `i`'s parameters in
+  /// place. A Theta increase credits the difference to the current budget
+  /// immediately (the HI inflation must take effect mid-period); a decrease
+  /// clamps the remaining budget to the new Theta. The replenishment phase
+  /// (next period boundary) is untouched.
+  void set_server(std::size_t i, const sched::ServerParams& params);
+
   /// Remaining budget of VM index `i` (test aid).
   [[nodiscard]] Slot budget(std::size_t i) const { return state_.at(i).budget; }
 

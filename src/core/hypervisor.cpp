@@ -60,6 +60,24 @@ Hypervisor::Hypervisor(const workload::CaseStudyWorkload& wl,
   managers_.reserve(n_dev);
   designs_.reserve(n_dev);
 
+  if (config.mode_switch.enabled) {
+    mode_ = std::make_unique<ModeController>(config.num_vms,
+                                             config.mode_switch);
+    // HI-criticality bitmap over every task id (built before the managers,
+    // which keep a pointer into it). Pre-defined tasks execute on the
+    // immune P-channel; listing them here is harmless and keeps demoted
+    // HI tasks protected on the R-channel too.
+    auto mark = [this](const workload::TaskSet& ts) {
+      for (const auto& t : ts.tasks()) {
+        if (!t.hi_criticality()) continue;
+        if (t.id.value >= hi_tasks_.size()) hi_tasks_.resize(t.id.value + 1, 0);
+        hi_tasks_[t.id.value] = 1;
+      }
+    };
+    mark(wl.predefined());
+    mark(wl.runtime());
+  }
+
   for (std::size_t d = 0; d < n_dev; ++d) {
     const DeviceId dev{static_cast<std::uint32_t>(d)};
     DeviceDesign design;
@@ -145,6 +163,8 @@ Hypervisor::Hypervisor(const workload::CaseStudyWorkload& wl,
     mc.injector = config.injector;
     mc.device_index = d;
     mc.resilience = config.resilience;
+    mc.mode = mode_.get();
+    mc.hi_tasks = mode_ != nullptr ? &hi_tasks_ : nullptr;
     managers_.push_back(std::make_unique<VirtManager>(
         design.spec, predefined, build.table, design.servers, mc));
     designs_.push_back(std::move(design));
@@ -167,6 +187,7 @@ void Hypervisor::set_slot_skipping(bool on) {
 void Hypervisor::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
   if (!skip_idle_) {
     for (auto& m : managers_) m->tick_slot(now, out);
+    advance_mode(now);
     return;
   }
   // Calendar path: a manager whose wake hint is still in the future would
@@ -181,6 +202,40 @@ void Hypervisor::tick_slot(Slot now, std::vector<iodev::Completion>& out) {
     managers_[d]->tick_slot(now, out);
     wake_[d] = managers_[d]->next_busy_slot(now + 1);
   }
+  advance_mode(now);
+}
+
+void Hypervisor::advance_mode(Slot now) {
+  if (mode_ == nullptr) return;
+  mode_to_hi_.clear();
+  mode_to_lo_.clear();
+  mode_->advance(now, mode_to_hi_, mode_to_lo_);
+  for (std::size_t v : mode_to_hi_) {
+    // Sample the whole LO backlog across the block before any shedding so
+    // the transition record can prove atomicity (MCS005: a record with
+    // lo_pending > jobs_shed is a forged/partial switch).
+    std::uint64_t pending = 0;
+    for (auto& m : managers_) pending += m->lo_pending(v);
+    std::uint64_t shed = 0;
+    for (auto& m : managers_) shed += m->apply_mode_switch(v);
+    mode_->finalize_switch(v, pending, shed);
+    if (tracer_ != nullptr)
+      tracer_->record(TraceEvent{
+          now, TraceEventKind::kModeSwitch, DeviceId{},
+          VmId{static_cast<std::uint32_t>(v)}, TaskId{}, JobId{},
+          static_cast<std::uint32_t>(shed)});
+  }
+  for (std::size_t v : mode_to_lo_) {
+    for (auto& m : managers_) m->apply_mode_recovery(v);
+    if (tracer_ != nullptr)
+      tracer_->record(TraceEvent{now, TraceEventKind::kModeRecover, DeviceId{},
+                                 VmId{static_cast<std::uint32_t>(v)}, TaskId{},
+                                 JobId{}, 0});
+  }
+  // A switch changed what the managers will do with their queues: wake them
+  // next slot so the calendar cannot coast on a pre-switch hint.
+  if (skip_idle_ && !(mode_to_hi_.empty() && mode_to_lo_.empty()))
+    for (auto& w : wake_) w = std::min(w, now + 1);
 }
 
 Slot Hypervisor::next_busy_slot(Slot from) const {
@@ -191,9 +246,17 @@ Slot Hypervisor::next_busy_slot(Slot from) const {
     // advance a manager's first interesting slot in between except a
     // submission, which clamps it.
     for (const Slot w : wake_) wake = std::min(wake, std::max(w, from));
-    return wake;
+  } else {
+    for (const auto& m : managers_)
+      wake = std::min(wake, m->next_busy_slot(from));
   }
-  for (const auto& m : managers_) wake = std::min(wake, m->next_busy_slot(from));
+  if (mode_ != nullptr) {
+    // An armed switch or due recovery is a reason to tick even when every
+    // channel is idle: the event-driven runner must not jump past the
+    // hysteresis deadline (event/stepped byte-equality).
+    const Slot due = mode_->next_transition_due();
+    if (due != kNeverSlot) wake = std::min(wake, std::max(due, from));
+  }
   return wake;
 }
 
@@ -219,6 +282,7 @@ bool Hypervisor::fully_admitted() const {
 }
 
 void Hypervisor::set_tracer(EventTrace* tracer) {
+  tracer_ = tracer;  // mode transitions are block-level, traced here
   for (std::size_t d = 0; d < managers_.size(); ++d)
     managers_[d]->set_tracer(tracer, DeviceId{static_cast<std::uint32_t>(d)});
   if (!tracer) return;
@@ -236,11 +300,16 @@ void Hypervisor::set_jitter_recorder(JitterRecorder* recorder) {
 void Hypervisor::dump_scheduler_state(std::ostream& os) const {
   for (std::size_t d = 0; d < managers_.size(); ++d) {
     const VirtManager& m = *managers_[d];
-    for (std::size_t v = 0; v < m.num_vms(); ++v)
+    for (std::size_t v = 0; v < m.num_vms(); ++v) {
       os << "state,device=" << d << ",vm=" << v
          << ",backlog=" << m.pool(v).backlog()
          << ",granted=" << m.gsched().granted(v)
-         << ",degraded=" << (m.vm_degraded(v) ? 1 : 0) << '\n';
+         << ",degraded=" << (m.vm_degraded(v) ? 1 : 0);
+      // Criticality mode only when the feature is on: pre-MCS dumps keep
+      // their exact bytes.
+      if (mode_ != nullptr) os << ",mode=" << to_string(mode_->vm_mode(v));
+      os << '\n';
+    }
     os << "state,device=" << d << ",retries_pending=" << m.pending_retries()
        << ",busy_slots=" << m.busy_slots()
        << ",stall_slots=" << m.profile_stall_slots() << '\n';
@@ -305,6 +374,18 @@ std::uint64_t Hypervisor::spurious_irq_slots() const {
 std::size_t Hypervisor::degraded_vms() const {
   std::size_t total = 0;
   for (const auto& m : managers_) total += m->degraded_vms();
+  return total;
+}
+
+std::uint64_t Hypervisor::lo_mode_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& m : managers_) total += m->lo_mode_rejected();
+  return total;
+}
+
+std::uint64_t Hypervisor::mode_jobs_shed() const {
+  std::uint64_t total = 0;
+  for (const auto& m : managers_) total += m->mode_jobs_shed();
   return total;
 }
 

@@ -44,6 +44,8 @@ struct HypervisorConfig {
   /// Each device manager becomes fault site `DeviceId.value`.
   faults::FaultInjector* injector = nullptr;
   faults::ResilienceConfig resilience;
+  /// Mixed-criticality mode switching (DESIGN.md §17); inert by default.
+  ModeSwitchConfig mode_switch;
 };
 
 /// The hardware hypervisor: routes submissions by device and advances all
@@ -107,6 +109,20 @@ class Hypervisor {
   [[nodiscard]] std::uint64_t spurious_irq_slots() const;
   [[nodiscard]] std::size_t degraded_vms() const;
 
+  // ---- Mixed-criticality mode switching (DESIGN.md §17) ------------------
+  /// The block's mode controller; nullptr when mode switching is disabled.
+  [[nodiscard]] const ModeController* mode_controller() const {
+    return mode_.get();
+  }
+  /// Is this task HI-criticality? (Dense bitmap probe, like pchannel_task.)
+  [[nodiscard]] bool hi_criticality_task(TaskId task) const {
+    return task.value < hi_tasks_.size() && hi_tasks_[task.value] != 0;
+  }
+  /// LO submissions rejected while their VM was HI, across all devices.
+  [[nodiscard]] std::uint64_t lo_mode_rejected() const;
+  /// LO jobs shed by mode switches, across all devices.
+  [[nodiscard]] std::uint64_t mode_jobs_shed() const;
+
   /// Attaches one trace buffer to every device manager (not owned). Design
   /// decisions taken at init (P-channel -> R-channel demotions) are replayed
   /// into the buffer as kDemote events so the trace tells the whole story.
@@ -145,8 +161,17 @@ class Hypervisor {
   }
 
  private:
+  /// Applies pending LO->HI switches and due recoveries for slot `now`
+  /// across every device manager (no-op without a mode controller).
+  void advance_mode(Slot now);
+
   std::vector<std::unique_ptr<VirtManager>> managers_;  // index = DeviceId
   std::vector<DeviceDesign> designs_;
+  std::unique_ptr<ModeController> mode_;      ///< null = MCS disabled
+  std::vector<std::uint8_t> hi_tasks_;        ///< bitmap over TaskId.value
+  std::vector<std::size_t> mode_to_hi_;       ///< advance_mode scratch
+  std::vector<std::size_t> mode_to_lo_;       ///< advance_mode scratch
+  EventTrace* tracer_ = nullptr;              ///< for kModeSwitch/kModeRecover
   /// Per-manager wake calendar for set_slot_skipping: earliest slot the
   /// manager must next be ticked (valid only while skip_idle_).
   std::vector<Slot> wake_;

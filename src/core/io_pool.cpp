@@ -56,6 +56,22 @@ std::size_t IoPool::shed_all() {
   return handles.size();
 }
 
+std::size_t IoPool::shed_lo(const std::vector<std::uint8_t>& hi_tasks) {
+  std::size_t shed = 0;
+  for (EntryHandle h : queue_.live_handles()) {
+    const ParamSlot& p = queue_.params(h);
+    const std::size_t task = p.task.value;
+    if (task < hi_tasks.size() && hi_tasks[task] != 0) continue;
+    queue_.remove(h);
+    if (shadow_.valid && shadow_.handle == h) {
+      shadow_.valid = false;
+      shadow_.handle = kInvalidHandle;
+    }
+    ++shed;
+  }
+  return shed;
+}
+
 std::optional<ParamSlot> IoPool::execute_shadow_slot() {
   IOGUARD_CHECK_MSG(shadow_.valid, "executing an invalid shadow register");
   const EntryHandle h = shadow_.handle;

@@ -1,0 +1,140 @@
+#include "core/mode_controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ioguard::core {
+
+const char* to_string(CritMode mode) {
+  switch (mode) {
+    case CritMode::kLo: return "LO";
+    case CritMode::kHi: return "HI";
+  }
+  return "?";
+}
+
+ModeController::ModeController(std::size_t num_vms,
+                               const ModeSwitchConfig& config)
+    : config_(config),
+      vm_modes_(num_vms, CritMode::kLo),
+      states_(num_vms) {
+  IOGUARD_CHECK(num_vms > 0);
+  IOGUARD_CHECK_MSG(config.overrun_threshold >= 1,
+                    "overrun threshold must be at least 1");
+  IOGUARD_CHECK_MSG(config.recovery_hysteresis_slots >= 1,
+                    "recovery hysteresis must be at least 1 slot");
+  IOGUARD_CHECK_MSG(config.hi_budget_factor >= 1.0,
+                    "HI budget factor must not deflate budgets");
+}
+
+void ModeController::note_budget_overrun(VmId vm, Slot now) {
+  IOGUARD_CHECK(vm.value < states_.size());
+  ++overruns_;
+  VmState& s = states_[vm.value];
+  s.last_overrun = now;
+  if (vm_modes_[vm.value] == CritMode::kHi || s.switch_pending) {
+    // Already HI (or about to be): the evidence only restarts the
+    // hysteresis window via last_overrun.
+    return;
+  }
+  if (s.evidence == 0) s.first_evidence = now;
+  ++s.evidence;
+  if (s.evidence >= config_.overrun_threshold) s.switch_pending = true;
+}
+
+void ModeController::switch_to_hi(std::size_t vm, Slot now, bool propagated) {
+  VmState& s = states_[vm];
+  vm_modes_[vm] = CritMode::kHi;
+  s.switch_pending = false;
+  s.evidence = 0;
+  // A propagated switch has no overrun evidence of its own; it detects in
+  // the same slot the block escalates. Its hysteresis window still keys on
+  // its own (possibly never advanced) last_overrun, so on recovery the
+  // propagated VMs return first unless they accumulate evidence of their
+  // own -- anchor the window at the escalation slot instead.
+  if (propagated) s.last_overrun = now;
+  const Slot latency = propagated ? 0 : now - s.first_evidence;
+  latencies_.push_back(latency);
+  ++switches_;
+  if (propagated) ++propagated_;
+  ModeTransitionRecord rec;
+  rec.slot = now;
+  rec.vm = VmId{static_cast<std::uint32_t>(vm)};
+  rec.to_hi = true;
+  rec.propagated = propagated;
+  rec.detect_latency = latency;
+  transitions_.push_back(rec);
+}
+
+void ModeController::advance(Slot now, std::vector<std::size_t>& to_hi,
+                             std::vector<std::size_t>& to_lo) {
+  // 1. Apply armed switches, ascending VM order.
+  for (std::size_t v = 0; v < states_.size(); ++v) {
+    if (!states_[v].switch_pending) continue;
+    switch_to_hi(v, now, /*propagated=*/false);
+    to_hi.push_back(v);
+  }
+
+  // 2. Block escalation: enough HI VMs drag the rest of the block along.
+  if (!block_hi_ && config_.propagation_threshold > 0 &&
+      hi_vms() >= config_.propagation_threshold) {
+    block_hi_ = true;
+    for (std::size_t v = 0; v < states_.size(); ++v) {
+      if (vm_modes_[v] == CritMode::kHi) continue;
+      switch_to_hi(v, now, /*propagated=*/true);
+      to_hi.push_back(v);
+    }
+  }
+
+  // 3. Hysteretic recovery: a HI VM with a full quiet window returns to LO.
+  //    (Skip VMs that switched this very call: their window just started.)
+  for (std::size_t v = 0; v < states_.size(); ++v) {
+    if (vm_modes_[v] != CritMode::kHi) continue;
+    if (std::find(to_hi.begin(), to_hi.end(), v) != to_hi.end()) continue;
+    if (now < states_[v].last_overrun + config_.recovery_hysteresis_slots)
+      continue;
+    vm_modes_[v] = CritMode::kLo;
+    ++recoveries_;
+    ModeTransitionRecord rec;
+    rec.slot = now;
+    rec.vm = VmId{static_cast<std::uint32_t>(v)};
+    rec.to_hi = false;
+    transitions_.push_back(rec);
+    to_lo.push_back(v);
+  }
+  if (block_hi_ && hi_vms() == 0) block_hi_ = false;
+}
+
+void ModeController::finalize_switch(std::size_t vm, std::uint64_t lo_pending,
+                                     std::uint64_t jobs_shed) {
+  // The matching record is the most recent LO->HI entry for this VM.
+  for (auto it = transitions_.rbegin(); it != transitions_.rend(); ++it) {
+    if (it->to_hi && it->vm.value == vm) {
+      it->lo_pending = lo_pending;
+      it->jobs_shed = jobs_shed;
+      return;
+    }
+  }
+  IOGUARD_CHECK_MSG(false, "finalize_switch without a matching transition");
+}
+
+std::size_t ModeController::hi_vms() const {
+  std::size_t n = 0;
+  for (CritMode m : vm_modes_)
+    if (m == CritMode::kHi) ++n;
+  return n;
+}
+
+Slot ModeController::next_transition_due() const {
+  Slot due = kNeverSlot;
+  for (std::size_t v = 0; v < states_.size(); ++v) {
+    if (states_[v].switch_pending) return 0;  // apply at the very next tick
+    if (vm_modes_[v] == CritMode::kHi)
+      due = std::min(due,
+                     states_[v].last_overrun + config_.recovery_hysteresis_slots);
+  }
+  return due;
+}
+
+}  // namespace ioguard::core

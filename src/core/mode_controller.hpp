@@ -1,0 +1,160 @@
+// Mixed-criticality mode controller (DESIGN.md §17).
+//
+// Vestal-style two-level criticality for the R-channel: every VM runs in LO
+// mode until budget-overrun evidence (translator WCET overruns -- the PR 4
+// injection sites -- observed on its submissions/responses) crosses the
+// configured threshold. The controller then switches the VM to HI mode: the
+// hypervisor sheds the VM's LO-criticality R-channel backlog, the driver
+// rejects new LO submissions, and the G-Sched inflates the VM's server
+// budget to its HI-mode parameters so admitted HI tasks keep their (C_hi)
+// guarantees. P-channel sigma* slots are never touched -- pre-defined tasks
+// are immune to mode switches by construction, exactly as they are to
+// faults.
+//
+// Recovery is hysteretic: a HI VM returns to LO only after
+// `recovery_hysteresis_slots` slots with no further overrun evidence, so a
+// bursty fault source cannot thrash the system through LO->HI->LO cycles.
+// With `propagation_threshold` > 0, the whole hypervisor block escalates to
+// HI once that many VMs are in HI mode simultaneously (GearV-style two-gear
+// behaviour).
+//
+// All mode state lives behind this class; result-affecting modules must go
+// through its accessors (lint rule LNT010 flags raw mode-state reads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ioguard::core {
+
+/// Criticality execution mode of one VM (or, on propagation, the block).
+enum class CritMode : std::uint8_t {
+  kLo,  ///< normal operation: all criticality levels served
+  kHi,  ///< overrun detected: LO work shed, HI budgets inflated
+};
+
+[[nodiscard]] const char* to_string(CritMode mode);
+
+struct ModeSwitchConfig {
+  /// Master switch; everything below is inert (and the controller is not
+  /// even constructed) when false, keeping pre-MCS runs byte-identical.
+  bool enabled = false;
+  /// Translator WCET overruns on one VM that trigger its LO->HI switch.
+  std::uint32_t overrun_threshold = 1;
+  /// Slots without further overrun evidence before a HI VM recovers to LO.
+  Slot recovery_hysteresis_slots = 500;
+  /// Block escalation: once this many VMs are in HI mode, every VM switches
+  /// (0 disables propagation).
+  std::size_t propagation_threshold = 0;
+  /// HI-mode server budget inflation: Theta_hi = min(Pi, ceil(Theta * f)).
+  /// Matches the workload's C_hi/C_lo factor so inflated servers cover
+  /// inflated demand; LO shedding makes this the conservative direction.
+  double hi_budget_factor = 1.5;
+
+  friend bool operator==(const ModeSwitchConfig& a, const ModeSwitchConfig& b) {
+    return a.enabled == b.enabled &&
+           a.overrun_threshold == b.overrun_threshold &&
+           a.recovery_hysteresis_slots == b.recovery_hysteresis_slots &&
+           a.propagation_threshold == b.propagation_threshold &&
+           a.hi_budget_factor == b.hi_budget_factor;
+  }
+};
+
+/// One completed mode transition, recorded for telemetry and for the MCS
+/// verification checks (analysis/verify_modeswitch.hpp): a LO->HI record
+/// whose `lo_pending` exceeds `jobs_shed` is a forged switch (MCS005) --
+/// the protocol requires shedding the entire LO backlog atomically.
+struct ModeTransitionRecord {
+  Slot slot = 0;   ///< slot the transition took effect
+  VmId vm;
+  bool to_hi = false;       ///< LO->HI (false = recovery to LO)
+  bool propagated = false;  ///< switched by block escalation, not own overruns
+  std::uint64_t lo_pending = 0;  ///< LO-criticality backlog at switch time
+  std::uint64_t jobs_shed = 0;   ///< LO jobs actually shed by the switch
+  Slot detect_latency = 0;  ///< first overrun evidence -> switch, in slots
+};
+
+class ModeController {
+ public:
+  ModeController(std::size_t num_vms, const ModeSwitchConfig& config);
+
+  /// Budget-overrun evidence (a translation exceeded its WCET bound)
+  /// attributed to `vm` at slot `now`. Arms a pending LO->HI switch once
+  /// the VM's evidence reaches the threshold; while the VM is already HI it
+  /// pushes the recovery deadline out (the hysteresis window restarts).
+  void note_budget_overrun(VmId vm, Slot now);
+
+  /// Applies pending switches and due recoveries for slot `now`. VM indices
+  /// that just entered HI mode are appended to `to_hi`, those recovering to
+  /// LO to `to_lo`, both in ascending VM order (deterministic). The caller
+  /// (the hypervisor) performs the shedding / budget changes and then
+  /// reports each switch via finalize_switch().
+  void advance(Slot now, std::vector<std::size_t>& to_hi,
+               std::vector<std::size_t>& to_lo);
+
+  /// Completes the LO->HI record for `vm` with the shed accounting the
+  /// hypervisor measured (backlog found, jobs actually shed).
+  void finalize_switch(std::size_t vm, std::uint64_t lo_pending,
+                       std::uint64_t jobs_shed);
+
+  /// The only sanctioned mode-state reads (LNT010).
+  [[nodiscard]] CritMode vm_mode(std::size_t vm) const {
+    return vm_modes_.at(vm);
+  }
+  [[nodiscard]] bool hi(std::size_t vm) const {
+    return vm_modes_.at(vm) == CritMode::kHi;
+  }
+  /// True while block escalation holds (every VM forced HI).
+  [[nodiscard]] bool block_hi() const { return block_hi_; }
+  [[nodiscard]] std::size_t hi_vms() const;
+
+  /// Earliest slot at which a pending switch or due recovery must be
+  /// applied; kNeverSlot when no transition is armed. Folded into the
+  /// hypervisor's wake hint so the event-driven runner cannot jump past a
+  /// recovery deadline (mode switches must not break event/stepped
+  /// byte-equality).
+  [[nodiscard]] Slot next_transition_due() const;
+
+  // ---- Observability -----------------------------------------------------
+  [[nodiscard]] std::uint64_t switches_to_hi() const { return switches_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] std::uint64_t propagated_switches() const {
+    return propagated_;
+  }
+  [[nodiscard]] std::uint64_t overruns_observed() const { return overruns_; }
+  /// Detection latencies (first evidence -> switch) of every LO->HI switch,
+  /// in slots, in switch order.
+  [[nodiscard]] const std::vector<Slot>& switch_latencies() const {
+    return latencies_;
+  }
+  /// Full transition history, in application order.
+  [[nodiscard]] const std::vector<ModeTransitionRecord>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] const ModeSwitchConfig& config() const { return config_; }
+
+ private:
+  struct VmState {
+    std::uint32_t evidence = 0;     ///< overruns since the last reset
+    Slot first_evidence = 0;        ///< slot of the episode's first overrun
+    Slot last_overrun = 0;          ///< latest overrun evidence (any mode)
+    bool switch_pending = false;    ///< armed, applied at the next advance()
+  };
+
+  void switch_to_hi(std::size_t vm, Slot now, bool propagated);
+
+  ModeSwitchConfig config_;
+  std::vector<CritMode> vm_modes_;
+  std::vector<VmState> states_;
+  bool block_hi_ = false;
+  std::uint64_t switches_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t propagated_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::vector<Slot> latencies_;
+  std::vector<ModeTransitionRecord> transitions_;
+};
+
+}  // namespace ioguard::core

@@ -1,6 +1,7 @@
 #include "core/vmanager.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -53,6 +54,20 @@ VirtManager::VirtManager(iodev::DeviceSpec device,
     request_translator_.attach_faults(injector_, fault_site_);
     response_translator_.attach_faults(injector_, fault_site_);
   }
+  mode_ = config.mode;
+  hi_tasks_ = config.hi_tasks;
+  if (mode_ != nullptr) {
+    IOGUARD_CHECK_MSG(hi_tasks_ != nullptr,
+                      "mode switching needs the HI-criticality task bitmap");
+    // The admitted (LO) server parameters are the recovery target; HI
+    // parameters are derived on demand from the configured inflation.
+    lo_servers_ = gsched_->servers();
+  }
+}
+
+bool VirtManager::hi_task(TaskId task) const {
+  return hi_tasks_ != nullptr && task.value < hi_tasks_->size() &&
+         (*hi_tasks_)[task.value] != 0;
 }
 
 void VirtManager::trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task,
@@ -70,11 +85,20 @@ bool VirtManager::submit(const workload::Job& job, Slot now) {
     trace(now, TraceEventKind::kDrop, job.vm, job.task, job.id);
     return false;
   }
+  if (mode_ != nullptr && mode_->hi(job.vm.value) && !hi_task(job.task)) {
+    // HI mode: the driver sheds LO-criticality work at the door so every
+    // remaining slot of the VM's (inflated) budget serves HI tasks.
+    ++lo_mode_rejected_;
+    trace(now, TraceEventKind::kDrop, job.vm, job.task, job.id);
+    return false;
+  }
   // Request translation happens on the access path; its bounded sub-slot
   // latency is tracked for calibration but does not consume a slot.
   const Cycle request_cycles = request_translator_.translate();
   trace(now, TraceEventKind::kTranslate, job.vm, job.task, job.id,
         static_cast<std::uint32_t>(request_cycles));
+  if (mode_ != nullptr && request_cycles > request_translator_.wcet())
+    mode_->note_budget_overrun(job.vm, now);
   const bool accepted = pools_[job.vm.value]->submit(job);
   trace(now, accepted ? TraceEventKind::kSubmit : TraceEventKind::kDrop,
         job.vm, job.task, job.id);
@@ -317,6 +341,8 @@ VirtManager::SlotUse VirtManager::tick_slot_impl(
     }
     // Pass-through response channel: bounded response translation.
     const Cycle response_cycles = response_translator_.translate();
+    if (mode_ != nullptr && response_cycles > response_translator_.wcet())
+      mode_->note_budget_overrun(finished->vm, now);
     if (jitter_ != nullptr) {
       // R-channel timing accuracy (DESIGN.md §14): intended delivery is the
       // release plus the unloaded service demand (wcet + dispatch overhead
@@ -358,6 +384,57 @@ VirtManager::SlotUse VirtManager::tick_slot_impl(
     active_job_ = granted.job;
   }
   return SlotUse::kBusy;
+}
+
+std::uint64_t VirtManager::lo_pending(std::size_t vm_index) const {
+  IOGUARD_CHECK(vm_index < pools_.size());
+  std::uint64_t n = 0;
+  const HwPriorityQueue& q = pools_[vm_index]->queue();
+  for (EntryHandle h : q.live_handles())
+    if (!hi_task(q.params(h).task)) ++n;
+  for (const auto& r : retry_queue_)
+    if (r.job.vm.value == vm_index && !hi_task(r.job.task)) ++n;
+  return n;
+}
+
+std::uint64_t VirtManager::apply_mode_switch(std::size_t vm_index) {
+  IOGUARD_CHECK(vm_index < pools_.size());
+  IOGUARD_CHECK_MSG(mode_ != nullptr, "mode switch without a controller");
+  std::uint64_t shed = pools_[vm_index]->shed_lo(*hi_tasks_);
+  // LO retries waiting out backoff are shed with the queue; HI retries keep
+  // their slots (their C_hi guarantee survives the switch).
+  std::size_t kept = 0;
+  for (auto& r : retry_queue_) {
+    if (r.job.vm.value == vm_index && !hi_task(r.job.task)) {
+      ++shed;
+      continue;
+    }
+    retry_queue_[kept++] = r;
+  }
+  retry_queue_.resize(kept);
+  // A LO op caught mid-service was removed from the queue by shed_lo; drop
+  // the dangling watchdog charge.
+  if (active_valid_ && active_vm_ == vm_index &&
+      !pools_[vm_index]->queue().valid(active_handle_))
+    active_valid_ = false;
+  // Inflate the VM's server to its HI-mode budget: Theta_hi =
+  // min(Pi, ceil(Theta * f)), the parameters dual-criticality admission
+  // verified (the period is fixed, so sigma* and the other VMs' guarantees
+  // are untouched).
+  sched::ServerParams hi = lo_servers_[vm_index];
+  hi.theta = std::min(
+      hi.pi, static_cast<Slot>(std::ceil(
+                 static_cast<double>(hi.theta) *
+                 mode_->config().hi_budget_factor)));
+  gsched_->set_server(vm_index, hi);
+  mode_jobs_shed_ += shed;
+  return shed;
+}
+
+void VirtManager::apply_mode_recovery(std::size_t vm_index) {
+  IOGUARD_CHECK(vm_index < pools_.size());
+  IOGUARD_CHECK_MSG(mode_ != nullptr, "mode recovery without a controller");
+  gsched_->set_server(vm_index, lo_servers_[vm_index]);
 }
 
 std::uint64_t VirtManager::dropped_jobs() const {

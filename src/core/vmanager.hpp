@@ -27,6 +27,7 @@
 #include "core/event_trace.hpp"
 #include "core/gsched.hpp"
 #include "core/io_pool.hpp"
+#include "core/mode_controller.hpp"
 #include "core/pchannel.hpp"
 #include "core/translator.hpp"
 #include "faults/injector.hpp"
@@ -47,6 +48,12 @@ struct VManagerConfig {
   /// Site index keying this device's fault RNG streams.
   std::size_t device_index = 0;
   faults::ResilienceConfig resilience;
+  /// Optional mixed-criticality mode controller, shared across the block's
+  /// devices (not owned; nullptr = single-criticality baseline). When set,
+  /// `hi_tasks` must point at the hypervisor's TaskId-indexed HI-criticality
+  /// bitmap (nonzero = HI).
+  ModeController* mode = nullptr;
+  const std::vector<std::uint8_t>* hi_tasks = nullptr;
 };
 
 class VirtManager {
@@ -106,6 +113,29 @@ class VirtManager {
   }
   [[nodiscard]] std::size_t pending_retries() const {
     return retry_queue_.size();
+  }
+
+  // ---- Mixed-criticality mode switching (DESIGN.md §17). All no-ops /
+  // zero without an attached ModeController. ------------------------------
+  /// LO-criticality backlog attributable to `vm` on this device right now:
+  /// pending LO pool entries plus LO jobs waiting out retry backoff. The
+  /// hypervisor samples this immediately before apply_mode_switch() so the
+  /// transition record can prove the whole backlog was shed (MCS005).
+  [[nodiscard]] std::uint64_t lo_pending(std::size_t vm_index) const;
+  /// Executes the VM's LO->HI switch on this device: sheds its LO pool
+  /// entries and LO retries, drops a LO op left in flight, and inflates the
+  /// VM's server budget to its HI parameters. Returns the LO jobs shed here.
+  std::uint64_t apply_mode_switch(std::size_t vm_index);
+  /// Recovery to LO: restores the VM's admitted LO server parameters.
+  void apply_mode_recovery(std::size_t vm_index);
+  /// New LO-criticality submissions rejected while their VM was HI.
+  [[nodiscard]] std::uint64_t lo_mode_rejected() const {
+    return lo_mode_rejected_;
+  }
+  /// LO jobs shed by mode switches on this device (distinct from the
+  /// degradation counter jobs_shed()).
+  [[nodiscard]] std::uint64_t mode_jobs_shed() const {
+    return mode_jobs_shed_;
   }
 
   // ---- Cycle attribution (DESIGN.md §14). Every tick is exactly one of
@@ -182,6 +212,8 @@ class VirtManager {
   void abort_active(Slot now);
   void schedule_retry(const ParamSlot& params, Slot now);
   void note_vm_fault(VmId vm, Slot now);
+  /// True when `task` is HI-criticality per the hypervisor's bitmap.
+  [[nodiscard]] bool hi_task(TaskId task) const;
 
   iodev::DeviceSpec device_;
   std::unique_ptr<PChannel> pchannel_;
@@ -226,6 +258,13 @@ class VirtManager {
   std::uint64_t stalled_slots_ = 0;
   std::uint64_t frame_faults_ = 0;
   std::uint64_t spurious_irqs_ = 0;
+
+  // ---- Mixed-criticality state (inert without a mode controller). -------
+  ModeController* mode_ = nullptr;
+  const std::vector<std::uint8_t>* hi_tasks_ = nullptr;
+  std::vector<sched::ServerParams> lo_servers_;  ///< admitted LO parameters
+  std::uint64_t lo_mode_rejected_ = 0;
+  std::uint64_t mode_jobs_shed_ = 0;
 
   void trace(Slot slot, TraceEventKind kind, VmId vm, TaskId task, JobId job,
              std::uint32_t aux = 0) const;

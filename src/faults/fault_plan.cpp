@@ -136,24 +136,52 @@ StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec) {
     return canned(spec);
   }
 
+  // Split on ';' keeping empty segments so every diagnostic can name the
+  // exact 1-based segment it refers to. A single trailing ';' is tolerated
+  // (shell-quoting artifact); interior empties are rejected below.
+  std::vector<std::string_view> parts;
+  {
+    std::string_view rest = spec;
+    while (true) {
+      const auto pos = rest.find(';');
+      if (pos == std::string_view::npos) {
+        parts.push_back(rest);
+        break;
+      }
+      parts.push_back(rest.substr(0, pos));
+      rest.remove_prefix(pos + 1);
+    }
+    if (parts.size() > 1 && parts.back().empty()) parts.pop_back();
+  }
+
   FaultPlan plan;
-  for (std::string_view part : split(spec, ';')) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string_view part = parts[i];
+    // Every rejection names the offending segment: "segment 3 ('typo:...')".
+    const auto reject = [&](StatusCode code, const std::string& msg) {
+      return Status(code, "fault spec segment " + std::to_string(i + 1) +
+                              " ('" + std::string(part) + "'): " + msg);
+    };
+    if (part.empty())
+      return reject(StatusCode::kInvalidArgument,
+                    "empty segment (doubled ';'?)");
     if (part.rfind("seed=", 0) == 0) {
       auto s = parse_u64(part.substr(5), "plan seed");
-      if (!s.ok()) return s.status();
+      if (!s.ok()) return reject(s.status().code(), s.status().message());
       plan.seed = *s;
       continue;
     }
     const auto colon = part.find(':');
     if (colon == std::string_view::npos)
-      return InvalidArgumentError("bad fault spec segment '" +
-                                  std::string(part) +
-                                  "' (want kind:rate=R[,param=P])");
+      return reject(StatusCode::kInvalidArgument,
+                    "want kind:rate=R[,param=P]");
     auto kind = kind_from_token(part.substr(0, colon));
-    if (!kind.ok()) return kind.status();
+    if (!kind.ok())
+      return reject(StatusCode::kInvalidArgument, kind.status().message());
     if (plan.rate(*kind) != 0.0)
-      return InvalidArgumentError(std::string("duplicate fault kind '") +
-                                  spec_token(*kind) + "' in plan");
+      return reject(StatusCode::kInvalidArgument,
+                    std::string("duplicate fault kind '") +
+                        spec_token(*kind) + "' in plan");
 
     FaultSpec event;
     event.kind = *kind;
@@ -161,21 +189,25 @@ StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec) {
     for (std::string_view kv : split(part.substr(colon + 1), ',')) {
       if (kv.rfind("rate=", 0) == 0) {
         auto r = parse_rate(kv.substr(5));
-        if (!r.ok()) return r.status();
+        if (!r.ok()) return reject(r.status().code(), r.status().message());
         event.rate = *r;
         have_rate = true;
       } else if (kv.rfind("param=", 0) == 0) {
         auto p = parse_u64(kv.substr(6), "fault param");
-        if (!p.ok()) return p.status();
+        if (!p.ok()) return reject(p.status().code(), p.status().message());
         event.param = *p;
       } else {
-        return InvalidArgumentError("bad fault attribute '" + std::string(kv) +
-                                    "' (want rate= or param=)");
+        return reject(StatusCode::kInvalidArgument,
+                      "bad fault attribute '" + std::string(kv) +
+                          "' (want rate= or param=)");
       }
     }
     if (!have_rate)
-      return InvalidArgumentError(std::string("fault kind '") +
-                                  spec_token(*kind) + "' is missing rate=");
+      return reject(StatusCode::kInvalidArgument,
+                    std::string("fault kind '") + spec_token(*kind) +
+                        "' is missing rate=");
+    // rate=0 keeps the segment valid but contributes no event: a disabled
+    // kind in a scripted matrix parses cleanly instead of being a surprise.
     if (event.rate > 0.0) plan.events.push_back(event);
   }
   return plan;

@@ -44,6 +44,21 @@ constexpr const char* kDeterministicModules[] = {
   return line.find(pat) != std::string_view::npos;
 }
 
+/// True when `line` contains `name` as a whole identifier (no call required;
+/// member accesses like `x.vm_modes_` and `ctl->block_hi_` count).
+[[nodiscard]] bool has_identifier(std::string_view line,
+                                  std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t after = pos + name.size();
+    if (left_ok && (after >= line.size() || !is_ident_char(line[after])))
+      return true;
+    pos += name.size();
+  }
+  return false;
+}
+
 /// True when a std::less< / std::greater< instantiation on this line names a
 /// pointer type (ordering by address is a per-run accident, not a property).
 [[nodiscard]] bool has_pointer_comparator(std::string_view line) {
@@ -166,6 +181,7 @@ const char* code_string(LintCode code) {
     case LintCode::kStaleSuppression: return "LNT007";
     case LintCode::kEnvDependentResult: return "LNT008";
     case LintCode::kFullHorizonLoop: return "LNT009";
+    case LintCode::kRawModeStateAccess: return "LNT010";
   }
   return "LNT???";
 }
@@ -201,6 +217,10 @@ const char* code_summary(LintCode code) {
              "runner (DESIGN.md §15) skips quiescent slots -- iterate "
              "releases/wake hints instead, or suppress with the reason "
              "(the stepped reference loop is the one sanctioned user)";
+    case LintCode::kRawModeStateAccess:
+      return "criticality-mode state touched outside ModeController; every "
+             "mode read must go through its accessors (vm_mode()/hi()/"
+             "block_hi()) so LO->HI switches stay atomic and auditable";
   }
   return "?";
 }
@@ -338,6 +358,8 @@ void Linter::scan_source(std::string_view file, std::string_view content) {
   const bool det_module = deterministic_module(file);
   const bool rng_impl = ends_with(file, "common/rng.hpp");
   const bool atomic_impl = ends_with(file, "common/atomic_file.cpp");
+  const bool mode_impl = ends_with(file, "core/mode_controller.hpp") ||
+                         ends_with(file, "core/mode_controller.cpp");
 
   const auto add = [&](LintCode code, std::size_t line_no, std::string msg) {
     LintFinding f;
@@ -440,6 +462,22 @@ void Linter::scan_source(std::string_view file, std::string_view content) {
                   "event-driven core (DESIGN.md §15) jumps quiescent "
                   "stretches -- iterate releases/wake hints, or suppress "
                   "naming why dense stepping is required");
+      }
+      // LNT010: criticality-mode state touched outside ModeController. The
+      // raw members (`vm_modes_`, `block_hi_`) live only in
+      // core/mode_controller.*; any other result-affecting file naming them
+      // is reaching around the accessor surface that keeps LO->HI switches
+      // atomic (a shadow copy of the mode bypasses the hysteresis and the
+      // transition ledger the MCS verifier audits).
+      if (!mode_impl) {
+        for (const char* pat : {"vm_modes_", "block_hi_"}) {
+          if (has_identifier(line, pat))
+            add(LintCode::kRawModeStateAccess, no,
+                std::string(pat) +
+                    " is ModeController's private mode state; read modes "
+                    "through vm_mode()/hi()/block_hi() so switches stay "
+                    "atomic and recorded");
+        }
       }
       // LNT008: process environment reaching result bytes.
       if (has_token_call(line, "getenv") || contains(line, "std::getenv") ||

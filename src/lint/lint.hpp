@@ -41,9 +41,10 @@ enum class LintCode : std::uint16_t {
   kStaleSuppression = 7,        ///< LNT007: suppression with no finding
   kEnvDependentResult = 8,      ///< LNT008: env read in result module
   kFullHorizonLoop = 9,         ///< LNT009: dense per-slot loop over horizon
+  kRawModeStateAccess = 10,     ///< LNT010: mode state outside ModeController
 };
 
-inline constexpr std::size_t kLintCodeCount = 9;
+inline constexpr std::size_t kLintCodeCount = 10;
 
 /// Stable string form, e.g. kUnorderedContainer -> "LNT003".
 [[nodiscard]] const char* code_string(LintCode code);

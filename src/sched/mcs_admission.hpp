@@ -1,0 +1,72 @@
+// Dual-criticality admission (DESIGN.md §17), the analysis side of the
+// mixed-criticality mode switch.
+//
+// A mixed-criticality VM must be schedulable in *three* regimes before the
+// run-time protocol (core/ModeController) is allowed to rely on it:
+//
+//  1. LO mode: every task (both criticalities) at its LO budget C_lo,
+//     against the VM's admitted server Gamma = (Pi, Theta). This is the
+//     classic Theorem 4 test -- LO mode is the normal operating point.
+//  2. HI mode: the HI-criticality tasks alone, at their inflated budgets
+//     C_hi, against the inflated server Gamma_hi = (Pi, Theta_hi) the
+//     G-Sched installs on a switch. LO tasks are shed, so they place no
+//     demand in this regime.
+//  3. Transition: the switch instant itself. Jobs of HI tasks caught
+//     mid-execution may have consumed up to C_lo without completing and
+//     must be re-guaranteed their full C_hi; the carry-over surcharge
+//     S = sum over HI tasks of (C_hi - C_lo) is added to the HI demand
+//     curve and must still fit under the *HI* server's supply (the budget
+//     inflation takes effect in the switch slot, before any HI job can be
+//     granted another slot).
+//
+// All three checks reuse the paper's machinery: Eq. (8)/(9) bound functions
+// and the Theorem-4 pseudo-polynomial check bound, extended with the
+// carry-over constant where applicable.
+#pragma once
+
+#include <string>
+
+#include "sched/admission.hpp"
+
+namespace ioguard::sched {
+
+/// The HI-mode server the G-Sched installs on a LO->HI switch:
+/// Theta_hi = min(Pi, ceil(Theta * hi_budget_factor)), Pi unchanged (the
+/// replenishment period is fixed by the Theorem 2 global design).
+[[nodiscard]] ServerParams inflate_server(const ServerParams& lo,
+                                          double hi_budget_factor);
+
+/// The HI-mode view of a VM's task set: HI-criticality tasks only, each at
+/// wcet = C_hi (clamped to its deadline). LO tasks are dropped (shed).
+[[nodiscard]] workload::TaskSet hi_mode_taskset(
+    const workload::TaskSet& vm_tasks);
+
+/// Carry-over surcharge of the switch instant: sum over HI tasks of
+/// (C_hi - C_lo), the extra demand a job caught mid-execution can add.
+[[nodiscard]] Slot transition_carry_over(const workload::TaskSet& vm_tasks);
+
+struct McsAdmissionResult {
+  bool schedulable = false;   ///< all three regimes pass
+  AdmissionResult lo;         ///< regime 1: full set at C_lo vs Gamma
+  AdmissionResult hi;         ///< regime 2: HI set at C_hi vs Gamma_hi
+  AdmissionResult transition; ///< regime 3: HI demand + carry-over vs Gamma_hi
+  std::string reason;         ///< first failing regime, empty when admitted
+
+  explicit operator bool() const { return schedulable; }
+};
+
+/// Transition-regime check alone: for every step point t of the HI demand,
+/// dbf_hi(t) + carry_over <= sbf(Gamma_hi, t), with a Theorem-4-style
+/// pseudo-polynomial bound extended by the carry-over constant.
+[[nodiscard]] AdmissionResult mcs_transition_check(
+    const ServerParams& hi_server, const workload::TaskSet& hi_tasks,
+    Slot carry_over);
+
+/// Full dual-criticality test for one VM. For a single-criticality task set
+/// (no HI tasks, no dual budgets) this degenerates to exactly Theorem 4 on
+/// the LO regime; the HI and transition regimes pass vacuously.
+[[nodiscard]] McsAdmissionResult mcs_admission_check(
+    const ServerParams& lo_server, const workload::TaskSet& vm_tasks,
+    double hi_budget_factor);
+
+}  // namespace ioguard::sched

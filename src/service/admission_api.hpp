@@ -93,6 +93,11 @@ struct EngineCounters {
   std::uint64_t global_misses = 0; ///< Theorem 2 verdicts computed
   std::uint64_t synth_hits = 0;    ///< server syntheses reused
   std::uint64_t synth_misses = 0;  ///< server syntheses computed
+  /// HI-regime (all-switched) Theorem 2 re-checks of mixed fleets. Kept
+  /// apart from global_hits/misses so those stay one-per-decision (ADM005);
+  /// at most one HI re-check runs per decision.
+  std::uint64_t hi_global_hits = 0;
+  std::uint64_t hi_global_misses = 0;
   /// Re-analysis scope: VMs whose L-level test actually re-ran. Equals
   /// local_misses by construction (verify_service checks ADM005 on this).
   [[nodiscard]] std::uint64_t vms_reanalyzed() const { return local_misses; }

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/checksum.hpp"
 #include "sched/admission.hpp"
+#include "sched/mcs_admission.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ioguard::service {
@@ -20,9 +21,14 @@ std::string server_canon(const sched::ServerParams& s) {
 
 std::string task_set_canonical_string(const workload::TaskSet& tasks) {
   std::ostringstream os;
-  for (const auto& t : tasks.tasks())
-    os << t.id.value << ':' << t.period << ':' << t.wcet << ':' << t.deadline
-       << ';';
+  for (const auto& t : tasks.tasks()) {
+    os << t.id.value << ':' << t.period << ':' << t.wcet << ':' << t.deadline;
+    // Dual-criticality suffix only for HI tasks: a LO task's wcet_hi is
+    // analysis-irrelevant (LO work is shed in HI mode), and LO-only sets
+    // must keep their exact pre-MCS canonical bytes.
+    if (t.hi_criticality()) os << ":HI:" << t.effective_wcet_hi();
+    os << ';';
+  }
   return os.str();
 }
 
@@ -55,6 +61,11 @@ Status AdmissionEngine::validate(const AdmissionRequest& request) const {
                                     "deadline must be in (0, period] (slots)");
       if (t.wcet > t.deadline)
         return InvalidArgumentError(tag + "wcet must be <= deadline");
+      if (t.wcet_hi != 0 && t.wcet_hi < t.wcet)
+        return InvalidArgumentError(
+            tag + "HI budget wcet_hi must dominate wcet (C_lo <= C_hi)");
+      if (t.wcet_hi > t.deadline)
+        return InvalidArgumentError(tag + "HI budget must be <= deadline");
     }
     if (request.server) {
       if (request.server->pi == 0)
@@ -167,7 +178,15 @@ AdmissionDecision AdmissionEngine::evaluate(const AdmissionRequest& request,
   d.vm = request.vm;
   d.supply_bandwidth = supply_.bandwidth();
 
+  // A mixed-criticality fleet must also survive the all-switched worst
+  // case: block propagation can put every VM in HI mode simultaneously, so
+  // Theorem 2 is re-checked over the inflated servers too.
+  bool fleet_mixed = false;
+  for (const auto& [fk, entry] : fleet)
+    if (entry.tasks.mixed_criticality()) fleet_mixed = true;
+
   std::vector<sched::ServerParams> active;
+  std::vector<sched::ServerParams> active_hi;
   active.reserve(fleet.size());
   bool all_local = true;
   std::string local_reason;
@@ -186,47 +205,80 @@ AdmissionDecision AdmissionEngine::evaluate(const AdmissionRequest& request,
     }
     if (entry.server.theta > 0) {
       active.push_back(entry.server);
+      if (fleet_mixed)
+        active_hi.push_back(sched::inflate_server(
+            entry.server, config_.mcs_hi_budget_factor));
       d.allocated_bandwidth += entry.server.bandwidth();
     }
     d.per_vm.push_back(std::move(v));
   }
   d.global = global_verdict(active);
-  d.admitted = d.global.schedulable && all_local;
-  if (!d.admitted)
-    d.reason = all_local ? "G-level (Theorem 2) rejected" : local_reason;
+  bool global_ok = d.global.schedulable;
+  std::string global_reason = "G-level (Theorem 2) rejected";
+  if (global_ok && fleet_mixed) {
+    const auto hi_global = global_verdict(active_hi, /*hi_regime=*/true);
+    if (!hi_global.schedulable) {
+      d.global = hi_global;
+      global_ok = false;
+      global_reason = "G-level (Theorem 2 at HI budgets) rejected";
+    }
+  }
+  d.admitted = global_ok && all_local;
+  if (!d.admitted) d.reason = all_local ? global_reason : local_reason;
   return d;
 }
 
 sched::AdmissionResult AdmissionEngine::local_verdict(const VmEntry& entry) {
+  const bool mixed = entry.tasks.mixed_criticality();
+  const auto compute = [&]() -> sched::AdmissionResult {
+    if (!mixed) return theorem4_check(entry.server, entry.tasks);
+    // Dual-criticality sets answer the three-regime question; the fold
+    // keeps one AdmissionResult on the decision surface: the LO regime's
+    // when all pass, the first failing regime's otherwise.
+    const auto mcs = sched::mcs_admission_check(
+        entry.server, entry.tasks, config_.mcs_hi_budget_factor);
+    if (mcs.schedulable || !mcs.lo) return mcs.lo;
+    if (!mcs.hi) return mcs.hi;
+    return mcs.transition;
+  };
   if (!config_.memoize) {
     ++counters_.local_misses;
-    return theorem4_check(entry.server, entry.tasks);
+    return compute();
   }
-  const auto key = fnv1a64(server_canon(entry.server) + "|" + entry.task_canon);
+  // Mixed entries fold the inflation factor into the key (the verdict
+  // depends on it); single-criticality keys keep their pre-MCS bytes.
+  std::string canon = server_canon(entry.server) + "|" + entry.task_canon;
+  if (mixed) canon += "|mcs_factor=" + std::to_string(config_.mcs_hi_budget_factor);
+  const auto key = fnv1a64(canon);
   if (const auto it = local_cache_.find(key); it != local_cache_.end()) {
     ++counters_.local_hits;
     return it->second;
   }
   ++counters_.local_misses;
-  const auto verdict = theorem4_check(entry.server, entry.tasks);
+  const auto verdict = compute();
   local_cache_.emplace(key, verdict);
   return verdict;
 }
 
 sched::AdmissionResult AdmissionEngine::global_verdict(
-    const std::vector<sched::ServerParams>& active) {
+    const std::vector<sched::ServerParams>& active, bool hi_regime) {
+  // HI-regime re-checks are accounted separately so the ADM005 invariant
+  // (one LO global verdict per decision) survives mixed fleets.
+  auto& hits = hi_regime ? counters_.hi_global_hits : counters_.global_hits;
+  auto& misses =
+      hi_regime ? counters_.hi_global_misses : counters_.global_misses;
   if (!config_.memoize) {
-    ++counters_.global_misses;
+    ++misses;
     return theorem2_check(supply_, active);
   }
   std::string canon;
   for (const auto& s : active) canon += server_canon(s) + ";";
   const auto key = fnv1a64(canon);
   if (const auto it = global_cache_.find(key); it != global_cache_.end()) {
-    ++counters_.global_hits;
+    ++hits;
     return it->second;
   }
-  ++counters_.global_misses;
+  ++misses;
   const auto verdict = theorem2_check(supply_, active);
   global_cache_.emplace(key, verdict);
   return verdict;
@@ -281,6 +333,7 @@ void AdmissionEngine::export_metrics(
   };
   cache("local", counters_.local_hits, counters_.local_misses);
   cache("global", counters_.global_hits, counters_.global_misses);
+  cache("global_hi", counters_.hi_global_hits, counters_.hi_global_misses);
   cache("synthesis", counters_.synth_hits, counters_.synth_misses);
   registry.counter("ioguard_admission_vms_reanalyzed_total")
       .inc(counters_.vms_reanalyzed());

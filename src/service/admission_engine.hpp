@@ -44,6 +44,11 @@ struct AdmissionEngineConfig {
   bool memoize = true;
   /// Synthesis search space for requests without an explicit server.
   sched::ServerDesignConfig server_design;
+  /// HI-mode server inflation used for dual-criticality task sets
+  /// (sched/mcs_admission.hpp); must match the hypervisor's
+  /// ModeSwitchConfig::hi_budget_factor. Irrelevant to (and unread by)
+  /// single-criticality fleets, whose decisions stay byte-identical.
+  double mcs_hi_budget_factor = 1.5;
 };
 
 class AdmissionEngine {
@@ -95,11 +100,17 @@ class AdmissionEngine {
   [[nodiscard]] AdmissionDecision evaluate(const AdmissionRequest& request,
                                            const Fleet& fleet);
 
-  /// Theorem 4 for one VM, through the local cache when memoizing.
+  /// L-level verdict for one VM, through the local cache when memoizing:
+  /// Theorem 4 for single-criticality sets, the three-regime dual-
+  /// criticality check (sched::mcs_admission_check) for mixed sets, folded
+  /// to the first failing regime's result.
   [[nodiscard]] sched::AdmissionResult local_verdict(const VmEntry& entry);
   /// Theorem 2 over the active servers, through the global cache.
+  /// `hi_regime` routes the hit/miss accounting to the HI counters (the
+  /// all-switched re-check of a mixed fleet), keeping ADM005's one-LO-
+  /// verdict-per-decision invariant intact.
   [[nodiscard]] sched::AdmissionResult global_verdict(
-      const std::vector<sched::ServerParams>& active);
+      const std::vector<sched::ServerParams>& active, bool hi_regime = false);
   /// Synthesis through the synthesis cache; nullopt = no feasible server.
   [[nodiscard]] std::optional<sched::ServerParams> synthesized_server(
       const workload::TaskSet& tasks, const std::string& task_canon);
@@ -120,7 +131,9 @@ class AdmissionEngine {
 };
 
 /// Canonical task-set string for fingerprinting: one `id:T:C:D` record per
-/// task in set order. Exposed for verify_service's replay checks.
+/// task in set order; HI-criticality tasks append `:HI:<C_hi>` (LO-only
+/// sets keep their exact pre-MCS bytes). Exposed for verify_service's
+/// replay checks.
 [[nodiscard]] std::string task_set_canonical_string(
     const workload::TaskSet& tasks);
 

@@ -21,7 +21,7 @@ namespace {
 // the payload bytes the frame claims to carry.
 constexpr std::uint32_t kFrameMagic = 0x314B5043u;  // "CPK1"
 constexpr std::uint32_t kMaxPayload = 64u << 20;    // sanity bound, 64 MiB
-constexpr std::string_view kManifestMagic = "ioguard-checkpoint-v1";
+constexpr std::string_view kManifestMagic = "ioguard-checkpoint-v2";
 
 constexpr std::uint8_t kFlagAbandoned = 1u << 0;
 constexpr std::uint8_t kFlagHasMetrics = 1u << 1;
@@ -138,6 +138,18 @@ void encode_trial_result(ByteWriter& w, const TrialResult& result) {
     w.put_u64(c.quiescent_slots);
   }
   w.put_u64(result.flight_dumps);
+  // Mixed-criticality counters, appended last (the manifest magic is v2:
+  // v1 journals predate this block and are rejected, not misread).
+  const ModeSwitchCounters& mc = result.mcs;
+  w.put_u64(mc.switches_to_hi);
+  w.put_u64(mc.recoveries);
+  w.put_u64(mc.propagated);
+  w.put_u64(mc.overruns_observed);
+  w.put_u64(mc.lo_jobs_shed);
+  w.put_u64(mc.lo_rejected);
+  w.put_u64(mc.hi_vms_at_end);
+  w.put_u64(mc.hi_misses);
+  put_sample_set(w, mc.switch_latency_slots);
 }
 
 [[nodiscard]] TrialResult decode_trial_result(ByteReader& r) {
@@ -203,6 +215,16 @@ void encode_trial_result(ByteWriter& w, const TrialResult& result) {
     result.profile.push_back(std::move(c));
   }
   result.flight_dumps = r.get_u64();
+  ModeSwitchCounters& mc = result.mcs;
+  mc.switches_to_hi = r.get_u64();
+  mc.recoveries = r.get_u64();
+  mc.propagated = r.get_u64();
+  mc.overruns_observed = r.get_u64();
+  mc.lo_jobs_shed = r.get_u64();
+  mc.lo_rejected = r.get_u64();
+  mc.hi_vms_at_end = r.get_u64();
+  mc.hi_misses = r.get_u64();
+  mc.switch_latency_slots = get_sample_set(r);
   return result;
 }
 
@@ -494,7 +516,9 @@ std::string point_config_string(SystemKind kind, std::size_t num_vms,
                                 double preload_fraction, std::size_t trials,
                                 std::size_t min_jobs, std::uint64_t seed,
                                 const faults::FaultPlan& plan,
-                                const faults::ResilienceConfig& resilience) {
+                                const faults::ResilienceConfig& resilience,
+                                bool mixed_criticality,
+                                const core::ModeSwitchConfig& mode_switch) {
   std::ostringstream os;
   os << "system=" << to_string(kind) << " vms=" << num_vms
      << " util_ticks=" << std::llround(target_utilization * 10000.0)
@@ -505,6 +529,15 @@ std::string point_config_string(SystemKind kind, std::size_t num_vms,
      << resilience.max_retries << "/" << resilience.retry_backoff_base_slots
      << "/" << resilience.degradation_threshold << "/"
      << (resilience.degradation_enabled ? 1 : 0);
+  // Mixed-criticality tokens appear only when the features are on: resuming
+  // a criticality-aware run under different MCS parameters changes results,
+  // while pre-MCS config strings keep their exact historical bytes.
+  if (mixed_criticality) os << " criticality=1";
+  if (mode_switch.enabled)
+    os << " mcs=" << mode_switch.overrun_threshold << "/"
+       << mode_switch.recovery_hysteresis_slots << "/"
+       << mode_switch.propagation_threshold << "/"
+       << std::llround(mode_switch.hi_budget_factor * 10000.0);
   return std::move(os).str();
 }
 

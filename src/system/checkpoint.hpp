@@ -143,11 +143,14 @@ class CheckpointJournal {
 /// ioguard_verify; its fnv1a64 hash is the manifest fingerprint. Excludes
 /// --jobs (resuming at a different fan-out width is supported and
 /// bit-identical) and telemetry flags (metrics presence is tracked per
-/// record instead).
+/// record instead). Mixed-criticality parameters contribute tokens only
+/// when the respective feature is on, so pre-MCS fingerprints are stable.
 [[nodiscard]] std::string point_config_string(
     SystemKind kind, std::size_t num_vms, double target_utilization,
     double preload_fraction, std::size_t trials, std::size_t min_jobs,
     std::uint64_t seed, const faults::FaultPlan& plan,
-    const faults::ResilienceConfig& resilience);
+    const faults::ResilienceConfig& resilience,
+    bool mixed_criticality = false,
+    const core::ModeSwitchConfig& mode_switch = {});
 
 }  // namespace ioguard::sys

@@ -37,6 +37,7 @@ struct Outcome {
   Slot deadline = 0;
   bool counted = false;    ///< deadline falls inside the horizon
   bool critical = false;   ///< safety or function class
+  bool hi = false;         ///< HI-criticality task (mixed-criticality runs)
   bool on_time = false;
   std::uint32_t payload = 0;
   std::uint32_t task = 0;
@@ -180,6 +181,35 @@ void fill_observability_metrics(telemetry::MetricsRegistry& reg,
     reg.counter("ioguard_flight_dumps_total", {}).inc(result.flight_dumps);
 }
 
+/// Mixed-criticality metric block (DESIGN.md §17). Called whenever the
+/// feature flag is on, not when a counter happens to be non-zero: every
+/// series is registered even at zero, so metric baselines cannot become
+/// order-dependent on whether a switch fired in a particular trial.
+void fill_mode_metrics(telemetry::MetricsRegistry& reg,
+                       const TrialResult& result) {
+  auto dir = [&](const char* d) -> telemetry::Counter& {
+    return reg.counter("ioguard_mode_switches_total", {{"direction", d}});
+  };
+  dir("to_hi").inc(result.mcs.switches_to_hi);
+  dir("to_lo").inc(result.mcs.recoveries);
+  reg.counter("ioguard_mode_switches_propagated_total", {})
+      .inc(result.mcs.propagated);
+  reg.counter("ioguard_mode_overruns_observed_total", {})
+      .inc(result.mcs.overruns_observed);
+  reg.counter("ioguard_mode_lo_jobs_shed_total", {})
+      .inc(result.mcs.lo_jobs_shed);
+  reg.counter("ioguard_mode_lo_rejected_total", {})
+      .inc(result.mcs.lo_rejected);
+  reg.counter("ioguard_mode_hi_misses_total", {}).inc(result.mcs.hi_misses);
+  reg.gauge("ioguard_mode_hi_vms", {})
+      .set(static_cast<double>(result.mcs.hi_vms_at_end));
+  auto& latency =
+      reg.histogram("ioguard_mode_switch_latency_slots", {},
+                    telemetry::HdrHistogram{}.bounds());
+  for (double v : result.mcs.switch_latency_slots.samples())
+    latency.observe(v);
+}
+
 }  // namespace
 
 StatusOr<TrialConfig> TrialConfig::validated(TrialConfig raw) {
@@ -204,6 +234,17 @@ StatusOr<TrialConfig> TrialConfig::validated(TrialConfig raw) {
   if (raw.resilience.max_retries > 16)
     return OutOfRangeError("max_retries must be <= 16, got " +
                            std::to_string(raw.resilience.max_retries));
+  if (raw.mode_switch.enabled) {
+    if (raw.mode_switch.overrun_threshold < 1)
+      return InvalidArgumentError("mode_switch.overrun_threshold must be >= 1");
+    if (raw.mode_switch.recovery_hysteresis_slots < 1)
+      return InvalidArgumentError(
+          "mode_switch.recovery_hysteresis_slots must be >= 1");
+    if (!(raw.mode_switch.hi_budget_factor >= 1.0))
+      return OutOfRangeError(
+          "mode_switch.hi_budget_factor must be >= 1.0, got " +
+          std::to_string(raw.mode_switch.hi_budget_factor));
+  }
   return raw;
 }
 
@@ -229,13 +270,16 @@ TrialResult run_trial(const TrialConfig& config) {
   // Task class lookup (task ids are dense).
   std::vector<workload::TaskClass> task_class(wl.tasks.size());
   std::vector<workload::TaskKind> task_kind(wl.tasks.size());
+  std::vector<std::uint8_t> task_hi(wl.tasks.size(), 0);
   for (const auto& t : wl.tasks.tasks()) {
     task_class[t.id.value] = t.cls;
     task_kind[t.id.value] = t.kind;
+    task_hi[t.id.value] = t.hi_criticality() ? 1 : 0;
   }
   auto is_critical = [&](TaskId id) {
     return task_class[id.value] != workload::TaskClass::kSynthetic;
   };
+  auto is_hi = [&](TaskId id) { return task_hi[id.value] != 0; };
 
   // ---- 2. Instantiate the system under test. -----------------------------
   const std::size_t num_vms = wl_cfg.num_vms;
@@ -276,6 +320,7 @@ TrialResult run_trial(const TrialConfig& config) {
     hc.translator.wcet_cycles = cal.translation_wcet_cycles;
     hc.injector = injector.get();
     hc.resilience = config.resilience;
+    hc.mode_switch = config.mode_switch;
     hyp = std::make_unique<core::Hypervisor>(wl, hc);
     result.admitted = hyp->fully_admitted();
     if (config.trace) hyp->set_tracer(config.trace);
@@ -350,6 +395,7 @@ TrialResult run_trial(const TrialConfig& config) {
     outcomes[i].deadline = j.absolute_deadline;
     outcomes[i].counted = !pchannel_job && j.absolute_deadline <= horizon;
     outcomes[i].critical = is_critical(j.task);
+    outcomes[i].hi = is_hi(j.task);
     outcomes[i].payload = j.payload_bytes;
     outcomes[i].task = j.task.value;
   }
@@ -376,6 +422,7 @@ TrialResult run_trial(const TrialConfig& config) {
             ++result.misses;
             ++miss_counts[done.job.task.value];
             if (is_critical(done.job.task)) ++result.critical_misses;
+            if (is_hi(done.job.task)) ++result.mcs.hi_misses;
           }
         }
       } else if (done.job.id.value < outcomes.size()) {
@@ -587,6 +634,7 @@ TrialResult run_trial(const TrialConfig& config) {
       ++result.misses;
       ++miss_counts[o.task];
       if (o.critical) ++result.critical_misses;
+      if (o.hi) ++result.mcs.hi_misses;
     }
   }
   for (std::uint32_t task = 0; task < miss_counts.size(); ++task)
@@ -624,6 +672,21 @@ TrialResult run_trial(const TrialConfig& config) {
       result.faults.fifo_frames_lost += f.frames_lost();
       result.faults.fifo_stalled_slots += f.stalled_slots();
     }
+  }
+
+  // Mixed-criticality harvest (DESIGN.md §17); the controller exists only
+  // when the feature was enabled on an I/O-GUARD trial.
+  if (hyp && hyp->mode_controller() != nullptr) {
+    const core::ModeController& mc = *hyp->mode_controller();
+    result.mcs.switches_to_hi = mc.switches_to_hi();
+    result.mcs.recoveries = mc.recoveries();
+    result.mcs.propagated = mc.propagated_switches();
+    result.mcs.overruns_observed = mc.overruns_observed();
+    result.mcs.lo_jobs_shed = hyp->mode_jobs_shed();
+    result.mcs.lo_rejected = hyp->lo_mode_rejected();
+    result.mcs.hi_vms_at_end = mc.hi_vms();
+    for (const Slot latency : mc.switch_latencies())
+      result.mcs.switch_latency_slots.add(static_cast<double>(latency));
   }
 
   // ---- 6. Observability harvest (DESIGN.md §14). -------------------------
@@ -671,6 +734,8 @@ TrialResult run_trial(const TrialConfig& config) {
   if (config.metrics) {
     fill_metrics(*config.metrics, config, result, hyp.get(), fifos);
     fill_observability_metrics(*config.metrics, config, result);
+    if (config.mode_switch.enabled)
+      fill_mode_metrics(*config.metrics, result);
     if (injector)
       fill_fault_metrics(*config.metrics, config, result, *injector);
     if (config.trace)
@@ -790,6 +855,31 @@ void write_trial_summary_json(std::ostream& os, const TrialConfig& config,
        << ", \"transit_drops\": " << fc.transit_drops
        << ", \"fifo_frames_lost\": " << fc.fifo_frames_lost
        << ", \"fifo_stalled_slots\": " << fc.fifo_stalled_slots << "},\n";
+  }
+
+  // Mixed-criticality block only when the feature flag is on, so pre-MCS
+  // summaries stay byte-identical. Inside the block every field always
+  // appears (even at zero) -- same no-order-dependence rule as the metrics.
+  if (config.mode_switch.enabled) {
+    const ModeSwitchCounters& mc = result.mcs;
+    os << "  \"mcs\": {\"switches_to_hi\": " << mc.switches_to_hi
+       << ", \"recoveries\": " << mc.recoveries
+       << ", \"propagated\": " << mc.propagated
+       << ", \"overruns_observed\": " << mc.overruns_observed
+       << ", \"lo_jobs_shed\": " << mc.lo_jobs_shed
+       << ", \"lo_rejected\": " << mc.lo_rejected
+       << ", \"hi_vms_at_end\": " << mc.hi_vms_at_end
+       << ", \"hi_misses\": " << mc.hi_misses << ", \"switch_latency\": ";
+    if (mc.switch_latency_slots.empty()) {
+      os << "null";
+    } else {
+      const auto& s = mc.switch_latency_slots;
+      os << "{\"count\": " << s.count() << ", \"mean\": " << s.mean()
+         << ", \"p50\": " << s.percentile(50.0)
+         << ", \"p99\": " << s.percentile(99.0) << ", \"max\": " << s.max()
+         << "}";
+    }
+    os << "},\n";
   }
 
   // Observability blocks appear only when collected, so plain trials keep

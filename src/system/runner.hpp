@@ -41,6 +41,13 @@ struct TrialConfig {
   faults::FaultPlan faults;
   faults::ResilienceConfig resilience;
 
+  // --- mixed-criticality mode switching (DESIGN.md §17) -------------------
+  /// Disabled by default: trials stay byte-identical to pre-MCS builds.
+  /// When enabled (I/O-GUARD back-end only), translator WCET overruns
+  /// switch the affected VM LO->HI, shed its LO R-channel backlog and
+  /// inflate its server budget; recovery is hysteretic.
+  core::ModeSwitchConfig mode_switch;
+
   /// The single validated construction path for trial configs: every range
   /// check the benches / run_point / CLI preflight used to duplicate lives
   /// here. Returns the config unchanged when valid.
@@ -100,6 +107,22 @@ struct FaultCounters {
   std::uint64_t fifo_stalled_slots = 0;  ///< baseline FIFOs: stall slots
 };
 
+/// Mixed-criticality outcome of one trial (TrialConfig::mode_switch). All
+/// fields stay 0 when the feature is disabled, so pre-MCS TrialResults
+/// compare equal; `hi_misses` is maintained whenever the workload carries
+/// HI tasks (it is the 0-admitted-HI-misses acceptance gate).
+struct ModeSwitchCounters {
+  std::uint64_t switches_to_hi = 0;   ///< LO->HI transitions applied
+  std::uint64_t recoveries = 0;       ///< HI->LO hysteresis recoveries
+  std::uint64_t propagated = 0;       ///< switches via block escalation
+  std::uint64_t overruns_observed = 0;///< translator WCET overrun evidence
+  std::uint64_t lo_jobs_shed = 0;     ///< LO backlog shed by switches
+  std::uint64_t lo_rejected = 0;      ///< LO submissions refused in HI mode
+  std::uint64_t hi_vms_at_end = 0;    ///< VMs still in HI mode at horizon
+  std::uint64_t hi_misses = 0;        ///< deadline misses of HI tasks
+  SampleSet switch_latency_slots;     ///< first evidence -> switch applied
+};
+
 /// Per-trial jitter harvest (TrialConfig::collect_jitter). Channel samples
 /// are in slots; translator samples are sub-slot, in cycles. Vectors are
 /// indexed by VM / device; SampleSets keep insertion order so checkpointed
@@ -152,6 +175,7 @@ struct TrialResult {
   OnlineStats stage_backend;  ///< arrival -> completion at the device
 
   FaultCounters faults;  ///< all-zero unless the trial ran a fault plan
+  ModeSwitchCounters mcs;  ///< all-zero unless mode switching was enabled
 
   // --- timing-accuracy observability (empty unless collected) -------------
   JitterSummary jitter;

@@ -141,10 +141,11 @@ void print_stage_breakdown(std::ostream& os, StageBreakdown& b,
 void register_span_metrics(const core::EventTrace& trace,
                            MetricsRegistry& registry) {
   // Raw event-kind totals (includes events overwritten in the ring).
-  // Fault/resilience kinds appear only when they occurred, so the exported
-  // metric set of a fault-free run is byte-identical to pre-fault builds.
+  // Fault/resilience and mode-transition kinds appear only when they
+  // occurred, so the exported metric set of a run that never engaged those
+  // features is byte-identical to pre-fault / pre-MCS builds.
   for (auto kind : core::all_trace_event_kinds()) {
-    if (core::is_fault_kind(kind) && trace.count(kind) == 0) continue;
+    if (core::is_conditional_kind(kind) && trace.count(kind) == 0) continue;
     registry
         .counter("ioguard_trace_events_total",
                  {{"kind", core::to_string(kind)}})

@@ -54,8 +54,12 @@ Slot snap_to_menu(Slot period, const std::vector<std::uint32_t>& menu_ms) {
 
 CaseStudyWorkload build_case_study(const CaseStudyConfig& config) {
   IOGUARD_CHECK(config.num_vms > 0);
+  // Above 1.0 is a deliberate overload workload (mixed-criticality mode-
+  // switch experiments): admission will refuse it, LO filler will miss, but
+  // the generator still produces a well-formed task set. 2.0 matches
+  // TrialConfig::validated's ceiling.
   IOGUARD_CHECK(config.target_utilization > 0.0 &&
-                config.target_utilization <= 1.0);
+                config.target_utilization <= 2.0);
   IOGUARD_CHECK(config.preload_fraction >= 0.0 &&
                 config.preload_fraction <= 1.0);
 
@@ -171,6 +175,22 @@ CaseStudyWorkload build_case_study(const CaseStudyConfig& config) {
     // Staggered nominal offsets; the Time Slot Table builder performs the
     // actual conflict-free slot placement by offline EDF.
     s.offset = static_cast<Slot>(preload_seq[s.device.value]++ * 7 % s.period);
+  }
+
+  // 5. Criticality assignment (no RNG draws: flag-off builds stay
+  //    byte-identical). Safety tasks carry HI criticality with an inflated
+  //    C_hi; everything else is LO and sheddable under HI mode. C_hi is
+  //    clamped to the deadline so an admitted HI task can still finish by
+  //    construction when the mode switch inflates its budget.
+  if (config.mixed_criticality) {
+    IOGUARD_CHECK(config.hi_wcet_factor >= 1.0);
+    for (IoTaskSpec& s : specs) {
+      if (s.cls != TaskClass::kSafety) continue;
+      s.criticality = Criticality::kHi;
+      const auto inflated = static_cast<Slot>(std::llround(
+          std::ceil(config.hi_wcet_factor * static_cast<double>(s.wcet))));
+      s.wcet_hi = std::min(std::max(inflated, s.wcet), s.deadline);
+    }
   }
 
   CaseStudyWorkload out;

@@ -49,6 +49,13 @@ struct CaseStudyConfig {
   /// Pre-defined tasks snap their periods to this menu (ms) so that the
   /// Time Slot Table hyper-period stays bounded (lcm = 100 ms).
   std::vector<std::uint32_t> period_menu_ms = {1, 2, 4, 5, 10, 20, 25, 50, 100};
+  /// Mixed-criticality mode (DESIGN.md §17): safety tasks become
+  /// HI-criticality with C_hi = ceil(hi_wcet_factor * C_lo); function and
+  /// synthetic tasks stay LO. Off by default -- and the assignment draws no
+  /// RNG, so flag-off workloads are byte-identical to pre-MCS builds.
+  bool mixed_criticality = false;
+  /// HI-budget inflation factor (C_hi / C_lo) applied to HI tasks.
+  double hi_wcet_factor = 1.5;
 };
 
 /// A fully-built workload: the task set, with `kind` assigned according to

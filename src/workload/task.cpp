@@ -22,6 +22,14 @@ const char* to_string(TaskKind k) {
   return "?";
 }
 
+const char* to_string(Criticality c) {
+  switch (c) {
+    case Criticality::kLo: return "LO";
+    case Criticality::kHi: return "HI";
+  }
+  return "?";
+}
+
 void TaskSet::add(IoTaskSpec spec) {
   IOGUARD_CHECK_MSG(spec.period > 0, "task period must be positive");
   IOGUARD_CHECK_MSG(spec.wcet > 0, "task WCET must be positive");
@@ -30,6 +38,8 @@ void TaskSet::add(IoTaskSpec spec) {
                     "constrained deadlines required (D <= T)");
   IOGUARD_CHECK_MSG(spec.wcet <= spec.deadline,
                     "WCET must fit within the deadline");
+  IOGUARD_CHECK_MSG(spec.wcet_hi == 0 || spec.wcet_hi >= spec.wcet,
+                    "HI-mode budget must dominate the LO budget (C_lo <= C_hi)");
   tasks_.push_back(std::move(spec));
 }
 
@@ -61,10 +71,29 @@ TaskSet TaskSet::filter_kind(TaskKind kind) const {
   return out;
 }
 
+TaskSet TaskSet::filter_criticality(Criticality level) const {
+  TaskSet out;
+  for (const auto& t : tasks_)
+    if (t.criticality == level) out.tasks_.push_back(t);
+  return out;
+}
+
 double TaskSet::utilization() const {
   double u = 0.0;
   for (const auto& t : tasks_) u += t.utilization();
   return u;
+}
+
+double TaskSet::utilization_hi() const {
+  double u = 0.0;
+  for (const auto& t : tasks_) u += t.utilization_hi();
+  return u;
+}
+
+bool TaskSet::mixed_criticality() const {
+  for (const auto& t : tasks_)
+    if (t.criticality == Criticality::kHi || t.wcet_hi != 0) return true;
+  return false;
 }
 
 double TaskSet::utilization_on(DeviceId dev) const {

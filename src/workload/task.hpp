@@ -33,8 +33,20 @@ enum class TaskKind : std::uint8_t {
   kRuntime,     ///< sporadic, scheduled by the R-channel at run-time
 };
 
+/// Vestal-style criticality level of a task (DESIGN.md §17).
+///
+/// LO tasks are guaranteed only while the system is in LO mode; after a
+/// budget overrun switches a VM (or the hypervisor block) into HI mode,
+/// LO-criticality R-channel work is shed and only HI tasks keep their
+/// guarantees -- at the inflated budget C_hi.
+enum class Criticality : std::uint8_t {
+  kLo,  ///< best-effort under overload; shed on LO->HI mode switch
+  kHi,  ///< guaranteed in both modes; budget inflates to C_hi in HI mode
+};
+
 [[nodiscard]] const char* to_string(TaskClass c);
 [[nodiscard]] const char* to_string(TaskKind k);
+[[nodiscard]] const char* to_string(Criticality c);
 
 /// Static description of one I/O task.
 struct IoTaskSpec {
@@ -46,15 +58,34 @@ struct IoTaskSpec {
   TaskKind kind = TaskKind::kRuntime;
 
   Slot period = 0;    ///< T_k: period / minimum inter-release separation
-  Slot wcet = 0;      ///< C_k: worst-case I/O service demand, in slots
+  Slot wcet = 0;      ///< C_k (= C_lo): worst-case I/O service demand, slots
   Slot deadline = 0;  ///< D_k: relative deadline (D_k <= T_k)
   Slot offset = 0;    ///< release offset of the first job (pre-defined tasks)
+
+  /// Criticality level; single-criticality workloads leave every task at kLo
+  /// with wcet_hi == 0, which reproduces the pre-MCS behavior exactly.
+  Criticality criticality = Criticality::kLo;
+  /// C_hi: pessimistic HI-mode budget (0 means "same as wcet"). Invariant:
+  /// wcet <= wcet_hi whenever wcet_hi is set.
+  Slot wcet_hi = 0;
 
   std::uint32_t payload_bytes = 0;  ///< I/O payload per job (throughput acct.)
 
   [[nodiscard]] double utilization() const {
     IOGUARD_DCHECK(period > 0);
     return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+  /// Effective HI-mode budget: wcet_hi when set, else the LO budget.
+  [[nodiscard]] Slot effective_wcet_hi() const {
+    return wcet_hi == 0 ? wcet : wcet_hi;
+  }
+  [[nodiscard]] double utilization_hi() const {
+    IOGUARD_DCHECK(period > 0);
+    return static_cast<double>(effective_wcet_hi()) /
+           static_cast<double>(period);
+  }
+  [[nodiscard]] bool hi_criticality() const {
+    return criticality == Criticality::kHi;
   }
   [[nodiscard]] bool constrained_deadline() const { return deadline <= period; }
   [[nodiscard]] bool implicit_deadline() const { return deadline == period; }
@@ -89,9 +120,16 @@ class TaskSet {
   [[nodiscard]] TaskSet filter_vm(VmId vm) const;
   [[nodiscard]] TaskSet filter_device(DeviceId dev) const;
   [[nodiscard]] TaskSet filter_kind(TaskKind kind) const;
+  [[nodiscard]] TaskSet filter_criticality(Criticality level) const;
 
   /// Sum of C/T over all tasks.
   [[nodiscard]] double utilization() const;
+
+  /// Sum of C_hi/T over all tasks (HI-mode demand; LO tasks use C_lo).
+  [[nodiscard]] double utilization_hi() const;
+
+  /// True when at least one task carries HI criticality or a distinct C_hi.
+  [[nodiscard]] bool mixed_criticality() const;
 
   /// Utilization restricted to tasks on `dev`.
   [[nodiscard]] double utilization_on(DeviceId dev) const;

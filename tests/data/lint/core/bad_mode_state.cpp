@@ -1,0 +1,26 @@
+// Lint fixture: LNT010 -- criticality-mode state read outside
+// ModeController. Raw accesses to the private members (`vm_modes_`,
+// `block_hi_`) fire in deterministic modules; accessor calls and a written
+// suppression do not.
+#include <cstdint>
+#include <vector>
+
+struct ShadowSched {
+  bool hi_fast_path(std::size_t vm) const {
+    return vm_modes_[vm] != 0;  // line 10: LNT010
+  }
+  bool block_escalated() const { return block_hi_; }  // line 12: LNT010
+
+  // IOGUARD_LINT_ALLOW(LNT010: fixture -- migration shim reads the old copy)
+  bool legacy(std::size_t vm) const { return vm_modes_[vm] != 0; }  // line 15
+
+  std::vector<std::uint8_t> vm_modes_;  // line 17: LNT010 (shadow copy)
+  bool block_hi_ = false;               // line 18: LNT010 (shadow copy)
+};
+
+struct Sanctioned {
+  // Accessor names are fine: only the raw members are flagged.
+  bool ok(std::size_t vm) const { return hi(vm) || block_hi(); }
+  bool hi(std::size_t) const { return false; }
+  bool block_hi() const { return false; }
+};

@@ -130,6 +130,47 @@ TEST(FaultPlan, RejectsMalformedSpecsWithTypedStatusCodes) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FaultPlan, DiagnosticsNameTheOffendingSegment) {
+  // Every rejection names the 1-based segment and echoes its text, so a
+  // typo deep in a scripted fault matrix is located without bisection.
+  const auto unknown =
+      faults::FaultPlan::parse("stall:rate=0.1;warp:rate=0.1").status();
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.message().find("segment 2"), std::string::npos)
+      << unknown.message();
+  EXPECT_NE(unknown.message().find("warp:rate=0.1"), std::string::npos);
+  EXPECT_NE(unknown.message().find("unknown fault kind"), std::string::npos);
+
+  const auto bad_rate =
+      faults::FaultPlan::parse("seed=3;drop:rate=0.1;stall:rate=9").status();
+  EXPECT_EQ(bad_rate.code(), StatusCode::kOutOfRange)
+      << "segment wrapping must preserve the typed code";
+  EXPECT_NE(bad_rate.message().find("segment 3"), std::string::npos)
+      << bad_rate.message();
+}
+
+TEST(FaultPlan, EmptySegmentsAreRejectedButATrailingSemicolonIsNot) {
+  const auto doubled =
+      faults::FaultPlan::parse("stall:rate=0.1;;drop:rate=0.1").status();
+  EXPECT_EQ(doubled.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(doubled.message().find("segment 2"), std::string::npos)
+      << doubled.message();
+  EXPECT_NE(doubled.message().find("empty segment"), std::string::npos);
+
+  // A single trailing ';' is a shell-quoting artifact, not an error.
+  auto trailing = faults::FaultPlan::parse("stall:rate=0.1;");
+  ASSERT_TRUE(trailing.ok()) << trailing.status();
+  EXPECT_EQ(trailing->events.size(), 1u);
+}
+
+TEST(FaultPlan, ZeroRateSegmentParsesButContributesNoEvent) {
+  auto plan = faults::FaultPlan::parse("stall:rate=0;drop:rate=0.1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->events.size(), 1u);
+  EXPECT_EQ(plan->rate(faults::FaultKind::kDeviceStall), 0.0);
+  EXPECT_EQ(plan->rate(faults::FaultKind::kDroppedFrame), 0.1);
+}
+
 // --- FaultInjector determinism ------------------------------------------
 
 TEST(FaultInjector, ReplaysBitIdenticallyForSamePlanAndSeed) {

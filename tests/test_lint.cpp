@@ -51,7 +51,7 @@ TEST(LintCodes, StableStringsRoundTrip) {
 TEST(LintCodes, ParseRejectsUnknownSpellings) {
   LintCode code{};
   EXPECT_FALSE(parse_code("LNT000", &code));
-  EXPECT_FALSE(parse_code("LNT010", &code));
+  EXPECT_FALSE(parse_code("LNT011", &code));
   EXPECT_FALSE(parse_code("LNT1", &code));
   EXPECT_FALSE(parse_code("SIG101", &code));
   EXPECT_FALSE(parse_code("LNT00a", &code));
@@ -126,6 +126,43 @@ TEST(LintScan, FixtureBadDenseLoop) {
   };
   EXPECT_EQ(got, want);
   EXPECT_EQ(linter.active_count(), 2u);
+}
+
+TEST(LintScan, FixtureBadModeState) {
+  Linter linter;
+  ASSERT_TRUE(linter.scan_file(kFixtures + "/core/bad_mode_state.cpp"));
+  const auto got = triples(linter);
+  const std::vector<std::tuple<std::string, std::size_t, bool>> want = {
+      {"LNT010", 10, false},  // vm_modes_[vm] in a scheduler fast path
+      {"LNT010", 12, false},  // raw block_hi_ read
+      {"LNT010", 15, true},   // suppressed migration shim, marker above
+      {"LNT010", 17, false},  // shadow copy of vm_modes_
+      {"LNT010", 18, false},  // shadow copy of block_hi_
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(linter.active_count(), 4u);
+}
+
+TEST(LintScan, ModeStateRuleExemptsTheControllerAndOtherModules) {
+  // The controller's own sources define the members; naming them there is
+  // the point, not a violation.
+  Linter home;
+  home.scan_source("src/core/mode_controller.cpp",
+                   "void f() { vm_modes_[0] = {}; block_hi_ = true; }\n");
+  EXPECT_TRUE(home.findings().empty());
+
+  // Outside deterministic modules the tokens are legal (tools may mirror
+  // controller state for display).
+  Linter tool;
+  tool.scan_source("tools/mode_dump.cpp",
+                   "bool g(const C& c) { return c.block_hi_; }\n");
+  EXPECT_TRUE(tool.findings().empty());
+
+  // Substrings of longer identifiers never fire.
+  Linter sub;
+  sub.scan_source("src/core/x.cpp",
+                  "int shadow_vm_modes_count = 0; int my_block_hi_x = 1;\n");
+  EXPECT_TRUE(sub.findings().empty());
 }
 
 TEST(LintScan, DenseLoopRuleIsModuleScoped) {

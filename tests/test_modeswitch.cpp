@@ -1,0 +1,472 @@
+// Mixed-criticality mode switching (DESIGN.md §17): ModeController protocol
+// units, dual-criticality admission regimes, the MCS verification checks,
+// and the end-to-end determinism contracts -- byte-identical results across
+// --jobs widths and event/stepped execution modes with mid-trial switches,
+// plus checkpoint resume of a trial that ended (crashed) in HI mode.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/verify_modeswitch.hpp"
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+#include "core/mode_controller.hpp"
+#include "faults/fault_plan.hpp"
+#include "sched/mcs_admission.hpp"
+#include "system/checkpoint.hpp"
+#include "system/experiment.hpp"
+#include "system/parallel.hpp"
+#include "system/runner.hpp"
+#include "telemetry/prometheus.hpp"
+#include "workload/task.hpp"
+
+namespace ioguard {
+namespace {
+
+namespace fs = std::filesystem;
+using core::CritMode;
+using core::ModeController;
+using core::ModeSwitchConfig;
+using core::ModeTransitionRecord;
+
+ModeSwitchConfig small_mode_config() {
+  ModeSwitchConfig cfg;
+  cfg.enabled = true;
+  cfg.overrun_threshold = 2;
+  cfg.recovery_hysteresis_slots = 100;
+  cfg.hi_budget_factor = 1.5;
+  return cfg;
+}
+
+// ---- ModeController protocol ----------------------------------------------
+
+TEST(ModeController, ThresholdArmsSwitchAndRecordsDetectLatency) {
+  ModeController ctl(2, small_mode_config());
+  std::vector<std::size_t> to_hi;
+  std::vector<std::size_t> to_lo;
+
+  ctl.note_budget_overrun(VmId{0}, 10);
+  ctl.advance(11, to_hi, to_lo);
+  EXPECT_TRUE(to_hi.empty()) << "below threshold: no switch";
+  EXPECT_EQ(ctl.vm_mode(0), CritMode::kLo);
+
+  ctl.note_budget_overrun(VmId{0}, 14);
+  ctl.advance(15, to_hi, to_lo);
+  ASSERT_EQ(to_hi, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(ctl.hi(0));
+  EXPECT_FALSE(ctl.hi(1));
+  ctl.finalize_switch(0, /*lo_pending=*/5, /*jobs_shed=*/5);
+
+  EXPECT_EQ(ctl.switches_to_hi(), 1u);
+  EXPECT_EQ(ctl.overruns_observed(), 2u);
+  ASSERT_EQ(ctl.switch_latencies().size(), 1u);
+  EXPECT_EQ(ctl.switch_latencies()[0], Slot{5});  // first evidence 10 -> 15
+  ASSERT_EQ(ctl.transitions().size(), 1u);
+  const ModeTransitionRecord& rec = ctl.transitions()[0];
+  EXPECT_TRUE(rec.to_hi);
+  EXPECT_EQ(rec.vm.value, 0u);
+  EXPECT_EQ(rec.lo_pending, 5u);
+  EXPECT_EQ(rec.jobs_shed, 5u);
+  EXPECT_EQ(rec.detect_latency, Slot{5});
+}
+
+TEST(ModeController, RecoveryIsHystereticAndEvidenceRestartsTheWindow) {
+  auto cfg = small_mode_config();
+  cfg.overrun_threshold = 1;
+  ModeController ctl(1, cfg);
+  std::vector<std::size_t> to_hi;
+  std::vector<std::size_t> to_lo;
+
+  ctl.note_budget_overrun(VmId{0}, 50);
+  ctl.advance(50, to_hi, to_lo);
+  ASSERT_EQ(to_hi.size(), 1u);
+  ctl.finalize_switch(0, 0, 0);
+
+  // One slot short of the window: still HI.
+  to_hi.clear();
+  ctl.advance(50 + cfg.recovery_hysteresis_slots - 1, to_hi, to_lo);
+  EXPECT_TRUE(to_lo.empty());
+  EXPECT_TRUE(ctl.hi(0));
+
+  // Fresh evidence while HI restarts the window without a second switch.
+  ctl.note_budget_overrun(VmId{0}, 120);
+  ctl.advance(50 + cfg.recovery_hysteresis_slots, to_hi, to_lo);
+  EXPECT_TRUE(to_lo.empty()) << "window restarted by the overrun at 120";
+  EXPECT_EQ(ctl.switches_to_hi(), 1u);
+
+  ctl.advance(120 + cfg.recovery_hysteresis_slots, to_hi, to_lo);
+  ASSERT_EQ(to_lo, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(ctl.vm_mode(0), CritMode::kLo);
+  EXPECT_EQ(ctl.recoveries(), 1u);
+  ASSERT_EQ(ctl.transitions().size(), 2u);
+  EXPECT_FALSE(ctl.transitions()[1].to_hi);
+}
+
+TEST(ModeController, BlockPropagationEscalatesEveryVm) {
+  auto cfg = small_mode_config();
+  cfg.overrun_threshold = 1;
+  cfg.propagation_threshold = 1;
+  ModeController ctl(3, cfg);
+  std::vector<std::size_t> to_hi;
+  std::vector<std::size_t> to_lo;
+
+  ctl.note_budget_overrun(VmId{1}, 20);
+  ctl.advance(20, to_hi, to_lo);
+  // VM 1 by evidence, VMs 0 and 2 by propagation, ascending order.
+  ASSERT_EQ(to_hi, (std::vector<std::size_t>{1, 0, 2}));
+  EXPECT_TRUE(ctl.block_hi());
+  EXPECT_EQ(ctl.hi_vms(), 3u);
+  EXPECT_EQ(ctl.switches_to_hi(), 3u);
+  EXPECT_EQ(ctl.propagated_switches(), 2u);
+  for (const auto& rec : ctl.transitions())
+    ctl.finalize_switch(rec.vm.value, 0, 0);
+
+  // All quiet: the whole block recovers and the escalation latch clears.
+  to_hi.clear();
+  to_lo.clear();
+  ctl.advance(20 + cfg.recovery_hysteresis_slots, to_hi, to_lo);
+  EXPECT_EQ(to_lo.size(), 3u);
+  EXPECT_FALSE(ctl.block_hi());
+  EXPECT_EQ(ctl.hi_vms(), 0u);
+}
+
+TEST(ModeController, NextTransitionDueFeedsTheWakeHint) {
+  auto cfg = small_mode_config();
+  cfg.overrun_threshold = 1;
+  ModeController ctl(1, cfg);
+  EXPECT_EQ(ctl.next_transition_due(), kNeverSlot);
+
+  ctl.note_budget_overrun(VmId{0}, 30);
+  EXPECT_EQ(ctl.next_transition_due(), Slot{0}) << "armed switch: due now";
+
+  std::vector<std::size_t> to_hi;
+  std::vector<std::size_t> to_lo;
+  ctl.advance(30, to_hi, to_lo);
+  ctl.finalize_switch(0, 0, 0);
+  EXPECT_EQ(ctl.next_transition_due(),
+            Slot{30} + cfg.recovery_hysteresis_slots)
+      << "HI VM: due at the recovery deadline";
+}
+
+// ---- dual-criticality admission (sched/mcs_admission) ----------------------
+
+workload::IoTaskSpec task_spec(std::uint32_t id, Slot period, Slot wcet,
+                               Slot wcet_hi) {
+  workload::IoTaskSpec s;
+  s.id = TaskId{id};
+  s.name = "t" + std::to_string(id);
+  s.period = period;
+  s.deadline = period;
+  s.wcet = wcet;
+  s.wcet_hi = wcet_hi;
+  if (wcet_hi != 0) s.criticality = workload::Criticality::kHi;
+  return s;
+}
+
+TEST(McsAdmission, InflateServerClampsAtThePeriod) {
+  const sched::ServerParams lo{10, 6};
+  const auto hi = sched::inflate_server(lo, 1.5);
+  EXPECT_EQ(hi.pi, Slot{10});
+  EXPECT_EQ(hi.theta, Slot{9});
+  const auto clamped = sched::inflate_server(lo, 5.0);
+  EXPECT_EQ(clamped.theta, Slot{10}) << "Theta_hi never exceeds Pi";
+}
+
+TEST(McsAdmission, HiModeTasksetShedsLoAndInflatesBudgets) {
+  workload::TaskSet set;
+  set.add(task_spec(0, 100, 4, 8));
+  set.add(task_spec(1, 50, 3, 0));  // LO: shed in HI mode
+  const workload::TaskSet hi = sched::hi_mode_taskset(set);
+  ASSERT_EQ(hi.size(), 1u);
+  EXPECT_EQ(hi[0].wcet, Slot{8}) << "HI view runs at C_hi";
+  EXPECT_EQ(sched::transition_carry_over(set), Slot{4});  // 8 - 4
+}
+
+TEST(McsAdmission, SingleCriticalityDegeneratesToTheoremFour) {
+  workload::TaskSet set;
+  set.add(task_spec(0, 20, 2, 0));
+  set.add(task_spec(1, 40, 4, 0));
+  const auto r = sched::mcs_admission_check({10, 4}, set, 1.5);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.hi.schedulable) << "no HI tasks: vacuously schedulable";
+  EXPECT_TRUE(r.transition.schedulable);
+  EXPECT_TRUE(r.reason.empty());
+}
+
+TEST(McsAdmission, OverloadedTransitionRegimeIsRejected) {
+  workload::TaskSet set;
+  // HI task whose carry-over surcharge cannot fit a barely-adequate server.
+  set.add(task_spec(0, 10, 4, 9));
+  const auto r = sched::mcs_admission_check({10, 5}, set, 1.2);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+// ---- MCS verification checks (analysis/verify_modeswitch) ------------------
+
+TEST(VerifyModeswitch, BudgetOrderViolationFiresMcs001) {
+  // The bulk TaskSet constructor is the deserialization path: it bypasses
+  // add()'s invariant check, which is exactly how a corrupt artifact with
+  // C_hi < C_lo reaches the verifier.
+  std::vector<workload::IoTaskSpec> specs;
+  auto bad = task_spec(0, 20, 4, 0);
+  bad.criticality = workload::Criticality::kHi;
+  bad.wcet_hi = 2;  // C_hi < C_lo
+  specs.push_back(bad);
+  const std::vector<workload::TaskSet> vms = {
+      workload::TaskSet(std::move(specs))};
+  const std::vector<sched::ServerParams> servers = {{10, 5}};
+
+  analysis::Report report;
+  analysis::verify_mcs_admission(servers, vms, 1.5, report);
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(report.diagnostics().empty());
+  EXPECT_EQ(report.diagnostics()[0].code, analysis::DiagCode::kMcsBudgetOrder);
+}
+
+TEST(VerifyModeswitch, ForgedSwitchFiresMcs005) {
+  ModeTransitionRecord rec;
+  rec.slot = 40;
+  rec.vm = VmId{1};
+  rec.to_hi = true;
+  rec.lo_pending = 7;
+  rec.jobs_shed = 3;  // kept part of the LO backlog: forged
+  analysis::Report report;
+  analysis::verify_mode_transitions({rec}, small_mode_config(), report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.diagnostics()[0].code,
+            analysis::DiagCode::kMcsForgedModeSwitch);
+}
+
+TEST(VerifyModeswitch, ShortHiResidencyWarnsMcs006ButStaysOk) {
+  ModeTransitionRecord up;
+  up.slot = 40;
+  up.vm = VmId{0};
+  up.to_hi = true;
+  ModeTransitionRecord down;
+  down.slot = 60;  // residency 20 < hysteresis 100
+  down.vm = VmId{0};
+  down.to_hi = false;
+  analysis::Report report;
+  analysis::verify_mode_transitions({up, down}, small_mode_config(), report);
+  EXPECT_TRUE(report.ok()) << "thrash is a warning, not an error";
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  EXPECT_EQ(report.diagnostics()[0].code,
+            analysis::DiagCode::kMcsHysteresisThrash);
+}
+
+TEST(VerifyModeswitch, CleanTransitionLedgerPasses) {
+  ModeTransitionRecord up;
+  up.slot = 40;
+  up.vm = VmId{0};
+  up.to_hi = true;
+  up.lo_pending = 4;
+  up.jobs_shed = 4;
+  ModeTransitionRecord down;
+  down.slot = 200;
+  down.vm = VmId{0};
+  down.to_hi = false;
+  analysis::Report report;
+  analysis::verify_mode_transitions({up, down}, small_mode_config(), report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics().empty());
+}
+
+// ---- end-to-end trials ------------------------------------------------------
+
+sys::TrialConfig mcs_trial(std::size_t t, bool stepped = false) {
+  sys::TrialConfig tc;
+  tc.kind = sys::SystemKind::kIoGuard;
+  tc.workload.num_vms = 4;
+  tc.workload.target_utilization = 0.8;
+  tc.workload.preload_fraction = 0.5;
+  tc.workload.mixed_criticality = true;
+  tc.min_jobs_per_task = 8;
+  tc.trial_seed = mix_seed(42, sys::sweep_point_key(4, 0.8), t);
+  auto plan = faults::FaultPlan::parse("overrun:rate=0.05,param=40");
+  tc.faults = std::move(plan).value();
+  tc.mode_switch.enabled = true;
+  tc.mode_switch.overrun_threshold = 1;
+  tc.mode_switch.recovery_hysteresis_slots = 200;
+  tc.mode_switch.hi_budget_factor = 1.5;
+  tc.stepped = stepped;
+  return tc;
+}
+
+void expect_mcs_identical(const sys::TrialResult& a,
+                          const sys::TrialResult& b) {
+  EXPECT_EQ(a.jobs_counted, b.jobs_counted);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.critical_misses, b.critical_misses);
+  EXPECT_EQ(a.goodput_bytes_per_s, b.goodput_bytes_per_s);
+  EXPECT_EQ(a.misses_by_task, b.misses_by_task);
+  EXPECT_EQ(a.mcs.switches_to_hi, b.mcs.switches_to_hi);
+  EXPECT_EQ(a.mcs.recoveries, b.mcs.recoveries);
+  EXPECT_EQ(a.mcs.propagated, b.mcs.propagated);
+  EXPECT_EQ(a.mcs.overruns_observed, b.mcs.overruns_observed);
+  EXPECT_EQ(a.mcs.lo_jobs_shed, b.mcs.lo_jobs_shed);
+  EXPECT_EQ(a.mcs.lo_rejected, b.mcs.lo_rejected);
+  EXPECT_EQ(a.mcs.hi_vms_at_end, b.mcs.hi_vms_at_end);
+  EXPECT_EQ(a.mcs.hi_misses, b.mcs.hi_misses);
+  EXPECT_EQ(a.mcs.switch_latency_slots.samples(),
+            b.mcs.switch_latency_slots.samples());
+}
+
+TEST(ModeSwitchTrial, OverrunsDriveSwitchesSheddingAndRecovery) {
+  const sys::TrialResult r = sys::run_trial(mcs_trial(0));
+  EXPECT_GT(r.mcs.overruns_observed, 0u);
+  EXPECT_GT(r.mcs.switches_to_hi, 0u);
+  EXPECT_GT(r.mcs.lo_jobs_shed + r.mcs.lo_rejected, 0u)
+      << "a switch must shed or reject LO work";
+  EXPECT_EQ(r.mcs.switch_latency_slots.count(), r.mcs.switches_to_hi);
+}
+
+TEST(ModeSwitchTrial, DisabledFeatureLeavesCountersZero) {
+  auto tc = mcs_trial(0);
+  tc.mode_switch = ModeSwitchConfig{};  // disabled
+  tc.workload.mixed_criticality = false;
+  tc.faults = faults::FaultPlan{};
+  const sys::TrialResult r = sys::run_trial(tc);
+  EXPECT_EQ(r.mcs.switches_to_hi, 0u);
+  EXPECT_EQ(r.mcs.overruns_observed, 0u);
+  EXPECT_EQ(r.mcs.lo_jobs_shed, 0u);
+  EXPECT_EQ(r.mcs.hi_misses, 0u);
+  EXPECT_EQ(r.mcs.hi_vms_at_end, 0u);
+  EXPECT_EQ(r.mcs.switch_latency_slots.count(), 0u);
+}
+
+TEST(ModeSwitchTrial, ResultsIdenticalAcrossJobCounts) {
+  sys::ParallelRunner seq(1), par(4);
+  const std::size_t trials = 5;
+  const auto make = [](std::size_t t) { return mcs_trial(t); };
+  const auto a = seq.run_trials(trials, make);
+  const auto b = par.run_trials(trials, make);
+  ASSERT_EQ(a.size(), trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    expect_mcs_identical(a[t], b[t]);
+  }
+}
+
+TEST(ModeSwitchTrial, EventAndSteppedModesAreByteEqual) {
+  for (std::size_t t = 0; t < 3; ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t));
+    const sys::TrialResult event = sys::run_trial(mcs_trial(t, false));
+    const sys::TrialResult stepped = sys::run_trial(mcs_trial(t, true));
+    expect_mcs_identical(event, stepped);
+    EXPECT_GT(event.mcs.switches_to_hi, 0u)
+        << "the equality must be exercised by actual mid-trial switches";
+  }
+}
+
+TEST(ModeSwitchTrial, MetricsSeriesExportedEvenWhenAllZero) {
+  // Satellite contract: once the feature flag is on, every shed/mode-switch
+  // series appears in the export even at value 0, so check_faults.py-style
+  // baselines cannot go order-dependent on which trial fired first.
+  telemetry::MetricsRegistry on;
+  auto quiet = mcs_trial(0);
+  quiet.faults = faults::FaultPlan{};  // no overruns -> nothing ever fires
+  quiet.metrics = &on;
+  (void)sys::run_trial(quiet);
+  std::ostringstream on_os;
+  telemetry::write_prometheus(on_os, on);
+  const std::string on_text = on_os.str();
+  for (const char* series :
+       {"ioguard_mode_switches_total", "ioguard_mode_lo_jobs_shed_total",
+        "ioguard_mode_lo_rejected_total", "ioguard_mode_hi_misses_total",
+        "ioguard_mode_overruns_observed_total", "ioguard_mode_hi_vms"}) {
+    EXPECT_NE(on_text.find(series), std::string::npos)
+        << series << " must be registered even at 0";
+  }
+
+  telemetry::MetricsRegistry off;
+  auto disabled = mcs_trial(0);
+  disabled.mode_switch = ModeSwitchConfig{};
+  disabled.workload.mixed_criticality = false;
+  disabled.faults = faults::FaultPlan{};
+  disabled.metrics = &off;
+  (void)sys::run_trial(disabled);
+  std::ostringstream off_os;
+  telemetry::write_prometheus(off_os, off);
+  EXPECT_EQ(off_os.str().find("ioguard_mode_"), std::string::npos)
+      << "flag off: no mode series may appear (pre-MCS byte-identity)";
+}
+
+TEST(ModeSwitchTrial, SummaryJsonCarriesMcsBlockOnlyWhenEnabled) {
+  const auto tc = mcs_trial(0);
+  const sys::TrialResult r = sys::run_trial(tc);
+  std::ostringstream with;
+  sys::write_trial_summary_json(with, tc, r);
+  EXPECT_NE(with.str().find("\"mcs\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"hi_misses\""), std::string::npos);
+
+  auto off = tc;
+  off.mode_switch = ModeSwitchConfig{};
+  off.workload.mixed_criticality = false;
+  off.faults = faults::FaultPlan{};
+  const sys::TrialResult r_off = sys::run_trial(off);
+  std::ostringstream without;
+  sys::write_trial_summary_json(without, off, r_off);
+  EXPECT_EQ(without.str().find("\"mcs\""), std::string::npos);
+}
+
+// ---- checkpoint integration -------------------------------------------------
+
+TEST(ModeSwitchCheckpoint, ConfigStringTokensAppearOnlyWhenEnabled) {
+  const faults::FaultPlan plan;
+  const faults::ResilienceConfig res;
+  const std::string base = sys::point_config_string(
+      sys::SystemKind::kIoGuard, 4, 0.8, 0.5, 4, 8, 42, plan, res);
+  EXPECT_EQ(base.find("criticality"), std::string::npos);
+  EXPECT_EQ(base.find("mcs="), std::string::npos);
+
+  ModeSwitchConfig mode = small_mode_config();
+  const std::string full = sys::point_config_string(
+      sys::SystemKind::kIoGuard, 4, 0.8, 0.5, 4, 8, 42, plan, res,
+      /*mixed_criticality=*/true, mode);
+  EXPECT_NE(full.find(" criticality=1"), std::string::npos);
+  EXPECT_NE(full.find(" mcs=2/100/0/15000"), std::string::npos);
+  EXPECT_NE(fnv1a64(base), fnv1a64(full))
+      << "an MCS journal must not resume under a non-MCS config (CKP002)";
+}
+
+TEST(ModeSwitchCheckpoint, TrialCrashedInHiModeResumesByteIdentical) {
+  const auto dir = fs::temp_directory_path() / "ioguard_mcs_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "ck.bin").string();
+
+  // Sticky hysteresis so the trial is still in HI mode at the horizon --
+  // the state a crash mid-sweep would have journaled last.
+  auto tc = mcs_trial(0);
+  tc.mode_switch.recovery_hysteresis_slots = 1000000;
+  const sys::TrialResult r = sys::run_trial(tc);
+  ASSERT_GT(r.mcs.hi_vms_at_end, 0u) << "trial must end in HI mode";
+
+  sys::CheckpointMeta meta;
+  meta.config_echo = "mcs resume test";
+  meta.fingerprint = fnv1a64(meta.config_echo);
+  meta.planned_trials = 2;
+  {
+    auto journal = sys::CheckpointJournal::open(path, meta, /*resume=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE((*journal)->append(7, 0, false, r, nullptr).ok());
+    // Journal destructor flushes; process "crashes" before trial 1 here.
+  }
+  auto resumed = sys::CheckpointJournal::open(path, meta, /*resume=*/true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ASSERT_EQ((*resumed)->loaded(), 1u);
+  const sys::CheckpointRecord* rec = (*resumed)->find(7, 0);
+  ASSERT_NE(rec, nullptr);
+  expect_mcs_identical(rec->result, r);
+  EXPECT_EQ(rec->result.mcs.hi_vms_at_end, r.mcs.hi_vms_at_end);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ioguard
